@@ -1,0 +1,233 @@
+// Benchmarks regenerating the paper's evaluation (one benchmark per
+// figure/series) and the ablation sweeps. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Reported custom metrics: Mbps_achieved (the figure's x-axis value at
+// saturation), cpu_load_pct (the y-axis), and the headline ratios.
+package lvmm
+
+import (
+	"testing"
+
+	"lvmm/internal/asm"
+	"lvmm/internal/experiment"
+	"lvmm/internal/guest"
+	"lvmm/internal/machine"
+	"lvmm/internal/perfmodel"
+	"lvmm/internal/vmm"
+)
+
+// benchTicks keeps each point short enough for -bench runs while long
+// enough to pass the disk-pipeline startup transient.
+const benchTicks = 40
+
+func benchPoint(b *testing.B, pf experiment.Platform, rate float64, opts experiment.Options) {
+	b.Helper()
+	opts.DurationTicks = benchTicks
+	var last experiment.Point
+	for i := 0; i < b.N; i++ {
+		last = experiment.RunPoint(pf, opts, rate)
+		if last.Error != "" {
+			b.Fatalf("%v @ %.0f: %s", pf, rate, last.Error)
+		}
+	}
+	b.ReportMetric(last.AchievedMbps, "Mbps_achieved")
+	b.ReportMetric(last.CPULoad*100, "cpu_load_pct")
+	b.ReportMetric(last.MonitorShare*100, "monitor_pct")
+}
+
+// BenchmarkFig31 regenerates the three series of Figure 3.1, one
+// sub-benchmark per platform per representative offered rate.
+func BenchmarkFig31(b *testing.B) {
+	type pt struct {
+		name string
+		pf   experiment.Platform
+		rate float64
+	}
+	points := []pt{
+		{"RealHardware/50Mbps", experiment.BareMetal, 50},
+		{"RealHardware/200Mbps", experiment.BareMetal, 200},
+		{"RealHardware/660Mbps", experiment.BareMetal, 660},
+		{"LightweightVMM/50Mbps", experiment.LightweightVMM, 50},
+		{"LightweightVMM/150Mbps", experiment.LightweightVMM, 150},
+		{"LightweightVMM/saturated", experiment.LightweightVMM, 700},
+		{"HostedVMM/25Mbps", experiment.HostedVMM, 25},
+		{"HostedVMM/saturated", experiment.HostedVMM, 700},
+	}
+	for _, p := range points {
+		b.Run(p.name, func(b *testing.B) {
+			benchPoint(b, p.pf, p.rate, experiment.Options{})
+		})
+	}
+}
+
+// BenchmarkHeadlineRatios reproduces the paper's two headline numbers
+// (5.4× the conventional VMM; 26% of real hardware) as reported metrics.
+func BenchmarkHeadlineRatios(b *testing.B) {
+	var s experiment.Summary
+	for i := 0; i < b.N; i++ {
+		fig := experiment.RunFig31(experiment.Options{
+			Rates:         []float64{700},
+			DurationTicks: benchTicks,
+		})
+		s = fig.Summarize()
+	}
+	b.ReportMetric(s.LightweightOverHosted, "x_vs_hostedVMM(paper=5.4)")
+	b.ReportMetric(s.LightweightOverBare*100, "pct_of_bare(paper=26)")
+	b.ReportMetric(s.BareMax, "bare_max_Mbps")
+	b.ReportMetric(s.LightweightMax, "lw_max_Mbps")
+	b.ReportMetric(s.HostedMax, "hosted_max_Mbps")
+}
+
+// BenchmarkAblationCoalesce measures lightweight-VMM saturation against
+// NIC interrupt coalescing (design-choice ablation).
+func BenchmarkAblationCoalesce(b *testing.B) {
+	for _, f := range []uint32{1, 4, 16} {
+		b.Run(coalesceName(f), func(b *testing.B) {
+			benchPoint(b, experiment.LightweightVMM, 700,
+				experiment.Options{Coalesce: f})
+		})
+	}
+}
+
+func coalesceName(f uint32) string {
+	switch f {
+	case 1:
+		return "perFrame"
+	case 4:
+		return "every4"
+	default:
+		return "every16"
+	}
+}
+
+// BenchmarkAblationSwitchCost sweeps the lightweight world-switch price.
+func BenchmarkAblationSwitchCost(b *testing.B) {
+	for _, s := range []struct {
+		name  string
+		scale float64
+	}{{"half", 0.5}, {"nominal", 1}, {"double", 2}, {"quadruple", 4}} {
+		b.Run(s.name, func(b *testing.B) {
+			c := perfmodel.Lightweight()
+			c.WorldSwitchIn = uint64(float64(c.WorldSwitchIn) * s.scale)
+			c.WorldSwitchOut = uint64(float64(c.WorldSwitchOut) * s.scale)
+			benchPoint(b, experiment.LightweightVMM, 700,
+				experiment.Options{LightweightCosts: &c})
+		})
+	}
+}
+
+// BenchmarkAblationSegmentSize sweeps the UDP payload size.
+func BenchmarkAblationSegmentSize(b *testing.B) {
+	for _, sz := range []uint32{256, 512, 1024} {
+		b.Run(segName(sz), func(b *testing.B) {
+			benchPoint(b, experiment.LightweightVMM, 700,
+				experiment.Options{SegmentBytes: sz})
+		})
+	}
+}
+
+func segName(sz uint32) string {
+	switch sz {
+	case 256:
+		return "256B"
+	case 512:
+		return "512B"
+	default:
+		return "1024B"
+	}
+}
+
+// BenchmarkAblationChecksumOffload compares software vs offloaded UDP
+// checksums on bare metal (the guest-side cost the hosted VMM's feature-
+// poor virtual NIC forces).
+func BenchmarkAblationChecksumOffload(b *testing.B) {
+	run := func(b *testing.B, offload bool) {
+		var load float64
+		for i := 0; i < b.N; i++ {
+			w := WorkloadDefaults(200)
+			w.Seconds = 0.4
+			w.CsumOffload = offload
+			t, err := NewStreamingTarget(BareMetal, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stats, err := t.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !stats.Clean {
+				b.Fatal(stats.ValidateErr)
+			}
+			load = stats.CPULoad
+		}
+		b.ReportMetric(load*100, "cpu_load_pct")
+	}
+	b.Run("offloaded", func(b *testing.B) { run(b, true) })
+	b.Run("software", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkInterpreter measures raw simulated-CPU speed (host-side
+// engineering metric, not a paper figure): instructions per second of a
+// tight guest loop.
+func BenchmarkInterpreter(b *testing.B) {
+	img := asm.MustAssemble(`
+        .org 0x1000
+        _start:
+            li   r1, 0
+            li   r2, 1000000
+        loop:
+            addi r1, r1, 1
+            bne  r1, r2, loop
+            hlt
+    `)
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.Config{ResetPC: img.Entry})
+		if err := m.LoadImage(img); err != nil {
+			b.Fatal(err)
+		}
+		m.CPU.Reset(img.Entry)
+		m.Run(20_000_000)
+		if m.CPU.Regs[1] != 1000000 {
+			b.Fatalf("loop did not finish: r1=%d", m.CPU.Regs[1])
+		}
+	}
+	b.ReportMetric(float64(2000001*b.N)/b.Elapsed().Seconds(), "guest_instr/s")
+}
+
+// BenchmarkTrapRoundTrip measures the simulated cost of one guest→monitor
+// →guest crossing (CLI emulation), the lightweight VMM's atomic unit.
+func BenchmarkTrapRoundTrip(b *testing.B) {
+	img := asm.MustAssemble(`
+        .org 0x1000
+        _start:
+        loop:
+            cli
+            sti
+            b loop
+    `)
+	m := machine.New(machine.Config{ResetPC: img.Entry})
+	if err := m.LoadImage(img); err != nil {
+		b.Fatal(err)
+	}
+	v := vmm.Attach(m, vmm.Config{Mode: vmm.Lightweight})
+	if err := v.Launch(img.Entry); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	start := v.Stats.Traps
+	for i := 0; i < b.N; i++ {
+		m.StepOne()
+	}
+	b.ReportMetric(float64(v.Stats.Traps-start)/float64(b.N), "traps/op")
+}
+
+// BenchmarkAssembler measures kernel assembly speed.
+func BenchmarkAssembler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := asm.Assemble(guest.StreamKernelSource); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Command fig31 regenerates the paper's Figure 3.1 — CPU load vs transfer
+// rate for real hardware, the lightweight VMM, and a hosted full-emulation
+// VMM — together with the 5.4× and 26% headline ratios.
+//
+// Usage:
+//
+//	fig31 [-ticks N] [-csv] [-rates 25,50,100,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lvmm/internal/experiment"
+)
+
+func main() {
+	ticks := flag.Uint("ticks", 50, "run length per point, in 10 ms ticks")
+	csv := flag.Bool("csv", false, "emit CSV instead of the rendered table")
+	rates := flag.String("rates", "", "comma-separated offered rates in Mb/s (default: standard sweep)")
+	flag.Parse()
+
+	opts := experiment.Options{DurationTicks: uint32(*ticks)}
+	if *rates != "" {
+		for _, f := range strings.Split(*rates, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fig31: bad rate %q: %v\n", f, err)
+				os.Exit(2)
+			}
+			opts.Rates = append(opts.Rates, v)
+		}
+	}
+
+	fig := experiment.RunFig31(opts)
+	if *csv {
+		fmt.Print(fig.CSV())
+		return
+	}
+	fmt.Print(fig.Render())
+}

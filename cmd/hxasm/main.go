@@ -1,0 +1,54 @@
+// Command hxasm assembles HX32 source into a flat binary image.
+//
+// Usage:
+//
+//	hxasm [-o image.bin] [-syms] [-list] kernel.s
+//
+// The output binary's first byte corresponds to the image's lowest
+// address (use .org in the source; the loader must honour it).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lvmm/internal/asm"
+)
+
+func main() {
+	out := flag.String("o", "", "write the binary image to this file")
+	syms := flag.Bool("syms", false, "print the symbol table")
+	list := flag.Bool("list", false, "print a disassembly listing")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hxasm [-o out.bin] [-syms] [-list] source.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hxasm:", err)
+		os.Exit(1)
+	}
+	img, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("assembled %d bytes, start=0x%x entry=0x%x, %d symbols\n",
+		len(img.Data), img.Start, img.Entry, len(img.Symbols))
+	if *syms {
+		for _, n := range img.SortedSymbols() {
+			fmt.Printf("%08x %s\n", img.Symbols[n], n)
+		}
+	}
+	if *list {
+		fmt.Print(img.Listing(img.Start, len(img.Data)/4))
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, img.Data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "hxasm:", err)
+			os.Exit(1)
+		}
+	}
+}

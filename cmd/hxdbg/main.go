@@ -1,0 +1,58 @@
+// Command hxdbg is the host-side remote debugger of Figure 2.1: an
+// interactive GDB-RSP client that connects to a running lvmm-target over
+// TCP.
+//
+// Usage:
+//
+//	hxdbg [-connect 127.0.0.1:4444] [-stream-symbols]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+
+	"lvmm/internal/debugger"
+	"lvmm/internal/guest"
+)
+
+func main() {
+	addr := flag.String("connect", "127.0.0.1:4444", "target debug channel address")
+	streamSyms := flag.Bool("stream-symbols", true, "load the streaming kernel's symbol table")
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hxdbg:", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+
+	client, err := debugger.New(debugger.NewConnTransport(conn))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hxdbg: handshake:", err)
+		os.Exit(1)
+	}
+	repl := debugger.NewREPL(client, os.Stdout)
+	if *streamSyms {
+		repl.LoadSymbols(guest.Kernel())
+	}
+	fmt.Println("connected; `int` to stop the guest, `help` for commands")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("(hxdbg) ")
+		if !sc.Scan() {
+			return
+		}
+		if err := repl.Execute(sc.Text()); err != nil {
+			if err == io.EOF {
+				return
+			}
+			fmt.Println("error:", err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command hxrun assembles an HX32 source file and runs it on a bare
+// machine, printing console output and the simctl result counters —
+// a quick way to try guest code without any monitor.
+//
+// Usage:
+//
+//	hxrun [-max-ms N] kernel.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lvmm/internal/asm"
+	"lvmm/internal/guest"
+	"lvmm/internal/isa"
+	"lvmm/internal/machine"
+)
+
+func main() {
+	maxMS := flag.Uint64("max-ms", 1000, "virtual run limit in milliseconds")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hxrun [-max-ms N] source.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hxrun:", err)
+		os.Exit(1)
+	}
+	img, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m := machine.NewStreaming(2<<20, nil, img.Entry)
+	if err := m.LoadImage(img); err != nil {
+		fmt.Fprintln(os.Stderr, "hxrun:", err)
+		os.Exit(1)
+	}
+	m.CPU.Reset(img.Entry)
+	reason := m.Run(*maxMS * (isa.ClockHz / 1000))
+	fmt.Printf("stopped: %v after %.3f virtual ms (pc=%08x)\n",
+		reason, float64(m.Clock())/float64(isa.ClockHz/1000), m.CPU.PC)
+	if m.Console.Len() > 0 {
+		fmt.Printf("console:\n%s\n", m.Console.String())
+	}
+	res := guest.ReadResults(m)
+	fmt.Printf("exit=%#x counters=%v cpu-load=%.1f%%\n",
+		res.ExitCode, m.GuestCounters, m.CPULoad()*100)
+	if reason == machine.StopWedged {
+		os.Exit(1)
+	}
+}

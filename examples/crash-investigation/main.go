@@ -1,0 +1,153 @@
+// Crash-investigation: the stability experiment from the paper's core
+// argument. A buggy guest OS wild-writes through memory — including over
+// the region where a conventional embedded debugger keeps its state, and
+// at the monitor's own memory.
+//
+//   - Under the lightweight VMM, the monitor contains the damage, records
+//     the violation, and the remote debugger performs a full post-mortem.
+//   - With a conventional guest-resident stub on bare metal, the same bug
+//     destroys the debugger itself.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"lvmm/internal/asm"
+	"lvmm/internal/debugger"
+	"lvmm/internal/gdbstub"
+	"lvmm/internal/machine"
+	"lvmm/internal/vmm"
+)
+
+// buggyOS installs a trivial fault handler, does some "work", then a wild
+// pointer walks over low memory (where the embedded stub lives) and
+// finally dereferences into the monitor's region.
+const buggyOS = `
+        .equ VTAB, 0x4000
+        .org 0x1000
+        _start:
+            li   sp, 0x9000
+            li   r1, VTAB
+            movrc vbar, r1
+            la   r2, handler
+            li   r3, 32
+        vfill:
+            sw   r2, 0(r1)
+            addi r1, r1, 4
+            addi r3, r3, -1
+            bnez r3, vfill
+            li   r1, 0x8000
+            movrc ksp, r1
+
+            ; "work" (several virtual milliseconds before the bug bites,
+            ; so the debugger can be seen working beforehand)
+            li   r9, 0
+        work:
+            addi r9, r9, 1
+            li   r2, 3000000
+            blt  r9, r2, work
+
+            ; BUG 1: wild pointer scribbles over low memory, destroying
+            ; anything that lives there (like an embedded debugger's state)
+            li   r1, 0x600
+        scribble:
+            sw   r9, 0(r1)
+            addi r1, r1, 4
+            li   r2, 0x900
+            blt  r1, r2, scribble
+
+            ; BUG 2: dereference into the monitor's region (60 MB)
+            li   r1, 0x3C00000
+            sw   r9, 0(r1)
+
+            ; if we get here the fault was reflected; record and spin
+        handler:
+            movcr r10, cause
+            movcr r11, vaddr
+        spin:
+            b    spin
+    `
+
+func main() {
+	img := asm.MustAssemble(buggyOS)
+
+	fmt.Println("=== scenario 1: lightweight VMM (paper's design) ===")
+	monitorScenario(img)
+
+	fmt.Println()
+	fmt.Println("=== scenario 2: conventional embedded stub on bare metal ===")
+	embeddedScenario(img)
+}
+
+func monitorScenario(img *asm.Image) {
+	m := machine.New(machine.Config{ResetPC: img.Entry})
+	if err := m.LoadImage(img); err != nil {
+		log.Fatal(err)
+	}
+	v := vmm.Attach(m, vmm.Config{Mode: vmm.Lightweight})
+	v.EnableDebugStub()
+	var violations []uint32
+	v.SetViolationHook(func(va uint32) { violations = append(violations, va) })
+	if err := v.Launch(img.Entry); err != nil {
+		log.Fatal(err)
+	}
+
+	dbg, err := debugger.New(debugger.NewSimTransport(m))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Let the guest crash itself (the monitor freezes it at the
+	// violation because a debugger is attached).
+	m.Run(m.Clock() + 50_000_000)
+	fmt.Printf("monitor recorded %d violation(s); first at 0x%07x\n",
+		len(violations), violations[0])
+
+	// Full post-mortem through the monitor-resident stub.
+	repl := debugger.NewREPL(dbg, os.Stdout)
+	repl.LoadSymbols(img)
+	for _, cmd := range []string{"regs", "dis", "monitor info"} {
+		fmt.Printf("\n(hxdbg) %s\n", cmd)
+		if err := repl.Execute(cmd); err != nil {
+			log.Fatalf("debugging a crashed guest failed: %v", err)
+		}
+	}
+	fmt.Println("\n-> debugger fully functional after the guest ran wild")
+}
+
+func embeddedScenario(img *asm.Image) {
+	m := machine.New(machine.Config{ResetPC: img.Entry})
+	if err := m.LoadImage(img); err != nil {
+		log.Fatal(err)
+	}
+	m.CPU.Reset(img.Entry)
+	target := gdbstub.NewBareTarget(m)
+	// The conventional stub keeps its state in guest RAM at 0x700 —
+	// right in the wild pointer's path.
+	stub := gdbstub.NewGuestResident(target, m.Dbg, 0x700)
+	target.OnStop(func(cause uint32) { stub.NotifyStop(5) })
+	m.SetIdleHook(stub.Poll)
+	var arm func()
+	arm = func() { stub.Poll(); m.After(126_000, arm) }
+	m.After(126_000, arm)
+
+	tr := debugger.NewSimTransport(m)
+	tr.BudgetCycles = 50_000_000
+	dbg, err := debugger.New(tr)
+	if err != nil {
+		log.Fatal("pre-crash handshake should work: ", err)
+	}
+	fmt.Println("handshake before the crash: OK")
+
+	m.Run(m.Clock() + 50_000_000) // guest scribbles over the stub
+
+	if _, err := dbg.Regs(); err != nil {
+		fmt.Printf("after the crash, the embedded debugger is gone: %v\n", err)
+	} else {
+		log.Fatal("unexpected: embedded stub survived")
+	}
+	fmt.Printf("stub self-check: dead=%v\n", stub.Dead())
+	fmt.Println("-> the conventional approach loses the debugger exactly when it is needed")
+}

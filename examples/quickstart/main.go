@@ -1,0 +1,31 @@
+// Quickstart: boot the HiTactix-stand-in guest on the lightweight VMM,
+// stream the paper's workload for half a virtual second, and print the
+// measurements — the smallest complete use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lvmm"
+)
+
+func main() {
+	// The paper's §3 workload: read from three SCSI disks at a constant
+	// rate, segment, transmit over gigabit Ethernet UDP.
+	target, err := lvmm.NewStreamingTarget(lvmm.Lightweight, lvmm.WorkloadDefaults(150))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats, err := target.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(stats)
+
+	// The monitor keeps per-event statistics: what trapped and how often.
+	fmt.Println()
+	fmt.Println("monitor statistics:")
+	fmt.Print(target.Monitor().String())
+}

@@ -1,0 +1,56 @@
+// Streaming-server: the paper's motivating appliance workload (a HiTactix
+// video-streaming server pushing constant-rate UDP) measured on all three
+// platforms across rates — a compact rendition of Figure 3.1 plus the
+// headline ratios.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lvmm"
+)
+
+func main() {
+	rates := []float64{25, 50, 100, 150, 200, 400, 660}
+	platforms := []lvmm.Platform{lvmm.BareMetal, lvmm.Lightweight, lvmm.HostedFull}
+
+	fmt.Printf("%-10s", "Mb/s")
+	for _, p := range platforms {
+		fmt.Printf(" | %-28v", p)
+	}
+	fmt.Println()
+
+	maxRate := map[lvmm.Platform]float64{}
+	for _, rate := range rates {
+		fmt.Printf("%-10.0f", rate)
+		for _, p := range platforms {
+			w := lvmm.WorkloadDefaults(rate)
+			w.Seconds = 0.4
+			t, err := lvmm.NewStreamingTarget(p, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			stats, err := t.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !stats.Clean {
+				log.Fatalf("%v @ %.0f: %s", p, rate, stats.ValidateErr)
+			}
+			fmt.Printf(" | %7.1f Mb/s  %5.1f%% load   ", stats.AchievedMbps, stats.CPULoad*100)
+			if stats.AchievedMbps > maxRate[p] {
+				maxRate[p] = stats.AchievedMbps
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Printf("max sustained: bare=%.0f  lightweight=%.0f  hosted=%.0f Mb/s\n",
+		maxRate[lvmm.BareMetal], maxRate[lvmm.Lightweight], maxRate[lvmm.HostedFull])
+	fmt.Printf("lightweight / hosted = %.2fx (paper: 5.4x)\n",
+		maxRate[lvmm.Lightweight]/maxRate[lvmm.HostedFull])
+	fmt.Printf("lightweight / bare   = %.0f%% (paper: ~26%%)\n",
+		100*maxRate[lvmm.Lightweight]/maxRate[lvmm.BareMetal])
+}

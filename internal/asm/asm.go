@@ -1,0 +1,533 @@
+// Package asm implements a two-pass assembler for the HX32 instruction set.
+//
+// Syntax overview:
+//
+//	; comment, # comment, // comment
+//	.equ  NAME, expr          ; define a constant
+//	.org  expr                ; set the location counter
+//	.align expr               ; pad to a power-of-two boundary
+//	.word expr, ...           ; emit 32-bit little-endian words
+//	.half expr, ...           ; emit 16-bit values
+//	.byte expr, ...           ; emit bytes
+//	.ascii "text"             ; emit string bytes
+//	.asciz "text"             ; emit string bytes plus NUL
+//	.space expr               ; emit zero bytes
+//	label:                    ; define a label at the location counter
+//	    addi r1, zero, 5      ; instructions, one per line
+//	    lw   r2, 8(sp)
+//	    beq  r1, r2, done
+//
+// Expressions support decimal/hex/binary/char literals, symbols, the current
+// location counter '.', unary - and ~, and the binary operators
+// + - * / % << >> & | ^ with C-like precedence, plus parentheses.
+//
+// Pseudo-instructions: nop, mov, neg, li, la, b, beqz, bnez, bgt, ble,
+// bgtu, bleu, call, ret, jr, push, pop.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"lvmm/internal/isa"
+)
+
+// Image is the output of assembly: a flat byte image with symbol table.
+type Image struct {
+	// Start is the lowest address the image occupies.
+	Start uint32
+	// Data is the image contents beginning at Start; gaps created by .org
+	// are zero-filled.
+	Data []byte
+	// Entry is the program entry point: the value of the `_start` symbol
+	// if defined, otherwise Start.
+	Entry uint32
+	// Symbols maps every label and .equ name to its value.
+	Symbols map[string]uint32
+}
+
+// SymbolFor returns the name of the symbol nearest at or below addr, with
+// its offset, for use in debugger displays. Returns "" if none.
+func (im *Image) SymbolFor(addr uint32) (name string, offset uint32) {
+	type sym struct {
+		name string
+		val  uint32
+	}
+	best := sym{}
+	found := false
+	for n, v := range im.Symbols {
+		if v <= addr && (!found || v > best.val || (v == best.val && n < best.name)) {
+			best = sym{n, v}
+			found = true
+		}
+	}
+	if !found {
+		return "", 0
+	}
+	return best.name, addr - best.val
+}
+
+// Error describes an assembly error with source position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+// ErrorList collects all errors found during assembly.
+type ErrorList []*Error
+
+func (el ErrorList) Error() string {
+	if len(el) == 0 {
+		return "no errors"
+	}
+	var b strings.Builder
+	for i, e := range el {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Error())
+		if i == 9 && len(el) > 10 {
+			fmt.Fprintf(&b, "\n... and %d more errors", len(el)-10)
+			break
+		}
+	}
+	return b.String()
+}
+
+// Assemble assembles HX32 source into an image. The default origin is 0;
+// use .org to relocate.
+func Assemble(src string) (*Image, error) {
+	a := &assembler{
+		symbols: map[string]uint32{},
+	}
+	a.parse(src)
+	if len(a.errs) > 0 {
+		return nil, a.errs
+	}
+	// Pass 1: assign addresses.
+	a.layout()
+	if len(a.errs) > 0 {
+		return nil, a.errs
+	}
+	// Pass 2: encode.
+	img := a.encode()
+	if len(a.errs) > 0 {
+		return nil, a.errs
+	}
+	return img, nil
+}
+
+// MustAssemble assembles or panics; for use with vetted built-in sources.
+func MustAssemble(src string) *Image {
+	img, err := Assemble(src)
+	if err != nil {
+		panic(fmt.Sprintf("asm: internal source failed to assemble:\n%v", err))
+	}
+	return img
+}
+
+// stmtKind discriminates parsed statements.
+type stmtKind int
+
+const (
+	stLabel stmtKind = iota
+	stEqu
+	stOrg
+	stAlign
+	stData  // .word/.half/.byte
+	stASCII // .ascii/.asciz
+	stSpace
+	stInstr
+)
+
+type statement struct {
+	kind  stmtKind
+	line  int
+	name  string   // label or .equ name or mnemonic
+	args  []string // raw operand strings
+	width int      // data element width for stData (1, 2 or 4)
+	text  string   // string payload for stASCII
+	nul   bool     // .asciz
+
+	addr uint32 // assigned in pass 1
+	size uint32 // byte size, assigned in pass 1
+}
+
+type assembler struct {
+	stmts   []*statement
+	symbols map[string]uint32
+	defined map[string]bool
+	errs    ErrorList
+	minAddr uint32
+	maxAddr uint32
+}
+
+func (a *assembler) errorf(line int, format string, args ...any) {
+	a.errs = append(a.errs, &Error{Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+// parse splits the source into statements.
+func (a *assembler) parse(src string) {
+	a.defined = map[string]bool{}
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		text := stripComment(raw)
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		// Labels: one or more `name:` prefixes.
+		for {
+			idx := strings.Index(text, ":")
+			if idx < 0 {
+				break
+			}
+			head := strings.TrimSpace(text[:idx])
+			if !isIdent(head) {
+				break
+			}
+			a.stmts = append(a.stmts, &statement{kind: stLabel, line: line, name: head})
+			text = strings.TrimSpace(text[idx+1:])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.SplitN(text, " ", 2)
+		mnem := strings.ToLower(strings.TrimSpace(fields[0]))
+		rest := ""
+		if len(fields) == 2 {
+			rest = strings.TrimSpace(fields[1])
+		}
+		// Tab-separated mnemonics.
+		if t := strings.IndexAny(mnem, "\t"); t >= 0 {
+			rest = strings.TrimSpace(mnem[t+1:] + " " + rest)
+			mnem = mnem[:t]
+		}
+		switch mnem {
+		case ".equ":
+			args := splitArgs(rest)
+			if len(args) != 2 {
+				a.errorf(line, ".equ needs name, value")
+				continue
+			}
+			a.stmts = append(a.stmts, &statement{kind: stEqu, line: line, name: args[0], args: args[1:]})
+		case ".org":
+			a.stmts = append(a.stmts, &statement{kind: stOrg, line: line, args: []string{rest}})
+		case ".align":
+			a.stmts = append(a.stmts, &statement{kind: stAlign, line: line, args: []string{rest}})
+		case ".word":
+			a.stmts = append(a.stmts, &statement{kind: stData, line: line, width: 4, args: splitArgs(rest)})
+		case ".half":
+			a.stmts = append(a.stmts, &statement{kind: stData, line: line, width: 2, args: splitArgs(rest)})
+		case ".byte":
+			a.stmts = append(a.stmts, &statement{kind: stData, line: line, width: 1, args: splitArgs(rest)})
+		case ".ascii", ".asciz":
+			s, err := parseString(rest)
+			if err != nil {
+				a.errorf(line, "%v", err)
+				continue
+			}
+			a.stmts = append(a.stmts, &statement{
+				kind: stASCII, line: line, text: s, nul: mnem == ".asciz"})
+		case ".space":
+			a.stmts = append(a.stmts, &statement{kind: stSpace, line: line, args: []string{rest}})
+		default:
+			if strings.HasPrefix(mnem, ".") {
+				a.errorf(line, "unknown directive %q", mnem)
+				continue
+			}
+			a.stmts = append(a.stmts, &statement{kind: stInstr, line: line, name: mnem, args: splitArgs(rest)})
+		}
+	}
+}
+
+// layout is pass 1: compute sizes and addresses and define symbols.
+func (a *assembler) layout() {
+	lc := uint32(0)
+	a.minAddr = ^uint32(0)
+	for _, st := range a.stmts {
+		st.addr = lc
+		switch st.kind {
+		case stLabel:
+			if a.defined[st.name] {
+				a.errorf(st.line, "symbol %q redefined", st.name)
+			}
+			a.symbols[st.name] = lc
+			a.defined[st.name] = true
+		case stEqu:
+			v, err := a.eval(st.args[0], lc, st.line)
+			if err != nil {
+				a.errorf(st.line, ".equ %s: %v", st.name, err)
+				continue
+			}
+			if a.defined[st.name] {
+				a.errorf(st.line, "symbol %q redefined", st.name)
+			}
+			a.symbols[st.name] = v
+			a.defined[st.name] = true
+		case stOrg:
+			v, err := a.eval(st.args[0], lc, st.line)
+			if err != nil {
+				a.errorf(st.line, ".org: %v", err)
+				continue
+			}
+			lc = v
+			st.addr = lc
+		case stAlign:
+			v, err := a.eval(st.args[0], lc, st.line)
+			if err != nil || v == 0 || v&(v-1) != 0 {
+				a.errorf(st.line, ".align needs a power of two")
+				continue
+			}
+			pad := (v - lc%v) % v
+			st.size = pad
+			lc += pad
+		case stData:
+			st.size = uint32(st.width * len(st.args))
+			lc += st.size
+		case stASCII:
+			st.size = uint32(len(st.text))
+			if st.nul {
+				st.size++
+			}
+			lc += st.size
+		case stSpace:
+			v, err := a.eval(st.args[0], lc, st.line)
+			if err != nil {
+				a.errorf(st.line, ".space: %v", err)
+				continue
+			}
+			st.size = v
+			lc += v
+		case stInstr:
+			n, err := instrWords(st.name, st.args, a)
+			if err != nil {
+				a.errorf(st.line, "%v", err)
+				continue
+			}
+			st.size = uint32(n * 4)
+			lc += st.size
+		}
+		if st.size > 0 || st.kind == stInstr {
+			if st.addr < a.minAddr {
+				a.minAddr = st.addr
+			}
+			if st.addr+st.size > a.maxAddr {
+				a.maxAddr = st.addr + st.size
+			}
+		}
+	}
+	if a.minAddr == ^uint32(0) {
+		a.minAddr = 0
+	}
+}
+
+// encode is pass 2: emit bytes.
+func (a *assembler) encode() *Image {
+	img := &Image{
+		Start:   a.minAddr,
+		Data:    make([]byte, a.maxAddr-a.minAddr),
+		Symbols: a.symbols,
+	}
+	for _, st := range a.stmts {
+		off := st.addr - a.minAddr
+		switch st.kind {
+		case stData:
+			for i, arg := range st.args {
+				v, err := a.eval(arg, st.addr, st.line)
+				if err != nil {
+					a.errorf(st.line, "%v", err)
+					continue
+				}
+				o := off + uint32(i*st.width)
+				switch st.width {
+				case 4:
+					binary.LittleEndian.PutUint32(img.Data[o:], v)
+				case 2:
+					binary.LittleEndian.PutUint16(img.Data[o:], uint16(v))
+				case 1:
+					img.Data[o] = byte(v)
+				}
+			}
+		case stASCII:
+			copy(img.Data[off:], st.text)
+			// .asciz NUL is already zero.
+		case stInstr:
+			words, err := a.encodeInstr(st)
+			if err != nil {
+				a.errorf(st.line, "%v", err)
+				continue
+			}
+			for i, w := range words {
+				binary.LittleEndian.PutUint32(img.Data[off+uint32(i*4):], w)
+			}
+		}
+	}
+	img.Entry = img.Start
+	if e, ok := a.symbols["_start"]; ok {
+		img.Entry = e
+	}
+	return img
+}
+
+// isIdent reports whether s is a valid symbol name.
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || r == '.':
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// stripComment removes ; # // comments, respecting string literals.
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inStr {
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inStr = true
+		case ';', '#':
+			return s[:i]
+		case '/':
+			if i+1 < len(s) && s[i+1] == '/' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// splitArgs splits a comma-separated operand list, respecting parentheses
+// and string literals.
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth, start, inStr := 0, 0, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inStr {
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inStr = true
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+// parseString parses a double-quoted string literal with escapes.
+func parseString(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("expected quoted string, got %q", s)
+	}
+	var b strings.Builder
+	body := s[1 : len(s)-1]
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("dangling escape in string")
+		}
+		switch body[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case 'r':
+			b.WriteByte('\r')
+		case '0':
+			b.WriteByte(0)
+		case '\\', '"':
+			b.WriteByte(body[i])
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return b.String(), nil
+}
+
+// SortedSymbols returns symbol names sorted by value then name, for listings.
+func (im *Image) SortedSymbols() []string {
+	names := make([]string, 0, len(im.Symbols))
+	for n := range im.Symbols {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		vi, vj := im.Symbols[names[i]], im.Symbols[names[j]]
+		if vi != vj {
+			return vi < vj
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// Listing produces a disassembly listing of the image's instruction words
+// starting at start for n words, annotated with symbols.
+func (im *Image) Listing(start uint32, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		addr := start + uint32(i*4)
+		off := addr - im.Start
+		if int(off)+4 > len(im.Data) {
+			break
+		}
+		w := binary.LittleEndian.Uint32(im.Data[off:])
+		for name, v := range im.Symbols {
+			if v == addr {
+				fmt.Fprintf(&b, "%s:\n", name)
+				break
+			}
+		}
+		fmt.Fprintf(&b, "  %08x:  %08x  %s\n", addr, w, isa.Disassemble(addr, w))
+	}
+	return b.String()
+}

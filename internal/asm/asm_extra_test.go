@@ -1,0 +1,177 @@
+package asm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lvmm/internal/isa"
+)
+
+func TestMorePseudoOps(t *testing.T) {
+	img, err := Assemble(`
+        mov  r1, r2
+        neg  r3, r4
+        jr   r5
+        bnez r6, target
+        bgtu r7, r8, target
+        bleu r9, r10, target
+        target:
+    `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if word(img, 0) != isa.EncodeR(isa.OpADD, 1, 2, 0) {
+		t.Errorf("mov: %08x", word(img, 0))
+	}
+	if word(img, 4) != isa.EncodeR(isa.OpSUB, 3, 0, 4) {
+		t.Errorf("neg: %08x", word(img, 4))
+	}
+	if word(img, 8) != isa.EncodeI(isa.OpJALR, 0, 5, 0) {
+		t.Errorf("jr: %08x", word(img, 8))
+	}
+	if word(img, 12) != isa.EncodeI(isa.OpBNE, 6, 0, 2) {
+		t.Errorf("bnez: %08x", word(img, 12))
+	}
+	// bgtu a,b == bltu b,a ; bleu a,b == bgeu b,a
+	if word(img, 16) != isa.EncodeI(isa.OpBLTU, 8, 7, 1) {
+		t.Errorf("bgtu: %08x", word(img, 16))
+	}
+	if word(img, 20) != isa.EncodeI(isa.OpBGEU, 10, 9, 0) {
+		t.Errorf("bleu: %08x", word(img, 20))
+	}
+}
+
+func TestBranchOutOfRange(t *testing.T) {
+	src := "_start: beq r1, r2, far\n.org 0x100000\nfar: nop\n"
+	if _, err := Assemble(src); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJALOutOfRange(t *testing.T) {
+	src := "_start: b far\n.org 0x1000000\nfar: nop\n"
+	if _, err := Assemble(src); err == nil || !strings.Contains(err.Error(), "22-bit range") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLocationCounterExpression(t *testing.T) {
+	img, err := Assemble(`
+        .org 0x100
+        a: .word .          ; the address of this word
+        b: .word . + 4
+    `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if word(img, 0x100) != 0x100 || word(img, 0x104) != 0x108 {
+		t.Fatalf("dot: %x %x", word(img, 0x100), word(img, 0x104))
+	}
+}
+
+func TestLuiRangeCheck(t *testing.T) {
+	if _, err := Assemble("lui r1, 0x40000"); err == nil {
+		t.Fatal("lui immediate over 18 bits accepted")
+	}
+}
+
+// Property: the assembler's expression evaluator agrees with Go for
+// randomly generated expressions over + - * & | ^ << >> with parens.
+func TestExpressionEvaluatorProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var gen func(depth int) (string, uint32)
+	gen = func(depth int) (string, uint32) {
+		if depth == 0 || rng.Intn(3) == 0 {
+			v := rng.Uint32() % 0x10000
+			return fmt.Sprintf("0x%x", v), v
+		}
+		ls, lv := gen(depth - 1)
+		rs, rv := gen(depth - 1)
+		switch rng.Intn(7) {
+		case 0:
+			return "(" + ls + "+" + rs + ")", lv + rv
+		case 1:
+			return "(" + ls + "-" + rs + ")", lv - rv
+		case 2:
+			return "(" + ls + "*" + rs + ")", lv * rv
+		case 3:
+			return "(" + ls + "&" + rs + ")", lv & rv
+		case 4:
+			return "(" + ls + "|" + rs + ")", lv | rv
+		case 5:
+			return "(" + ls + "^" + rs + ")", lv ^ rv
+		default:
+			sh := rv % 8
+			return fmt.Sprintf("(%s<<%d)", ls, sh), lv << sh
+		}
+	}
+	for i := 0; i < 300; i++ {
+		expr, want := gen(4)
+		img, err := Assemble(".word " + expr)
+		if err != nil {
+			t.Fatalf("expr %q: %v", expr, err)
+		}
+		if got := word(img, 0); got != want {
+			t.Fatalf("expr %q: asm=%#x go=%#x", expr, got, want)
+		}
+	}
+}
+
+// Precedence without parentheses must be C-like.
+func TestExpressionPrecedence(t *testing.T) {
+	cases := []struct {
+		expr string
+		want uint32
+	}{
+		{"2+3*4", 14},
+		{"2*3+4", 10},
+		{"1<<4+2", 0x40}, // + binds tighter than << (C-like)
+		{"0xFF & 15 | 16", 31},
+		{"10-2-3", 5}, // left associative
+		{"~0 >> 28", 0xF},
+	}
+	for _, c := range cases {
+		img, err := Assemble(".word " + c.expr)
+		if err != nil {
+			t.Fatalf("%q: %v", c.expr, err)
+		}
+		if got := word(img, 0); got != c.want {
+			t.Errorf("%q = %#x, want %#x", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestOrgBackwardsOverlapSafe(t *testing.T) {
+	// Going backwards with .org writes into earlier space: the image
+	// spans min..max and the later words land where directed.
+	img, err := Assemble(`
+        .org 0x20
+        .word 0x2222
+        .org 0x10
+        .word 0x1111
+    `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Start != 0x10 {
+		t.Fatalf("start %x", img.Start)
+	}
+	if word(img, 0x10) != 0x1111 || word(img, 0x20) != 0x2222 {
+		t.Fatal("backward .org placement wrong")
+	}
+}
+
+func TestCharEscapes(t *testing.T) {
+	img, err := Assemble(`.byte '\n', '\t', '\r', '\0', 'z'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{'\n', '\t', '\r', 0, 'z'}
+	for i, b := range want {
+		if img.Data[i] != b {
+			t.Errorf("byte %d = %#x, want %#x", i, img.Data[i], b)
+		}
+	}
+}

@@ -1,0 +1,409 @@
+package asm
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lvmm/internal/isa"
+)
+
+func word(img *Image, addr uint32) uint32 {
+	return binary.LittleEndian.Uint32(img.Data[addr-img.Start:])
+}
+
+func TestAssembleBasic(t *testing.T) {
+	img, err := Assemble(`
+        _start:
+            addi r1, zero, 42
+            add  r2, r1, r1
+            hlt
+    `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Start != 0 || img.Entry != 0 {
+		t.Fatalf("start=%x entry=%x", img.Start, img.Entry)
+	}
+	if len(img.Data) != 12 {
+		t.Fatalf("image size %d, want 12", len(img.Data))
+	}
+	if word(img, 0) != isa.EncodeI(isa.OpADDI, 1, 0, 42) {
+		t.Errorf("addi encoding wrong: %08x", word(img, 0))
+	}
+	if word(img, 4) != isa.EncodeR(isa.OpADD, 2, 1, 1) {
+		t.Errorf("add encoding wrong: %08x", word(img, 4))
+	}
+}
+
+func TestOrgAndLabels(t *testing.T) {
+	img, err := Assemble(`
+        .org 0x1000
+        _start:
+            b   next
+        pad: .word 0xDEADBEEF
+        next:
+            hlt
+    `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Start != 0x1000 {
+		t.Fatalf("start %x", img.Start)
+	}
+	if img.Symbols["next"] != 0x1008 {
+		t.Fatalf("next = %x", img.Symbols["next"])
+	}
+	// b next == jal zero, +1 word (skip pad).
+	if word(img, 0x1000) != isa.EncodeJ(isa.OpJAL, 0, 1) {
+		t.Errorf("b encoding: %08x", word(img, 0x1000))
+	}
+	if word(img, 0x1004) != 0xDEADBEEF {
+		t.Errorf(".word: %08x", word(img, 0x1004))
+	}
+}
+
+func TestEquAndExpressions(t *testing.T) {
+	img, err := Assemble(`
+        .equ BASE, 0x300
+        .equ SIZE, 16*4
+        .equ MASK, (1<<5) | 3
+        .word BASE + SIZE, MASK, ~0, 10 % 3, 'A', '\n', 100/5-2
+    `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{0x340, 0x23, 0xFFFFFFFF, 1, 65, 10, 18}
+	for i, w := range want {
+		if got := word(img, uint32(i*4)); got != w {
+			t.Errorf("word %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	img, err := Assemble(`
+        .byte 1, 2, 0xFF
+        .half 0x1234
+        .align 4
+        .word 0xAABBCCDD
+        .ascii "Hi"
+        .asciz "!"
+        .space 3
+        end:
+    `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := img.Data
+	if d[0] != 1 || d[1] != 2 || d[2] != 0xFF {
+		t.Errorf(".byte: % x", d[:3])
+	}
+	if binary.LittleEndian.Uint16(d[3:]) != 0x1234 {
+		t.Errorf(".half: % x", d[3:5])
+	}
+	// .align 4 pads 5 → 8.
+	if binary.LittleEndian.Uint32(d[8:]) != 0xAABBCCDD {
+		t.Errorf(".word after align: % x", d[8:12])
+	}
+	if string(d[12:14]) != "Hi" || d[14] != '!' || d[15] != 0 {
+		t.Errorf("strings: % x", d[12:16])
+	}
+	if img.Symbols["end"] != 19 {
+		t.Errorf("end = %d, want 19", img.Symbols["end"])
+	}
+}
+
+func TestLiExpansion(t *testing.T) {
+	img, err := Assemble(`
+        li r1, 5          ; 1 word: addi
+        li r2, -100       ; 1 word: addi
+        li r3, 0x40000    ; 1 word: lui (low 14 bits zero)
+        li r4, 0x12345678 ; 2 words
+        hlt
+    `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Data) != 6*4 {
+		t.Fatalf("image size %d", len(img.Data))
+	}
+	if word(img, 0) != isa.EncodeI(isa.OpADDI, 1, 0, 5) {
+		t.Errorf("li small: %08x", word(img, 0))
+	}
+	if word(img, 8) != isa.EncodeI(isa.OpLUI, 3, 0, 0x40000>>14) {
+		t.Errorf("li lui-only: %08x", word(img, 8))
+	}
+	if word(img, 12) != isa.EncodeI(isa.OpLUI, 4, 0, 0x12345678>>14) ||
+		word(img, 16) != isa.EncodeI(isa.OpORI, 4, 4, 0x12345678&0x3FFF) {
+		t.Errorf("li wide: %08x %08x", word(img, 12), word(img, 16))
+	}
+}
+
+func TestLaAlwaysTwoWords(t *testing.T) {
+	// la of a small forward symbol must still be 2 words so pass-1 sizes
+	// match pass 2.
+	img, err := Assemble(`
+        _start:
+            la r1, target
+            hlt
+        target:
+    `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Symbols["target"] != 12 {
+		t.Fatalf("target = %d, want 12", img.Symbols["target"])
+	}
+}
+
+func TestMemOperands(t *testing.T) {
+	img, err := Assemble(`
+        .equ OFF, 8
+        lw r1, OFF(sp)
+        sw r1, -4(r2)
+        lw r3, (r4)
+        lbu r5, 0x100(zero)
+    `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if word(img, 0) != isa.EncodeI(isa.OpLW, 1, isa.RegSP, 8) {
+		t.Errorf("lw: %08x", word(img, 0))
+	}
+	if word(img, 4) != isa.EncodeI(isa.OpSW, 1, 2, -4) {
+		t.Errorf("sw: %08x", word(img, 4))
+	}
+	if word(img, 8) != isa.EncodeI(isa.OpLW, 3, 4, 0) {
+		t.Errorf("lw paren: %08x", word(img, 8))
+	}
+	if word(img, 12) != isa.EncodeI(isa.OpLBU, 5, 0, 0x100) {
+		t.Errorf("lbu absolute: %08x", word(img, 12))
+	}
+}
+
+func TestBranchEncoding(t *testing.T) {
+	img, err := Assemble(`
+        loop:
+            addi r1, r1, 1
+            bne  r1, r2, loop
+            beqz r3, loop
+            bgt  r4, r5, loop
+    `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bne at 4: offset = (0 - 8)/4 = -2.
+	if word(img, 4) != isa.EncodeI(isa.OpBNE, 1, 2, -2) {
+		t.Errorf("bne: %08x", word(img, 4))
+	}
+	if word(img, 8) != isa.EncodeI(isa.OpBEQ, 3, 0, -3) {
+		t.Errorf("beqz: %08x", word(img, 8))
+	}
+	// bgt r4, r5 == blt r5, r4.
+	if word(img, 12) != isa.EncodeI(isa.OpBLT, 5, 4, -4) {
+		t.Errorf("bgt: %08x", word(img, 12))
+	}
+}
+
+func TestCallRetPushPop(t *testing.T) {
+	img, err := Assemble(`
+        _start:
+            call fn
+            hlt
+        fn:
+            push lr
+            pop  lr
+            ret
+    `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if word(img, 0) != isa.EncodeJ(isa.OpJAL, isa.RegLR, 1) {
+		t.Errorf("call: %08x", word(img, 0))
+	}
+	if word(img, 8) != isa.EncodeI(isa.OpADDI, isa.RegSP, isa.RegSP, -4) ||
+		word(img, 12) != isa.EncodeI(isa.OpSW, isa.RegLR, isa.RegSP, 0) {
+		t.Errorf("push: %08x %08x", word(img, 8), word(img, 12))
+	}
+	if word(img, 24) != isa.EncodeI(isa.OpJALR, 0, isa.RegLR, 0) {
+		t.Errorf("ret: %08x", word(img, 24))
+	}
+}
+
+func TestControlRegisterOps(t *testing.T) {
+	img, err := Assemble(`
+        movcr r1, cause
+        movrc ptbr, r2
+        in    r3, r4
+        out   r4, r5
+    `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if word(img, 0) != isa.EncodeI(isa.OpMOVCR, 1, 0, isa.CRCause) {
+		t.Errorf("movcr: %08x", word(img, 0))
+	}
+	if word(img, 4) != isa.EncodeI(isa.OpMOVRC, 0, 2, isa.CRPtbr) {
+		t.Errorf("movrc: %08x", word(img, 4))
+	}
+	if word(img, 8) != isa.EncodeR(isa.OpIN, 3, 4, 0) {
+		t.Errorf("in: %08x", word(img, 8))
+	}
+	if word(img, 12) != isa.EncodeR(isa.OpOUT, 0, 4, 5) {
+		t.Errorf("out: %08x", word(img, 12))
+	}
+}
+
+func TestComments(t *testing.T) {
+	img, err := Assemble(`
+        ; full line comment
+        # another
+        // and another
+        addi r1, zero, 1   ; trailing
+        addi r2, zero, 2   # trailing
+        addi r3, zero, 3   // trailing
+        .ascii "semi;colon#ok//fine"
+    `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Data) != 12+len("semi;colon#ok//fine") {
+		t.Fatalf("size %d", len(img.Data))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"bogus r1, r2", "unknown instruction"},
+		{"addi r1, zero, 0x40000", "out of 18-bit signed range"},
+		{"addi r99, zero, 1", "bad register"},
+		{"lw r1, 4(r77)", "bad register"},
+		{"beq r1, r2, 0x2", "misaligned"},
+		{"foo: \n foo:", "redefined"},
+		{"b undefined_label", "undefined symbol"},
+		{".equ X", ".equ needs"},
+		{".bogus 12", "unknown directive"},
+		{"movcr r1, nosuchcr", "unknown control register"},
+		{".align 3", "power of two"},
+		{".word 1/0", "division by zero"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("source %q: expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("source %q: error %q does not contain %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestErrorsReportLineNumbers(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want line 3 in error, got %v", err)
+	}
+}
+
+func TestSymbolFor(t *testing.T) {
+	img, err := Assemble(`
+        _start: nop
+        fn:     nop
+                nop
+    `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, off := img.SymbolFor(8)
+	if name != "fn" || off != 4 {
+		t.Fatalf("SymbolFor(8) = %s+%d", name, off)
+	}
+}
+
+func TestSortedSymbols(t *testing.T) {
+	img := MustAssemble(".org 0x10\nbb:\naa:\n nop\ncc:\n")
+	got := img.SortedSymbols()
+	want := []string{"aa", "bb", "cc"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("sorted = %v", got)
+	}
+}
+
+// Property: assembling a .word directive with any value reproduces that
+// value exactly in the image.
+func TestWordRoundTripProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		img, err := Assemble(".word " + "0x" + hex32(v))
+		return err == nil && word(img, 0) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: li materializes any 32-bit constant.
+func TestLiMaterializesAnyConstant(t *testing.T) {
+	f := func(v uint32) bool {
+		img, err := Assemble("li r1, 0x" + hex32(v))
+		if err != nil {
+			return false
+		}
+		// Emulate the (at most two) instructions.
+		var r1 uint32
+		for i := 0; i*4 < len(img.Data); i++ {
+			w := word(img, uint32(i*4))
+			switch isa.Opcode(w) {
+			case isa.OpADDI:
+				r1 = uint32(isa.Imm18(w))
+			case isa.OpLUI:
+				r1 = isa.Imm18U(w) << 14
+			case isa.OpORI:
+				r1 |= isa.Imm18U(w)
+			default:
+				return false
+			}
+		}
+		return r1 == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hex32(v uint32) string {
+	const d = "0123456789abcdef"
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[7-i] = d[v>>(4*uint(i))&0xF]
+	}
+	return string(b[:])
+}
+
+func TestListing(t *testing.T) {
+	img := MustAssemble("_start:\n addi r1, zero, 7\n hlt\n")
+	l := img.Listing(0, 2)
+	if !strings.Contains(l, "_start:") || !strings.Contains(l, "addi") || !strings.Contains(l, "hlt") {
+		t.Fatalf("listing:\n%s", l)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("bogus instr")
+}
+
+func TestMultipleLabelsOneLine(t *testing.T) {
+	img := MustAssemble("a: b: c: nop\n")
+	if img.Symbols["a"] != 0 || img.Symbols["b"] != 0 || img.Symbols["c"] != 0 {
+		t.Fatal("stacked labels not all at 0")
+	}
+}

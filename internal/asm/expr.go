@@ -1,0 +1,285 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// eval evaluates an expression string against the assembler's symbol table.
+// dot is the current location counter, available as '.'.
+func (a *assembler) eval(expr string, dot uint32, line int) (uint32, error) {
+	p := &exprParser{
+		toks:    tokenize(expr),
+		lookup:  func(name string) (uint32, bool) { v, ok := a.symbols[name]; return v, ok },
+		dot:     dot,
+		allowed: true,
+	}
+	return p.parse()
+}
+
+// evalLiteral evaluates an expression that must not reference symbols or
+// the location counter. Used to size li expansions deterministically.
+func evalLiteral(expr string) (uint32, error) {
+	p := &exprParser{
+		toks:    tokenize(expr),
+		lookup:  func(string) (uint32, bool) { return 0, false },
+		allowed: false,
+	}
+	return p.parse()
+}
+
+type exprToken struct {
+	kind byte // 'n' number, 'i' ident, 'o' operator, 0 end
+	text string
+	val  uint32
+}
+
+func tokenize(s string) []exprToken {
+	var toks []exprToken
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(s) && (isAlnum(s[j])) {
+				j++
+			}
+			toks = append(toks, exprToken{kind: 'n', text: s[i:j]})
+			i = j
+		case c == '\'':
+			// Character literal.
+			j := i + 1
+			var v uint32
+			if j < len(s) && s[j] == '\\' && j+2 < len(s) {
+				switch s[j+1] {
+				case 'n':
+					v = '\n'
+				case 't':
+					v = '\t'
+				case 'r':
+					v = '\r'
+				case '0':
+					v = 0
+				default:
+					v = uint32(s[j+1])
+				}
+				j += 2
+			} else if j < len(s) {
+				v = uint32(s[j])
+				j++
+			}
+			if j < len(s) && s[j] == '\'' {
+				j++
+			}
+			toks = append(toks, exprToken{kind: 'n', text: "'", val: v})
+			i = j
+		case isIdentStart(c) || c == '.':
+			j := i
+			for j < len(s) && (isAlnum(s[j]) || s[j] == '_' || s[j] == '.') {
+				j++
+			}
+			toks = append(toks, exprToken{kind: 'i', text: s[i:j]})
+			i = j
+		case c == '<' || c == '>':
+			if i+1 < len(s) && s[i+1] == c {
+				toks = append(toks, exprToken{kind: 'o', text: s[i : i+2]})
+				i += 2
+			} else {
+				toks = append(toks, exprToken{kind: 'o', text: string(c)})
+				i++
+			}
+		default:
+			toks = append(toks, exprToken{kind: 'o', text: string(c)})
+			i++
+		}
+	}
+	return toks
+}
+
+func isAlnum(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+type exprParser struct {
+	toks    []exprToken
+	pos     int
+	lookup  func(string) (uint32, bool)
+	dot     uint32
+	allowed bool // symbols and '.' allowed
+}
+
+func (p *exprParser) peek() exprToken {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return exprToken{}
+}
+
+func (p *exprParser) next() exprToken {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *exprParser) parse() (uint32, error) {
+	if len(p.toks) == 0 {
+		return 0, fmt.Errorf("empty expression")
+	}
+	v, err := p.binary(0)
+	if err != nil {
+		return 0, err
+	}
+	if p.pos != len(p.toks) {
+		return 0, fmt.Errorf("unexpected %q in expression", p.peek().text)
+	}
+	return v, nil
+}
+
+// Binary operator precedence, C-like.
+func precedence(op string) int {
+	switch op {
+	case "*", "/", "%":
+		return 5
+	case "+", "-":
+		return 4
+	case "<<", ">>":
+		return 3
+	case "&":
+		return 2
+	case "^":
+		return 1
+	case "|":
+		return 0
+	}
+	return -1
+}
+
+func (p *exprParser) binary(minPrec int) (uint32, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != 'o' {
+			break
+		}
+		prec := precedence(t.text)
+		if prec < minPrec {
+			break
+		}
+		p.next()
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return 0, err
+		}
+		switch t.text {
+		case "*":
+			lhs *= rhs
+		case "/":
+			if rhs == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			lhs /= rhs
+		case "%":
+			if rhs == 0 {
+				return 0, fmt.Errorf("modulo by zero")
+			}
+			lhs %= rhs
+		case "+":
+			lhs += rhs
+		case "-":
+			lhs -= rhs
+		case "<<":
+			lhs <<= rhs & 31
+		case ">>":
+			lhs >>= rhs & 31
+		case "&":
+			lhs &= rhs
+		case "^":
+			lhs ^= rhs
+		case "|":
+			lhs |= rhs
+		}
+	}
+	return lhs, nil
+}
+
+func (p *exprParser) unary() (uint32, error) {
+	t := p.peek()
+	if t.kind == 'o' {
+		switch t.text {
+		case "-":
+			p.next()
+			v, err := p.unary()
+			return -v, err
+		case "~":
+			p.next()
+			v, err := p.unary()
+			return ^v, err
+		case "+":
+			p.next()
+			return p.unary()
+		case "(":
+			p.next()
+			v, err := p.binary(0)
+			if err != nil {
+				return 0, err
+			}
+			if c := p.next(); c.text != ")" {
+				return 0, fmt.Errorf("missing )")
+			}
+			return v, nil
+		}
+		return 0, fmt.Errorf("unexpected operator %q", t.text)
+	}
+	p.next()
+	switch t.kind {
+	case 'n':
+		if t.text == "'" {
+			return t.val, nil
+		}
+		return parseNumber(t.text)
+	case 'i':
+		if t.text == "." {
+			if !p.allowed {
+				return 0, fmt.Errorf("location counter not allowed here")
+			}
+			return p.dot, nil
+		}
+		v, ok := p.lookup(t.text)
+		if !ok {
+			if !p.allowed {
+				return 0, fmt.Errorf("symbol %q not allowed here", t.text)
+			}
+			return 0, fmt.Errorf("undefined symbol %q", t.text)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("unexpected end of expression")
+}
+
+func parseNumber(s string) (uint32, error) {
+	base := 10
+	digits := s
+	switch {
+	case strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X"):
+		base, digits = 16, s[2:]
+	case strings.HasPrefix(s, "0b") || strings.HasPrefix(s, "0B"):
+		base, digits = 2, s[2:]
+	}
+	digits = strings.ReplaceAll(digits, "_", "")
+	v, err := strconv.ParseUint(digits, base, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return uint32(v), nil
+}

@@ -1,0 +1,543 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"lvmm/internal/isa"
+)
+
+// parseReg parses a register operand.
+func parseReg(s string) (int, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch s {
+	case "zero":
+		return isa.RegZero, nil
+	case "sp":
+		return isa.RegSP, nil
+	case "lr":
+		return isa.RegLR, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		var n int
+		if _, err := fmt.Sscanf(s[1:], "%d", &n); err == nil && n >= 0 && n < isa.NumRegs && s == fmt.Sprintf("r%d", n) {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+// parseMem parses an `offset(base)` memory operand. A bare `(base)` means
+// offset 0; a bare expression means base r0 (absolute addressing).
+func parseMem(s string) (offExpr string, base int, err error) {
+	s = strings.TrimSpace(s)
+	open := strings.LastIndex(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return s, isa.RegZero, nil
+	}
+	base, err = parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return "", 0, err
+	}
+	offExpr = strings.TrimSpace(s[:open])
+	if offExpr == "" {
+		offExpr = "0"
+	}
+	return offExpr, base, nil
+}
+
+// liWords returns how many instruction words `li rd, expr` expands to.
+// The size must be identical in both passes, so it depends only on the
+// syntactic form: pure literals get minimal encodings, anything involving
+// symbols always gets the full lui+ori pair.
+func liWords(expr string) int {
+	v, err := evalLiteral(expr)
+	if err != nil {
+		return 2
+	}
+	if int32(v) >= isa.MinImm18 && int32(v) <= isa.MaxImm18 {
+		return 1
+	}
+	if v&0x3FFF == 0 {
+		return 1
+	}
+	return 2
+}
+
+// instrWords returns the number of 32-bit words an instruction occupies.
+func instrWords(mnem string, args []string, _ *assembler) (int, error) {
+	switch mnem {
+	case "li", "la":
+		if len(args) != 2 {
+			return 0, fmt.Errorf("%s needs rd, value", mnem)
+		}
+		if mnem == "la" {
+			return 2, nil
+		}
+		return liWords(args[1]), nil
+	case "push", "pop":
+		return 2, nil
+	case "nop", "mov", "neg", "b", "beqz", "bnez", "bgt", "ble", "bgtu", "bleu",
+		"call", "ret", "jr":
+		return 1, nil
+	}
+	if _, ok := isa.OpByMnemonic(mnem); !ok {
+		return 0, fmt.Errorf("unknown instruction %q", mnem)
+	}
+	return 1, nil
+}
+
+// encodeInstr encodes one statement into instruction words (pass 2).
+func (a *assembler) encodeInstr(st *statement) ([]uint32, error) {
+	mnem, args, addr := st.name, st.args, st.addr
+
+	reg := func(i int) (int, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("%s: missing operand %d", mnem, i+1)
+		}
+		return parseReg(args[i])
+	}
+	imm := func(i int) (uint32, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("%s: missing operand %d", mnem, i+1)
+		}
+		return a.eval(args[i], addr, st.line)
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s: expected %d operands, got %d", mnem, n, len(args))
+		}
+		return nil
+	}
+	simm18 := func(v uint32, what string) (int32, error) {
+		s := int32(v)
+		if s < isa.MinImm18 || s > isa.MaxImm18 {
+			return 0, fmt.Errorf("%s: immediate %d out of 18-bit signed range", mnem, s)
+		}
+		_ = what
+		return s, nil
+	}
+	branchOff := func(target uint32) (int32, error) {
+		diff := int32(target) - int32(addr+4)
+		if diff%4 != 0 {
+			return 0, fmt.Errorf("%s: branch target 0x%x misaligned", mnem, target)
+		}
+		off := diff / 4
+		if off < isa.MinImm18 || off > isa.MaxImm18 {
+			return 0, fmt.Errorf("%s: branch target 0x%x out of range", mnem, target)
+		}
+		return off, nil
+	}
+
+	// Pseudo-instructions first.
+	switch mnem {
+	case "nop":
+		return []uint32{isa.EncodeR(isa.OpADD, 0, 0, 0)}, nil
+	case "mov":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeR(isa.OpADD, rd, rs, 0)}, nil
+	case "neg":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeR(isa.OpSUB, rd, 0, rs)}, nil
+	case "li", "la":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return nil, err
+		}
+		words := 2
+		if mnem == "li" {
+			words = liWords(args[1])
+		}
+		if words == 1 {
+			if int32(v) >= isa.MinImm18 && int32(v) <= isa.MaxImm18 {
+				return []uint32{isa.EncodeI(isa.OpADDI, rd, 0, int32(v))}, nil
+			}
+			return []uint32{isa.EncodeI(isa.OpLUI, rd, 0, int32(v>>14))}, nil
+		}
+		return []uint32{
+			isa.EncodeI(isa.OpLUI, rd, 0, int32(v>>14)),
+			isa.EncodeI(isa.OpORI, rd, rd, int32(v&0x3FFF)),
+		}, nil
+	case "b":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		target, err := imm(0)
+		if err != nil {
+			return nil, err
+		}
+		return a.encodeJAL(mnem, 0, target, addr)
+	case "call":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		target, err := imm(0)
+		if err != nil {
+			return nil, err
+		}
+		return a.encodeJAL(mnem, isa.RegLR, target, addr)
+	case "ret":
+		return []uint32{isa.EncodeI(isa.OpJALR, 0, isa.RegLR, 0)}, nil
+	case "jr":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeI(isa.OpJALR, 0, rs, 0)}, nil
+	case "push":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{
+			isa.EncodeI(isa.OpADDI, isa.RegSP, isa.RegSP, -4),
+			isa.EncodeI(isa.OpSW, rs, isa.RegSP, 0),
+		}, nil
+	case "pop":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{
+			isa.EncodeI(isa.OpLW, rd, isa.RegSP, 0),
+			isa.EncodeI(isa.OpADDI, isa.RegSP, isa.RegSP, 4),
+		}, nil
+	case "beqz", "bnez":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		target, err := imm(1)
+		if err != nil {
+			return nil, err
+		}
+		off, err := branchOff(target)
+		if err != nil {
+			return nil, err
+		}
+		op := uint32(isa.OpBEQ)
+		if mnem == "bnez" {
+			op = isa.OpBNE
+		}
+		return []uint32{isa.EncodeI(op, rs, 0, off)}, nil
+	case "bgt", "ble", "bgtu", "bleu":
+		// Swapped-operand forms of blt/bge.
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs1, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		target, err := imm(2)
+		if err != nil {
+			return nil, err
+		}
+		off, err := branchOff(target)
+		if err != nil {
+			return nil, err
+		}
+		var op uint32
+		switch mnem {
+		case "bgt":
+			op = isa.OpBLT
+		case "ble":
+			op = isa.OpBGE
+		case "bgtu":
+			op = isa.OpBLTU
+		case "bleu":
+			op = isa.OpBGEU
+		}
+		return []uint32{isa.EncodeI(op, rs2, rs1, off)}, nil
+	}
+
+	op, ok := isa.OpByMnemonic(mnem)
+	if !ok {
+		return nil, fmt.Errorf("unknown instruction %q", mnem)
+	}
+
+	switch op {
+	case isa.OpADD, isa.OpSUB, isa.OpAND, isa.OpOR, isa.OpXOR, isa.OpSHL,
+		isa.OpSHR, isa.OpSRA, isa.OpMUL, isa.OpDIVU, isa.OpREMU,
+		isa.OpSLT, isa.OpSLTU:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := reg(2)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeR(op, rd, rs1, rs2)}, nil
+
+	case isa.OpADDI, isa.OpSHLI, isa.OpSHRI, isa.OpSRAI:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		v, err := imm(2)
+		if err != nil {
+			return nil, err
+		}
+		s, err := simm18(v, "imm")
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeI(op, rd, rs1, s)}, nil
+
+	case isa.OpANDI, isa.OpORI, isa.OpXORI:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		v, err := imm(2)
+		if err != nil {
+			return nil, err
+		}
+		if v > isa.MaxImm18U {
+			return nil, fmt.Errorf("%s: immediate 0x%x exceeds 18 bits", mnem, v)
+		}
+		return []uint32{isa.EncodeI(op, rd, rs1, int32(v))}, nil
+
+	case isa.OpLUI:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return nil, err
+		}
+		if v > isa.MaxImm18U {
+			return nil, fmt.Errorf("lui: immediate 0x%x exceeds 18 bits", v)
+		}
+		return []uint32{isa.EncodeI(op, rd, 0, int32(v))}, nil
+
+	case isa.OpLW, isa.OpLH, isa.OpLHU, isa.OpLB, isa.OpLBU,
+		isa.OpSW, isa.OpSH, isa.OpSB:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		r, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		offExpr, base, err := parseMem(args[1])
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.eval(offExpr, addr, st.line)
+		if err != nil {
+			return nil, err
+		}
+		s, err := simm18(v, "offset")
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeI(op, r, base, s)}, nil
+
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs1, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		target, err := imm(2)
+		if err != nil {
+			return nil, err
+		}
+		off, err := branchOff(target)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeI(op, rs1, rs2, off)}, nil
+
+	case isa.OpJAL:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		target, err := imm(1)
+		if err != nil {
+			return nil, err
+		}
+		return a.encodeJAL(mnem, rd, target, addr)
+
+	case isa.OpJALR:
+		if len(args) == 2 {
+			args = append(args, "0")
+		}
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		v, err := imm(2)
+		if err != nil {
+			return nil, err
+		}
+		s, err := simm18(v, "imm")
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeI(op, rd, rs1, s)}, nil
+
+	case isa.OpSYSCALL, isa.OpBRK, isa.OpIRET, isa.OpHLT, isa.OpCLI,
+		isa.OpSTI, isa.OpTLBINV, isa.OpMOVS, isa.OpSTOS:
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeR(op, 0, 0, 0)}, nil
+
+	case isa.OpMOVCR:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		cr, ok := isa.CRByName(strings.ToLower(args[1]))
+		if !ok {
+			return nil, fmt.Errorf("movcr: unknown control register %q", args[1])
+		}
+		return []uint32{isa.EncodeI(op, rd, 0, int32(cr))}, nil
+
+	case isa.OpMOVRC:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		cr, ok := isa.CRByName(strings.ToLower(args[0]))
+		if !ok {
+			return nil, fmt.Errorf("movrc: unknown control register %q", args[0])
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeI(op, 0, rs, int32(cr))}, nil
+
+	case isa.OpIN:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeR(op, rd, rs, 0)}, nil
+
+	case isa.OpOUT:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs1, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.EncodeR(op, 0, rs1, rs2)}, nil
+	}
+	return nil, fmt.Errorf("unhandled instruction %q", mnem)
+}
+
+func (a *assembler) encodeJAL(mnem string, rd int, target, addr uint32) ([]uint32, error) {
+	diff := int32(target) - int32(addr+4)
+	if diff%4 != 0 {
+		return nil, fmt.Errorf("%s: target 0x%x misaligned", mnem, target)
+	}
+	off := diff / 4
+	if off < isa.MinImm22 || off > isa.MaxImm22 {
+		return nil, fmt.Errorf("%s: target 0x%x out of 22-bit range", mnem, target)
+	}
+	return []uint32{isa.EncodeJ(isa.OpJAL, rd, off)}, nil
+}

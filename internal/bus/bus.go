@@ -1,0 +1,165 @@
+// Package bus models the physical side of the target machine: flat RAM and
+// a 16-bit port-I/O space, shared by the CPU and DMA-capable devices.
+//
+// HX32 devices are programmed exclusively through port I/O (the PC/AT
+// heritage the paper assumes: PIC at 0x20, PIT at 0x40, UARTs at 0x2F8/0x3F8)
+// which keeps the lightweight VMM's selective-trapping story identical to
+// the x86 TSS I/O-permission-bitmap mechanism.
+package bus
+
+import "encoding/binary"
+
+// PortHandler is implemented by devices that respond to port I/O. All
+// device registers are 32 bits wide. The port passed to the handler is
+// relative to the base the device was mapped at.
+type PortHandler interface {
+	PortRead(port uint16) uint32
+	PortWrite(port uint16, v uint32)
+}
+
+// PortTap observes every port access after it completes; the hosted VMM
+// uses taps to charge device-emulation costs without perturbing behaviour.
+type PortTap func(port uint16, v uint32, write bool)
+
+// Bus is the physical memory and I/O interconnect.
+type Bus struct {
+	ram   []byte
+	ports map[uint16]portEntry
+	tap   PortTap
+}
+
+type portEntry struct {
+	h    PortHandler
+	base uint16
+}
+
+// New creates a bus with ramSize bytes of RAM.
+func New(ramSize int) *Bus {
+	return &Bus{
+		ram:   make([]byte, ramSize),
+		ports: make(map[uint16]portEntry),
+	}
+}
+
+// RAMSize returns the installed physical memory size.
+func (b *Bus) RAMSize() uint32 { return uint32(len(b.ram)) }
+
+// RAM exposes physical memory for loaders and DMA engines. Devices must
+// bound-check with InRAM before writing.
+func (b *Bus) RAM() []byte { return b.ram }
+
+// InRAM reports whether [addr, addr+n) lies inside physical memory.
+func (b *Bus) InRAM(addr, n uint32) bool {
+	end := uint64(addr) + uint64(n)
+	return end <= uint64(len(b.ram))
+}
+
+// MapPorts registers a handler for count consecutive ports starting at
+// base. The handler sees ports relative to base.
+func (b *Bus) MapPorts(base uint16, count int, h PortHandler) {
+	for i := 0; i < count; i++ {
+		b.ports[base+uint16(i)] = portEntry{h: h, base: base}
+	}
+}
+
+// SetPortTap installs an observer for all port traffic (nil to remove).
+func (b *Bus) SetPortTap(t PortTap) { b.tap = t }
+
+// ReadPort performs a port read. Unmapped ports float high (0xFFFFFFFF),
+// as on a real ISA/PCI bus; no fault is raised.
+func (b *Bus) ReadPort(port uint16) uint32 {
+	v := uint32(0xFFFFFFFF)
+	if e, ok := b.ports[port]; ok {
+		v = e.h.PortRead(port - e.base)
+	}
+	if b.tap != nil {
+		b.tap(port, v, false)
+	}
+	return v
+}
+
+// WritePort performs a port write; writes to unmapped ports are dropped.
+func (b *Bus) WritePort(port uint16, v uint32) {
+	if e, ok := b.ports[port]; ok {
+		e.h.PortWrite(port-e.base, v)
+	}
+	if b.tap != nil {
+		b.tap(port, v, true)
+	}
+}
+
+// Read8 reads one byte of physical memory.
+func (b *Bus) Read8(addr uint32) (byte, bool) {
+	if !b.InRAM(addr, 1) {
+		return 0, false
+	}
+	return b.ram[addr], true
+}
+
+// Read16 reads a little-endian halfword.
+func (b *Bus) Read16(addr uint32) (uint16, bool) {
+	if !b.InRAM(addr, 2) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint16(b.ram[addr:]), true
+}
+
+// Read32 reads a little-endian word.
+func (b *Bus) Read32(addr uint32) (uint32, bool) {
+	if !b.InRAM(addr, 4) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(b.ram[addr:]), true
+}
+
+// Write8 writes one byte.
+func (b *Bus) Write8(addr uint32, v byte) bool {
+	if !b.InRAM(addr, 1) {
+		return false
+	}
+	b.ram[addr] = v
+	return true
+}
+
+// Write16 writes a little-endian halfword.
+func (b *Bus) Write16(addr uint32, v uint16) bool {
+	if !b.InRAM(addr, 2) {
+		return false
+	}
+	binary.LittleEndian.PutUint16(b.ram[addr:], v)
+	return true
+}
+
+// Write32 writes a little-endian word.
+func (b *Bus) Write32(addr uint32, v uint32) bool {
+	if !b.InRAM(addr, 4) {
+		return false
+	}
+	binary.LittleEndian.PutUint32(b.ram[addr:], v)
+	return true
+}
+
+// DMARead copies n bytes of physical memory into a fresh slice (device →
+// host direction helper). Returns nil if out of range.
+func (b *Bus) DMARead(addr, n uint32) []byte {
+	if !b.InRAM(addr, n) {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b.ram[addr:addr+n])
+	return out
+}
+
+// DMAWrite copies data into physical memory at addr. Reports success.
+func (b *Bus) DMAWrite(addr uint32, data []byte) bool {
+	if !b.InRAM(addr, uint32(len(data))) {
+		return false
+	}
+	copy(b.ram[addr:], data)
+	return true
+}
+
+// LoadImage copies a program image into RAM at its start address.
+func (b *Bus) LoadImage(start uint32, data []byte) bool {
+	return b.DMAWrite(start, data)
+}

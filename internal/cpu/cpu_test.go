@@ -1,0 +1,601 @@
+package cpu
+
+import (
+	"testing"
+
+	"lvmm/internal/asm"
+	"lvmm/internal/bus"
+	"lvmm/internal/isa"
+)
+
+// buildCPU assembles src, loads it into a 1 MB machine, and returns the CPU
+// reset to the image entry point.
+func buildCPU(t *testing.T, src string) (*CPU, *bus.Bus) {
+	t.Helper()
+	img, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	b := bus.New(1 << 20)
+	if !b.LoadImage(img.Start, img.Data) {
+		t.Fatal("image does not fit")
+	}
+	return New(b, img.Entry), b
+}
+
+// run steps the CPU until HLT, a wedge, or maxSteps.
+func run(t *testing.T, c *CPU, maxSteps int) {
+	t.Helper()
+	for i := 0; i < maxSteps; i++ {
+		res := c.Step()
+		if res.Wedged {
+			t.Fatalf("CPU wedged at PC=%08x after %d steps", c.PC, i)
+		}
+		if res.Halted {
+			return
+		}
+	}
+	t.Fatalf("did not halt within %d steps (PC=%08x)", maxSteps, c.PC)
+}
+
+func TestALUBasics(t *testing.T) {
+	c, _ := buildCPU(t, `
+        li   r1, 100
+        li   r2, 7
+        add  r3, r1, r2     ; 107
+        sub  r4, r1, r2     ; 93
+        mul  r5, r1, r2     ; 700
+        divu r6, r1, r2     ; 14
+        remu r7, r1, r2     ; 2
+        and  r8, r1, r2     ; 4
+        or   r9, r1, r2     ; 103
+        xor  r10, r1, r2    ; 99
+        slt  r11, r2, r1    ; 1
+        sltu r12, r1, r2    ; 0
+        hlt
+    `)
+	run(t, c, 100)
+	want := map[int]uint32{3: 107, 4: 93, 5: 700, 6: 14, 7: 2, 8: 4, 9: 103, 10: 99, 11: 1, 12: 0}
+	for r, v := range want {
+		if c.Regs[r] != v {
+			t.Errorf("r%d = %d, want %d", r, c.Regs[r], v)
+		}
+	}
+}
+
+func TestShiftsAndSigned(t *testing.T) {
+	c, _ := buildCPU(t, `
+        li   r1, -16
+        srai r2, r1, 2      ; -4
+        shri r3, r1, 28     ; 0xF
+        shli r4, r1, 1      ; -32
+        li   r5, 3
+        sra  r6, r1, r5     ; -2
+        slt  r7, r1, zero   ; 1 (signed)
+        sltu r8, r1, zero   ; 0 (unsigned -16 is huge)
+        hlt
+    `)
+	run(t, c, 100)
+	if int32(c.Regs[2]) != -4 || c.Regs[3] != 0xF || int32(c.Regs[4]) != -32 ||
+		int32(c.Regs[6]) != -2 || c.Regs[7] != 1 || c.Regs[8] != 0 {
+		t.Fatalf("regs: %v", c.Regs)
+	}
+}
+
+func TestR0HardwiredZero(t *testing.T) {
+	c, _ := buildCPU(t, `
+        addi zero, zero, 99
+        li   r1, 5
+        add  zero, r1, r1
+        hlt
+    `)
+	run(t, c, 10)
+	if c.Regs[0] != 0 {
+		t.Fatalf("r0 = %d", c.Regs[0])
+	}
+}
+
+func TestDivideByZeroSemantics(t *testing.T) {
+	c, _ := buildCPU(t, `
+        li   r1, 42
+        divu r2, r1, zero
+        remu r3, r1, zero
+        hlt
+    `)
+	run(t, c, 10)
+	if c.Regs[2] != 0xFFFFFFFF || c.Regs[3] != 42 {
+		t.Fatalf("div/rem by zero: %x %d", c.Regs[2], c.Regs[3])
+	}
+}
+
+func TestLoadsStores(t *testing.T) {
+	c, _ := buildCPU(t, `
+        .equ BUF, 0x8000
+        li  r1, BUF
+        li  r2, 0x11223344
+        sw  r2, 0(r1)
+        lw  r3, 0(r1)
+        lh  r4, 0(r1)      ; 0x3344 sign-extended (positive)
+        lhu r5, 2(r1)      ; 0x1122
+        lb  r6, 3(r1)      ; 0x11
+        lbu r7, 0(r1)      ; 0x44
+        li  r8, -2
+        sh  r8, 4(r1)
+        lh  r9, 4(r1)      ; -2
+        lhu r10, 4(r1)     ; 0xFFFE
+        sb  r8, 8(r1)
+        lb  r11, 8(r1)     ; -2
+        hlt
+    `)
+	run(t, c, 100)
+	if c.Regs[3] != 0x11223344 || c.Regs[4] != 0x3344 || c.Regs[5] != 0x1122 ||
+		c.Regs[6] != 0x11 || c.Regs[7] != 0x44 {
+		t.Fatalf("loads: %x %x %x %x %x", c.Regs[3], c.Regs[4], c.Regs[5], c.Regs[6], c.Regs[7])
+	}
+	if int32(c.Regs[9]) != -2 || c.Regs[10] != 0xFFFE || int32(c.Regs[11]) != -2 {
+		t.Fatalf("sign extension: %x %x %x", c.Regs[9], c.Regs[10], c.Regs[11])
+	}
+}
+
+func TestBranchesAndLoops(t *testing.T) {
+	c, _ := buildCPU(t, `
+        li r1, 0        ; i
+        li r2, 0        ; sum
+        li r3, 10
+    loop:
+        add  r2, r2, r1
+        addi r1, r1, 1
+        blt  r1, r3, loop
+        hlt
+    `)
+	run(t, c, 200)
+	if c.Regs[2] != 45 {
+		t.Fatalf("sum = %d", c.Regs[2])
+	}
+}
+
+func TestCallStack(t *testing.T) {
+	c, _ := buildCPU(t, `
+        .org 0x100
+        _start:
+            li   sp, 0x9000
+            li   r1, 5
+            call double
+            call double
+            hlt
+        double:
+            push lr
+            add  r1, r1, r1
+            pop  lr
+            ret
+    `)
+	run(t, c, 100)
+	if c.Regs[1] != 20 {
+		t.Fatalf("r1 = %d", c.Regs[1])
+	}
+	if c.Regs[isa.RegSP] != 0x9000 {
+		t.Fatalf("sp = %x", c.Regs[isa.RegSP])
+	}
+}
+
+// trapVectorSrc is a reusable prologue that installs a vector table whose
+// every entry lands on `vec`, which records the cause and halts.
+const trapVectorSrc = `
+        .org 0x100
+        .equ VTAB, 0x4000
+        _start:
+            li   r1, VTAB
+            movrc vbar, r1
+            la   r2, vec
+            li   r3, 32
+        fill:
+            sw   r2, 0(r1)
+            addi r1, r1, 4
+            addi r3, r3, -1
+            bnez r3, fill
+            li   r1, 0x8000
+            movrc ksp, r1
+            b    body
+        vec:
+            movcr r10, cause
+            movcr r11, vaddr
+            movcr r12, epc
+            hlt
+        body:
+`
+
+func TestSyscallTrap(t *testing.T) {
+	c, _ := buildCPU(t, trapVectorSrc+`
+        syscall
+        nop
+    `)
+	run(t, c, 200)
+	if c.Regs[10] != isa.CauseSyscall {
+		t.Fatalf("cause = %s", isa.CauseName(c.Regs[10]))
+	}
+	// EPC points after the syscall for resumption.
+	body := uint32(0)
+	if c.Regs[12]%4 != 0 || c.Regs[12] == body {
+		t.Logf("epc = %x", c.Regs[12])
+	}
+	if c.CPL() != isa.CPLMonitor {
+		t.Fatal("trap did not enter CPL0")
+	}
+}
+
+func TestUndefinedInstruction(t *testing.T) {
+	c, _ := buildCPU(t, trapVectorSrc+`
+        .word 0          ; opcode 0 = invalid
+    `)
+	run(t, c, 200)
+	if c.Regs[10] != isa.CauseUD {
+		t.Fatalf("cause = %s", isa.CauseName(c.Regs[10]))
+	}
+}
+
+func TestBRKReportsFaultPC(t *testing.T) {
+	c, _ := buildCPU(t, trapVectorSrc+`
+        nop
+        here: brk
+        nop
+    `)
+	run(t, c, 200)
+	if c.Regs[10] != isa.CauseBRK {
+		t.Fatalf("cause = %s", isa.CauseName(c.Regs[10]))
+	}
+	// EPC must be the BRK's own address (fault semantics for debuggers).
+	img := asm.MustAssemble(trapVectorSrc + "\n nop\n here: brk\n nop\n")
+	if c.Regs[12] != img.Symbols["here"] {
+		t.Fatalf("epc = %x, want %x", c.Regs[12], img.Symbols["here"])
+	}
+}
+
+func TestAlignmentFault(t *testing.T) {
+	c, _ := buildCPU(t, trapVectorSrc+`
+        li r1, 0x8001
+        lw r2, 0(r1)
+    `)
+	run(t, c, 200)
+	if c.Regs[10] != isa.CauseAlign || c.Regs[11] != 0x8001 {
+		t.Fatalf("cause=%s vaddr=%x", isa.CauseName(c.Regs[10]), c.Regs[11])
+	}
+}
+
+func TestBusErrorOnUnmappedPhysical(t *testing.T) {
+	c, _ := buildCPU(t, trapVectorSrc+`
+        li r1, 0x200000   ; beyond the 1 MB test RAM
+        lw r2, 0(r1)
+    `)
+	run(t, c, 200)
+	if c.Regs[10] != isa.CauseBusError {
+		t.Fatalf("cause = %s", isa.CauseName(c.Regs[10]))
+	}
+}
+
+func TestDoubleFaultWedges(t *testing.T) {
+	// No vector table at all: first trap double-faults, second wedges.
+	c, _ := buildCPU(t, `
+        syscall
+    `)
+	var wedged bool
+	for i := 0; i < 10; i++ {
+		if c.Step().Wedged {
+			wedged = true
+			break
+		}
+	}
+	if !wedged {
+		t.Fatal("CPU did not wedge without vector table")
+	}
+}
+
+func TestKernelStackSwitchOnTrapFromUser(t *testing.T) {
+	c, _ := buildCPU(t, trapVectorSrc+`
+        ; Drop to user mode (CPL3) via IRET, then syscall back.
+        la   r1, user
+        movrc epc, r1
+        li   r1, 0x0C | 1      ; PSR: CPL=3, IF=1
+        movrc estatus, r1
+        li   r1, 0x7000
+        movrc usp, r1
+        iret
+        user:
+        li   sp, 0x6000        ; user adjusts its own stack
+        syscall
+    `)
+	run(t, c, 300)
+	if c.Regs[10] != isa.CauseSyscall {
+		t.Fatalf("cause = %s", isa.CauseName(c.Regs[10]))
+	}
+	// The trap must have switched to the kernel stack (KSP=0x8000) and
+	// saved the user SP.
+	if c.Regs[isa.RegSP] != 0x8000 {
+		t.Fatalf("sp after trap = %x, want kernel stack 0x8000", c.Regs[isa.RegSP])
+	}
+	if c.CR[isa.CRUsp] != 0x6000 {
+		t.Fatalf("saved usp = %x, want 0x6000", c.CR[isa.CRUsp])
+	}
+	if isa.CPL(c.CR[isa.CREstatus]) != isa.CPLUser {
+		t.Fatalf("estatus CPL = %d, want user", isa.CPL(c.CR[isa.CREstatus]))
+	}
+}
+
+func TestPrivilegedInstructionsTrapFromUser(t *testing.T) {
+	for _, ins := range []string{"hlt", "cli", "sti", "iret", "tlbinv",
+		"movcr r1, ptbr", "movrc scratch, r1"} {
+		c, _ := buildCPU(t, trapVectorSrc+`
+            la   r1, user
+            movrc epc, r1
+            li   r1, 0x0C      ; CPL=3
+            movrc estatus, r1
+            li   r1, 0x7000
+            movrc usp, r1
+            iret
+            user:
+            `+ins+`
+        `)
+		run(t, c, 300)
+		if c.Regs[10] != isa.CausePriv {
+			t.Errorf("%s from user: cause = %s", ins, isa.CauseName(c.Regs[10]))
+		}
+	}
+}
+
+func TestIOPermissionBitmap(t *testing.T) {
+	c, _ := buildCPU(t, trapVectorSrc+`
+        la   r1, user
+        movrc epc, r1
+        li   r1, 0x04          ; CPL=1 (deprivileged kernel)
+        movrc estatus, r1
+        li   r1, 0x7000
+        movrc usp, r1
+        iret
+        user:
+        li   r1, 0x300         ; allowed port
+        in   r2, r1
+        li   r1, 0x20          ; denied port (PIC)
+        in   r2, r1
+    `)
+	var bm IOBitmap
+	bm.Allow(0x300, 16)
+	c.SetIOBitmap(&bm)
+	run(t, c, 300)
+	if c.Regs[10] != isa.CauseIOPerm {
+		t.Fatalf("cause = %s", isa.CauseName(c.Regs[10]))
+	}
+	if c.Regs[11] != 0x20 {
+		t.Fatalf("denied port = %x", c.Regs[11])
+	}
+}
+
+func TestMOVSCopies(t *testing.T) {
+	c, _ := buildCPU(t, `
+        .org 0x100
+        _start:
+            la  r2, src
+            li  r1, 0x8000
+            li  r3, 13
+            movs
+            hlt
+        src: .ascii "Hello, HX32!!"
+    `)
+	run(t, c, 50)
+	b, _ := c.Bus().Read8(0x8000)
+	e, _ := c.Bus().Read8(0x8000 + 12)
+	if b != 'H' || e != '!' {
+		t.Fatalf("copy result %c %c", b, e)
+	}
+	if c.Regs[3] != 0 {
+		t.Fatalf("r3 after movs = %d", c.Regs[3])
+	}
+	if c.Stat.BytesCopied != 13 {
+		t.Fatalf("BytesCopied = %d", c.Stat.BytesCopied)
+	}
+}
+
+func TestSTOSFills(t *testing.T) {
+	c, _ := buildCPU(t, `
+        li r1, 0x8000
+        li r2, 0xAB
+        li r3, 256
+        stos
+        hlt
+    `)
+	run(t, c, 50)
+	for _, off := range []uint32{0, 128, 255} {
+		b, _ := c.Bus().Read8(0x8000 + off)
+		if b != 0xAB {
+			t.Fatalf("fill byte at +%d = %x", off, b)
+		}
+	}
+}
+
+func TestMOVSCycleCost(t *testing.T) {
+	c, _ := buildCPU(t, `
+        li r1, 0x8000
+        li r2, 0x9000
+        li r3, 1000
+        movs
+        hlt
+    `)
+	var total uint64
+	for i := 0; i < 20; i++ {
+		res := c.Step()
+		total += res.Cycles
+		if res.Halted {
+			break
+		}
+	}
+	// The copy alone is 20 + 1500 cycles; everything else is tiny.
+	if total < 1500 || total > 1700 {
+		t.Fatalf("1000-byte MOVS total cycles = %d", total)
+	}
+}
+
+func TestHLTRequiresPrivilege(t *testing.T) {
+	c, _ := buildCPU(t, `
+        hlt
+    `)
+	res := c.Step()
+	if !res.Halted {
+		t.Fatal("CPL0 hlt did not halt")
+	}
+	if c.Step().Cycles != 0 {
+		t.Fatal("halted CPU consumed cycles")
+	}
+}
+
+func TestSingleStepTrapFlag(t *testing.T) {
+	c, _ := buildCPU(t, trapVectorSrc+`
+        nop
+    `)
+	// Run the prologue until we reach body, then set TF.
+	img := asm.MustAssemble(trapVectorSrc + "\n nop\n")
+	body := img.Symbols["body"]
+	for i := 0; i < 200 && c.PC != body; i++ {
+		c.Step()
+	}
+	if c.PC != body {
+		t.Fatal("never reached body")
+	}
+	c.PSR |= isa.PSRTF
+	res := c.Step()
+	if res.Trapped != isa.CauseStep {
+		t.Fatalf("trapped = %s", isa.CauseName(res.Trapped))
+	}
+	run(t, c, 50) // let the handler record the cause and halt
+	if c.Regs[10] != isa.CauseStep {
+		t.Fatalf("handler saw cause %s", isa.CauseName(c.Regs[10]))
+	}
+	// EPC is the *next* instruction (resume point).
+	if c.Regs[12] != body+4 {
+		t.Fatalf("step EPC = %x, want %x", c.Regs[12], body+4)
+	}
+}
+
+func TestHardwareBreakpoint(t *testing.T) {
+	c, _ := buildCPU(t, trapVectorSrc+`
+        nop
+        target: nop
+        nop
+    `)
+	img := asm.MustAssemble(trapVectorSrc + "\n nop\n target: nop\n nop\n")
+	target := img.Symbols["target"]
+	if err := c.SetHWBreak(0, target, true); err != nil {
+		t.Fatal(err)
+	}
+	run(t, c, 300)
+	if c.Regs[10] != isa.CauseBRK {
+		t.Fatalf("cause = %s", isa.CauseName(c.Regs[10]))
+	}
+	if c.Regs[12] != target {
+		t.Fatalf("epc = %x, want %x", c.Regs[12], target)
+	}
+	if err := c.SetHWBreak(9, 0, true); err == nil {
+		t.Fatal("bad slot accepted")
+	}
+}
+
+func TestDiverterConsumesTraps(t *testing.T) {
+	c, _ := buildCPU(t, `
+        syscall
+        hlt
+    `)
+	var got []uint32
+	c.Diverter = func(cause, vaddr, epc uint32) bool {
+		got = append(got, cause)
+		c.PC = epc // emulate resume-after for syscall
+		return true
+	}
+	run(t, c, 10)
+	if len(got) != 1 || got[0] != isa.CauseSyscall {
+		t.Fatalf("diverter saw %v", got)
+	}
+}
+
+func TestDeliverIRQWakesHalted(t *testing.T) {
+	c, _ := buildCPU(t, trapVectorSrc+`
+        sti
+        hlt
+        nop
+    `)
+	for i := 0; i < 300 && !c.Halted(); i++ {
+		c.Step()
+	}
+	if !c.Halted() {
+		t.Fatal("did not reach hlt")
+	}
+	res := c.DeliverIRQ(5)
+	if res.Trapped != isa.CauseIRQBase+5 {
+		t.Fatalf("trapped = %s", isa.CauseName(res.Trapped))
+	}
+	if c.Halted() {
+		t.Fatal("still halted after IRQ")
+	}
+	run(t, c, 10) // handler halts
+	if c.Regs[10] != isa.CauseIRQBase+5 {
+		t.Fatalf("handler saw %s", isa.CauseName(c.Regs[10]))
+	}
+	if c.Stat.IRQsTaken != 1 {
+		t.Fatalf("IRQsTaken = %d", c.Stat.IRQsTaken)
+	}
+}
+
+func TestIRETRestoresInterruptState(t *testing.T) {
+	c, _ := buildCPU(t, trapVectorSrc+`
+        ; Take a syscall whose handler IRETs back with IF restored.
+        sti
+        syscall
+        after: hlt
+    `)
+	// Patch the vector to a handler that IRETs instead of halting: we use
+	// a different source for this test.
+	c2, _ := buildCPU(t, `
+        .org 0x100
+        .equ VTAB, 0x4000
+        _start:
+            li   r1, VTAB
+            movrc vbar, r1
+            la   r2, vec
+            li   r3, 32
+        fill:
+            sw   r2, 0(r1)
+            addi r1, r1, 4
+            addi r3, r3, -1
+            bnez r3, fill
+            li   r1, 0x8000
+            movrc ksp, r1
+            sti
+            li   r9, 0
+            syscall
+            addi r9, r9, 100   ; runs after IRET
+            hlt
+        vec:
+            addi r9, r9, 1
+            iret
+    `)
+	_ = c
+	run(t, c2, 300)
+	if c2.Regs[9] != 101 {
+		t.Fatalf("r9 = %d, want 101 (handler then resume)", c2.Regs[9])
+	}
+	if c2.PSR&isa.PSRIF == 0 {
+		t.Fatal("IF not restored by IRET")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	c, _ := buildCPU(t, `
+        li r1, 0x300
+        in r2, r1
+        out r1, r2
+        hlt
+    `)
+	run(t, c, 20)
+	if c.Stat.PortReads != 1 || c.Stat.PortWrites != 1 {
+		t.Fatalf("port stats %d/%d", c.Stat.PortReads, c.Stat.PortWrites)
+	}
+	if c.Stat.Instructions == 0 {
+		t.Fatal("no instructions counted")
+	}
+}

@@ -1,0 +1,287 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lvmm/internal/asm"
+	"lvmm/internal/bus"
+	"lvmm/internal/isa"
+)
+
+// ptBuilder constructs two-level page tables directly in physical memory.
+type ptBuilder struct {
+	b      *bus.Bus
+	pd     uint32 // page-directory physical address
+	nextPT uint32 // next free page-table frame
+}
+
+func newPTBuilder(b *bus.Bus, pd uint32) *ptBuilder {
+	return &ptBuilder{b: b, pd: pd, nextPT: pd + isa.PageSize}
+}
+
+// mapPage maps one 4 KB page va→pa with the given PTE flags; the PDE gets
+// Present|Writable|User so page-level bits decide the effective permission.
+func (p *ptBuilder) mapPage(va, pa, flags uint32) {
+	pdi := va >> 22
+	pdeAddr := p.pd + pdi*4
+	pde, _ := p.b.Read32(pdeAddr)
+	if pde&isa.PTEPresent == 0 {
+		pde = p.nextPT | isa.PTEPresent | isa.PTEWritable | isa.PTEUser
+		p.b.Write32(pdeAddr, pde)
+		p.nextPT += isa.PageSize
+	}
+	pt := pde &^ uint32(isa.PageMask)
+	pti := va >> isa.PageShift & 0x3FF
+	p.b.Write32(pt+pti*4, pa&^uint32(isa.PageMask)|flags)
+}
+
+// mapRange identity-or-offset maps [va, va+size).
+func (p *ptBuilder) mapRange(va, pa, size, flags uint32) {
+	for off := uint32(0); off < size; off += isa.PageSize {
+		p.mapPage(va+off, pa+off, flags)
+	}
+}
+
+// pagingCPU builds a CPU with src loaded at 0x1000 and an identity map of
+// the first 256 KB (supervisor RW), paging enabled.
+func pagingCPU(t *testing.T, src string) (*CPU, *ptBuilder) {
+	t.Helper()
+	img, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	b := bus.New(1 << 20)
+	if !b.LoadImage(img.Start, img.Data) {
+		t.Fatal("image too large")
+	}
+	pt := newPTBuilder(b, 0x40000)
+	pt.mapRange(0, 0, 0x40000, isa.PTEPresent|isa.PTEWritable)
+	c := New(b, img.Entry)
+	c.CR[isa.CRPtbr] = 0x40000 | 1
+	return c, pt
+}
+
+const pagingProlog = `
+        .org 0x1000
+        .equ VTAB, 0x4000
+        _start:
+            li   r1, VTAB
+            movrc vbar, r1
+            la   r2, vec
+            li   r3, 32
+        fill:
+            sw   r2, 0(r1)
+            addi r1, r1, 4
+            addi r3, r3, -1
+            bnez r3, fill
+            li   r1, 0x8000
+            movrc ksp, r1
+            b    body
+        vec:
+            movcr r10, cause
+            movcr r11, vaddr
+            movcr r12, epc
+            hlt
+        body:
+`
+
+func TestPagingIdentityExecutes(t *testing.T) {
+	c, _ := pagingCPU(t, pagingProlog+`
+        li r1, 7
+        hlt
+    `)
+	run(t, c, 300)
+	if c.Regs[1] != 7 {
+		t.Fatalf("r1 = %d", c.Regs[1])
+	}
+	if c.Stat.TLBMisses == 0 {
+		t.Fatal("expected TLB misses under paging")
+	}
+}
+
+func TestPageFaultNotPresent(t *testing.T) {
+	c, _ := pagingCPU(t, pagingProlog+`
+        li r1, 0x100000     ; unmapped VA
+        lw r2, 0(r1)
+    `)
+	run(t, c, 300)
+	if c.Regs[10] != isa.CausePFNotPres || c.Regs[11] != 0x100000 {
+		t.Fatalf("cause=%s vaddr=%x", isa.CauseName(c.Regs[10]), c.Regs[11])
+	}
+}
+
+func TestPageFaultWriteProtect(t *testing.T) {
+	c, pt := pagingCPU(t, pagingProlog+`
+        li r1, 0x50000
+        sw r1, 0(r1)        ; write to read-only page
+    `)
+	// Map 0x50000 read-only. Supervisor writes must still fault (WP=1).
+	pt.mapPage(0x50000, 0x50000, isa.PTEPresent)
+	run(t, c, 300)
+	if c.Regs[10] != isa.CausePFProt || c.Regs[11] != 0x50000 {
+		t.Fatalf("cause=%s vaddr=%x", isa.CauseName(c.Regs[10]), c.Regs[11])
+	}
+}
+
+func TestUserCannotTouchSupervisorPage(t *testing.T) {
+	c, pt := pagingCPU(t, pagingProlog+`
+        ; Enter user mode at 0x60000.
+        li   r1, 0x60000
+        movrc epc, r1
+        li   r1, 0x0C       ; CPL3
+        movrc estatus, r1
+        li   r1, 0x61000
+        movrc usp, r1
+        iret
+    `)
+	// User page with code that reads a supervisor page.
+	userCode := asm.MustAssemble(`
+        .org 0x60000
+        li r1, 0x2000       ; supervisor-only (kernel image area)
+        lw r2, 0(r1)
+        brk
+    `)
+	c.Bus().LoadImage(userCode.Start, userCode.Data)
+	pt.mapRange(0x60000, 0x60000, 0x2000, isa.PTEPresent|isa.PTEWritable|isa.PTEUser)
+	run(t, c, 500)
+	if c.Regs[10] != isa.CausePFProt || c.Regs[11] != 0x2000 {
+		t.Fatalf("cause=%s vaddr=%x", isa.CauseName(c.Regs[10]), c.Regs[11])
+	}
+}
+
+func TestUserPageAccessible(t *testing.T) {
+	c, pt := pagingCPU(t, pagingProlog+`
+        li   r1, 0x60000
+        movrc epc, r1
+        li   r1, 0x0C
+        movrc estatus, r1
+        li   r1, 0x62000
+        movrc usp, r1
+        iret
+    `)
+	userCode := asm.MustAssemble(`
+        .org 0x60000
+        li  r1, 0x61000
+        li  r2, 1234
+        sw  r2, 0(r1)
+        lw  r3, 0(r1)
+        syscall
+    `)
+	c.Bus().LoadImage(userCode.Start, userCode.Data)
+	pt.mapRange(0x60000, 0x60000, 0x3000, isa.PTEPresent|isa.PTEWritable|isa.PTEUser)
+	run(t, c, 500)
+	if c.Regs[10] != isa.CauseSyscall {
+		t.Fatalf("cause=%s vaddr=%x", isa.CauseName(c.Regs[10]), c.Regs[11])
+	}
+	if c.Regs[3] != 1234 {
+		t.Fatalf("user store/load r3 = %d", c.Regs[3])
+	}
+}
+
+func TestAccessedAndDirtyBits(t *testing.T) {
+	c, pt := pagingCPU(t, pagingProlog+`
+        li r1, 0x50000
+        lw r2, 0(r1)        ; sets A
+        sw r2, 0(r1)        ; sets D
+        hlt
+    `)
+	pt.mapPage(0x50000, 0x50000, isa.PTEPresent|isa.PTEWritable)
+	run(t, c, 300)
+	// Find the PTE for 0x50000.
+	pde, _ := c.Bus().Read32(0x40000 + (0x50000>>22)*4)
+	pte, _ := c.Bus().Read32(pde&^uint32(isa.PageMask) + (0x50000>>12&0x3FF)*4)
+	if pte&isa.PTEAccessed == 0 {
+		t.Error("A bit not set")
+	}
+	if pte&isa.PTEDirty == 0 {
+		t.Error("D bit not set")
+	}
+	if pde&isa.PTEAccessed == 0 {
+		t.Error("PDE A bit not set")
+	}
+}
+
+func TestTLBFlushOnPTBRWrite(t *testing.T) {
+	c, pt := pagingCPU(t, pagingProlog+`
+        li r1, 0x50000
+        lw r2, 0(r1)        ; warms TLB via table A
+        li r3, 0x44000 | 1  ; switch to table B
+        movrc ptbr, r3
+        lw r4, 0(r1)        ; must retranslate via table B
+        hlt
+    `)
+	pt.mapPage(0x50000, 0x50000, isa.PTEPresent|isa.PTEWritable)
+	c.Bus().Write32(0x50000, 0xAAAA)
+	// Table B at 0x44000 maps the same VAs but 0x50000→0x52000.
+	ptB := newPTBuilder(c.Bus(), 0x44000)
+	ptB.mapRange(0, 0, 0x40000, isa.PTEPresent|isa.PTEWritable)
+	ptB.mapPage(0x50000, 0x52000, isa.PTEPresent|isa.PTEWritable)
+	c.Bus().Write32(0x52000, 0xBBBB)
+	run(t, c, 300)
+	if c.Regs[2] != 0xAAAA || c.Regs[4] != 0xBBBB {
+		t.Fatalf("r2=%x r4=%x (TLB not flushed on PTBR write?)", c.Regs[2], c.Regs[4])
+	}
+}
+
+func TestMOVSAcrossPagesAndFaultResume(t *testing.T) {
+	c, pt := pagingCPU(t, pagingProlog+`
+        li r1, 0x50F80      ; dst crosses into an unmapped page at 0x51000
+        li r2, 0x2000
+        li r3, 0x100
+        movs
+    `)
+	pt.mapPage(0x50000, 0x50000, isa.PTEPresent|isa.PTEWritable)
+	run(t, c, 300)
+	if c.Regs[10] != isa.CausePFNotPres {
+		t.Fatalf("cause = %s", isa.CauseName(c.Regs[10]))
+	}
+	if c.Regs[11] != 0x51000 {
+		t.Fatalf("fault vaddr = %x", c.Regs[11])
+	}
+	// Progress registers advanced to the fault point: 0x80 bytes copied.
+	if c.Regs[3] != 0x100-0x80 {
+		t.Fatalf("remaining r3 = %x, want %x", c.Regs[3], 0x100-0x80)
+	}
+	if c.Regs[1] != 0x51000 {
+		t.Fatalf("dst r1 = %x", c.Regs[1])
+	}
+}
+
+func TestReadWriteVirtDebug(t *testing.T) {
+	c, pt := pagingCPU(t, pagingProlog+`
+        hlt
+    `)
+	pt.mapPage(0x50000, 0x52000, isa.PTEPresent) // read-only mapping
+	run(t, c, 300)
+	if !c.WriteVirt32(0x50010, 0xCAFEBABE) {
+		t.Fatal("debug write through RO page refused")
+	}
+	v, ok := c.ReadVirt32(0x50010)
+	if !ok || v != 0xCAFEBABE {
+		t.Fatalf("read back %x ok=%v", v, ok)
+	}
+	// The physical location is the mapped frame.
+	pv, _ := c.Bus().Read32(0x52010)
+	if pv != 0xCAFEBABE {
+		t.Fatalf("phys = %x", pv)
+	}
+	if _, ok := c.ReadVirt32(0x70000); ok {
+		t.Fatal("read of unmapped VA succeeded")
+	}
+}
+
+// Property: for identity-mapped addresses, translate is the identity and
+// never faults for supervisor reads.
+func TestTranslateIdentityProperty(t *testing.T) {
+	c, _ := pagingCPU(t, pagingProlog+"\n hlt\n")
+	run(t, c, 300)
+	f := func(off uint32) bool {
+		va := off % 0x40000
+		pa, ok := c.TranslateDebug(va)
+		return ok && pa == va
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,237 @@
+// Package debugger is the host side of the paper's Figure 2.1: the
+// "software remote debugger" that accepts user commands and drives the
+// target's stub over the GDB Remote Serial Protocol.
+package debugger
+
+import (
+	"fmt"
+	"strings"
+
+	"lvmm/internal/rsp"
+)
+
+// Transport moves RSP traffic between the debugger and the target.
+type Transport interface {
+	// Exchange sends one packet payload and returns the next packet
+	// payload from the target (acknowledgements are consumed silently).
+	Exchange(payload string) (string, error)
+	// Notify sends a packet that has no immediate reply ('c').
+	Notify(payload string) error
+	// WaitStop blocks until an asynchronous stop packet arrives.
+	WaitStop() (string, error)
+	// SendBreak delivers the out-of-band interrupt byte and returns the
+	// resulting stop packet.
+	SendBreak() (string, error)
+}
+
+// StopInfo describes why the target stopped.
+type StopInfo struct {
+	Signal byte
+	Raw    string
+}
+
+func parseStop(p string) (StopInfo, error) {
+	if len(p) >= 3 && (p[0] == 'S' || p[0] == 'T') {
+		var sig uint32
+		if _, err := fmt.Sscanf(p[1:3], "%02x", &sig); err == nil {
+			return StopInfo{Signal: byte(sig), Raw: p}, nil
+		}
+	}
+	return StopInfo{Raw: p}, fmt.Errorf("debugger: unexpected stop packet %q", p)
+}
+
+// Client is a remote-debugging session.
+type Client struct {
+	t Transport
+	// PendingStop holds an asynchronous stop notification that arrived
+	// outside run control (e.g., the monitor froze the guest on a
+	// violation while no continue was outstanding).
+	PendingStop *StopInfo
+}
+
+// exchangeData performs a data exchange, stashing any asynchronous stop
+// packets that arrive first (they are notifications, not replies).
+func (c *Client) exchangeData(payload string) (string, error) {
+	reply, err := c.t.Exchange(payload)
+	for err == nil && isStopPacket(reply) {
+		if si, perr := parseStop(reply); perr == nil {
+			stop := si
+			c.PendingStop = &stop
+		}
+		reply, err = c.t.WaitStop()
+	}
+	return reply, err
+}
+
+// isStopPacket recognises a bare S/T stop notification. Data replies are
+// either even-length hex, "OK", or "Exx", so a 3-byte S/T packet is
+// unambiguous.
+func isStopPacket(p string) bool {
+	return len(p) == 3 && (p[0] == 'S' || p[0] == 'T')
+}
+
+// New creates a client and performs the opening handshake.
+func New(t Transport) (*Client, error) {
+	c := &Client{t: t}
+	if _, err := c.t.Exchange("qSupported"); err != nil {
+		return nil, fmt.Errorf("debugger: handshake: %w", err)
+	}
+	return c, nil
+}
+
+// Regs reads all registers: r0..r15, PC (16), PSR (17).
+func (c *Client) Regs() ([18]uint32, error) {
+	var regs [18]uint32
+	reply, err := c.exchangeData("g")
+	if err != nil {
+		return regs, err
+	}
+	if len(reply) != 18*8 {
+		return regs, fmt.Errorf("debugger: bad g reply length %d", len(reply))
+	}
+	for i := 0; i < 18; i++ {
+		v, err := rsp.ParseWord32(reply[i*8 : i*8+8])
+		if err != nil {
+			return regs, err
+		}
+		regs[i] = v
+	}
+	return regs, nil
+}
+
+// ReadReg reads one register.
+func (c *Client) ReadReg(i int) (uint32, error) {
+	reply, err := c.exchangeData(fmt.Sprintf("p%x", i))
+	if err != nil {
+		return 0, err
+	}
+	return rsp.ParseWord32(reply)
+}
+
+// WriteReg updates one register.
+func (c *Client) WriteReg(i int, v uint32) error {
+	return c.expectOK(fmt.Sprintf("P%x=%s", i, rsp.Word32(v)))
+}
+
+// ReadMem reads target memory.
+func (c *Client) ReadMem(addr uint32, n int) ([]byte, error) {
+	reply, err := c.exchangeData(fmt.Sprintf("m%x,%x", addr, n))
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasPrefix(reply, "E") {
+		return nil, fmt.Errorf("debugger: target error %s reading 0x%x", reply, addr)
+	}
+	return rsp.HexDecode(reply)
+}
+
+// WriteMem writes target memory.
+func (c *Client) WriteMem(addr uint32, data []byte) error {
+	return c.expectOK(fmt.Sprintf("M%x,%x:%s", addr, len(data), rsp.HexEncode(data)))
+}
+
+// ReadWord reads one 32-bit little-endian word.
+func (c *Client) ReadWord(addr uint32) (uint32, error) {
+	b, err := c.ReadMem(addr, 4)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// SetBreak plants a breakpoint (software or hardware).
+func (c *Client) SetBreak(addr uint32, hw bool) error {
+	kind := "0"
+	if hw {
+		kind = "1"
+	}
+	return c.expectOK(fmt.Sprintf("Z%s,%x,4", kind, addr))
+}
+
+// ClearBreak removes a breakpoint.
+func (c *Client) ClearBreak(addr uint32, hw bool) error {
+	kind := "0"
+	if hw {
+		kind = "1"
+	}
+	return c.expectOK(fmt.Sprintf("z%s,%x,4", kind, addr))
+}
+
+// SetWatch plants a write watchpoint over [addr, addr+length).
+func (c *Client) SetWatch(addr, length uint32) error {
+	return c.expectOK(fmt.Sprintf("Z2,%x,%x", addr, length))
+}
+
+// ClearWatch removes a write watchpoint.
+func (c *Client) ClearWatch(addr uint32) error {
+	return c.expectOK(fmt.Sprintf("z2,%x,4", addr))
+}
+
+// Continue resumes the target and blocks until it stops again.
+func (c *Client) Continue() (StopInfo, error) {
+	if err := c.t.Notify("c"); err != nil {
+		return StopInfo{}, err
+	}
+	p, err := c.t.WaitStop()
+	if err != nil {
+		return StopInfo{}, err
+	}
+	return parseStop(p)
+}
+
+// StepInstr executes one instruction.
+func (c *Client) StepInstr() (StopInfo, error) {
+	p, err := c.t.Exchange("s")
+	if err != nil {
+		return StopInfo{}, err
+	}
+	return parseStop(p)
+}
+
+// Interrupt stops a running target (Ctrl-C).
+func (c *Client) Interrupt() (StopInfo, error) {
+	p, err := c.t.SendBreak()
+	if err != nil {
+		return StopInfo{}, err
+	}
+	return parseStop(p)
+}
+
+// Status asks the target why it last stopped.
+func (c *Client) Status() (StopInfo, error) {
+	p, err := c.t.Exchange("?")
+	if err != nil {
+		return StopInfo{}, err
+	}
+	return parseStop(p)
+}
+
+// Monitor runs a target-side monitor command (qRcmd).
+func (c *Client) Monitor(cmd string) (string, error) {
+	reply, err := c.exchangeData("qRcmd," + rsp.HexEncode([]byte(cmd)))
+	if err != nil {
+		return "", err
+	}
+	if strings.HasPrefix(reply, "E") && len(reply) == 3 {
+		return "", fmt.Errorf("debugger: monitor command failed: %s", reply)
+	}
+	out, err := rsp.HexDecode(reply)
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}
+
+// Detach ends the session, resuming the target.
+func (c *Client) Detach() error { return c.expectOK("D") }
+
+func (c *Client) expectOK(payload string) error {
+	reply, err := c.exchangeData(payload)
+	if err != nil {
+		return err
+	}
+	if reply != "OK" {
+		return fmt.Errorf("debugger: target replied %q to %q", reply, payload)
+	}
+	return nil
+}

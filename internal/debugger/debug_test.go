@@ -1,0 +1,421 @@
+package debugger
+
+import (
+	"strings"
+	"testing"
+
+	"lvmm/internal/asm"
+	"lvmm/internal/gdbstub"
+	"lvmm/internal/guest"
+	"lvmm/internal/isa"
+	"lvmm/internal/machine"
+	"lvmm/internal/netsim"
+	"lvmm/internal/vmm"
+)
+
+// debugKernel is a small guest with a recognisable structure: a counter
+// loop calling a function, so breakpoints and stepping have targets.
+const debugKernel = `
+        .equ VTAB, 0x4000
+        .org 0x1000
+        _start:
+            li   sp, 0x9000
+            li   r1, VTAB
+            movrc vbar, r1
+            la   r2, fatal
+            li   r3, 32
+        vfill:
+            sw   r2, 0(r1)
+            addi r1, r1, 4
+            addi r3, r3, -1
+            bnez r3, vfill
+            li   r1, 0x8000
+            movrc ksp, r1
+            li   r9, 0
+        loop:
+            call bump
+            b    loop
+        bump:
+            addi r9, r9, 1
+            sw   r9, counter(zero)
+            ret
+        fatal:
+            b    .
+        .align 4
+        counter: .word 0
+    `
+
+// session boots the debug kernel under a lightweight VMM with the
+// monitor-resident stub and returns a connected client plus symbols.
+func session(t *testing.T) (*Client, *machine.Machine, *vmm.VMM, *asm.Image) {
+	t.Helper()
+	img, err := asm.Assemble(debugKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.Config{ResetPC: img.Entry})
+	if err := m.LoadImage(img); err != nil {
+		t.Fatal(err)
+	}
+	v := vmm.Attach(m, vmm.Config{Mode: vmm.Lightweight})
+	v.EnableDebugStub()
+	if err := v.Launch(img.Entry); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewSimTransport(m)
+	c, err := New(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, m, v, img
+}
+
+func TestInterruptAndInspect(t *testing.T) {
+	c, _, v, _ := session(t)
+	stop, err := c.Interrupt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop.Signal != 2 {
+		t.Fatalf("signal %d", stop.Signal)
+	}
+	if !v.Frozen() {
+		t.Fatal("guest not frozen after interrupt")
+	}
+	regs, err := c.Regs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs[16] < 0x1000 || regs[16] > 0x2000 {
+		t.Fatalf("pc %08x outside kernel", regs[16])
+	}
+	// The guest believes it is privileged: virtual CPL0 in its PSR view.
+	if isa.CPL(regs[17]) != 0 {
+		t.Fatalf("guest-view CPL = %d", isa.CPL(regs[17]))
+	}
+}
+
+func TestMemoryReadWrite(t *testing.T) {
+	c, _, _, img := session(t)
+	if _, err := c.Interrupt(); err != nil {
+		t.Fatal(err)
+	}
+	// Read kernel text and compare against the image.
+	text, err := c.ReadMem(img.Entry, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if text[i] != img.Data[img.Entry-img.Start+uint32(i)] {
+			t.Fatalf("text byte %d mismatch", i)
+		}
+	}
+	// Write and read back scratch memory.
+	if err := c.WriteMem(0x8800, []byte{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := c.ReadMem(0x8800, 5)
+	if err != nil || string(back) != string([]byte{1, 2, 3, 4, 5}) {
+		t.Fatalf("readback % x err %v", back, err)
+	}
+}
+
+func TestRegisterWrite(t *testing.T) {
+	c, m, _, _ := session(t)
+	if _, err := c.Interrupt(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteReg(5, 0xABCD1234); err != nil {
+		t.Fatal(err)
+	}
+	if m.CPU.Regs[5] != 0xABCD1234 {
+		t.Fatalf("r5 = %08x", m.CPU.Regs[5])
+	}
+	v, err := c.ReadReg(5)
+	if err != nil || v != 0xABCD1234 {
+		t.Fatalf("read back %08x err %v", v, err)
+	}
+}
+
+func TestSoftwareBreakpoint(t *testing.T) {
+	c, m, _, img := session(t)
+	if _, err := c.Interrupt(); err != nil {
+		t.Fatal(err)
+	}
+	bump := img.Symbols["bump"]
+	if err := c.SetBreak(bump, false); err != nil {
+		t.Fatal(err)
+	}
+	counts := []uint32{}
+	for i := 0; i < 3; i++ {
+		stop, err := c.Continue()
+		if err != nil {
+			t.Fatalf("continue %d: %v", i, err)
+		}
+		if stop.Signal != 5 {
+			t.Fatalf("signal %d", stop.Signal)
+		}
+		regs, _ := c.Regs()
+		if regs[16] != bump {
+			t.Fatalf("stopped at %08x, want %08x", regs[16], bump)
+		}
+		counts = append(counts, regs[9])
+	}
+	// Each continue runs one loop iteration: r9 increments by one between
+	// stops (the increment happens after the breakpoint).
+	if counts[1] != counts[0]+1 || counts[2] != counts[1]+1 {
+		t.Fatalf("counter progression %v", counts)
+	}
+	// Clearing restores the original instruction.
+	if err := c.ClearBreak(bump, false); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := m.CPU.ReadVirt32(bump)
+	if isa.Opcode(w) == isa.OpBRK {
+		t.Fatal("breakpoint not removed")
+	}
+}
+
+func TestHardwareBreakpoint(t *testing.T) {
+	c, _, _, img := session(t)
+	if _, err := c.Interrupt(); err != nil {
+		t.Fatal(err)
+	}
+	bump := img.Symbols["bump"]
+	if err := c.SetBreak(bump, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		stop, err := c.Continue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stop.Signal != 5 {
+			t.Fatalf("signal %d", stop.Signal)
+		}
+		regs, _ := c.Regs()
+		if regs[16] != bump {
+			t.Fatalf("stop %d at %08x, want %08x", i, regs[16], bump)
+		}
+	}
+}
+
+func TestSingleStep(t *testing.T) {
+	c, _, _, img := session(t)
+	if _, err := c.Interrupt(); err != nil {
+		t.Fatal(err)
+	}
+	bump := img.Symbols["bump"]
+	if err := c.SetBreak(bump, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Continue(); err != nil {
+		t.Fatal(err)
+	}
+	// Step through bump: addi, sw, ret.
+	want := []uint32{bump + 4, bump + 8}
+	for _, w := range want {
+		stop, err := c.StepInstr()
+		if err != nil || stop.Signal != 5 {
+			t.Fatalf("step: %v sig %d", err, stop.Signal)
+		}
+		regs, _ := c.Regs()
+		if regs[16] != w {
+			t.Fatalf("pc %08x, want %08x", regs[16], w)
+		}
+	}
+	// The ret lands back in the loop.
+	if _, err := c.StepInstr(); err != nil {
+		t.Fatal(err)
+	}
+	regs, _ := c.Regs()
+	loop := img.Symbols["loop"]
+	if regs[16] != loop+4 { // return address: after the call
+		t.Fatalf("after ret pc=%08x, want %08x", regs[16], loop+4)
+	}
+}
+
+func TestMonitorInfoCommand(t *testing.T) {
+	c, _, _, _ := session(t)
+	if _, err := c.Interrupt(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Monitor("info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "lightweight VMM") {
+		t.Fatalf("monitor info: %q", out)
+	}
+	out, err = c.Monitor("breaks")
+	if err != nil || !strings.Contains(out, "no breakpoints") {
+		t.Fatalf("breaks: %q err %v", out, err)
+	}
+}
+
+func TestStatusQuery(t *testing.T) {
+	c, _, _, _ := session(t)
+	if _, err := c.Interrupt(); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := c.Status()
+	if err != nil || stop.Signal != 2 {
+		t.Fatalf("status %v err %v", stop, err)
+	}
+}
+
+// TestDebugWhileStreaming is the paper's headline scenario: the guest is
+// pushing high-throughput I/O and the debugger interrupts it, inspects
+// state, and resumes — without perturbing correctness.
+func TestDebugWhileStreaming(t *testing.T) {
+	p := guest.DefaultParams(100)
+	p.DurationTicks = 30
+	recv := netsim.NewReceiver()
+	m := machine.NewStreaming(p.BlockBytes, recv, guest.KernelBase)
+	entry, err := guest.Prepare(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vmm.Attach(m, vmm.Config{Mode: vmm.Lightweight})
+	v.EnableDebugStub()
+	if err := v.Launch(entry); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewSimTransport(m)
+	c, err := New(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the stream get going (~120 ms), then break in.
+	m.Run(m.Clock() + 150_000_000)
+	stop, err := c.Interrupt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop.Signal != 2 {
+		t.Fatalf("signal %d", stop.Signal)
+	}
+	regs, err := c.Regs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs[16] == 0 {
+		t.Fatal("bogus PC")
+	}
+	// Inspect live kernel state: the sequence counter in guest memory.
+	img := guest.Kernel()
+	seqAddr := img.Symbols["seq"]
+	seqVal, err := c.ReadWord(seqAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqVal == 0 {
+		t.Fatal("no segments sent before interrupt")
+	}
+	// Resume and let the run complete.
+	if _, err := tryContinueToDone(c, m); err != nil {
+		t.Fatal(err)
+	}
+	if !recv.Clean() {
+		t.Fatalf("stream corrupted by debug session: %s", recv.LastError())
+	}
+	res := guest.ReadResults(m)
+	if res.Ticks != p.DurationTicks {
+		t.Fatalf("ticks %d", res.Ticks)
+	}
+}
+
+// tryContinueToDone resumes the target and runs the machine to guest-done
+// (the continue never "stops" again, so drive the machine directly).
+func tryContinueToDone(c *Client, m *machine.Machine) (machine.StopReason, error) {
+	if err := c.t.Notify("c"); err != nil {
+		return 0, err
+	}
+	reason := m.Run(m.Clock() + 2*1_260_000_000)
+	return reason, nil
+}
+
+// TestStabilityContrast reproduces the paper's stability argument as a
+// measurable contrast:
+//
+//   - monitor-resident stub (the paper's design): the guest wild-writes
+//     everything it can reach, and debugging still works;
+//   - guest-resident stub (conventional embedded debugger): the same wild
+//     write destroys the debugger.
+func TestStabilityContrast(t *testing.T) {
+	// Wild guest: waits for a trigger, then scribbles over low memory
+	// where the embedded stub keeps its state, then spins.
+	wild := `
+        .org 0x1000
+        _start:
+        wait:
+            lw   r3, 0x7F0(zero)  ; trigger flag, set by the harness
+            beqz r3, wait
+            li   r1, 0x700        ; embedded-stub state block
+            li   r2, 0xDEAD
+            sw   r2, 0(r1)
+            sw   r2, 4(r1)
+        spin:
+            b    spin
+    `
+	img := asm.MustAssemble(wild)
+
+	t.Run("monitor-resident survives", func(t *testing.T) {
+		m := machine.New(machine.Config{ResetPC: img.Entry})
+		if err := m.LoadImage(img); err != nil {
+			t.Fatal(err)
+		}
+		v := vmm.Attach(m, vmm.Config{Mode: vmm.Lightweight})
+		v.EnableDebugStub()
+		if err := v.Launch(img.Entry); err != nil {
+			t.Fatal(err)
+		}
+		tr := NewSimTransport(m)
+		c, err := New(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Bus.Write32(0x7F0, 1)
+		m.Run(m.Clock() + 10_000_000) // let the guest corrupt away
+		if _, err := c.Interrupt(); err != nil {
+			t.Fatalf("monitor-resident stub unreachable: %v", err)
+		}
+		if _, err := c.Regs(); err != nil {
+			t.Fatalf("register access failed: %v", err)
+		}
+	})
+
+	t.Run("guest-resident dies", func(t *testing.T) {
+		m := machine.New(machine.Config{ResetPC: img.Entry})
+		if err := m.LoadImage(img); err != nil {
+			t.Fatal(err)
+		}
+		m.CPU.Reset(img.Entry)
+		target := gdbstub.NewBareTarget(m)
+		stub := gdbstub.NewGuestResident(target, m.Dbg, 0x700)
+		target.OnStop(func(cause uint32) { stub.NotifyStop(5) })
+		m.SetIdleHook(stub.Poll)
+		// The embedded stub hooks the timer: poll periodically.
+		var arm func()
+		arm = func() { stub.Poll(); m.After(126_000, arm) }
+		m.After(126_000, arm)
+
+		tr := NewSimTransport(m)
+		tr.BudgetCycles = 50_000_000 // fail fast
+		// Handshake before corruption: works.
+		c, err := New(tr)
+		if err != nil {
+			t.Fatalf("pre-corruption handshake failed: %v", err)
+		}
+		// Trigger the corruption and let the guest smash the stub state.
+		m.Bus.Write32(0x7F0, 1)
+		m.Run(m.Clock() + 10_000_000)
+		if _, err := c.Regs(); err == nil {
+			t.Fatal("embedded stub still responding after corruption")
+		}
+		if !stub.Dead() {
+			t.Fatal("stub does not know it is dead")
+		}
+	})
+}

@@ -1,0 +1,382 @@
+package debugger
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lvmm/internal/asm"
+	"lvmm/internal/isa"
+)
+
+// REPL is the interactive command layer of the host-side remote debugger:
+// the "receives debugging commands from a user" box of Figure 2.1. It is
+// also usable programmatically (the debug-session example scripts it).
+type REPL struct {
+	c   *Client
+	out io.Writer
+	// Symbols, when set (from an assembler image), enables symbolic
+	// addresses and annotated disassembly.
+	Symbols map[string]uint32
+}
+
+// NewREPL creates a REPL writing human output to out.
+func NewREPL(c *Client, out io.Writer) *REPL {
+	return &REPL{c: c, out: out, Symbols: map[string]uint32{}}
+}
+
+// LoadSymbols adopts an image's symbol table.
+func (r *REPL) LoadSymbols(img *asm.Image) {
+	for k, v := range img.Symbols {
+		r.Symbols[k] = v
+	}
+}
+
+func (r *REPL) printf(format string, args ...any) {
+	fmt.Fprintf(r.out, format, args...)
+}
+
+// addr parses a numeric or symbolic address.
+func (r *REPL) addr(s string) (uint32, error) {
+	if v, ok := r.Symbols[s]; ok {
+		return v, nil
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, "0x"), 16, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad address %q (hex or symbol)", s)
+	}
+	return uint32(v), nil
+}
+
+// symFor names an address if a symbol covers it.
+func (r *REPL) symFor(a uint32) string {
+	bestName, bestVal, found := "", uint32(0), false
+	for n, v := range r.Symbols {
+		if v <= a && (!found || v > bestVal || (v == bestVal && n < bestName)) {
+			bestName, bestVal, found = n, v, true
+		}
+	}
+	if !found || a-bestVal > 0x1000 {
+		return ""
+	}
+	if a == bestVal {
+		return " <" + bestName + ">"
+	}
+	return fmt.Sprintf(" <%s+%d>", bestName, a-bestVal)
+}
+
+// Execute runs one command line. It returns io.EOF for quit.
+func (r *REPL) Execute(line string) error {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 {
+		return nil
+	}
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "help", "h":
+		r.printf("%s", helpText)
+	case "quit", "q":
+		return io.EOF
+	case "regs", "r":
+		return r.cmdRegs()
+	case "set":
+		return r.cmdSet(args)
+	case "x", "read":
+		return r.cmdRead(args)
+	case "w", "write":
+		return r.cmdWrite(args)
+	case "b", "break":
+		return r.cmdBreak(args, false)
+	case "hb", "hbreak":
+		return r.cmdBreak(args, true)
+	case "d", "delete":
+		return r.cmdDelete(args)
+	case "watch":
+		return r.cmdWatch(args)
+	case "unwatch":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: unwatch ADDR")
+		}
+		a, err := r.addr(args[0])
+		if err != nil {
+			return err
+		}
+		return r.c.ClearWatch(a)
+	case "c", "continue":
+		stop, err := r.c.Continue()
+		if err != nil {
+			return err
+		}
+		return r.reportStop(stop)
+	case "s", "step":
+		n := 1
+		if len(args) == 1 {
+			if v, err := strconv.Atoi(args[0]); err == nil && v > 0 {
+				n = v
+			}
+		}
+		var stop StopInfo
+		var err error
+		for i := 0; i < n; i++ {
+			stop, err = r.c.StepInstr()
+			if err != nil {
+				return err
+			}
+		}
+		return r.reportStop(stop)
+	case "int", "interrupt":
+		stop, err := r.c.Interrupt()
+		if err != nil {
+			return err
+		}
+		return r.reportStop(stop)
+	case "dis", "disas":
+		return r.cmdDisas(args)
+	case "sym", "symbols":
+		r.cmdSymbols(args)
+	case "monitor", "mon":
+		out, err := r.c.Monitor(strings.Join(args, " "))
+		if err != nil {
+			return err
+		}
+		r.printf("%s", out)
+	case "detach":
+		return r.c.Detach()
+	default:
+		r.printf("unknown command %q; try help\n", cmd)
+	}
+	return nil
+}
+
+const helpText = `commands:
+  regs                    show registers
+  set REG VALUE           write a register (r0..r15, pc, psr)
+  x ADDR [N]              read N (default 16) bytes at hex/symbol ADDR
+  w ADDR BYTE...          write bytes
+  b ADDR | hb ADDR        set software / hardware breakpoint
+  d ADDR                  delete breakpoint
+  watch ADDR [LEN]        stop when the guest writes [ADDR, ADDR+LEN)
+  unwatch ADDR            remove a watchpoint
+  c                       continue until stop
+  s [N]                   step N instructions
+  int                     interrupt (Ctrl-C) the running guest
+  dis [ADDR [N]]          disassemble N (default 8) instructions
+  sym [PREFIX]            list symbols
+  monitor CMD             target-side command (info, breaks)
+  quit
+`
+
+func (r *REPL) reportStop(stop StopInfo) error {
+	regs, err := r.c.Regs()
+	if err != nil {
+		return err
+	}
+	r.printf("stopped (signal %d) at pc=%08x%s\n", stop.Signal, regs[16], r.symFor(regs[16]))
+	return r.disasAt(regs[16], 1)
+}
+
+func (r *REPL) cmdRegs() error {
+	regs, err := r.c.Regs()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 16; i++ {
+		r.printf("%-5s %08x  ", isa.RegName(i), regs[i])
+		if i%4 == 3 {
+			r.printf("\n")
+		}
+	}
+	r.printf("pc    %08x%s\n", regs[16], r.symFor(regs[16]))
+	r.printf("psr   %08x (cpl=%d if=%v)\n", regs[17], isa.CPL(regs[17]), regs[17]&isa.PSRIF != 0)
+	return nil
+}
+
+func (r *REPL) cmdSet(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: set REG VALUE")
+	}
+	idx := -1
+	switch strings.ToLower(args[0]) {
+	case "pc":
+		idx = 16
+	case "psr":
+		idx = 17
+	case "sp":
+		idx = isa.RegSP
+	case "lr":
+		idx = isa.RegLR
+	default:
+		for i := 0; i < 16; i++ {
+			if isa.RegName(i) == strings.ToLower(args[0]) {
+				idx = i
+				break
+			}
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("unknown register %q", args[0])
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(args[1], "0x"), 16, 32)
+	if err != nil {
+		return fmt.Errorf("bad value %q", args[1])
+	}
+	return r.c.WriteReg(idx, uint32(v))
+}
+
+func (r *REPL) cmdRead(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: x ADDR [N]")
+	}
+	a, err := r.addr(args[0])
+	if err != nil {
+		return err
+	}
+	n := 16
+	if len(args) >= 2 {
+		if v, err := strconv.Atoi(args[1]); err == nil {
+			n = v
+		}
+	}
+	data, err := r.c.ReadMem(a, n)
+	if err != nil {
+		return err
+	}
+	for off := 0; off < len(data); off += 16 {
+		end := off + 16
+		if end > len(data) {
+			end = len(data)
+		}
+		r.printf("%08x: % x\n", a+uint32(off), data[off:end])
+	}
+	return nil
+}
+
+func (r *REPL) cmdWrite(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: w ADDR BYTE...")
+	}
+	a, err := r.addr(args[0])
+	if err != nil {
+		return err
+	}
+	var data []byte
+	for _, s := range args[1:] {
+		v, err := strconv.ParseUint(strings.TrimPrefix(s, "0x"), 16, 8)
+		if err != nil {
+			return fmt.Errorf("bad byte %q", s)
+		}
+		data = append(data, byte(v))
+	}
+	return r.c.WriteMem(a, data)
+}
+
+func (r *REPL) cmdBreak(args []string, hw bool) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: b ADDR")
+	}
+	a, err := r.addr(args[0])
+	if err != nil {
+		return err
+	}
+	if err := r.c.SetBreak(a, hw); err != nil {
+		return err
+	}
+	kind := "software"
+	if hw {
+		kind = "hardware"
+	}
+	r.printf("%s breakpoint at %08x%s\n", kind, a, r.symFor(a))
+	return nil
+}
+
+func (r *REPL) cmdDelete(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: d ADDR")
+	}
+	a, err := r.addr(args[0])
+	if err != nil {
+		return err
+	}
+	// Try both kinds; the stub ignores absent ones.
+	if err := r.c.ClearBreak(a, false); err != nil {
+		return err
+	}
+	return r.c.ClearBreak(a, true)
+}
+
+func (r *REPL) cmdWatch(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: watch ADDR [LEN]")
+	}
+	a, err := r.addr(args[0])
+	if err != nil {
+		return err
+	}
+	length := uint32(4)
+	if len(args) >= 2 {
+		if v, err := strconv.ParseUint(args[1], 10, 32); err == nil && v > 0 {
+			length = uint32(v)
+		}
+	}
+	if err := r.c.SetWatch(a, length); err != nil {
+		return err
+	}
+	r.printf("watchpoint on [%08x,%08x)%s\n", a, a+length, r.symFor(a))
+	return nil
+}
+
+func (r *REPL) cmdDisas(args []string) error {
+	var a uint32
+	if len(args) >= 1 {
+		var err error
+		a, err = r.addr(args[0])
+		if err != nil {
+			return err
+		}
+	} else {
+		regs, err := r.c.Regs()
+		if err != nil {
+			return err
+		}
+		a = regs[16]
+	}
+	n := 8
+	if len(args) >= 2 {
+		if v, err := strconv.Atoi(args[1]); err == nil && v > 0 {
+			n = v
+		}
+	}
+	return r.disasAt(a, n)
+}
+
+func (r *REPL) disasAt(a uint32, n int) error {
+	data, err := r.c.ReadMem(a, n*4)
+	if err != nil {
+		return err
+	}
+	for i := 0; i+4 <= len(data); i += 4 {
+		w := uint32(data[i]) | uint32(data[i+1])<<8 | uint32(data[i+2])<<16 | uint32(data[i+3])<<24
+		pc := a + uint32(i)
+		r.printf("%08x%-14s %s\n", pc, r.symFor(pc)+":", isa.Disassemble(pc, w))
+	}
+	return nil
+}
+
+func (r *REPL) cmdSymbols(args []string) {
+	prefix := ""
+	if len(args) >= 1 {
+		prefix = args[0]
+	}
+	names := make([]string, 0, len(r.Symbols))
+	for n := range r.Symbols {
+		if strings.HasPrefix(n, prefix) {
+			names = append(names, n)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool { return r.Symbols[names[i]] < r.Symbols[names[j]] })
+	for _, n := range names {
+		r.printf("%08x %s\n", r.Symbols[n], n)
+	}
+}

@@ -1,0 +1,127 @@
+package debugger
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// replSession builds a REPL over the standard debug-kernel session.
+func replSession(t *testing.T) (*REPL, *bytes.Buffer) {
+	t.Helper()
+	c, _, _, img := session(t)
+	var out bytes.Buffer
+	r := NewREPL(c, &out)
+	r.LoadSymbols(img)
+	return r, &out
+}
+
+func run(t *testing.T, r *REPL, out *bytes.Buffer, cmd string) string {
+	t.Helper()
+	out.Reset()
+	if err := r.Execute(cmd); err != nil && err != io.EOF {
+		t.Fatalf("%q: %v", cmd, err)
+	}
+	return out.String()
+}
+
+func TestREPLRegsAndSet(t *testing.T) {
+	r, out := replSession(t)
+	run(t, r, out, "int")
+	got := run(t, r, out, "regs")
+	for _, want := range []string{"zero  00000000", "pc", "psr", "cpl=0"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("regs output missing %q:\n%s", want, got)
+		}
+	}
+	run(t, r, out, "set r5 deadbeef")
+	got = run(t, r, out, "regs")
+	if !strings.Contains(got, "deadbeef") {
+		t.Errorf("set did not stick:\n%s", got)
+	}
+}
+
+func TestREPLMemoryCommands(t *testing.T) {
+	r, out := replSession(t)
+	run(t, r, out, "int")
+	run(t, r, out, "w 8800 11 22 33")
+	got := run(t, r, out, "x 8800 3")
+	if !strings.Contains(got, "11 22 33") {
+		t.Errorf("x output:\n%s", got)
+	}
+	// Symbolic address.
+	got = run(t, r, out, "x counter 4")
+	if !strings.Contains(got, ":") {
+		t.Errorf("symbolic read failed:\n%s", got)
+	}
+}
+
+func TestREPLBreakContinueStep(t *testing.T) {
+	r, out := replSession(t)
+	run(t, r, out, "int")
+	got := run(t, r, out, "b bump")
+	if !strings.Contains(got, "software breakpoint") || !strings.Contains(got, "<bump>") {
+		t.Errorf("b output:\n%s", got)
+	}
+	got = run(t, r, out, "c")
+	if !strings.Contains(got, "signal 5") || !strings.Contains(got, "<bump>") {
+		t.Errorf("c output:\n%s", got)
+	}
+	got = run(t, r, out, "s")
+	if !strings.Contains(got, "<bump+4>") {
+		t.Errorf("s output:\n%s", got)
+	}
+	run(t, r, out, "d bump")
+	got = run(t, r, out, "monitor breaks")
+	if !strings.Contains(got, "no breakpoints") {
+		t.Errorf("breaks after delete:\n%s", got)
+	}
+}
+
+func TestREPLDisassembly(t *testing.T) {
+	r, out := replSession(t)
+	run(t, r, out, "int")
+	got := run(t, r, out, "dis bump 3")
+	for _, want := range []string{"<bump>", "addi", "jalr"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("dis missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestREPLSymbols(t *testing.T) {
+	r, out := replSession(t)
+	got := run(t, r, out, "sym b")
+	if !strings.Contains(got, "bump") {
+		t.Errorf("sym output:\n%s", got)
+	}
+}
+
+func TestREPLErrorsAndHelp(t *testing.T) {
+	r, out := replSession(t)
+	got := run(t, r, out, "help")
+	if !strings.Contains(got, "breakpoint") {
+		t.Errorf("help:\n%s", got)
+	}
+	got = run(t, r, out, "frobnicate")
+	if !strings.Contains(got, "unknown command") {
+		t.Errorf("unknown command handling:\n%s", got)
+	}
+	if err := r.Execute("x notasymbol"); err == nil {
+		t.Error("bad address accepted")
+	}
+	if err := r.Execute("set r99 1"); err == nil {
+		t.Error("bad register accepted")
+	}
+	if err := r.Execute("quit"); err != io.EOF {
+		t.Errorf("quit returned %v", err)
+	}
+}
+
+func TestREPLEmptyLineIsNoop(t *testing.T) {
+	r, out := replSession(t)
+	if got := run(t, r, out, "   "); got != "" {
+		t.Errorf("blank line produced output %q", got)
+	}
+}

@@ -1,0 +1,154 @@
+package debugger
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"lvmm/internal/guest"
+	"lvmm/internal/isa"
+	"lvmm/internal/machine"
+	"lvmm/internal/netsim"
+	"lvmm/internal/vmm"
+)
+
+// TestRemoteDebugOverTCP exercises the deployment shape of cmd/lvmm-target
+// + cmd/hxdbg: the simulated target runs in its own goroutine with the
+// debug channel bridged to a real TCP socket, and the client debugs it
+// through ConnTransport — host and target as separate machines, per the
+// paper's Figure 2.1.
+func TestRemoteDebugOverTCP(t *testing.T) {
+	p := guest.DefaultParams(50)
+	p.DurationTicks = 3000 // long-lived target
+	recv := netsim.NewReceiver()
+	m := machine.NewStreaming(p.BlockBytes, recv, guest.KernelBase)
+	entry, err := guest.Prepare(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vmm.Attach(m, vmm.Config{Mode: vmm.Lightweight})
+	v.EnableDebugStub()
+	if err := v.Launch(entry); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Target side: accept one debugger and bridge it to the UART, then
+	// run the machine in chunks until the test finishes (exactly what
+	// cmd/lvmm-target does). IdleSleep keeps the frozen target alive in
+	// wall-clock terms while the debugger works.
+	m.IdleSleep = 20 * time.Microsecond
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		m.Dbg.SetTX(func(b byte) { _, _ = conn.Write([]byte{b}) })
+		go func() {
+			buf := make([]byte, 256)
+			for {
+				n, err := conn.Read(buf)
+				if err != nil {
+					return
+				}
+				m.Dbg.InjectRX(buf[:n])
+			}
+		}()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			m.Run(m.Clock() + uint64(isa.ClockHz))
+		}
+	}()
+
+	conn, err := net.DialTimeout("tcp", l.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(8 * time.Second))
+
+	c, err := New(NewConnTransport(conn))
+	if err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	stop, err := c.Interrupt()
+	if err != nil {
+		t.Fatalf("interrupt: %v", err)
+	}
+	if stop.Signal != 2 {
+		t.Fatalf("signal %d", stop.Signal)
+	}
+	regs, err := c.Regs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs[16] == 0 {
+		t.Fatal("pc is zero")
+	}
+	// Plant and hit a breakpoint over the real socket.
+	sendOne := guest.Kernel().Symbols["send_one"]
+	if err := c.SetBreak(sendOne, false); err != nil {
+		t.Fatal(err)
+	}
+	stop, err = c.Continue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop.Signal != 5 {
+		t.Fatalf("breakpoint signal %d", stop.Signal)
+	}
+	regs, _ = c.Regs()
+	if regs[16] != sendOne {
+		t.Fatalf("stopped at %08x", regs[16])
+	}
+	if err := c.ClearBreak(sendOne, false); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Monitor("info")
+	if err != nil || out == "" {
+		t.Fatalf("monitor info over TCP: %q %v", out, err)
+	}
+	if err := c.Detach(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterminism: two identical runs produce bit-identical results —
+// the property every number in EXPERIMENTS.md relies on.
+func TestDeterminism(t *testing.T) {
+	runOnce := func() (uint64, uint64, uint64) {
+		p := guest.DefaultParams(120)
+		p.DurationTicks = 15
+		recv := netsim.NewReceiver()
+		m := machine.NewStreaming(p.BlockBytes, recv, guest.KernelBase)
+		entry, err := guest.Prepare(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := vmm.Attach(m, vmm.Config{Mode: vmm.Lightweight})
+		if err := v.Launch(entry); err != nil {
+			t.Fatal(err)
+		}
+		if r := m.Run(uint64(300) * isa.ClockHz / 100); r != machine.StopGuestDone {
+			t.Fatalf("stop %v", r)
+		}
+		return m.Clock(), recv.Frames, v.Stats.Traps
+	}
+	c1, f1, t1 := runOnce()
+	c2, f2, t2 := runOnce()
+	if c1 != c2 || f1 != f2 || t1 != t2 {
+		t.Fatalf("nondeterministic: clocks %d/%d frames %d/%d traps %d/%d",
+			c1, c2, f1, f2, t1, t2)
+	}
+}

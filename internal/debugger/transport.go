@@ -1,0 +1,144 @@
+package debugger
+
+import (
+	"fmt"
+	"net"
+
+	"lvmm/internal/machine"
+	"lvmm/internal/rsp"
+)
+
+// SimTransport drives an in-process simulated target deterministically:
+// every exchange injects bytes into the target's debug UART and runs the
+// machine until the stub's reply emerges. No goroutines, no wall-clock —
+// sessions are perfectly reproducible.
+type SimTransport struct {
+	m   *machine.Machine
+	dec rsp.Decoder
+	rx  []rsp.Event
+	// BudgetCycles bounds how long one exchange may run the machine
+	// (virtual cycles). Default one virtual second.
+	BudgetCycles uint64
+	// SliceCycles is the run granularity between reply checks.
+	SliceCycles uint64
+	out         []byte
+}
+
+// NewSimTransport attaches to a machine's debug UART.
+func NewSimTransport(m *machine.Machine) *SimTransport {
+	t := &SimTransport{
+		m:            m,
+		BudgetCycles: 1_260_000_000,
+		SliceCycles:  100_000,
+	}
+	m.Dbg.SetTX(func(b byte) { t.out = append(t.out, b) })
+	return t
+}
+
+// pump decodes any bytes the stub transmitted.
+func (t *SimTransport) pump() {
+	if len(t.out) > 0 {
+		t.rx = append(t.rx, t.dec.Feed(t.out)...)
+		t.out = t.out[:0]
+	}
+}
+
+// nextPacket pops the next packet event, running the machine as needed.
+func (t *SimTransport) nextPacket() (string, error) {
+	deadline := t.m.Clock() + t.BudgetCycles
+	for {
+		t.pump()
+		for len(t.rx) > 0 {
+			ev := t.rx[0]
+			t.rx = t.rx[1:]
+			if ev.Kind == 'p' {
+				return string(ev.Payload), nil
+			}
+			// Acks and stray bytes are consumed silently.
+		}
+		if t.m.Clock() >= deadline {
+			return "", fmt.Errorf("debugger: target did not reply within %d cycles (stub dead?)", t.BudgetCycles)
+		}
+		t.m.Run(t.m.Clock() + t.SliceCycles)
+	}
+}
+
+// Exchange implements Transport.
+func (t *SimTransport) Exchange(payload string) (string, error) {
+	t.m.Dbg.InjectRX(rsp.Encode([]byte(payload)))
+	return t.nextPacket()
+}
+
+// Notify implements Transport.
+func (t *SimTransport) Notify(payload string) error {
+	t.m.Dbg.InjectRX(rsp.Encode([]byte(payload)))
+	// Give the stub a chance to consume the command.
+	t.m.Run(t.m.Clock() + t.SliceCycles)
+	return nil
+}
+
+// WaitStop implements Transport.
+func (t *SimTransport) WaitStop() (string, error) { return t.nextPacket() }
+
+// SendBreak implements Transport.
+func (t *SimTransport) SendBreak() (string, error) {
+	t.m.Dbg.InjectRX([]byte{rsp.InterruptByte})
+	return t.nextPacket()
+}
+
+// ConnTransport runs RSP over a real byte stream (net.Conn or any
+// ReadWriter with the same semantics) for live targets started by
+// cmd/lvmm-target.
+type ConnTransport struct {
+	conn net.Conn
+	dec  rsp.Decoder
+	rx   []rsp.Event
+	buf  [512]byte
+}
+
+// NewConnTransport wraps an established connection.
+func NewConnTransport(conn net.Conn) *ConnTransport {
+	return &ConnTransport{conn: conn}
+}
+
+func (t *ConnTransport) nextPacket() (string, error) {
+	for {
+		for len(t.rx) > 0 {
+			ev := t.rx[0]
+			t.rx = t.rx[1:]
+			if ev.Kind == 'p' {
+				return string(ev.Payload), nil
+			}
+		}
+		n, err := t.conn.Read(t.buf[:])
+		if err != nil {
+			return "", err
+		}
+		t.rx = append(t.rx, t.dec.Feed(t.buf[:n])...)
+	}
+}
+
+// Exchange implements Transport.
+func (t *ConnTransport) Exchange(payload string) (string, error) {
+	if _, err := t.conn.Write(rsp.Encode([]byte(payload))); err != nil {
+		return "", err
+	}
+	return t.nextPacket()
+}
+
+// Notify implements Transport.
+func (t *ConnTransport) Notify(payload string) error {
+	_, err := t.conn.Write(rsp.Encode([]byte(payload)))
+	return err
+}
+
+// WaitStop implements Transport.
+func (t *ConnTransport) WaitStop() (string, error) { return t.nextPacket() }
+
+// SendBreak implements Transport.
+func (t *ConnTransport) SendBreak() (string, error) {
+	if _, err := t.conn.Write([]byte{rsp.InterruptByte}); err != nil {
+		return "", err
+	}
+	return t.nextPacket()
+}

@@ -1,0 +1,97 @@
+package debugger
+
+import (
+	"testing"
+
+	"lvmm/internal/guest"
+	"lvmm/internal/isa"
+	"lvmm/internal/machine"
+	"lvmm/internal/vmm"
+)
+
+// TestDebugAcrossPrivilegeBoundary plants a breakpoint inside the user-
+// mode application of the protection kernel and debugs across the
+// CPL3/CPL0 boundary: the monitor-resident stub sees the guest's virtual
+// privilege levels, reads user memory through the guest's page tables,
+// and steps through a syscall transition.
+func TestDebugAcrossPrivilegeBoundary(t *testing.T) {
+	m := machine.New(machine.Config{ResetPC: guest.KernelBase})
+	entry, err := guest.PrepareProtect(m, guest.ScenarioSyscalls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vmm.Attach(m, vmm.Config{Mode: vmm.Lightweight})
+	v.EnableDebugStub()
+	if err := v.Launch(entry); err != nil {
+		t.Fatal(err)
+	}
+	// Attach at reset: freeze before the first guest instruction so the
+	// (short) scenario cannot outrun the debugger.
+	v.SetFrozen(true)
+	tr := NewSimTransport(m)
+	c, err := New(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Break at the application's entry point (user mode).
+	appEntry := guest.ProtectApp().Entry
+	if err := c.SetBreak(appEntry, true); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := c.Continue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop.Signal != 5 {
+		t.Fatalf("signal %d", stop.Signal)
+	}
+	regs, err := c.Regs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs[16] != appEntry {
+		t.Fatalf("stopped at %08x, want app entry %08x", regs[16], appEntry)
+	}
+	// The guest-view PSR shows user mode.
+	if isa.CPL(regs[17]) != isa.CPLUser {
+		t.Fatalf("guest-view CPL %d, want user", isa.CPL(regs[17]))
+	}
+	// r4 carries the scenario selector set by the kernel before IRET.
+	if regs[4] != guest.ScenarioSyscalls {
+		t.Fatalf("r4 = %d", regs[4])
+	}
+	// Read user-mode text through the guest's page tables.
+	text, err := c.ReadMem(appEntry, 8)
+	if err != nil || len(text) != 8 {
+		t.Fatalf("user text read: %v", err)
+	}
+
+	// Step until the app executes its first syscall and lands in the
+	// kernel: the stub must show the privilege transition.
+	sawKernel := false
+	for i := 0; i < 30; i++ {
+		if _, err := c.StepInstr(); err != nil {
+			t.Fatal(err)
+		}
+		regs, _ = c.Regs()
+		if isa.CPL(regs[17]) == 0 && regs[16] < 0x4000 {
+			sawKernel = true
+			break
+		}
+	}
+	if !sawKernel {
+		t.Fatal("never observed the syscall transition to kernel mode")
+	}
+
+	// Resume to completion: five syscalls counted.
+	if err := c.t.Notify("c"); err != nil {
+		t.Fatal(err)
+	}
+	if reason := m.Run(m.Clock() + 100_000_000); reason != machine.StopGuestDone {
+		t.Fatalf("stop %v", reason)
+	}
+	if got := guest.ReadProtectResults(m).Syscalls; got != 5 {
+		t.Fatalf("syscalls %d", got)
+	}
+}

@@ -1,0 +1,107 @@
+package debugger
+
+import (
+	"strings"
+	"testing"
+
+	"lvmm/internal/guest"
+	"lvmm/internal/machine"
+	"lvmm/internal/netsim"
+	"lvmm/internal/vmm"
+)
+
+// TestWatchpointOnKernelVariable stops the streaming guest the moment it
+// writes its sequence counter — a data watchpoint through the full
+// monitor + RSP stack.
+func TestWatchpointOnKernelVariable(t *testing.T) {
+	p := guest.DefaultParams(50)
+	p.DurationTicks = 50
+	recv := netsim.NewReceiver()
+	m := machine.NewStreaming(p.BlockBytes, recv, guest.KernelBase)
+	entry, err := guest.Prepare(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vmm.Attach(m, vmm.Config{Mode: vmm.Lightweight})
+	v.EnableDebugStub()
+	if err := v.Launch(entry); err != nil {
+		t.Fatal(err)
+	}
+	v.SetFrozen(true) // attach at reset
+	c, err := New(NewSimTransport(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seqAddr := guest.Kernel().Symbols["seq"]
+	if err := c.SetWatch(seqAddr, 4); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := c.Continue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop.Signal != 5 {
+		t.Fatalf("signal %d", stop.Signal)
+	}
+	// The write has committed (watch fires after the store): seq == 1.
+	seq, err := c.ReadWord(seqAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 {
+		t.Fatalf("seq at first watch hit = %d, want 1", seq)
+	}
+	// The stop is inside send_one (the only writer).
+	regs, _ := c.Regs()
+	sendOne := guest.Kernel().Symbols["send_one"]
+	if regs[16] < sendOne || regs[16] > sendOne+0x200 {
+		t.Fatalf("stopped at %08x, not inside send_one (%08x)", regs[16], sendOne)
+	}
+
+	// Second hit: seq == 2.
+	if stop, err = c.Continue(); err != nil || stop.Signal != 5 {
+		t.Fatalf("second continue: %v %v", stop, err)
+	}
+	if seq, _ = c.ReadWord(seqAddr); seq != 2 {
+		t.Fatalf("seq at second hit = %d", seq)
+	}
+
+	// Remove the watch; the run completes and the stream validates.
+	if err := c.ClearWatch(seqAddr); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.t.Notify("c"); err != nil {
+		t.Fatal(err)
+	}
+	if reason := m.Run(m.Clock() + 2_000_000_000); reason != machine.StopGuestDone {
+		t.Fatalf("stop %v", reason)
+	}
+	if !recv.Clean() {
+		t.Fatalf("stream invalid after watch session: %s", recv.LastError())
+	}
+}
+
+func TestREPLWatchCommands(t *testing.T) {
+	r, out := replSession(t)
+	run(t, r, out, "int")
+	got := run(t, r, out, "watch counter 4")
+	if !strings.Contains(got, "watchpoint on") || !strings.Contains(got, "<counter>") {
+		t.Fatalf("watch output:\n%s", got)
+	}
+	got = run(t, r, out, "monitor breaks")
+	if !strings.Contains(got, "watch0") {
+		t.Fatalf("breaks listing:\n%s", got)
+	}
+	// The debug kernel's bump writes counter every iteration: continue
+	// must stop on the write.
+	got = run(t, r, out, "c")
+	if !strings.Contains(got, "signal 5") {
+		t.Fatalf("watch stop:\n%s", got)
+	}
+	run(t, r, out, "unwatch counter")
+	got = run(t, r, out, "monitor breaks")
+	if strings.Contains(got, "watch0") {
+		t.Fatalf("watch not removed:\n%s", got)
+	}
+}

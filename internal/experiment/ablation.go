@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"lvmm/internal/perfmodel"
+)
+
+// Ablations isolate the design decisions the paper's monitor embodies:
+// how much of the lightweight VMM's advantage comes from interrupt
+// coalescing, from cheap world switches, from segment sizing, and from
+// checksum offload. Each sweep reports the saturation throughput of the
+// platform under test (measured by offering more than it can carry).
+
+// SaturationProbe measures a platform's maximum sustained rate by
+// offering well past any plausible capacity.
+func SaturationProbe(pf Platform, opts Options) Point {
+	return RunPoint(pf, opts, 900)
+}
+
+// AblationPoint is one configuration's saturation measurement.
+type AblationPoint struct {
+	Label        string
+	MaxMbps      float64
+	CPULoad      float64
+	MonitorShare float64
+	Err          string
+}
+
+// AblationCoalesce varies NIC interrupt coalescing under the lightweight
+// VMM: per-frame interrupts are the dominant trap source, so coalescing
+// directly trades debug-visibility granularity for throughput.
+func AblationCoalesce(factors []uint32, ticks uint32) []AblationPoint {
+	var out []AblationPoint
+	for _, f := range factors {
+		p := SaturationProbe(LightweightVMM, Options{DurationTicks: ticks, Coalesce: f})
+		out = append(out, AblationPoint{
+			Label:        fmt.Sprintf("coalesce=%d", f),
+			MaxMbps:      p.AchievedMbps,
+			CPULoad:      p.CPULoad,
+			MonitorShare: p.MonitorShare,
+			Err:          p.Error,
+		})
+	}
+	return out
+}
+
+// AblationSwitchCost scales the lightweight monitor's world-switch cost,
+// showing how the saturation point tracks the price of a trap (the knob
+// the "lightweight" in the title is about).
+func AblationSwitchCost(scales []float64, ticks uint32) []AblationPoint {
+	var out []AblationPoint
+	for _, s := range scales {
+		c := perfmodel.Lightweight()
+		c.WorldSwitchIn = uint64(float64(c.WorldSwitchIn) * s)
+		c.WorldSwitchOut = uint64(float64(c.WorldSwitchOut) * s)
+		p := SaturationProbe(LightweightVMM, Options{DurationTicks: ticks, LightweightCosts: &c})
+		out = append(out, AblationPoint{
+			Label:        fmt.Sprintf("switch x%.2g", s),
+			MaxMbps:      p.AchievedMbps,
+			CPULoad:      p.CPULoad,
+			MonitorShare: p.MonitorShare,
+			Err:          p.Error,
+		})
+	}
+	return out
+}
+
+// AblationSegmentSize varies the UDP payload size on the lightweight VMM:
+// smaller segments mean more per-packet traps per megabit.
+func AblationSegmentSize(sizes []uint32, ticks uint32) []AblationPoint {
+	var out []AblationPoint
+	for _, sz := range sizes {
+		p := SaturationProbe(LightweightVMM, Options{DurationTicks: ticks, SegmentBytes: sz})
+		out = append(out, AblationPoint{
+			Label:        fmt.Sprintf("segment=%dB", sz),
+			MaxMbps:      p.AchievedMbps,
+			CPULoad:      p.CPULoad,
+			MonitorShare: p.MonitorShare,
+			Err:          p.Error,
+		})
+	}
+	return out
+}
+
+// AblationHostedSyscall scales the hosted VMM's host-OS round-trip cost,
+// the dominant term in the conventional baseline's per-packet price.
+func AblationHostedSyscall(scales []float64, ticks uint32) []AblationPoint {
+	var out []AblationPoint
+	for _, s := range scales {
+		c := perfmodel.Hosted()
+		c.HostedIOSyscall = uint64(float64(c.HostedIOSyscall) * s)
+		p := SaturationProbe(HostedVMM, Options{DurationTicks: ticks, HostedCosts: &c})
+		out = append(out, AblationPoint{
+			Label:        fmt.Sprintf("syscall x%.2g", s),
+			MaxMbps:      p.AchievedMbps,
+			CPULoad:      p.CPULoad,
+			MonitorShare: p.MonitorShare,
+			Err:          p.Error,
+		})
+	}
+	return out
+}
+
+// RenderAblation formats a sweep as a table.
+func RenderAblation(title string, pts []AblationPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-16s %-12s %-10s %-14s\n", "config", "max Mb/s", "CPU load", "monitor share")
+	for _, p := range pts {
+		if p.Err != "" {
+			fmt.Fprintf(&b, "%-16s ERROR: %s\n", p.Label, p.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s %-12.1f %-10.1f%% %-14.1f%%\n",
+			p.Label, p.MaxMbps, p.CPULoad*100, p.MonitorShare*100)
+	}
+	return b.String()
+}

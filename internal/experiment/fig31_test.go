@@ -1,0 +1,201 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFig31Shape verifies the reproduced figure carries the paper's
+// qualitative structure at every offered rate and its quantitative
+// headline ratios at saturation. This is the repository's core
+// reproduction check.
+func TestFig31Shape(t *testing.T) {
+	fig := RunFig31(Options{
+		Rates:         []float64{50, 200, 700},
+		DurationTicks: 40,
+	})
+
+	for pf, pts := range fig.Points {
+		for _, p := range pts {
+			if p.Error != "" {
+				t.Fatalf("%v @ %.0f: %s", pf, p.OfferedMbps, p.Error)
+			}
+			if !p.Clean {
+				t.Fatalf("%v @ %.0f: stream validation failed", pf, p.OfferedMbps)
+			}
+		}
+	}
+
+	get := func(pf Platform, i int) Point { return fig.Points[pf][i] }
+
+	// At 50 Mb/s the direct-I/O platforms keep up; the hosted VMM is
+	// already saturated near its ~32 Mb/s ceiling.
+	for _, pf := range []Platform{BareMetal, LightweightVMM} {
+		if p := get(pf, 0); p.AchievedMbps < 45 {
+			t.Errorf("%v @50: achieved %.1f", pf, p.AchievedMbps)
+		}
+	}
+	if p := get(HostedVMM, 0); p.AchievedMbps < 20 || p.AchievedMbps > 45 {
+		t.Errorf("hosted @50: achieved %.1f, expected ≈its 32 Mb/s ceiling", p.AchievedMbps)
+	}
+	if !(get(BareMetal, 0).CPULoad < get(LightweightVMM, 0).CPULoad &&
+		get(LightweightVMM, 0).CPULoad < get(HostedVMM, 0).CPULoad) {
+		t.Errorf("load ordering @50: bare=%.3f lw=%.3f hosted=%.3f",
+			get(BareMetal, 0).CPULoad, get(LightweightVMM, 0).CPULoad, get(HostedVMM, 0).CPULoad)
+	}
+
+	// At 200 Mb/s: bare and LW keep up... LW may already be at its knee;
+	// hosted is long saturated.
+	if p := get(BareMetal, 1); p.AchievedMbps < 190 {
+		t.Errorf("bare @200: %.1f", p.AchievedMbps)
+	}
+	if p := get(HostedVMM, 1); p.AchievedMbps > 60 {
+		t.Errorf("hosted @200 should be saturated, achieved %.1f", p.AchievedMbps)
+	}
+
+	// Saturation structure (the paper's Fig 3.1 endpoints).
+	s := fig.Summarize()
+	if s.BareMax < 550 || s.BareMax > 720 {
+		t.Errorf("real-hardware max %.0f, want ≈660 (disk-limited)", s.BareMax)
+	}
+	if s.LightweightMax < 140 || s.LightweightMax > 210 {
+		t.Errorf("lightweight max %.0f, want ≈172", s.LightweightMax)
+	}
+	if s.HostedMax < 22 || s.HostedMax > 45 {
+		t.Errorf("hosted max %.0f, want ≈32", s.HostedMax)
+	}
+
+	// Headline ratios: 5.4× and 26%, with tolerance for run-length noise.
+	if s.LightweightOverHosted < 4.3 || s.LightweightOverHosted > 6.5 {
+		t.Errorf("LW/hosted = %.2f, paper reports 5.4", s.LightweightOverHosted)
+	}
+	if s.LightweightOverBare < 0.20 || s.LightweightOverBare > 0.33 {
+		t.Errorf("LW/bare = %.2f, paper reports ~0.26", s.LightweightOverBare)
+	}
+
+	// The monitors must actually be *doing* something: monitor share of
+	// busy time is substantial under both VMMs at saturation.
+	if p := get(LightweightVMM, 2); p.MonitorShare < 0.3 {
+		t.Errorf("LW monitor share %.2f at saturation", p.MonitorShare)
+	}
+	if p := get(HostedVMM, 2); p.MonitorShare < 0.5 {
+		t.Errorf("hosted monitor share %.2f at saturation", p.MonitorShare)
+	}
+}
+
+func TestFig31RenderAndCSV(t *testing.T) {
+	fig := RunFig31(Options{Rates: []float64{50}, DurationTicks: 10})
+	out := fig.Render()
+	for _, want := range []string{"Figure 3.1", "real hardware", "LW VMM", "hosted VMM", "paper: 5.4x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	csv := fig.CSV()
+	if !strings.Contains(csv, "platform,offered_mbps") || strings.Count(csv, "\n") != 4 {
+		t.Errorf("csv:\n%s", csv)
+	}
+}
+
+func TestRunPointReportsGuestErrors(t *testing.T) {
+	// A segment size the loader rejects surfaces as a point error.
+	p := RunPoint(BareMetal, Options{DurationTicks: 5, SegmentBytes: 999}, 50)
+	if p.Error == "" {
+		t.Fatal("expected error for invalid segment size")
+	}
+}
+
+func TestAblationCoalesce(t *testing.T) {
+	pts := AblationCoalesce([]uint32{1, 8}, 50)
+	for _, p := range pts {
+		if p.Err != "" {
+			t.Fatalf("%s: %s", p.Label, p.Err)
+		}
+	}
+	// With ITR-style throttling in the NIC model, coalescing batches
+	// completions even when the ring never backs up, removing most
+	// per-frame monitor crossings: saturation must improve materially
+	// (EXPERIMENTS.md quantifies the sweep).
+	if pts[1].MaxMbps < pts[0].MaxMbps*1.15 {
+		t.Errorf("coalesce=8 (%.0f) should beat coalesce=1 (%.0f) by >15%%",
+			pts[1].MaxMbps, pts[0].MaxMbps)
+	}
+}
+
+// ...but at overload — when the ring backs up and coalescing actually
+// binds — it must cut the physical interrupt rate the monitor intercepts.
+func TestAblationCoalesceReducesIRQs(t *testing.T) {
+	p1 := RunPoint(LightweightVMM, Options{DurationTicks: 20, Coalesce: 1}, 900)
+	p8 := RunPoint(LightweightVMM, Options{DurationTicks: 20, Coalesce: 8}, 900)
+	if p1.Error != "" || p8.Error != "" {
+		t.Fatalf("errors: %q %q", p1.Error, p8.Error)
+	}
+	if p8.IRQIntercepts > p1.IRQIntercepts*7/10 {
+		t.Errorf("coalesce=8 intercepts %d, not well below coalesce=1's %d",
+			p8.IRQIntercepts, p1.IRQIntercepts)
+	}
+}
+
+func TestAblationSwitchCost(t *testing.T) {
+	pts := AblationSwitchCost([]float64{0.5, 1, 2}, 30)
+	for _, p := range pts {
+		if p.Err != "" {
+			t.Fatalf("%s: %s", p.Label, p.Err)
+		}
+	}
+	if !(pts[0].MaxMbps > pts[1].MaxMbps && pts[1].MaxMbps > pts[2].MaxMbps) {
+		t.Errorf("saturation should fall as switch cost rises: %.0f %.0f %.0f",
+			pts[0].MaxMbps, pts[1].MaxMbps, pts[2].MaxMbps)
+	}
+}
+
+func TestAblationSegmentSize(t *testing.T) {
+	pts := AblationSegmentSize([]uint32{256, 1024}, 30)
+	for _, p := range pts {
+		if p.Err != "" {
+			t.Fatalf("%s: %s", p.Label, p.Err)
+		}
+	}
+	// Smaller segments = more packets per megabit = more traps per
+	// megabit: lower saturation.
+	if pts[0].MaxMbps >= pts[1].MaxMbps {
+		t.Errorf("256B (%.0f) should saturate below 1024B (%.0f)",
+			pts[0].MaxMbps, pts[1].MaxMbps)
+	}
+}
+
+func TestRenderAblation(t *testing.T) {
+	out := RenderAblation("test sweep", []AblationPoint{
+		{Label: "a", MaxMbps: 100, CPULoad: 0.5},
+		{Label: "b", Err: "boom"},
+	})
+	if !strings.Contains(out, "test sweep") || !strings.Contains(out, "ERROR: boom") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+// TestDebugLatencyUnderLoad: the monitor-resident stub stops the guest
+// within tens of virtual milliseconds even at full I/O saturation — the
+// paper's "debug during high-throughput I/O" property, quantified.
+func TestDebugLatencyUnderLoad(t *testing.T) {
+	pts := DebugLatencySweep([]float64{25, 150, 700}, 40)
+	for _, p := range pts {
+		if p.Err != "" {
+			t.Fatalf("%.0f Mb/s: %s", p.OfferedMbps, p.Err)
+		}
+		// Stop latency bounded by the poll granularity plus one monitor
+		// crossing: well under 50 virtual ms even saturated.
+		if p.StopMicros > 50_000 {
+			t.Errorf("%.0f Mb/s: stop latency %.0f µs", p.OfferedMbps, p.StopMicros)
+		}
+		if p.RegsMicros > 50_000 {
+			t.Errorf("%.0f Mb/s: regs latency %.0f µs", p.OfferedMbps, p.RegsMicros)
+		}
+	}
+	// Responsiveness must not collapse with load: saturated stop latency
+	// within 100x of idle-ish latency.
+	if pts[2].StopMicros > pts[0].StopMicros*100 {
+		t.Errorf("latency collapsed under load: %.0f µs vs %.0f µs",
+			pts[2].StopMicros, pts[0].StopMicros)
+	}
+}

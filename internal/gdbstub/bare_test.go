@@ -1,0 +1,221 @@
+package gdbstub
+
+import (
+	"strings"
+	"testing"
+
+	"lvmm/internal/asm"
+	"lvmm/internal/isa"
+	"lvmm/internal/machine"
+	"lvmm/internal/rsp"
+)
+
+// Bare-metal debugging: the conventional configuration (no monitor). The
+// stub drives the machine through the BareTarget adapter, with BRK/STEP
+// claimed by the debug hooks and everything else delivered to the guest
+// architecturally.
+
+const bareKernel = `
+        .equ VTAB, 0x4000
+        .org 0x1000
+        _start:
+            li   sp, 0x9000
+            li   r1, VTAB
+            movrc vbar, r1
+            la   r2, fatal
+            li   r3, 32
+        vfill:
+            sw   r2, 0(r1)
+            addi r1, r1, 4
+            addi r3, r3, -1
+            bnez r3, vfill
+            li   r9, 0
+        loop:
+            addi r9, r9, 1
+            sw   r9, counter(zero)
+            b    loop
+        fatal:
+            b    .
+        .align 4
+        counter: .word 0
+    `
+
+func bareRig(t *testing.T) (*Stub, *BareTarget, *machine.Machine, *asm.Image, *wire) {
+	t.Helper()
+	img, err := asm.Assemble(bareKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.Config{ResetPC: img.Entry})
+	if err := m.LoadImage(img); err != nil {
+		t.Fatal(err)
+	}
+	m.CPU.Reset(img.Entry)
+	target := NewBareTarget(m)
+	w := &wire{}
+	stub := New(target, w)
+	target.OnStop(func(cause uint32) {
+		if cause == isa.CauseBRK {
+			stub.NotifyStop(5)
+		}
+	})
+	return stub, target, m, img, w
+}
+
+// driveExchange runs the machine until the stub produces a packet,
+// pumping stub.Poll between slices (as the idle hook would).
+func driveExchange(t *testing.T, s *Stub, m *machine.Machine, w *wire, payload string) string {
+	t.Helper()
+	w.toStub = append(w.toStub, rsp.Encode([]byte(payload))...)
+	var dec rsp.Decoder
+	for i := 0; i < 1000; i++ {
+		s.Poll()
+		for _, ev := range dec.Feed(w.out) {
+			if ev.Kind != 'p' {
+				continue
+			}
+			p := string(ev.Payload)
+			if len(p) == 3 && (p[0] == 'S' || p[0] == 'T') && payload != "s" && payload != "?" {
+				continue // asynchronous stop notification, not our reply
+			}
+			w.out = nil
+			return p
+		}
+		w.out = nil
+		m.Run(m.Clock() + 10_000)
+	}
+	t.Fatalf("no reply to %q", payload)
+	return ""
+}
+
+func TestBareTargetBreakpointFlow(t *testing.T) {
+	stub, target, m, img, w := bareRig(t)
+	loop := img.Symbols["loop"]
+
+	// Freeze at reset, plant a breakpoint, continue to it.
+	target.Freeze()
+	if got := driveExchange(t, stub, m, w, "Z0,"+hex(loop)+",4"); got != "OK" {
+		t.Fatalf("Z0: %q", got)
+	}
+	w.toStub = append(w.toStub, rsp.Encode([]byte("c"))...)
+	stub.Poll()
+	// Run: the guest boots and hits the breakpoint.
+	for i := 0; i < 1000 && !target.Frozen(); i++ {
+		m.Run(m.Clock() + 10_000)
+	}
+	if !target.Frozen() {
+		t.Fatal("breakpoint never hit")
+	}
+	if m.CPU.PC != loop {
+		t.Fatalf("stopped at %08x, want %08x", m.CPU.PC, loop)
+	}
+
+	// Registers through the protocol.
+	reply := driveExchange(t, stub, m, w, "g")
+	if len(reply) != NumRegs*8 {
+		t.Fatalf("g reply %d chars", len(reply))
+	}
+
+	// Step off the breakpoint: one instruction, counter loop semantics.
+	r9a := m.CPU.Regs[9]
+	if got := driveExchange(t, stub, m, w, "s"); got != "S05" {
+		t.Fatalf("s: %q", got)
+	}
+	if m.CPU.PC != loop+4 {
+		t.Fatalf("after step pc=%08x", m.CPU.PC)
+	}
+	if m.CPU.Regs[9] != r9a+1 {
+		t.Fatalf("r9 %d -> %d", r9a, m.CPU.Regs[9])
+	}
+
+	// Continue again: wraps the loop and re-hits.
+	w.toStub = append(w.toStub, rsp.Encode([]byte("c"))...)
+	stub.Poll()
+	for i := 0; i < 1000 && !target.Frozen(); i++ {
+		m.Run(m.Clock() + 10_000)
+	}
+	if m.CPU.PC != loop {
+		t.Fatalf("second hit at %08x", m.CPU.PC)
+	}
+
+	// Info names the bare platform.
+	if !strings.Contains(target.Info(), "bare metal") {
+		t.Fatalf("info: %s", target.Info())
+	}
+}
+
+func TestBareTargetMemoryAndRegisters(t *testing.T) {
+	_, target, m, _, _ := bareRig(t)
+	target.Freeze()
+	if !target.WriteReg(7, 0x1234) || target.ReadRegs()[7] != 0x1234 {
+		t.Fatal("register write/read")
+	}
+	if !target.WriteReg(16, 0x2000) || m.CPU.PC != 0x2000 {
+		t.Fatal("pc write")
+	}
+	if target.WriteReg(99, 0) {
+		t.Fatal("bad register accepted")
+	}
+	if !target.WriteMem(0x5000, []byte{9}) {
+		t.Fatal("mem write")
+	}
+	b, ok := target.ReadMem(0x5000, 1)
+	if !ok || b[0] != 9 {
+		t.Fatal("mem read")
+	}
+	if err := target.SetHWBreak(0, 0x2000, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBareTargetGuestFaultsStayArchitectural(t *testing.T) {
+	// A syscall from the guest must vector into the guest's own table,
+	// not the debug hooks: only BRK/STEP are claimed.
+	img := asm.MustAssemble(`
+        .equ VTAB, 0x4000
+        .org 0x1000
+        _start:
+            li   r1, VTAB
+            movrc vbar, r1
+            la   r2, handler
+            li   r3, 32
+        vfill:
+            sw   r2, 0(r1)
+            addi r1, r1, 4
+            addi r3, r3, -1
+            bnez r3, vfill
+            li   r1, 0x8000
+            movrc ksp, r1
+            syscall
+        handler:
+            li   r1, 0xF0
+            li   r2, 0x5C
+            out  r1, r2
+    `)
+	m := machine.New(machine.Config{ResetPC: img.Entry})
+	if err := m.LoadImage(img); err != nil {
+		t.Fatal(err)
+	}
+	m.CPU.Reset(img.Entry)
+	NewBareTarget(m)
+	if reason := m.Run(isa.ClockHz); reason != machine.StopGuestDone {
+		t.Fatalf("stop %v", reason)
+	}
+	if m.ExitCode() != 0x5C {
+		t.Fatalf("guest handler did not run: exit %#x", m.ExitCode())
+	}
+}
+
+func hex(v uint32) string {
+	const d = "0123456789abcdef"
+	out := ""
+	started := false
+	for i := 7; i >= 0; i-- {
+		n := v >> (4 * uint(i)) & 0xF
+		if n != 0 || started || i == 0 {
+			out += string(d[n])
+			started = true
+		}
+	}
+	return out
+}

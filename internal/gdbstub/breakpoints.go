@@ -1,0 +1,219 @@
+package gdbstub
+
+import (
+	"strconv"
+	"strings"
+
+	"lvmm/internal/isa"
+)
+
+// Software breakpoints patch a BRK instruction over the original word;
+// hardware breakpoints use the CPU's four debug slots. Resuming from a
+// stop at a software breakpoint swaps the original word back in, single-
+// steps across it, and re-patches — the classic sequence.
+
+// brkWord is the encoded BRK instruction.
+var brkWord = isa.EncodeR(isa.OpBRK, 0, 0, 0)
+
+func wordBytes(w uint32) []byte {
+	return []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}
+}
+
+// handleBreak services z/Z packets: [zZ]type,addr,kind.
+func (s *Stub) handleBreak(p string) {
+	parts := strings.Split(p[1:], ",")
+	if len(parts) < 2 {
+		s.send("E01")
+		return
+	}
+	addr64, err := strconv.ParseUint(parts[1], 16, 32)
+	if err != nil {
+		s.send("E01")
+		return
+	}
+	addr := uint32(addr64)
+	insert := p[0] == 'Z'
+	switch parts[0] {
+	case "0": // software
+		if insert {
+			if !s.insertSW(addr) {
+				s.send("E02")
+				return
+			}
+		} else {
+			s.removeSW(addr)
+		}
+		s.send("OK")
+	case "1": // hardware
+		if insert {
+			if !s.insertHW(addr) {
+				s.send("E02")
+				return
+			}
+		} else {
+			s.removeHW(addr)
+		}
+		s.send("OK")
+	case "2": // write watchpoint; the kind field carries the length
+		length := uint32(4)
+		if len(parts) >= 3 {
+			if n, err := strconv.ParseUint(parts[2], 16, 32); err == nil && n > 0 {
+				length = uint32(n)
+			}
+		}
+		if insert {
+			if !s.insertWatch(addr, length) {
+				s.send("E02")
+				return
+			}
+		} else {
+			s.removeWatch(addr)
+		}
+		s.send("OK")
+	default:
+		s.send("") // read/access watchpoints unsupported
+	}
+}
+
+func (s *Stub) insertWatch(addr, length uint32) bool {
+	for i := range s.wpUsed {
+		if s.wpUsed[i] && s.wpSlots[i] == addr {
+			return true
+		}
+	}
+	for i := range s.wpUsed {
+		if !s.wpUsed[i] {
+			if s.t.SetWatchpoint(i, addr, length, true) != nil {
+				return false
+			}
+			s.wpUsed[i] = true
+			s.wpSlots[i] = addr
+			s.wpLens[i] = length
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Stub) removeWatch(addr uint32) {
+	for i := range s.wpUsed {
+		if s.wpUsed[i] && s.wpSlots[i] == addr {
+			s.wpUsed[i] = false
+			_ = s.t.SetWatchpoint(i, 0, 0, false)
+		}
+	}
+}
+
+func (s *Stub) insertSW(addr uint32) bool {
+	if _, exists := s.swBreaks[addr]; exists {
+		return true
+	}
+	orig, ok := s.t.ReadMem(addr, 4)
+	if !ok || len(orig) != 4 {
+		return false
+	}
+	w := uint32(orig[0]) | uint32(orig[1])<<8 | uint32(orig[2])<<16 | uint32(orig[3])<<24
+	if !s.t.WriteMem(addr, wordBytes(brkWord)) {
+		return false
+	}
+	s.swBreaks[addr] = w
+	return true
+}
+
+func (s *Stub) removeSW(addr uint32) {
+	if orig, ok := s.swBreaks[addr]; ok {
+		s.t.WriteMem(addr, wordBytes(orig))
+		delete(s.swBreaks, addr)
+	}
+}
+
+func (s *Stub) insertHW(addr uint32) bool {
+	for i := range s.hwUsed {
+		if s.hwUsed[i] && s.hwSlots[i] == addr {
+			s.armHW(i)
+			return true
+		}
+	}
+	for i := range s.hwUsed {
+		if !s.hwUsed[i] {
+			s.hwUsed[i] = true
+			s.hwSlots[i] = addr
+			s.armHW(i)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Stub) armHW(i int) {
+	_ = s.t.SetHWBreak(i, s.hwSlots[i], true)
+}
+
+func (s *Stub) removeHW(addr uint32) {
+	for i := range s.hwUsed {
+		if s.hwUsed[i] && s.hwSlots[i] == addr {
+			s.hwUsed[i] = false
+			_ = s.t.SetHWBreak(i, 0, false)
+		}
+	}
+}
+
+func (s *Stub) clearAllBreaks() {
+	for addr := range s.swBreaks {
+		s.removeSW(addr)
+	}
+	for i := range s.hwUsed {
+		if s.hwUsed[i] {
+			s.hwUsed[i] = false
+			_ = s.t.SetHWBreak(i, 0, false)
+		}
+	}
+	for i := range s.wpUsed {
+		if s.wpUsed[i] {
+			s.wpUsed[i] = false
+			_ = s.t.SetWatchpoint(i, 0, 0, false)
+		}
+	}
+}
+
+// stepOne executes a single instruction, stepping across a software
+// breakpoint at PC if one is planted there.
+func (s *Stub) stepOne() {
+	pc := s.t.ReadRegs()[16]
+	if orig, ok := s.swBreaks[pc]; ok {
+		s.t.WriteMem(pc, wordBytes(orig))
+		s.t.Step()
+		s.t.WriteMem(pc, wordBytes(brkWord))
+		return
+	}
+	s.t.Step()
+}
+
+// resumeFromStop continues execution, handling the resume-over-breakpoint
+// case, and re-arms hardware breakpoints (the CPU disarms a slot when it
+// fires so the stop handler can make progress).
+func (s *Stub) resumeFromStop() {
+	pc := s.t.ReadRegs()[16]
+	if _, ok := s.swBreaks[pc]; ok {
+		s.stepOne()
+	} else if s.isHWBreak(pc) {
+		// Step off the (currently disarmed) hardware breakpoint before
+		// re-arming, or it would refire at the same PC immediately.
+		s.t.Step()
+	}
+	for i := range s.hwUsed {
+		if s.hwUsed[i] {
+			s.armHW(i)
+		}
+	}
+	s.t.Resume()
+}
+
+func (s *Stub) isHWBreak(pc uint32) bool {
+	for i := range s.hwUsed {
+		if s.hwUsed[i] && s.hwSlots[i] == pc {
+			return true
+		}
+	}
+	return false
+}

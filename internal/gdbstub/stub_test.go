@@ -1,0 +1,358 @@
+package gdbstub
+
+import (
+	"strings"
+	"testing"
+
+	"lvmm/internal/isa"
+	"lvmm/internal/rsp"
+)
+
+// fakeTarget is an in-memory Target for protocol-level tests.
+type fakeTarget struct {
+	regs    [NumRegs]uint32
+	mem     map[uint32]byte
+	frozen  bool
+	steps   int
+	hwAddrs [4]uint32
+	hwEn    [4]bool
+	wpAddrs [4]uint32
+	wpLens  [4]uint32
+	wpEn    [4]bool
+}
+
+func newFakeTarget() *fakeTarget {
+	return &fakeTarget{mem: map[uint32]byte{}}
+}
+
+func (f *fakeTarget) ReadRegs() [NumRegs]uint32 { return f.regs }
+func (f *fakeTarget) WriteReg(i int, v uint32) bool {
+	if i < 0 || i >= NumRegs {
+		return false
+	}
+	f.regs[i] = v
+	return true
+}
+func (f *fakeTarget) ReadMem(addr uint32, n int) ([]byte, bool) {
+	if addr >= 0xF0000000 {
+		return nil, false // unmapped region for error tests
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = f.mem[addr+uint32(i)]
+	}
+	return out, true
+}
+func (f *fakeTarget) WriteMem(addr uint32, data []byte) bool {
+	if addr >= 0xF0000000 {
+		return false
+	}
+	for i, b := range data {
+		f.mem[addr+uint32(i)] = b
+	}
+	return true
+}
+func (f *fakeTarget) Step()        { f.steps++; f.regs[16] += 4 }
+func (f *fakeTarget) Freeze()      { f.frozen = true }
+func (f *fakeTarget) Resume()      { f.frozen = false }
+func (f *fakeTarget) Frozen() bool { return f.frozen }
+func (f *fakeTarget) SetHWBreak(i int, addr uint32, en bool) error {
+	f.hwAddrs[i], f.hwEn[i] = addr, en
+	return nil
+}
+func (f *fakeTarget) SetWatchpoint(i int, addr, length uint32, en bool) error {
+	f.wpAddrs[i], f.wpLens[i], f.wpEn[i] = addr, length, en
+	return nil
+}
+func (f *fakeTarget) Info() string { return "fake target\n" }
+
+// wire is an in-memory ByteIO loop.
+type wire struct {
+	toStub []byte
+	out    []byte
+}
+
+func (w *wire) TakeByte() (byte, bool) {
+	if len(w.toStub) == 0 {
+		return 0, false
+	}
+	b := w.toStub[0]
+	w.toStub = w.toStub[1:]
+	return b, true
+}
+func (w *wire) SendByte(b byte) { w.out = append(w.out, b) }
+
+// exchange sends a command packet and returns the stub's reply payload.
+func exchange(t *testing.T, s *Stub, w *wire, payload string) string {
+	t.Helper()
+	w.toStub = append(w.toStub, rsp.Encode([]byte(payload))...)
+	s.Poll()
+	var dec rsp.Decoder
+	for _, ev := range dec.Feed(w.out) {
+		if ev.Kind == 'p' {
+			w.out = nil
+			return string(ev.Payload)
+		}
+	}
+	w.out = nil
+	return ""
+}
+
+func newStubRig() (*Stub, *fakeTarget, *wire) {
+	ft := newFakeTarget()
+	w := &wire{}
+	return New(ft, w), ft, w
+}
+
+func TestQSupported(t *testing.T) {
+	s, _, w := newStubRig()
+	reply := exchange(t, s, w, "qSupported")
+	if !strings.Contains(reply, "PacketSize") {
+		t.Fatalf("reply %q", reply)
+	}
+}
+
+func TestRegisterPackets(t *testing.T) {
+	s, ft, w := newStubRig()
+	ft.regs[3] = 0xAABBCCDD
+	ft.regs[16] = 0x1000
+	reply := exchange(t, s, w, "g")
+	if len(reply) != NumRegs*8 {
+		t.Fatalf("g reply length %d", len(reply))
+	}
+	if reply[3*8:4*8] != "ddccbbaa" {
+		t.Fatalf("r3 hex %q", reply[3*8:4*8])
+	}
+	// Single register read/write.
+	if got := exchange(t, s, w, "p10"); got != "00100000" { // reg 16 = pc
+		t.Fatalf("p10 %q", got)
+	}
+	if got := exchange(t, s, w, "P5="+rsp.Word32(0x1234)); got != "OK" {
+		t.Fatalf("P %q", got)
+	}
+	if ft.regs[5] != 0x1234 {
+		t.Fatal("write reg had no effect")
+	}
+	if got := exchange(t, s, w, "p99"); got != "E01" {
+		t.Fatalf("bad reg index: %q", got)
+	}
+}
+
+func TestWholeRegisterFileWrite(t *testing.T) {
+	s, ft, w := newStubRig()
+	var payload strings.Builder
+	for i := 0; i < NumRegs; i++ {
+		payload.WriteString(rsp.Word32(uint32(i * 17)))
+	}
+	if got := exchange(t, s, w, "G"+payload.String()); got != "OK" {
+		t.Fatalf("G %q", got)
+	}
+	if ft.regs[7] != 7*17 {
+		t.Fatal("G write missed")
+	}
+	if got := exchange(t, s, w, "Gdead"); got != "E01" {
+		t.Fatalf("short G %q", got)
+	}
+}
+
+func TestMemoryPackets(t *testing.T) {
+	s, ft, w := newStubRig()
+	if got := exchange(t, s, w, "M100,4:01020304"); got != "OK" {
+		t.Fatalf("M %q", got)
+	}
+	if ft.mem[0x100] != 1 || ft.mem[0x103] != 4 {
+		t.Fatal("memory write missed")
+	}
+	if got := exchange(t, s, w, "m100,4"); got != "01020304" {
+		t.Fatalf("m %q", got)
+	}
+	if got := exchange(t, s, w, "mF0000000,4"); got != "E02" {
+		t.Fatalf("unmapped read: %q", got)
+	}
+	if got := exchange(t, s, w, "m100"); got != "E01" {
+		t.Fatalf("malformed m: %q", got)
+	}
+	if got := exchange(t, s, w, "MF0000000,1:00"); got != "E02" {
+		t.Fatalf("unmapped write: %q", got)
+	}
+}
+
+func TestSoftwareBreakpointPatchesBRK(t *testing.T) {
+	s, ft, w := newStubRig()
+	// Plant a recognisable instruction.
+	orig := isa.EncodeR(isa.OpADD, 1, 2, 3)
+	ft.WriteMem(0x400, wordBytes(orig))
+	if got := exchange(t, s, w, "Z0,400,4"); got != "OK" {
+		t.Fatalf("Z0 %q", got)
+	}
+	patched, _ := ft.ReadMem(0x400, 4)
+	if isa.Opcode(uint32(patched[0])|uint32(patched[1])<<8|uint32(patched[2])<<16|uint32(patched[3])<<24) != isa.OpBRK {
+		t.Fatal("BRK not patched in")
+	}
+	if got := exchange(t, s, w, "z0,400,4"); got != "OK" {
+		t.Fatalf("z0 %q", got)
+	}
+	restored, _ := ft.ReadMem(0x400, 4)
+	if string(restored) != string(wordBytes(orig)) {
+		t.Fatal("original instruction not restored")
+	}
+}
+
+func TestStepOverSoftwareBreakpoint(t *testing.T) {
+	s, ft, w := newStubRig()
+	orig := isa.EncodeR(isa.OpADD, 1, 2, 3)
+	ft.WriteMem(0x400, wordBytes(orig))
+	exchange(t, s, w, "Z0,400,4")
+	ft.regs[16] = 0x400
+	if got := exchange(t, s, w, "s"); got != "S05" {
+		t.Fatalf("s %q", got)
+	}
+	if ft.steps != 1 {
+		t.Fatalf("steps %d", ft.steps)
+	}
+	// Breakpoint re-patched after the step.
+	patched, _ := ft.ReadMem(0x400, 4)
+	w32 := uint32(patched[0]) | uint32(patched[1])<<8 | uint32(patched[2])<<16 | uint32(patched[3])<<24
+	if isa.Opcode(w32) != isa.OpBRK {
+		t.Fatal("breakpoint lost after step")
+	}
+}
+
+func TestHardwareBreakpointSlots(t *testing.T) {
+	s, ft, w := newStubRig()
+	for i, addr := range []string{"1000", "2000", "3000", "4000"} {
+		if got := exchange(t, s, w, "Z1,"+addr+",4"); got != "OK" {
+			t.Fatalf("Z1 slot %d: %q", i, got)
+		}
+	}
+	if got := exchange(t, s, w, "Z1,5000,4"); got != "E02" {
+		t.Fatalf("fifth hw breakpoint: %q", got)
+	}
+	if got := exchange(t, s, w, "z1,2000,4"); got != "OK" {
+		t.Fatalf("z1 %q", got)
+	}
+	if got := exchange(t, s, w, "Z1,5000,4"); got != "OK" {
+		t.Fatalf("slot not reusable: %q", got)
+	}
+	if !ft.hwEn[1] || ft.hwAddrs[1] != 0x5000 {
+		t.Fatalf("slot state %v %x", ft.hwEn, ft.hwAddrs)
+	}
+}
+
+func TestInterruptFreezes(t *testing.T) {
+	s, ft, w := newStubRig()
+	w.toStub = append(w.toStub, rsp.InterruptByte)
+	s.Poll()
+	if !ft.frozen {
+		t.Fatal("not frozen on ^C")
+	}
+	var dec rsp.Decoder
+	evs := dec.Feed(w.out)
+	found := false
+	for _, ev := range evs {
+		if ev.Kind == 'p' && string(ev.Payload) == "S02" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no SIGINT stop packet in %q", w.out)
+	}
+}
+
+func TestContinueResumesAndClearsState(t *testing.T) {
+	s, ft, w := newStubRig()
+	ft.Freeze()
+	w.toStub = append(w.toStub, rsp.Encode([]byte("c"))...)
+	s.Poll()
+	if ft.frozen {
+		t.Fatal("continue did not resume")
+	}
+}
+
+func TestDetachClearsBreakpoints(t *testing.T) {
+	s, ft, w := newStubRig()
+	orig := isa.EncodeR(isa.OpADD, 1, 2, 3)
+	ft.WriteMem(0x400, wordBytes(orig))
+	exchange(t, s, w, "Z0,400,4")
+	exchange(t, s, w, "Z1,800,4")
+	if got := exchange(t, s, w, "D"); got != "OK" {
+		t.Fatalf("D %q", got)
+	}
+	restored, _ := ft.ReadMem(0x400, 4)
+	if string(restored) != string(wordBytes(orig)) {
+		t.Fatal("sw breakpoint not removed on detach")
+	}
+	if ft.hwEn[0] {
+		t.Fatal("hw breakpoint not removed on detach")
+	}
+	if ft.frozen {
+		t.Fatal("target not resumed on detach")
+	}
+}
+
+func TestMonitorCommands(t *testing.T) {
+	s, _, w := newStubRig()
+	out := exchange(t, s, w, "qRcmd,"+rsp.HexEncode([]byte("info")))
+	dec, err := rsp.HexDecode(out)
+	if err != nil || !strings.Contains(string(dec), "fake target") {
+		t.Fatalf("info: %q err %v", dec, err)
+	}
+	out = exchange(t, s, w, "qRcmd,"+rsp.HexEncode([]byte("bogus")))
+	dec, _ = rsp.HexDecode(out)
+	if !strings.Contains(string(dec), "unknown monitor command") {
+		t.Fatalf("bogus: %q", dec)
+	}
+}
+
+func TestUnknownPacketsGetEmptyReply(t *testing.T) {
+	s, _, w := newStubRig()
+	if got := exchange(t, s, w, "vMustReplyEmpty"); got != "" {
+		t.Fatalf("unknown packet reply %q", got)
+	}
+	if got := exchange(t, s, w, "qC"); got != "QC0" {
+		t.Fatalf("qC %q", got)
+	}
+	if got := exchange(t, s, w, "H g0"); got != "OK" {
+		t.Fatalf("H %q", got)
+	}
+}
+
+func TestGuestResidentCanaryLifecycle(t *testing.T) {
+	ft := newFakeTarget()
+	w := &wire{}
+	s := NewGuestResident(ft, w, 0x700)
+	if s.Dead() {
+		t.Fatal("dead at birth")
+	}
+	if got := exchange(t, s, w, "qSupported"); got == "" {
+		t.Fatal("healthy stub did not reply")
+	}
+	// Corrupt the canary: the stub goes silent.
+	ft.WriteMem(0x700, []byte{0, 0, 0, 0})
+	w.toStub = append(w.toStub, rsp.Encode([]byte("g"))...)
+	s.Poll()
+	if len(w.out) != 0 {
+		t.Fatalf("dead stub replied: %q", w.out)
+	}
+	if !s.Dead() {
+		t.Fatal("stub does not know it is dead")
+	}
+	// NotifyStop from a dead stub is also silent.
+	s.NotifyStop(5)
+	if len(w.out) != 0 {
+		t.Fatal("dead stub sent a stop packet")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	s, _, w := newStubRig()
+	exchange(t, s, w, "g")
+	exchange(t, s, w, "?")
+	if s.PacketsHandled != 2 {
+		t.Fatalf("packets %d", s.PacketsHandled)
+	}
+	s.NotifyStop(5)
+	if s.StopsSent != 1 {
+		t.Fatalf("stops %d", s.StopsSent)
+	}
+}

@@ -1,0 +1,231 @@
+package guest
+
+import (
+	"testing"
+
+	"lvmm/internal/isa"
+	"lvmm/internal/machine"
+	"lvmm/internal/netsim"
+)
+
+// runBare prepares and runs the streaming kernel on bare metal, returning
+// the machine, the validating receiver, the guest's results, and the
+// virtual clock at the moment the guest finished (the rate window).
+func runBare(t *testing.T, p Params) (*machine.Machine, *netsim.Receiver, Results, uint64) {
+	t.Helper()
+	recv := netsim.NewReceiver()
+	m := machine.NewStreaming(p.BlockBytes, recv, KernelBase)
+	entry, err := Prepare(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.CPU.Reset(entry)
+	reason := m.Run(uint64(p.DurationTicks+200) * isa.ClockHz / uint64(p.TickHz))
+	if reason != machine.StopGuestDone {
+		t.Fatalf("stop: %v (pc=%08x, cause ctr=%v, console=%q)",
+			reason, m.CPU.PC, m.GuestCounters, m.Console.String())
+	}
+	res := ReadResults(m)
+	if res.ExitCode == 0xDD {
+		t.Fatalf("guest hit fatal trap %s at vaddr=%08x",
+			isa.CauseName(res.FatalCause), res.FatalVaddr)
+	}
+	window := m.Clock()
+	// Drain frames still in the NIC ring (the guest parks in HLT).
+	m.Run(m.Clock() + 60_000_000)
+	return m, recv, res, window
+}
+
+func TestKernelAssembles(t *testing.T) {
+	img := Kernel()
+	if img.Entry != KernelBase {
+		t.Fatalf("entry %x", img.Entry)
+	}
+	for _, sym := range []string{"send_one", "issue_disk", "tick_h", "nic_h", "vtab"} {
+		if _, ok := img.Symbols[sym]; !ok {
+			t.Errorf("symbol %s missing", sym)
+		}
+	}
+}
+
+func TestStreamingBareMetalModestRate(t *testing.T) {
+	p := DefaultParams(50) // 50 Mb/s, far below any limit
+	p.DurationTicks = 30   // 300 ms
+	m, recv, res, window := runBare(t, p)
+
+	if !recv.Clean() {
+		t.Fatalf("receiver validation failed: %s", recv.LastError())
+	}
+	if recv.Frames == 0 {
+		t.Fatal("nothing transmitted")
+	}
+	// Achieved rate within 10% of target.
+	rate := recv.RateMbps(window)
+	if rate < 45 || rate > 55 {
+		t.Fatalf("achieved %.1f Mb/s, want ~50 (segments=%d)", rate, res.SegmentsSent)
+	}
+	if res.SegmentsSent != uint32(recv.Frames) {
+		t.Fatalf("guest sent %d, receiver saw %d", res.SegmentsSent, recv.Frames)
+	}
+	// At 50 Mb/s the CPU is mostly idle on bare metal.
+	if m.CPULoad() > 0.25 {
+		t.Fatalf("load %.2f at 50 Mb/s bare metal", m.CPULoad())
+	}
+}
+
+func TestStreamingDataIntegrityAcrossDisks(t *testing.T) {
+	// Long enough that all three disks contribute several blocks each:
+	// any striping or volume-offset bug breaks the receiver's pattern or
+	// sequence checks.
+	p := DefaultParams(400)
+	p.DurationTicks = 60 // 0.6 s at 400 Mb/s = 30 MB ≈ 14 blocks
+	_, recv, _, _ := runBare(t, p)
+	if !recv.Clean() {
+		t.Fatalf("receiver: %s", recv.LastError())
+	}
+	if recv.PayloadBytes < 20<<20 {
+		t.Fatalf("only %d payload bytes", recv.PayloadBytes)
+	}
+}
+
+func TestStreamingWithoutChecksumOffload(t *testing.T) {
+	p := DefaultParams(30)
+	p.CsumOffload = false
+	p.DurationTicks = 20
+	_, recv, _, _ := runBare(t, p)
+	if !recv.Clean() {
+		t.Fatalf("software-checksum stream invalid: %s", recv.LastError())
+	}
+	// All frames carried a real (nonzero) UDP checksum: the receiver
+	// counts bad ones; zero bad + clean means they all verified.
+	if recv.ChecksumBad != 0 {
+		t.Fatalf("%d bad checksums", recv.ChecksumBad)
+	}
+}
+
+func TestStreamingWithoutPaging(t *testing.T) {
+	p := DefaultParams(50)
+	p.UsePaging = false
+	p.DurationTicks = 20
+	_, recv, _, _ := runBare(t, p)
+	if !recv.Clean() {
+		t.Fatalf("receiver: %s", recv.LastError())
+	}
+}
+
+// TestStreamingSmallSegmentsAtSaturation is the regression test for a
+// segment-queue overflow: with 512-byte segments a block contributes 4096
+// queue entries, and three concurrent disk completions must still fit.
+func TestStreamingSmallSegmentsAtSaturation(t *testing.T) {
+	p := DefaultParams(900) // overload: maximum queue pressure
+	p.SegmentBytes = 512
+	p.DurationTicks = 60
+	_, recv, _, _ := runBare(t, p)
+	if !recv.Clean() {
+		t.Fatalf("receiver: %s", recv.LastError())
+	}
+}
+
+func TestStreamingDiskLimited(t *testing.T) {
+	// Offered far beyond the three disks' 660 Mb/s aggregate: achieved
+	// rate must cap at the media rate, not the offered rate.
+	p := DefaultParams(900)
+	p.DurationTicks = 50
+	_, recv, _, window := runBare(t, p)
+	if !recv.Clean() {
+		t.Fatalf("receiver: %s", recv.LastError())
+	}
+	rate := recv.RateMbps(window)
+	if rate > 700 {
+		t.Fatalf("achieved %.0f Mb/s exceeds disk aggregate", rate)
+	}
+	if rate < 500 {
+		t.Fatalf("achieved %.0f Mb/s, expected near the ~660 Mb/s disk limit", rate)
+	}
+}
+
+func TestPacingAccuracyAcrossRates(t *testing.T) {
+	for _, target := range []float64{25, 100, 300} {
+		p := DefaultParams(target)
+		p.DurationTicks = 25
+		_, recv, _, window := runBare(t, p)
+		if !recv.Clean() {
+			t.Fatalf("rate %v: %s", target, recv.LastError())
+		}
+		rate := recv.RateMbps(window)
+		if rate < target*0.85 || rate > target*1.1 {
+			t.Errorf("target %.0f: achieved %.1f Mb/s", target, rate)
+		}
+	}
+}
+
+func TestPrepareRejectsBadParams(t *testing.T) {
+	m := machine.NewStreaming(2<<20, nil, KernelBase)
+	p := DefaultParams(100)
+	p.SegmentBytes = 1000 // not a power of two
+	if _, err := Prepare(m, p); err == nil {
+		t.Error("non-power-of-two segment accepted")
+	}
+	p = DefaultParams(100)
+	p.SegmentBytes = 4096 // exceeds MTU-ish bound
+	if _, err := Prepare(m, p); err == nil {
+		t.Error("oversized segment accepted")
+	}
+	p = DefaultParams(100)
+	p.BlockBytes = 3 << 20
+	if _, err := Prepare(m, p); err == nil {
+		t.Error("non-power-of-two block accepted")
+	}
+}
+
+func TestBuildPageTablesShape(t *testing.T) {
+	m := machine.NewStreaming(2<<20, nil, KernelBase)
+	pd, err := BuildPageTables(m, DefaultMemTop, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func(a uint32) uint32 { v, _ := m.Bus.Read32(a); return v }
+	// Kernel page: supervisor RW.
+	pde := read(pd + (KernelBase>>22)*4)
+	pte := read(pde&^uint32(isa.PageMask) + (KernelBase>>12&0x3FF)*4)
+	if pte&isa.PTEPresent == 0 || pte&isa.PTEWritable == 0 || pte&isa.PTEUser != 0 {
+		t.Fatalf("kernel PTE %08x", pte)
+	}
+	// Page-table page: read-only.
+	pde = read(pd + (PageTableBase>>22)*4)
+	pte = read(pde&^uint32(isa.PageMask) + (PageTableBase>>12&0x3FF)*4)
+	if pte&isa.PTEWritable != 0 {
+		t.Fatalf("page-table page writable: %08x", pte)
+	}
+	// App page: user.
+	pde = read(pd + (AppBase>>22)*4)
+	pte = read(pde&^uint32(isa.PageMask) + (AppBase>>12&0x3FF)*4)
+	if pte&isa.PTEUser == 0 {
+		t.Fatalf("app PTE %08x", pte)
+	}
+	// Above memTop: unmapped.
+	pde = read(pd + (DefaultMemTop>>22)*4)
+	if pde&isa.PTEPresent != 0 {
+		pte = read(pde&^uint32(isa.PageMask) + (DefaultMemTop>>12&0x3FF)*4)
+		if pte&isa.PTEPresent != 0 {
+			t.Fatal("monitor region mapped")
+		}
+	}
+}
+
+func TestProtectHelpers(t *testing.T) {
+	for s := uint32(1); s <= 6; s++ {
+		if ProtectScenarioName(s) == "" {
+			t.Fatalf("scenario %d unnamed", s)
+		}
+	}
+	if ProtectScenarioName(99) != "scenario 99" {
+		t.Fatal("fallback name wrong")
+	}
+	if ProtectKernel().Entry != KernelBase {
+		t.Fatal("protect kernel entry")
+	}
+	if ProtectApp().Entry != AppBase {
+		t.Fatal("protect app entry")
+	}
+}

@@ -1,0 +1,577 @@
+// Package guest contains the HiTactix-stand-in guest operating system: a
+// small real-time kernel written in HX32 assembly that runs identically on
+// bare metal, on the lightweight VMM, and on the hosted full-emulation VMM
+// — the paper's "easily customized to new OSs" property is demonstrated by
+// the monitor never needing to know anything about this code.
+//
+// The streaming kernel implements the paper's evaluation workload (§3):
+// read fixed-size blocks from three SCSI disks at a constant paced rate,
+// split them into segments, and transmit each segment as a UDP datagram
+// over gigabit Ethernet. Pacing is tick-driven (PIT); disk and NIC are
+// fully interrupt-driven with double-buffered reads and a descriptor-ring
+// transmit path.
+package guest
+
+// StreamKernelSource is the streaming kernel. Boot parameters are read
+// from the boot-info page the loader prepares (see loader.go for layout).
+//
+// Register conventions: handlers may clobber r3-r13 (the main loop uses
+// only r1/r2 across HLT); r1/r2/lr are saved by every handler. MOVS
+// operands are fixed by the ISA: r1=dst, r2=src, r3=len.
+const StreamKernelSource = `
+; ---------------------------------------------------------------- layout
+.equ BOOTINFO, 0x800
+.equ HDRTMPL,  0x900            ; 42-byte Ethernet+IP+UDP header template
+.equ KSTACK,   0x80000          ; kernel stack top
+.equ SEGQ,     0x200000         ; segment queue: 8-byte entries
+.equ SEGQ_CAP, 65536            ; entries (power of two)
+.equ FRAMEBUF, 0x300000         ; NTX frame buffers, 2 KB each
+.equ TXRING,   0x400000         ; NIC descriptor ring
+.equ NTX,      128              ; ring entries (power of two)
+.equ DISKBUF,  0x1000000        ; 3 disks x 2 blocks, double buffered
+
+; boot-info fields
+.equ BI_MEMTOP, BOOTINFO+4
+.equ BI_TICKHZ, BOOTINFO+8
+.equ BI_BPT,    BOOTINFO+12     ; pacing budget per tick (bytes)
+.equ BI_SEG,    BOOTINFO+16     ; segment (UDP payload) bytes
+.equ BI_BLK,    BOOTINFO+20     ; disk block bytes
+.equ BI_DISKS,  BOOTINFO+24
+.equ BI_DUR,    BOOTINFO+28     ; run length in ticks
+.equ BI_FLAGS,  BOOTINFO+32     ; bit0: NIC checksum offload available
+.equ BI_COAL,   BOOTINFO+36     ; NIC interrupt coalescing factor
+.equ BI_PTBR,   BOOTINFO+40     ; page-table root | 1, or 0 = run unpaged
+.equ BI_APP,    BOOTINFO+44
+.equ BI_PSEUDO, BOOTINFO+48     ; UDP pseudo-header partial sum (LE pairs)
+.equ BI_SEGSH,  BOOTINFO+52     ; log2(segment bytes)
+.equ BI_BLKSH,  BOOTINFO+56     ; log2(block bytes)
+.equ BI_PITDIV, BOOTINFO+60     ; PIT divisor for the tick rate
+
+; ports
+.equ PIC_CMD,  0x20
+.equ PIC_MASK, 0x21
+.equ PIT_CTRL, 0x40
+.equ PIT_DIV,  0x41
+.equ NIC_CTRL, 0xC00
+.equ NIC_BASE, 0xC01
+.equ NIC_CNT,  0xC02
+.equ NIC_TAIL, 0xC03
+.equ NIC_ICR,  0xC05
+.equ NIC_COAL, 0xC06
+.equ SIM_DONE, 0xF0
+.equ SIM_CTR,  0xF1
+
+.equ EOI, 0x20
+
+; ------------------------------------------------------------------ boot
+.org 0x1000
+_start:
+    li   sp, KSTACK
+    la   r1, vtab
+    movrc vbar, r1
+    li   r1, KSTACK
+    movrc ksp, r1
+
+    ; all vectors -> fatal, then install the real handlers
+    la   r1, vtab
+    la   r2, fatal
+    li   r3, 32
+vfill:
+    sw   r2, 0(r1)
+    addi r1, r1, 4
+    addi r3, r3, -1
+    bnez r3, vfill
+    la   r2, tick_h
+    sw   r2, vtab+64(zero)       ; vector 16+0: PIT
+    la   r2, nic_h
+    sw   r2, vtab+84(zero)       ; vector 16+5: NIC
+    la   r2, scsi0_h
+    sw   r2, vtab+100(zero)      ; vector 16+9
+    la   r2, scsi1_h
+    sw   r2, vtab+104(zero)      ; vector 16+10
+    la   r2, scsi2_h
+    sw   r2, vtab+108(zero)      ; vector 16+11
+
+    ; enable paging if the loader built tables
+    lw   r1, BI_PTBR(zero)
+    beqz r1, nopaging
+    movrc ptbr, r1
+nopaging:
+
+    ; unmask PIT(0), NIC(5), SCSI(9,10,11)
+    li   r1, PIC_MASK
+    li   r2, 0xF1DE
+    out  r1, r2
+
+    ; NIC bring-up
+    li   r1, NIC_BASE
+    li   r2, TXRING
+    out  r1, r2
+    li   r1, NIC_CNT
+    li   r2, NTX
+    out  r1, r2
+    li   r1, NIC_COAL
+    lw   r2, BI_COAL(zero)
+    out  r1, r2
+    li   r1, NIC_CTRL
+    li   r2, 1
+    out  r1, r2
+
+    ; transmit bookkeeping
+    li   r1, NTX-1
+    sw   r1, tx_free(zero)
+
+    ; disks: volume offsets striped, start the first reads
+    ; (d_free is statically initialized to "both halves free")
+    li   r4, 0
+dinit2:
+    ; d_nextvol[i] = i << blkshift
+    lw   r6, BI_BLKSH(zero)
+    shl  r7, r4, r6
+    shli r5, r4, 2
+    addi r8, r5, d_nextvol
+    sw   r7, 0(r8)
+    call issue_disk
+    addi r4, r4, 1
+    li   r6, 3
+    blt  r4, r6, dinit2
+
+    ; PIT tick
+    li   r1, PIT_DIV
+    lw   r2, BI_PITDIV(zero)
+    out  r1, r2
+    li   r1, PIT_CTRL
+    li   r2, 1
+    out  r1, r2
+
+    sti
+; The transmit path runs in the main loop (bottom half), one segment per
+; interrupt-lock critical section — the classic RT-kernel discipline.
+; On bare metal CLI/STI are single-cycle; under a monitor each is a trap,
+; which is precisely the per-packet virtualization overhead the paper's
+; Figure 3.1 measures.
+main_loop:
+    cli
+    lw   r5, qhead(zero)
+    lw   r6, qtail(zero)
+    beq  r5, r6, idle            ; nothing queued
+    lw   r7, tx_free(zero)
+    beqz r7, idle                ; ring full
+    lw   r8, budget(zero)
+    lw   r9, BI_SEG(zero)
+    bltu r8, r9, idle            ; paced out for this tick
+    call send_one                ; still holding the interrupt lock
+    sti
+    b    main_loop
+idle:
+    sti
+    hlt
+    b    main_loop
+
+; any unexpected trap: report the cause and stop with exit code 0xDD
+fatal:
+    movcr r10, cause
+    li   r1, SIM_CTR+6
+    out  r1, r10
+    movcr r10, vaddr
+    li   r1, SIM_CTR+7
+    out  r1, r10
+    li   r1, SIM_DONE
+    li   r2, 0xDD
+    out  r1, r2
+    b    .
+
+; ------------------------------------------------------------- tick IRQ
+tick_h:
+    push r1
+    push r2
+    push r3
+    push lr
+    ; budget += bytes-per-tick, capped
+    lw   r1, budget(zero)
+    lw   r2, BI_BPT(zero)
+    add  r1, r1, r2
+    li   r2, 0x4000000
+    bltu r1, r2, tick_nocap
+    mov  r1, r2
+tick_nocap:
+    sw   r1, budget(zero)
+    ; ticks++; done when the run length is reached
+    lw   r1, ticks(zero)
+    addi r1, r1, 1
+    sw   r1, ticks(zero)
+    lw   r2, BI_DUR(zero)
+    bltu r1, r2, tick_more
+    ; run complete: mask all interrupts, report, park. Reporting from the
+    ; tick handler keeps working even when the CPU is saturated and the
+    ; main loop starves.
+    li   r1, PIC_MASK
+    li   r2, 0xFFFF
+    out  r1, r2
+    li   r1, SIM_CTR+0
+    lw   r2, seq(zero)
+    out  r1, r2                  ; counter0: segments sent
+    li   r1, SIM_CTR+1
+    lw   r2, ticks(zero)
+    out  r1, r2                  ; counter1: ticks elapsed
+    li   r1, SIM_CTR+2
+    lw   r2, qtail(zero)
+    lw   r3, qhead(zero)
+    sub  r2, r2, r3
+    out  r1, r2                  ; counter2: queue backlog at stop
+    li   r1, SIM_CTR+3
+    lw   r2, budget(zero)
+    out  r1, r2                  ; counter3: unspent budget (bytes)
+    li   r1, SIM_DONE
+    out  r1, zero
+park:
+    hlt                          ; idle if the harness resumes to drain
+    b    park
+tick_more:
+    ; retry any disk reads that were skipped under backpressure
+    li   r4, 0
+tick_disks:
+    call issue_disk
+    addi r4, r4, 1
+    li   r1, 3
+    blt  r4, r1, tick_disks
+    li   r1, PIC_CMD
+    li   r2, EOI
+    out  r1, r2
+    pop  lr
+    pop  r3
+    pop  r2
+    pop  r1
+    iret
+
+; ----------------------------------------------------- SCSI completion
+scsi0_h:
+    push r1
+    push r2
+    push lr
+    li   r4, 0
+    b    scsi_common
+scsi1_h:
+    push r1
+    push r2
+    push lr
+    li   r4, 1
+    b    scsi_common
+scsi2_h:
+    push r1
+    push r2
+    push lr
+    li   r4, 2
+    b    scsi_common
+
+; r4 = disk index. Acknowledge the HBA, enqueue the finished block's
+; segments, start the next read into the other half of the double buffer.
+scsi_common:
+    ; ack: OUT (0x300 + disk*16 + 5), 0
+    shli r1, r4, 4
+    addi r1, r1, 0x305
+    out  r1, zero
+
+    ; bufaddr = DISKBUF + ((disk*2 + curbuf) << blkshift)
+    shli r5, r4, 2
+    addi r6, r5, d_curbuf
+    lw   r6, 0(r6)
+    shli r7, r4, 1
+    add  r7, r7, r6
+    lw   r8, BI_BLKSH(zero)
+    shl  r7, r7, r8
+    li   r8, DISKBUF
+    add  r7, r7, r8              ; r7 = buffer base
+    addi r6, r5, d_curvol
+    lw   r6, 0(r6)               ; r6 = volume offset of block
+
+    ; enqueue every segment of the block
+    lw   r9, BI_BLK(zero)        ; block bytes
+    li   r8, 0                   ; offset
+enq_loop:
+    lw   r10, qtail(zero)
+    andi r11, r10, SEGQ_CAP-1
+    shli r11, r11, 3
+    li   r12, SEGQ
+    add  r12, r12, r11
+    add  r13, r7, r8
+    sw   r13, 0(r12)             ; segment address
+    add  r13, r6, r8
+    sw   r13, 4(r12)             ; volume offset
+    addi r10, r10, 1
+    sw   r10, qtail(zero)
+    lw   r13, BI_SEG(zero)
+    add  r8, r8, r13
+    bltu r8, r9, enq_loop
+
+    ; transfer no longer pending; start the next one if a buffer is free
+    shli r5, r4, 2
+    addi r5, r5, d_pending
+    sw   zero, 0(r5)
+    call issue_disk
+
+    li   r1, PIC_CMD
+    li   r2, EOI
+    out  r1, r2
+    pop  lr
+    pop  r2
+    pop  r1
+    iret
+
+; ------------------------------------------------- NIC transmit-complete
+nic_h:
+    push r1
+    push r2
+    push lr
+    li   r1, NIC_ICR
+    in   r2, r1                  ; read-to-clear
+reap_loop:
+    lw   r5, reap_idx(zero)
+    lw   r6, prod_idx(zero)
+    beq  r5, r6, reap_done
+    andi r7, r5, NTX-1
+    shli r7, r7, 4
+    li   r8, TXRING
+    add  r8, r8, r7
+    lw   r9, 12(r8)              ; descriptor status
+    andi r9, r9, 1
+    beqz r9, reap_done
+    sw   zero, 12(r8)
+    addi r5, r5, 1
+    sw   r5, reap_idx(zero)
+    lw   r9, tx_free(zero)
+    addi r9, r9, 1
+    sw   r9, tx_free(zero)
+    b    reap_loop
+reap_done:
+    li   r1, PIC_CMD
+    li   r2, EOI
+    out  r1, r2
+    pop  lr
+    pop  r2
+    pop  r1
+    iret
+
+; ------------------------------------------------------------ issue_disk
+; r4 = disk. Starts a block read into a free half of the double buffer.
+; Preserves r4; clobbers r5-r13.
+issue_disk:
+    shli r5, r4, 2
+    addi r6, r5, d_pending
+    lw   r7, 0(r6)
+    bnez r7, issue_ret           ; already busy
+    ; backpressure: skip unless the queue has room for four more blocks
+    ; (this one plus up to three already in flight on the other HBAs);
+    ; retried from the tick handler
+    lw   r7, qtail(zero)
+    lw   r9, qhead(zero)
+    sub  r7, r7, r9
+    lw   r9, BI_BLK(zero)
+    lw   r13, BI_SEGSH(zero)
+    shr  r9, r9, r13
+    shli r9, r9, 2
+    add  r7, r7, r9
+    li   r9, SEGQ_CAP-64
+    bgtu r7, r9, issue_ret
+    addi r8, r5, d_free
+    lw   r9, 0(r8)
+    beqz r9, issue_ret           ; no free buffer
+    ; pick a half: prefer half 0
+    andi r10, r9, 1
+    bnez r10, issue_half0
+    li   r10, 1                  ; half 1
+    andi r9, r9, 1
+    b    issue_picked
+issue_half0:
+    li   r10, 0
+    andi r9, r9, 2
+issue_picked:
+    sw   r9, 0(r8)               ; d_free
+    addi r11, r5, d_curbuf
+    sw   r10, 0(r11)
+    ; d_curvol = d_nextvol; d_nextvol += 3*block
+    addi r11, r5, d_nextvol
+    lw   r12, 0(r11)
+    addi r13, r5, d_curvol
+    sw   r12, 0(r13)
+    lw   r13, BI_BLKSH(zero)
+    li   r9, 3
+    shl  r9, r9, r13
+    add  r9, r12, r9
+    sw   r9, 0(r11)
+    ; program the HBA: base = 0x300 + disk*16
+    shli r11, r4, 4
+    addi r11, r11, 0x300
+    ; LBA = d_lba; d_lba += block/512
+    addi r9, r5, d_lba
+    lw   r12, 0(r9)
+    addi r13, r11, 1
+    out  r13, r12                ; LBA register
+    lw   r13, BI_BLK(zero)
+    shri r13, r13, 9
+    add  r12, r12, r13
+    sw   r12, 0(r9)
+    ; COUNT = block
+    lw   r12, BI_BLK(zero)
+    addi r13, r11, 2
+    out  r13, r12
+    ; DMA = DISKBUF + ((disk*2 + half) << blkshift)
+    shli r12, r4, 1
+    add  r12, r12, r10
+    lw   r13, BI_BLKSH(zero)
+    shl  r12, r12, r13
+    li   r13, DISKBUF
+    add  r12, r12, r13
+    addi r13, r11, 3
+    out  r13, r12
+    ; CMD = read
+    li   r12, 1
+    out  r11, r12
+    ; pending
+    addi r9, r5, d_pending
+    li   r12, 1
+    sw   r12, 0(r9)
+issue_ret:
+    ret
+
+; -------------------------------------------------------------- send_one
+; Transmit exactly one queued segment. Called from the main loop with
+; interrupts locked and availability already checked (r5=qhead, r8=budget,
+; r9=segment bytes live from the caller's checks). Clobbers r1-r13.
+send_one:
+    push lr
+    ; dequeue
+    andi r10, r5, SEGQ_CAP-1
+    shli r10, r10, 3
+    li   r11, SEGQ
+    add  r11, r11, r10
+    lw   r12, 0(r11)             ; segment address
+    lw   r13, 4(r11)             ; volume offset
+    addi r5, r5, 1
+    sw   r5, qhead(zero)
+    sub  r8, r8, r9
+    sw   r8, budget(zero)
+
+    ; frame buffer for this descriptor slot
+    lw   r5, prod_idx(zero)
+    andi r6, r5, NTX-1
+    shli r7, r6, 11              ; x2048
+    li   r1, FRAMEBUF
+    add  r1, r1, r7              ; MOVS dst
+    li   r2, HDRTMPL
+    li   r3, 42
+    movs                         ; copy headers; r1 advances to payload
+    mov  r2, r12
+    lw   r3, BI_SEG(zero)
+    movs                         ; copy payload ("split into segments")
+    li   r2, FRAMEBUF
+    add  r7, r2, r7              ; r7 = frame base
+
+    ; stamp sequence number and volume offset into the payload head
+    ; (halfword stores: the payload begins at +42, which is not
+    ; word-aligned)
+    lw   r2, seq(zero)
+    sh   r2, 42(r7)
+    shri r3, r2, 16
+    sh   r3, 44(r7)
+    sh   r13, 46(r7)
+    shri r3, r13, 16
+    sh   r3, 48(r7)
+    addi r2, r2, 1
+    sw   r2, seq(zero)
+
+    ; UDP checksum in software when the NIC cannot offload it
+    lw   r2, BI_FLAGS(zero)
+    andi r2, r2, 1
+    bnez r2, send_csum_done
+    lw   r3, BI_PSEUDO(zero)     ; pseudo-header partial sum (LE pairs)
+    addi r2, r7, 42
+    lw   r10, BI_SEG(zero)
+    shri r10, r10, 1
+csum_loop:
+    lhu  r11, 0(r2)
+    add  r3, r3, r11
+    addi r2, r2, 2
+    addi r10, r10, -1
+    bnez r10, csum_loop
+    shri r11, r3, 16
+    andi r3, r3, 0xFFFF
+    add  r3, r3, r11
+    shri r11, r3, 16
+    andi r3, r3, 0xFFFF
+    add  r3, r3, r11
+    xori r3, r3, 0xFFFF          ; ones'-complement; LE-summed == byte-swapped
+    bnez r3, send_csum_store
+    li   r3, 0xFFFF              ; UDP: zero checksum means "none"; send FFFF
+send_csum_store:
+    sh   r3, 40(r7)              ; stored LE == network order of true sum
+send_csum_done:
+
+    ; write the descriptor
+    shli r11, r6, 4
+    li   r10, TXRING
+    add  r10, r10, r11
+    sw   r7, 0(r10)              ; buffer
+    lw   r11, BI_SEG(zero)
+    addi r11, r11, 42
+    sw   r11, 4(r10)             ; length
+    lw   r11, BI_FLAGS(zero)
+    andi r11, r11, 1
+    shli r11, r11, 1
+    ori  r11, r11, 1             ; EOP | (csum-offload if available)
+    sw   r11, 8(r10)
+    sw   zero, 12(r10)           ; status
+
+    ; advance producer, ring the doorbell
+    addi r5, r5, 1
+    sw   r5, prod_idx(zero)
+    andi r11, r5, NTX-1
+    li   r10, NIC_TAIL
+    out  r10, r11
+    lw   r10, tx_free(zero)
+    addi r10, r10, -1
+    sw   r10, tx_free(zero)
+
+    ; if this was the block's last segment, recycle its buffer
+    li   r10, DISKBUF
+    sub  r10, r12, r10           ; offset within the disk-buffer arena
+    lw   r11, BI_BLK(zero)
+    addi r2, r11, -1
+    and  r3, r10, r2             ; offset within the block
+    lw   r2, BI_SEG(zero)
+    sub  r11, r11, r2
+    bne  r3, r11, send_done
+    lw   r2, BI_BLKSH(zero)
+    shr  r10, r10, r2            ; buffer index 0..5
+    shri r4, r10, 1              ; disk
+    andi r10, r10, 1             ; half
+    li   r2, 1
+    shl  r2, r2, r10
+    shli r3, r4, 2
+    addi r3, r3, d_free
+    lw   r11, 0(r3)
+    or   r11, r11, r2
+    sw   r11, 0(r3)
+    call issue_disk
+send_done:
+    pop  lr
+    ret
+
+; ------------------------------------------------------------------ data
+.align 4
+vtab:       .space 128
+ticks:      .word 0
+budget:     .word 0
+seq:        .word 0
+qhead:      .word 0
+qtail:      .word 0
+prod_idx:   .word 0
+reap_idx:   .word 0
+tx_free:    .word 0
+d_lba:      .word 0, 0, 0
+d_nextvol:  .word 0, 0, 0
+d_pending:  .word 0, 0, 0
+d_curbuf:   .word 0, 0, 0
+d_curvol:   .word 0, 0, 0
+d_free:     .word 3, 3, 3
+`

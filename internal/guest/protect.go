@@ -1,0 +1,289 @@
+package guest
+
+import (
+	"fmt"
+	"sync"
+
+	"lvmm/internal/asm"
+	"lvmm/internal/machine"
+)
+
+// The protection kernel exercises the paper's three-level memory
+// protection story on full paging with a real user-mode application:
+//
+//	level 3 (application)  — user pages only
+//	level 2 (guest kernel) — supervisor pages
+//	level 1 (monitor)      — unmapped from every guest context
+//
+// A scenario selector in the boot-info page picks what to provoke; the
+// kernel reports what the hardware/monitor actually did through simctl:
+//
+//	counter0: syscall count          counter4: CPL of the faulting context
+//	counter5: scenario result value  counter6: trap cause
+//	counter7: faulting address
+const (
+	// Scenarios (boot-info APPCMD).
+	ScenarioSyscalls      = 1 // app makes 5 syscalls; normal operation
+	ScenarioAppHitsKernel = 2 // app writes kernel memory (U/S protection)
+	ScenarioAppHitsMon    = 3 // app touches the monitor region
+	ScenarioKernelHitsMon = 4 // kernel wild-writes the monitor region
+	ScenarioPTRemap       = 5 // kernel remaps a page via direct paging
+	ScenarioPTMapMonitor  = 6 // kernel maps monitor memory (must be refused)
+)
+
+// Protection-test layout.
+const (
+	protTestVA    = 0x500000 // page the remap scenario redirects
+	protTestFrame = 0x600000 // frame it redirects to
+)
+
+// ProtectKernelSource is the protection-test kernel.
+const ProtectKernelSource = `
+.equ BOOTINFO, 0x800
+.equ BI_PTBR,   BOOTINFO+40
+.equ BI_APP,    BOOTINFO+44
+.equ BI_APPCMD, BOOTINFO+64
+.equ KSTACK,   0x80000
+.equ APPSTACK, 0x2480000       ; top of a user-mapped page region
+.equ SIM_DONE, 0xF0
+.equ SIM_CTR,  0xF1
+.equ TESTVA,    0x500000
+.equ TESTFRAME, 0x600000
+.equ MONVA,     0x3C00000
+; &PTE for TESTVA inside the loader-built tables: PD at 0x2000000,
+; first page table at +0x1000, entry (TESTVA>>12)*4.
+.equ TESTPTE,   0x2001000 + (TESTVA>>12)*4
+
+.org 0x1000
+_start:
+    li   sp, KSTACK
+    la   r1, vtab
+    movrc vbar, r1
+    li   r1, KSTACK
+    movrc ksp, r1
+    la   r1, vtab
+    la   r2, fault_h
+    li   r3, 32
+vfill:
+    sw   r2, 0(r1)
+    addi r1, r1, 4
+    addi r3, r3, -1
+    bnez r3, vfill
+    la   r2, syscall_h
+    sw   r2, vtab+36(zero)       ; vector 9: syscall
+
+    ; paging on (the protection story requires it)
+    lw   r1, BI_PTBR(zero)
+    movrc ptbr, r1
+
+    lw   r4, BI_APPCMD(zero)
+    li   r5, 4
+    beq  r4, r5, k_hit_monitor
+    li   r5, 5
+    beq  r4, r5, k_remap
+    li   r5, 6
+    beq  r4, r5, k_map_monitor
+
+    ; scenarios 1-3: enter the application at CPL3 with r4 = scenario
+enter_app:
+    lw   r1, BI_APP(zero)
+    movrc epc, r1
+    li   r1, 0x0C                ; PSR: CPL=3, IF=0
+    movrc estatus, r1
+    li   r1, APPSTACK
+    movrc usp, r1
+    iret
+
+; ---- kernel-level scenarios
+k_hit_monitor:
+    li   r1, MONVA
+    li   r2, 0xBAD
+    sw   r2, 0(r1)               ; must fault (monitor unmapped)
+    li   r1, SIM_CTR+4
+    li   r2, 0x66                ; "write succeeded" marker: must not happen
+    out  r1, r2
+    b    report_done
+
+k_remap:
+    ; legitimate direct-paging use: point TESTVA at TESTFRAME
+    li   r1, TESTFRAME
+    li   r2, 0xCAFE
+    sw   r2, 0(r1)               ; marker in the target frame (identity VA)
+    li   r1, TESTPTE
+    li   r2, TESTFRAME | 3       ; present | writable
+    sw   r2, 0(r1)               ; traps under a monitor (PT page is RO)
+    tlbinv
+    li   r1, TESTVA
+    lw   r3, 0(r1)               ; read through the new mapping
+    li   r1, SIM_CTR+5
+    out  r1, r3                  ; counter5 = 0xCAFE if the remap worked
+    b    report_done
+
+k_map_monitor:
+    ; attack: try to map the monitor's memory into the address space
+    li   r1, TESTPTE
+    li   r2, MONVA | 3
+    sw   r2, 0(r1)               ; the monitor must refuse this
+    tlbinv
+    li   r1, TESTVA
+    lw   r3, 0(r1)               ; would read monitor memory
+    li   r1, SIM_CTR+5
+    li   r2, 0x66                ; "attack succeeded" marker
+    out  r1, r2
+    b    report_done
+
+; ---- handlers
+syscall_h:
+    lw   r1, syscount(zero)
+    addi r1, r1, 1
+    sw   r1, syscount(zero)
+    li   r2, 5
+    blt  r1, r2, sys_back
+    li   r1, SIM_CTR+0
+    lw   r2, syscount(zero)
+    out  r1, r2
+    b    report_done
+sys_back:
+    iret
+
+fault_h:
+    movcr r10, cause
+    li   r1, SIM_CTR+6
+    out  r1, r10
+    movcr r10, vaddr
+    li   r1, SIM_CTR+7
+    out  r1, r10
+    movcr r10, estatus
+    shri r10, r10, 2
+    andi r10, r10, 3             ; CPL of the interrupted context
+    li   r1, SIM_CTR+4
+    out  r1, r10
+report_done:
+    li   r1, SIM_DONE
+    out  r1, zero
+park:
+    hlt
+    b    park
+
+.align 4
+vtab:     .space 128
+syscount: .word 0
+`
+
+// ProtectAppSource is the user-mode application. The kernel passes the
+// scenario in r4.
+const ProtectAppSource = `
+.org 0x2400000
+_app:
+    li   r5, 1
+    beq  r4, r5, do_syscalls
+    li   r5, 2
+    beq  r4, r5, hit_kernel
+    li   r5, 3
+    beq  r4, r5, hit_monitor
+    syscall                      ; unknown scenario: just trap in
+
+do_syscalls:
+    li   r6, 0
+sysloop:
+    syscall
+    addi r6, r6, 1
+    li   r7, 10
+    blt  r6, r7, sysloop
+    brk                          ; unreachable: kernel stops at 5
+
+hit_kernel:
+    li   r1, 0x2000              ; kernel text (supervisor page)
+    li   r2, 0xBAD
+    sw   r2, 0(r1)               ; must fault: user on supervisor page
+    brk
+
+hit_monitor:
+    li   r1, 0x3C00000           ; monitor region
+    lw   r2, 0(r1)               ; must fault: unmapped
+    brk
+`
+
+var (
+	protOnce sync.Once
+	protImg  *asm.Image
+	appImg   *asm.Image
+)
+
+// ProtectKernel returns the assembled protection kernel (cached).
+func ProtectKernel() *asm.Image {
+	protOnce.Do(func() {
+		protImg = asm.MustAssemble(ProtectKernelSource)
+		appImg = asm.MustAssemble(ProtectAppSource)
+	})
+	return protImg
+}
+
+// ProtectApp returns the assembled user application (cached).
+func ProtectApp() *asm.Image {
+	ProtectKernel()
+	return appImg
+}
+
+// PrepareProtect loads the protection kernel, the user app, page tables
+// with a user-mapped app region, and the scenario selector.
+func PrepareProtect(m *machine.Machine, scenario uint32) (entry uint32, err error) {
+	k := ProtectKernel()
+	if err := m.LoadImage(k); err != nil {
+		return 0, err
+	}
+	a := ProtectApp()
+	if err := m.LoadImage(a); err != nil {
+		return 0, err
+	}
+	ptbr, err := BuildPageTables(m, DefaultMemTop, true)
+	if err != nil {
+		return 0, err
+	}
+	w := func(off int, v uint32) { m.Bus.Write32(uint32(BootInfoAddr+off), v) }
+	w(biMagic, bootMagic)
+	w(biMemTop, DefaultMemTop)
+	w(biPtbr, ptbr|1)
+	w(biApp, a.Entry)
+	w(biAppCmd, scenario)
+	return k.Entry, nil
+}
+
+// ProtectResults decodes the protection kernel's report.
+type ProtectResults struct {
+	Syscalls   uint32
+	FaultCPL   uint32
+	Value      uint32
+	Cause      uint32
+	FaultVaddr uint32
+}
+
+// ReadProtectResults decodes the counters after a protection run.
+func ReadProtectResults(m *machine.Machine) ProtectResults {
+	return ProtectResults{
+		Syscalls:   m.GuestCounters[0],
+		FaultCPL:   m.GuestCounters[4],
+		Value:      m.GuestCounters[5],
+		Cause:      m.GuestCounters[6],
+		FaultVaddr: m.GuestCounters[7],
+	}
+}
+
+// ProtectScenarioName names a scenario for test output.
+func ProtectScenarioName(s uint32) string {
+	switch s {
+	case ScenarioSyscalls:
+		return "app syscalls"
+	case ScenarioAppHitsKernel:
+		return "app writes kernel memory"
+	case ScenarioAppHitsMon:
+		return "app touches monitor region"
+	case ScenarioKernelHitsMon:
+		return "kernel wild-writes monitor region"
+	case ScenarioPTRemap:
+		return "kernel remaps a page (direct paging)"
+	case ScenarioPTMapMonitor:
+		return "kernel maps monitor memory (attack)"
+	}
+	return fmt.Sprintf("scenario %d", s)
+}

@@ -1,0 +1,43 @@
+// Package hw holds the small interfaces shared by all device models:
+// access to virtual time and interrupt signalling. Devices are scheduled
+// in machine cycles (1.26 GHz virtual clock), never wall time, so every
+// run is deterministic.
+package hw
+
+// Scheduler provides virtual time to devices. Implemented by the machine's
+// event queue.
+type Scheduler interface {
+	// Now returns the current cycle count.
+	Now() uint64
+	// After schedules fn to run when the clock reaches Now()+delay.
+	After(delay uint64, fn func())
+}
+
+// IRQFunc asserts a device's interrupt line (edge-triggered into the PIC).
+type IRQFunc func()
+
+// StandardIRQ lines for the reference machine wiring (PC/AT flavoured).
+const (
+	IRQPit   = 0
+	IRQCons  = 3 // guest console UART
+	IRQDebug = 4 // monitor/debug-channel UART
+	IRQNic   = 5
+	IRQScsi0 = 9
+	IRQScsi1 = 10
+	IRQScsi2 = 11
+)
+
+// Standard port bases for the reference machine wiring.
+const (
+	PortPic    = 0x020
+	PortPit    = 0x040
+	PortCons   = 0x2F8
+	PortDebug  = 0x3F8
+	PortScsi0  = 0x300
+	PortScsi1  = 0x310
+	PortScsi2  = 0x320
+	PortNic    = 0xC00
+	PortSimctl = 0x0F0
+
+	PortWindow = 16 // every device occupies a 16-port window
+)

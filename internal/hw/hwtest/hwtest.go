@@ -1,0 +1,46 @@
+// Package hwtest provides a deterministic scheduler for device-model unit
+// tests: events fire in timestamp order when the test advances the clock.
+package hwtest
+
+// Sched implements hw.Scheduler for tests.
+type Sched struct {
+	now    uint64
+	events []event
+}
+
+type event struct {
+	at uint64
+	fn func()
+}
+
+// Now returns the current cycle.
+func (s *Sched) Now() uint64 { return s.now }
+
+// After schedules fn at Now()+d.
+func (s *Sched) After(d uint64, fn func()) {
+	s.events = append(s.events, event{at: s.now + d, fn: fn})
+}
+
+// Advance moves the clock to target, firing due events in order.
+func (s *Sched) Advance(target uint64) {
+	for {
+		idx := -1
+		var best uint64
+		for i, e := range s.events {
+			if e.at <= target && (idx == -1 || e.at < best) {
+				idx, best = i, e.at
+			}
+		}
+		if idx == -1 {
+			break
+		}
+		e := s.events[idx]
+		s.events = append(s.events[:idx], s.events[idx+1:]...)
+		s.now = e.at
+		e.fn()
+	}
+	s.now = target
+}
+
+// Pending reports how many events are queued.
+func (s *Sched) Pending() int { return len(s.events) }

@@ -1,0 +1,108 @@
+// Package pic models a 16-line interrupt controller in the style of the
+// cascaded 8259A pair of a PC/AT: request/in-service/mask registers, fixed
+// priority (lower line number wins), and explicit end-of-interrupt.
+//
+// This is one of the devices the paper's lightweight monitor *emulates* —
+// the guest is never allowed to touch the real one, because the remote-
+// debugging function depends on it.
+package pic
+
+// Register offsets from the device's port base.
+const (
+	RegCmd  = 0 // write: command (EOI)
+	RegMask = 1 // r/w: interrupt mask, 1 = masked
+	RegIRR  = 2 // read: interrupt request register
+	RegISR  = 3 // read: in-service register
+)
+
+// Commands written to RegCmd.
+const (
+	CmdEOI = 0x20 // end of interrupt: retire the highest-priority in-service line
+)
+
+// PIC is the interrupt controller state. The same structure is used for
+// the physical controller and for the monitor's virtual one.
+type PIC struct {
+	irr  uint16 // requested
+	isr  uint16 // in service
+	mask uint16 // 1 = masked
+}
+
+// New returns a PIC with all lines masked (PC firmware leaves it masked).
+func New() *PIC { return &PIC{mask: 0xFFFF} }
+
+// Raise asserts interrupt line n (edge-triggered; idempotent while pending).
+func (p *PIC) Raise(n int) { p.irr |= 1 << uint(n&15) }
+
+// Pending returns the highest-priority deliverable line, honouring the mask
+// and priority against in-service lines. ok is false when nothing is
+// deliverable.
+func (p *PIC) Pending() (line int, ok bool) {
+	req := p.irr &^ p.mask
+	if req == 0 {
+		return 0, false
+	}
+	for n := 0; n < 16; n++ {
+		bit := uint16(1) << uint(n)
+		if p.isr&bit != 0 {
+			// A higher-or-equal priority interrupt is in service; nothing
+			// lower may be delivered until EOI.
+			return 0, false
+		}
+		if req&bit != 0 {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// Ack moves line n from requested to in-service (the INTA cycle).
+func (p *PIC) Ack(n int) {
+	bit := uint16(1) << uint(n&15)
+	p.irr &^= bit
+	p.isr |= bit
+}
+
+// EOI retires the highest-priority in-service interrupt.
+func (p *PIC) EOI() {
+	for n := 0; n < 16; n++ {
+		bit := uint16(1) << uint(n)
+		if p.isr&bit != 0 {
+			p.isr &^= bit
+			return
+		}
+	}
+}
+
+// Registers for state inspection (debugger `info pic`).
+func (p *PIC) IRR() uint16  { return p.irr }
+func (p *PIC) ISR() uint16  { return p.isr }
+func (p *PIC) Mask() uint16 { return p.mask }
+
+// SetMask replaces the interrupt mask.
+func (p *PIC) SetMask(m uint16) { p.mask = m }
+
+// PortRead implements bus.PortHandler relative to the device base.
+func (p *PIC) PortRead(port uint16) uint32 {
+	switch port {
+	case RegMask:
+		return uint32(p.mask)
+	case RegIRR:
+		return uint32(p.irr)
+	case RegISR:
+		return uint32(p.isr)
+	}
+	return 0
+}
+
+// PortWrite implements bus.PortHandler relative to the device base.
+func (p *PIC) PortWrite(port uint16, v uint32) {
+	switch port {
+	case RegCmd:
+		if v&0xFF == CmdEOI {
+			p.EOI()
+		}
+	case RegMask:
+		p.mask = uint16(v)
+	}
+}

@@ -1,0 +1,129 @@
+package pic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMaskedByDefault(t *testing.T) {
+	p := New()
+	p.Raise(3)
+	if _, ok := p.Pending(); ok {
+		t.Fatal("masked line delivered")
+	}
+	p.SetMask(0)
+	if line, ok := p.Pending(); !ok || line != 3 {
+		t.Fatalf("pending = %d,%v", line, ok)
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	p := New()
+	p.SetMask(0)
+	p.Raise(9)
+	p.Raise(0)
+	p.Raise(5)
+	if line, _ := p.Pending(); line != 0 {
+		t.Fatalf("highest priority = %d, want 0", line)
+	}
+	p.Ack(0)
+	if _, ok := p.Pending(); ok {
+		t.Fatal("lower priority delivered while 0 in service")
+	}
+	p.EOI()
+	if line, _ := p.Pending(); line != 5 {
+		t.Fatal("next priority not 5")
+	}
+}
+
+func TestAckEOILifecycle(t *testing.T) {
+	p := New()
+	p.SetMask(0)
+	p.Raise(4)
+	line, ok := p.Pending()
+	if !ok || line != 4 {
+		t.Fatal("no pending")
+	}
+	p.Ack(4)
+	if p.IRR()&(1<<4) != 0 {
+		t.Fatal("IRR not cleared by ack")
+	}
+	if p.ISR()&(1<<4) == 0 {
+		t.Fatal("ISR not set by ack")
+	}
+	p.EOI()
+	if p.ISR() != 0 {
+		t.Fatal("ISR not cleared by EOI")
+	}
+}
+
+func TestPortInterface(t *testing.T) {
+	p := New()
+	p.PortWrite(RegMask, 0xFF00)
+	if p.Mask() != 0xFF00 {
+		t.Fatal("mask write via port failed")
+	}
+	p.Raise(1)
+	p.Ack(1)
+	if got := p.PortRead(RegISR); got != 1<<1 {
+		t.Fatalf("ISR read = %x", got)
+	}
+	p.PortWrite(RegCmd, CmdEOI)
+	if p.PortRead(RegISR) != 0 {
+		t.Fatal("EOI via port failed")
+	}
+	if p.PortRead(RegMask) != 0xFF00 {
+		t.Fatal("mask readback failed")
+	}
+}
+
+// Property: after raising any set of lines with any mask, Pending returns
+// the lowest-numbered unmasked raised line, or nothing.
+func TestPendingIsLowestUnmasked(t *testing.T) {
+	f := func(raised, mask uint16) bool {
+		p := New()
+		p.SetMask(mask)
+		for i := 0; i < 16; i++ {
+			if raised&(1<<i) != 0 {
+				p.Raise(i)
+			}
+		}
+		want := -1
+		for i := 0; i < 16; i++ {
+			if raised&^mask&(1<<i) != 0 {
+				want = i
+				break
+			}
+		}
+		line, ok := p.Pending()
+		if want == -1 {
+			return !ok
+		}
+		return ok && line == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Ack+EOI always returns the controller to a deliverable state.
+func TestAckEOIRestores(t *testing.T) {
+	f := func(line uint8) bool {
+		n := int(line) % 16
+		p := New()
+		p.SetMask(0)
+		p.Raise(n)
+		got, ok := p.Pending()
+		if !ok || got != n {
+			return false
+		}
+		p.Ack(n)
+		p.EOI()
+		p.Raise(n)
+		got, ok = p.Pending()
+		return ok && got == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+// Package pit models channel 0 of an 8254-style programmable interval
+// timer in periodic (rate-generator) mode: the classic PC/AT timebase the
+// guest OS programs for its scheduling tick, and one of the devices the
+// lightweight monitor emulates rather than exposes.
+package pit
+
+import (
+	"lvmm/internal/hw"
+	"lvmm/internal/isa"
+)
+
+// InputHz is the canonical 8254 input clock.
+const InputHz = 1_193_182
+
+// Register offsets from the device's port base.
+const (
+	RegCtrl    = 0 // bit0: enable periodic channel 0
+	RegDivisor = 1 // 16-bit reload value; 0 means 65536
+	RegCount   = 2 // read: current countdown value
+	RegTicks   = 3 // read: total ticks fired since reset
+)
+
+// CtrlEnable starts the periodic timer.
+const CtrlEnable = 1
+
+// PIT is the timer device.
+type PIT struct {
+	sched hw.Scheduler
+	irq   hw.IRQFunc
+
+	enabled  bool
+	divisor  uint32 // effective (1..65536)
+	ticks    uint32
+	lastFire uint64 // cycle of most recent tick
+	epoch    uint32 // invalidates in-flight scheduled callbacks
+}
+
+// New creates a disabled PIT.
+func New(sched hw.Scheduler, irq hw.IRQFunc) *PIT {
+	return &PIT{sched: sched, irq: irq, divisor: 65536}
+}
+
+// periodCycles converts the divisor into machine cycles.
+func (p *PIT) periodCycles() uint64 {
+	return uint64(p.divisor) * isa.ClockHz / InputHz
+}
+
+// PortRead implements bus.PortHandler.
+func (p *PIT) PortRead(port uint16) uint32 {
+	switch port {
+	case RegCtrl:
+		if p.enabled {
+			return CtrlEnable
+		}
+		return 0
+	case RegDivisor:
+		return p.divisor & 0xFFFF
+	case RegCount:
+		if !p.enabled {
+			return p.divisor
+		}
+		elapsed := p.sched.Now() - p.lastFire
+		rem := p.periodCycles() - elapsed%p.periodCycles()
+		return uint32(rem * InputHz / isa.ClockHz)
+	case RegTicks:
+		return p.ticks
+	}
+	return 0
+}
+
+// PortWrite implements bus.PortHandler.
+func (p *PIT) PortWrite(port uint16, v uint32) {
+	switch port {
+	case RegCtrl:
+		en := v&CtrlEnable != 0
+		if en && !p.enabled {
+			p.enabled = true
+			p.lastFire = p.sched.Now()
+			p.arm()
+		} else if !en {
+			p.enabled = false
+			p.epoch++
+		}
+	case RegDivisor:
+		d := v & 0xFFFF
+		if d == 0 {
+			d = 65536
+		}
+		p.divisor = d
+		if p.enabled {
+			// Reprogramming restarts the current period.
+			p.epoch++
+			p.lastFire = p.sched.Now()
+			p.arm()
+		}
+	}
+}
+
+func (p *PIT) arm() {
+	epoch := p.epoch
+	p.sched.After(p.periodCycles(), func() {
+		if !p.enabled || epoch != p.epoch {
+			return
+		}
+		p.ticks++
+		p.lastFire = p.sched.Now()
+		p.irq()
+		p.arm()
+	})
+}
+
+// Ticks returns the number of ticks fired since reset.
+func (p *PIT) Ticks() uint32 { return p.ticks }

@@ -1,0 +1,129 @@
+package pit
+
+import (
+	"testing"
+
+	"lvmm/internal/isa"
+)
+
+// fakeSched is a minimal deterministic scheduler for device unit tests.
+type fakeSched struct {
+	now    uint64
+	events []fakeEvent
+}
+
+type fakeEvent struct {
+	at uint64
+	fn func()
+}
+
+func (s *fakeSched) Now() uint64 { return s.now }
+func (s *fakeSched) After(d uint64, fn func()) {
+	s.events = append(s.events, fakeEvent{at: s.now + d, fn: fn})
+}
+
+// advance runs the clock forward, firing due events in order.
+func (s *fakeSched) advance(to uint64) {
+	for {
+		idx, best := -1, uint64(0)
+		for i, e := range s.events {
+			if e.at <= to && (idx == -1 || e.at < best) {
+				idx, best = i, e.at
+			}
+		}
+		if idx == -1 {
+			break
+		}
+		e := s.events[idx]
+		s.events = append(s.events[:idx], s.events[idx+1:]...)
+		s.now = e.at
+		e.fn()
+	}
+	s.now = to
+}
+
+func TestPeriodicTicks(t *testing.T) {
+	s := &fakeSched{}
+	fired := 0
+	p := New(s, func() { fired++ })
+	p.PortWrite(RegDivisor, 11932) // ~100 Hz
+	p.PortWrite(RegCtrl, CtrlEnable)
+
+	s.advance(isa.ClockHz) // one virtual second
+	if fired < 99 || fired > 101 {
+		t.Fatalf("ticks in 1s = %d, want ~100", fired)
+	}
+	if p.Ticks() != uint32(fired) {
+		t.Fatalf("Ticks()=%d fired=%d", p.Ticks(), fired)
+	}
+}
+
+func TestDisableStopsTicks(t *testing.T) {
+	s := &fakeSched{}
+	fired := 0
+	p := New(s, func() { fired++ })
+	p.PortWrite(RegDivisor, 1193)
+	p.PortWrite(RegCtrl, CtrlEnable)
+	s.advance(isa.ClockHz / 100)
+	n := fired
+	if n == 0 {
+		t.Fatal("no ticks while enabled")
+	}
+	p.PortWrite(RegCtrl, 0)
+	s.advance(isa.ClockHz / 10)
+	if fired != n {
+		t.Fatalf("ticks after disable: %d -> %d", n, fired)
+	}
+}
+
+func TestReprogramRestartsPeriod(t *testing.T) {
+	s := &fakeSched{}
+	fired := 0
+	p := New(s, func() { fired++ })
+	p.PortWrite(RegDivisor, 59659) // ~20 Hz
+	p.PortWrite(RegCtrl, CtrlEnable)
+	s.advance(isa.ClockHz / 10) // 100 ms: ~2 ticks
+	slow := fired
+	p.PortWrite(RegDivisor, 1193) // ~1 kHz
+	s.advance(s.now + isa.ClockHz/10)
+	if fired-slow < 90 {
+		t.Fatalf("after reprogram got %d ticks in 100ms", fired-slow)
+	}
+}
+
+func TestDivisorZeroMeansMax(t *testing.T) {
+	s := &fakeSched{}
+	p := New(s, func() {})
+	p.PortWrite(RegDivisor, 0)
+	if got := p.PortRead(RegDivisor); got != 0 { // 65536 & 0xFFFF
+		t.Fatalf("divisor readback %d", got)
+	}
+	if p.periodCycles() != 65536*uint64(isa.ClockHz)/InputHz {
+		t.Fatal("zero divisor should mean 65536")
+	}
+}
+
+func TestCountdownRegister(t *testing.T) {
+	s := &fakeSched{}
+	p := New(s, func() {})
+	p.PortWrite(RegDivisor, 11932)
+	p.PortWrite(RegCtrl, CtrlEnable)
+	s.now += p.periodCycles() / 2
+	count := p.PortRead(RegCount)
+	// Halfway through the period, roughly half the divisor remains.
+	if count < 5000 || count > 7000 {
+		t.Fatalf("mid-period count = %d", count)
+	}
+}
+
+func TestControlReadback(t *testing.T) {
+	s := &fakeSched{}
+	p := New(s, func() {})
+	if p.PortRead(RegCtrl) != 0 {
+		t.Fatal("enabled at reset")
+	}
+	p.PortWrite(RegCtrl, CtrlEnable)
+	if p.PortRead(RegCtrl) != CtrlEnable {
+		t.Fatal("enable not reflected")
+	}
+}

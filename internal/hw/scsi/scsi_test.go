@@ -1,0 +1,141 @@
+package scsi
+
+import (
+	"testing"
+
+	"lvmm/internal/bus"
+	"lvmm/internal/hw/hwtest"
+	"lvmm/internal/isa"
+	"lvmm/internal/netsim"
+)
+
+func newHBA(t *testing.T) (*HBA, *hwtest.Sched, *bus.Bus, *int) {
+	t.Helper()
+	s := &hwtest.Sched{}
+	b := bus.New(1 << 20)
+	irqs := 0
+	h := New(s, func() { irqs++ }, b, func(lba uint32, buf []byte) {
+		netsim.FillPattern(buf, uint64(lba)*SectorSize)
+	})
+	return h, s, b, &irqs
+}
+
+func startRead(h *HBA, lba, count, dma uint32) {
+	h.PortWrite(RegLBA, lba)
+	h.PortWrite(RegCount, count)
+	h.PortWrite(RegDMAAddr, dma)
+	h.PortWrite(RegCmd, CmdRead)
+}
+
+func TestReadCompletesWithDataAndIRQ(t *testing.T) {
+	h, s, b, irqs := newHBA(t)
+	startRead(h, 8, 4096, 0x10000)
+	if h.PortRead(RegStatus)&StatusBusy == 0 {
+		t.Fatal("not busy after read command")
+	}
+	s.Advance(h.transferCycles(4096) + 1)
+	if *irqs != 1 {
+		t.Fatalf("irqs = %d", *irqs)
+	}
+	st := h.PortRead(RegStatus)
+	if st&StatusBusy != 0 || st&StatusDone == 0 {
+		t.Fatalf("status %x", st)
+	}
+	got := b.RAM()[0x10000 : 0x10000+4096]
+	if i := netsim.CheckPattern(got, 8*SectorSize); i != -1 {
+		t.Fatalf("data mismatch at %d", i)
+	}
+	if h.ReadsCompleted != 1 || h.BytesRead != 4096 {
+		t.Fatalf("stats %d %d", h.ReadsCompleted, h.BytesRead)
+	}
+	h.PortWrite(RegAck, 0)
+	if h.PortRead(RegStatus)&StatusDone != 0 {
+		t.Fatal("ack did not clear done")
+	}
+}
+
+func TestMediaRateTiming(t *testing.T) {
+	h, s, _, _ := newHBA(t)
+	n := uint32(2 << 20)
+	startRead(h, 0, n, 0)
+	want := h.CmdOverheadCycles + uint64(n)*isa.ClockHz/h.MediaBytesPerSec
+	s.Advance(want - 1000)
+	if h.PortRead(RegStatus)&StatusDone != 0 {
+		t.Fatal("completed too early")
+	}
+	s.Advance(want + 1000)
+	if h.PortRead(RegStatus)&StatusDone == 0 {
+		t.Fatal("not completed on time")
+	}
+}
+
+func TestBusyRejectsSecondCommand(t *testing.T) {
+	h, s, _, irqs := newHBA(t)
+	startRead(h, 0, 1024, 0x1000)
+	h.PortWrite(RegCmd, CmdRead) // ignored while busy
+	s.Advance(isa.ClockHz)
+	if *irqs != 1 || h.ReadsCompleted != 1 {
+		t.Fatalf("irqs=%d reads=%d", *irqs, h.ReadsCompleted)
+	}
+}
+
+func TestDMABoundsError(t *testing.T) {
+	h, s, _, irqs := newHBA(t)
+	startRead(h, 0, 4096, 0xFFFFF000) // outside the 1 MB test RAM
+	s.Advance(isa.ClockHz)
+	if h.PortRead(RegStatus)&StatusError == 0 {
+		t.Fatal("no error for out-of-range DMA")
+	}
+	if *irqs != 1 {
+		t.Fatal("completion IRQ expected even on error")
+	}
+	if h.ReadsCompleted != 0 {
+		t.Fatal("errored read counted as completed")
+	}
+}
+
+func TestResetAbortsInFlight(t *testing.T) {
+	h, s, _, irqs := newHBA(t)
+	startRead(h, 0, 4096, 0x1000)
+	h.PortWrite(RegCmd, CmdReset)
+	s.Advance(isa.ClockHz)
+	if *irqs != 0 {
+		t.Fatal("aborted read still completed")
+	}
+	if h.PortRead(RegStatus)&(StatusBusy|StatusDone) != 0 {
+		t.Fatal("status not cleared by reset")
+	}
+}
+
+func TestZeroCountIgnored(t *testing.T) {
+	h, s, _, irqs := newHBA(t)
+	startRead(h, 0, 0, 0x1000)
+	s.Advance(isa.ClockHz)
+	if *irqs != 0 {
+		t.Fatal("zero-length read completed")
+	}
+}
+
+func TestRegisterReadback(t *testing.T) {
+	h, _, _, _ := newHBA(t)
+	h.PortWrite(RegLBA, 77)
+	h.PortWrite(RegCount, 2048)
+	h.PortWrite(RegDMAAddr, 0x4000)
+	if h.PortRead(RegLBA) != 77 || h.PortRead(RegCount) != 2048 || h.PortRead(RegDMAAddr) != 0x4000 {
+		t.Fatal("register readback failed")
+	}
+	if h.PortRead(RegInfo) != uint32(h.MediaBytesPerSec/1000) {
+		t.Fatal("info register wrong")
+	}
+}
+
+func TestOnCompleteHook(t *testing.T) {
+	h, s, _, _ := newHBA(t)
+	var hooked uint32
+	h.OnComplete = func(n uint32) { hooked = n }
+	startRead(h, 0, 512, 0x1000)
+	s.Advance(isa.ClockHz)
+	if hooked != 512 {
+		t.Fatalf("hook saw %d", hooked)
+	}
+}

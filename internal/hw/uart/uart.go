@@ -1,0 +1,120 @@
+// Package uart models a 16550-style serial port. The target machine has
+// two: the debug channel the monitor's remote-debugging stub owns (the
+// paper's "communication device"), and a console for the guest OS.
+//
+// The external side is a pair of Go-level hooks so the host debugger can
+// attach over an in-process pipe or a TCP connection. Serial line rate is
+// not modelled — the debug channel's bandwidth is irrelevant to the
+// evaluation, which is about the I/O fast path.
+package uart
+
+import "sync"
+
+// Register offsets from the device's port base.
+const (
+	RegData   = 0 // read: pop RX FIFO; write: transmit byte
+	RegStatus = 1 // bit0: RX data available, bit1: TX ready (always)
+	RegIER    = 2 // bit0: RX interrupt enable
+)
+
+// Status bits.
+const (
+	StatusRxAvail = 1 << 0
+	StatusTxReady = 1 << 1
+)
+
+// UART is one serial port.
+type UART struct {
+	mu  sync.Mutex
+	rx  []byte
+	ier uint32
+	tx  func(byte)
+}
+
+// New creates a UART. tx receives transmitted bytes (may be nil to drop).
+func New(tx func(byte)) *UART { return &UART{tx: tx} }
+
+// SetTX replaces the transmit sink.
+func (u *UART) SetTX(tx func(byte)) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.tx = tx
+}
+
+// InjectRX appends bytes to the receive FIFO (host side; goroutine-safe).
+func (u *UART) InjectRX(data []byte) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.rx = append(u.rx, data...)
+}
+
+// RxPending reports whether receive data is waiting and the RX interrupt
+// is enabled; the machine polls this to drive the (level-triggered) IRQ.
+func (u *UART) RxPending() bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.rx) > 0 && u.ier&1 != 0
+}
+
+// RxAvailable reports whether any receive data is waiting, regardless of
+// interrupt enable (for polling consumers like the monitor's stub).
+func (u *UART) RxAvailable() bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.rx) > 0
+}
+
+// ReadByte pops one RX byte directly (monitor-side convenience, bypassing
+// port I/O). ok is false when the FIFO is empty.
+func (u *UART) TakeByte() (b byte, ok bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if len(u.rx) == 0 {
+		return 0, false
+	}
+	b = u.rx[0]
+	u.rx = u.rx[1:]
+	return b, true
+}
+
+// WriteByte transmits one byte directly (monitor-side convenience).
+func (u *UART) SendByte(b byte) {
+	u.mu.Lock()
+	tx := u.tx
+	u.mu.Unlock()
+	if tx != nil {
+		tx(b)
+	}
+}
+
+// PortRead implements bus.PortHandler.
+func (u *UART) PortRead(port uint16) uint32 {
+	switch port {
+	case RegData:
+		b, _ := u.TakeByte()
+		return uint32(b)
+	case RegStatus:
+		s := uint32(StatusTxReady)
+		if u.RxAvailable() {
+			s |= StatusRxAvail
+		}
+		return s
+	case RegIER:
+		u.mu.Lock()
+		defer u.mu.Unlock()
+		return u.ier
+	}
+	return 0
+}
+
+// PortWrite implements bus.PortHandler.
+func (u *UART) PortWrite(port uint16, v uint32) {
+	switch port {
+	case RegData:
+		u.SendByte(byte(v))
+	case RegIER:
+		u.mu.Lock()
+		u.ier = v & 1
+		u.mu.Unlock()
+	}
+}

@@ -1,0 +1,97 @@
+package uart
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTransmit(t *testing.T) {
+	var got []byte
+	u := New(func(b byte) { got = append(got, b) })
+	u.PortWrite(RegData, 'H')
+	u.PortWrite(RegData, 'i')
+	if string(got) != "Hi" {
+		t.Fatalf("tx %q", got)
+	}
+}
+
+func TestReceiveFIFO(t *testing.T) {
+	u := New(nil)
+	if u.PortRead(RegStatus)&StatusRxAvail != 0 {
+		t.Fatal("rx available on empty FIFO")
+	}
+	u.InjectRX([]byte{1, 2, 3})
+	if u.PortRead(RegStatus)&StatusRxAvail == 0 {
+		t.Fatal("rx not available")
+	}
+	for want := uint32(1); want <= 3; want++ {
+		if got := u.PortRead(RegData); got != want {
+			t.Fatalf("rx %d want %d", got, want)
+		}
+	}
+	if u.PortRead(RegData) != 0 {
+		t.Fatal("empty FIFO should read 0")
+	}
+}
+
+func TestRxPendingRequiresIER(t *testing.T) {
+	u := New(nil)
+	u.InjectRX([]byte{9})
+	if u.RxPending() {
+		t.Fatal("pending without IER")
+	}
+	u.PortWrite(RegIER, 1)
+	if !u.RxPending() {
+		t.Fatal("not pending with IER and data")
+	}
+	if u.PortRead(RegIER) != 1 {
+		t.Fatal("IER readback")
+	}
+}
+
+func TestDirectByteInterface(t *testing.T) {
+	var sent []byte
+	u := New(nil)
+	u.SetTX(func(b byte) { sent = append(sent, b) })
+	u.SendByte(0x55)
+	if len(sent) != 1 || sent[0] != 0x55 {
+		t.Fatalf("sent %v", sent)
+	}
+	if _, ok := u.TakeByte(); ok {
+		t.Fatal("TakeByte on empty FIFO")
+	}
+	u.InjectRX([]byte{0xAA})
+	b, ok := u.TakeByte()
+	if !ok || b != 0xAA {
+		t.Fatalf("TakeByte %x %v", b, ok)
+	}
+}
+
+func TestStatusAlwaysTxReady(t *testing.T) {
+	u := New(nil)
+	if u.PortRead(RegStatus)&StatusTxReady == 0 {
+		t.Fatal("tx not ready")
+	}
+}
+
+// The host side injects from another goroutine; exercise under the race
+// detector.
+func TestConcurrentInject(t *testing.T) {
+	u := New(func(byte) {})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			u.InjectRX([]byte{byte(i)})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			u.TakeByte()
+			u.PortRead(RegStatus)
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,51 @@
+package isa
+
+import "fmt"
+
+// Disassemble renders one instruction word at the given PC (the PC is used
+// to resolve PC-relative branch and jump targets to absolute addresses).
+func Disassemble(pc, w uint32) string {
+	op := Opcode(w)
+	switch op {
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSHL, OpSHR, OpSRA,
+		OpMUL, OpDIVU, OpREMU, OpSLT, OpSLTU:
+		return fmt.Sprintf("%-7s %s, %s, %s", Mnemonic(op),
+			RegName(Rd(w)), RegName(Rs1(w)), RegName(Rs2(w)))
+	case OpADDI, OpSHLI, OpSHRI, OpSRAI:
+		return fmt.Sprintf("%-7s %s, %s, %d", Mnemonic(op),
+			RegName(Rd(w)), RegName(Rs1(w)), Imm18(w))
+	case OpANDI, OpORI, OpXORI:
+		return fmt.Sprintf("%-7s %s, %s, 0x%x", Mnemonic(op),
+			RegName(Rd(w)), RegName(Rs1(w)), Imm18U(w))
+	case OpLUI:
+		return fmt.Sprintf("%-7s %s, 0x%x", Mnemonic(op), RegName(Rd(w)), Imm18U(w))
+	case OpLW, OpLH, OpLHU, OpLB, OpLBU:
+		return fmt.Sprintf("%-7s %s, %d(%s)", Mnemonic(op),
+			RegName(Rd(w)), Imm18(w), RegName(Rs1(w)))
+	case OpSW, OpSH, OpSB:
+		return fmt.Sprintf("%-7s %s, %d(%s)", Mnemonic(op),
+			RegName(Rd(w)), Imm18(w), RegName(Rs1(w)))
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		target := pc + 4 + uint32(Imm18(w))*4
+		return fmt.Sprintf("%-7s %s, %s, 0x%x", Mnemonic(op),
+			RegName(Rd(w)), RegName(Rs1(w)), target)
+	case OpJAL:
+		target := pc + 4 + uint32(Imm22(w))*4
+		return fmt.Sprintf("%-7s %s, 0x%x", Mnemonic(op), RegName(Rd(w)), target)
+	case OpJALR:
+		return fmt.Sprintf("%-7s %s, %s, %d", Mnemonic(op),
+			RegName(Rd(w)), RegName(Rs1(w)), Imm18(w))
+	case OpSYSCALL, OpBRK, OpIRET, OpHLT, OpCLI, OpSTI, OpTLBINV, OpMOVS, OpSTOS:
+		return Mnemonic(op)
+	case OpMOVCR:
+		return fmt.Sprintf("%-7s %s, %s", Mnemonic(op), RegName(Rd(w)), CRName(int(Imm18U(w))))
+	case OpMOVRC:
+		return fmt.Sprintf("%-7s %s, %s", Mnemonic(op), CRName(int(Imm18U(w))), RegName(Rs1(w)))
+	case OpIN:
+		return fmt.Sprintf("%-7s %s, %s", Mnemonic(op), RegName(Rd(w)), RegName(Rs1(w)))
+	case OpOUT:
+		return fmt.Sprintf("%-7s %s, %s", Mnemonic(op), RegName(Rs1(w)), RegName(Rs2(w)))
+	default:
+		return fmt.Sprintf(".word   0x%08x", w)
+	}
+}

@@ -1,0 +1,363 @@
+// Package isa defines the HX32 instruction-set architecture: a 32-bit,
+// little-endian, fixed-width-instruction machine with x86-style privilege
+// rings, two-level paging with a single user/supervisor bit, port I/O
+// guarded by an I/O-permission bitmap, and control registers for trap
+// handling.
+//
+// HX32 is the simulated stand-in for the PC/AT Pentium III platform of
+// Takeuchi's DATE'05 lightweight-VMM paper. Everything the paper's monitor
+// relies on — deprivileging a guest kernel, selectively trapping port I/O,
+// intercepting interrupts, and the two-level-only page protection that
+// motivates the monitor's three-level scheme — is architectural here, not
+// approximated.
+package isa
+
+import "fmt"
+
+// NumRegs is the number of general-purpose registers. Register 0 is
+// hard-wired to zero (writes are discarded), like MIPS/RISC-V.
+const NumRegs = 16
+
+// Conventional register assignments used by the assembler and ABI.
+const (
+	RegZero = 0  // always zero
+	RegSP   = 14 // stack pointer
+	RegLR   = 15 // link register
+)
+
+// RegName returns the canonical assembler name of a register.
+func RegName(r int) string {
+	switch r {
+	case RegZero:
+		return "zero"
+	case RegSP:
+		return "sp"
+	case RegLR:
+		return "lr"
+	default:
+		return fmt.Sprintf("r%d", r)
+	}
+}
+
+// PSR (processor status register) bit assignments.
+const (
+	PSRIF  uint32 = 1 << 0 // interrupt enable
+	PSRTF  uint32 = 1 << 1 // trap flag: raise CauseStep after next instruction
+	PSRCPL uint32 = 3 << 2 // current privilege level (2 bits)
+
+	PSRCPLShift = 2
+)
+
+// Privilege levels. HX32 has four rings like x86; the reproduction uses
+// three of them, exactly as the paper's monitor does.
+const (
+	CPLMonitor = 0 // most privileged: bare-metal kernels or the VMM
+	CPLKernel  = 1 // deprivileged guest kernel under a VMM
+	CPLUser    = 3 // applications
+)
+
+// CPL extracts the privilege level from a PSR value.
+func CPL(psr uint32) uint32 { return (psr & PSRCPL) >> PSRCPLShift }
+
+// WithCPL returns psr with its privilege field replaced.
+func WithCPL(psr, cpl uint32) uint32 {
+	return (psr &^ PSRCPL) | ((cpl << PSRCPLShift) & PSRCPL)
+}
+
+// Control registers, accessed by the privileged MOVCR/MOVRC instructions.
+const (
+	CRPtbr    = 0  // page-table base: bits 31..12 = page-directory frame, bit 0 = paging enable
+	CRVbar    = 1  // vector-table base (virtual address, 32 word entries)
+	CREpc     = 2  // trap: saved PC
+	CRCause   = 3  // trap: cause code
+	CRVaddr   = 4  // trap: faulting virtual address / denied port / opcode word
+	CREstatus = 5  // trap: saved PSR
+	CRKsp     = 6  // kernel stack pointer, loaded into SP on trap from CPL>0
+	CRUsp     = 7  // saved SP of the interrupted context (when trapping from CPL>0)
+	CRCycleLo = 8  // free-running cycle counter, low word (read-only)
+	CRCycleHi = 9  // cycle counter, high word (read-only)
+	CRIopb    = 10 // I/O-permission bitmap handle (see cpu.SetIOBitmap)
+	CRScratch = 11 // monitor scratch register
+
+	NumCRs = 12
+)
+
+// CRName returns the assembler name of a control register.
+func CRName(cr int) string {
+	names := [...]string{
+		"ptbr", "vbar", "epc", "cause", "vaddr", "estatus",
+		"ksp", "usp", "cyclo", "cychi", "iopb", "scratch",
+	}
+	if cr >= 0 && cr < len(names) {
+		return names[cr]
+	}
+	return fmt.Sprintf("cr%d", cr)
+}
+
+// CRByName maps assembler control-register names to indices.
+func CRByName(name string) (int, bool) {
+	for i := 0; i < NumCRs; i++ {
+		if CRName(i) == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Trap causes. Causes 16..31 are external interrupts 0..15.
+const (
+	CauseNone      = 0
+	CauseUD        = 1  // undefined instruction
+	CausePriv      = 2  // privileged instruction at CPL > 0
+	CauseIOPerm    = 3  // port access denied by the I/O bitmap
+	CausePFNotPres = 4  // page fault: not present
+	CausePFProt    = 5  // page fault: protection (write to RO, user access to supervisor page)
+	CauseAlign     = 6  // misaligned memory access
+	CauseBRK       = 7  // BRK instruction (debugger breakpoint)
+	CauseStep      = 8  // single-step (PSR.TF)
+	CauseSyscall   = 9  // SYSCALL instruction
+	CauseBusError  = 10 // physical access outside RAM and device windows
+	CauseDouble    = 11 // fault while delivering a trap
+	CauseWatch     = 12 // data watchpoint hit (after the access commits)
+	CauseIRQBase   = 16 // external interrupt line n traps with cause 16+n
+
+	NumVectors = 32 // vector table entries (word-sized handler addresses)
+)
+
+// IsFault reports whether a cause re-executes the trapped instruction on
+// IRET (EPC = faulting PC) rather than resuming after it.
+func IsFault(cause uint32) bool {
+	switch cause {
+	case CauseUD, CausePriv, CauseIOPerm, CausePFNotPres, CausePFProt,
+		CauseAlign, CauseBusError, CauseBRK:
+		return true
+	}
+	return false
+}
+
+// IsIRQ reports whether a cause is an external interrupt.
+func IsIRQ(cause uint32) bool { return cause >= CauseIRQBase && cause < CauseIRQBase+16 }
+
+// CauseName returns a human-readable cause mnemonic.
+func CauseName(cause uint32) string {
+	switch cause {
+	case CauseNone:
+		return "none"
+	case CauseUD:
+		return "#UD"
+	case CausePriv:
+		return "#PRIV"
+	case CauseIOPerm:
+		return "#IOPERM"
+	case CausePFNotPres:
+		return "#PF(not-present)"
+	case CausePFProt:
+		return "#PF(protection)"
+	case CauseAlign:
+		return "#ALIGN"
+	case CauseBRK:
+		return "#BRK"
+	case CauseStep:
+		return "#STEP"
+	case CauseSyscall:
+		return "#SYSCALL"
+	case CauseBusError:
+		return "#BUS"
+	case CauseDouble:
+		return "#DOUBLE"
+	case CauseWatch:
+		return "#WATCH"
+	}
+	if IsIRQ(cause) {
+		return fmt.Sprintf("IRQ%d", cause-CauseIRQBase)
+	}
+	return fmt.Sprintf("cause%d", cause)
+}
+
+// Page-table entry bits (identical at both levels). Only one U/S bit exists:
+// the hardware distinguishes supervisor (CPL 0..2) from user (CPL 3) and
+// nothing finer — the limitation the paper's three-level scheme works around.
+// Write protection applies to supervisors too (x86 CR0.WP=1 behaviour).
+const (
+	PTEPresent  uint32 = 1 << 0
+	PTEWritable uint32 = 1 << 1
+	PTEUser     uint32 = 1 << 2
+	PTEAccessed uint32 = 1 << 3
+	PTEDirty    uint32 = 1 << 4
+
+	PageShift = 12
+	PageSize  = 1 << PageShift
+	PageMask  = PageSize - 1
+)
+
+// Opcodes. The encoding forms are:
+//
+//	R-type:  op[31:26] rd[25:22] rs1[21:18] rs2[17:14] zero[13:0]
+//	I-type:  op[31:26] a[25:22]  b[21:18]   imm18[17:0] (sign- or zero-extended per op)
+//	J-type:  op[31:26] rd[25:22] imm22[21:0] (signed word offset)
+//
+// For I-type ALU ops and loads, a=rd, b=rs1. For stores, a=rs2 (data),
+// b=rs1 (base). For branches, a=rs1, b=rs2, imm18 = signed word offset
+// relative to the next instruction.
+const (
+	OpInvalid = 0 // all-zero words are undefined instructions
+
+	// R-type ALU.
+	OpADD  = 1
+	OpSUB  = 2
+	OpAND  = 3
+	OpOR   = 4
+	OpXOR  = 5
+	OpSHL  = 6
+	OpSHR  = 7
+	OpSRA  = 8
+	OpMUL  = 9
+	OpDIVU = 10
+	OpREMU = 11
+	OpSLT  = 12 // rd = (rs1 < rs2) signed ? 1 : 0
+	OpSLTU = 13
+
+	// I-type ALU.
+	OpADDI = 14 // imm sign-extended
+	OpANDI = 15 // imm zero-extended
+	OpORI  = 16 // imm zero-extended
+	OpXORI = 17 // imm zero-extended
+	OpSHLI = 18
+	OpSHRI = 19
+	OpSRAI = 20
+	OpLUI  = 21 // rd = imm18 << 14
+
+	// Loads and stores (I-type).
+	OpLW  = 22
+	OpLH  = 23
+	OpLHU = 24
+	OpLB  = 25
+	OpLBU = 26
+	OpSW  = 27
+	OpSH  = 28
+	OpSB  = 29
+
+	// Branches (I-type, word offset).
+	OpBEQ  = 30
+	OpBNE  = 31
+	OpBLT  = 32
+	OpBGE  = 33
+	OpBLTU = 34
+	OpBGEU = 35
+
+	// Jumps.
+	OpJAL  = 36 // J-type
+	OpJALR = 37 // I-type: rd = PC+4; PC = rs1 + imm
+
+	// System.
+	OpSYSCALL = 38
+	OpBRK     = 39
+	OpIRET    = 40 // privileged
+	OpHLT     = 41 // privileged
+	OpCLI     = 42 // privileged
+	OpSTI     = 43 // privileged
+	OpMOVCR   = 44 // privileged: rd = CR[imm]
+	OpMOVRC   = 45 // privileged: CR[imm] = rs1 (I-type with a=unused, b=rs1)
+	OpTLBINV  = 46 // privileged: flush TLB
+
+	// Port I/O (require CPL0 or an I/O-bitmap grant).
+	OpIN  = 47 // rd = port[rs1]
+	OpOUT = 48 // port[rs1] = rs2 (R-type: rs1=port, rs2=value)
+
+	// String operations (x86 REP MOVS/STOS analogues). Operands are fixed:
+	// r1 = destination VA, r2 = source VA (MOVS) or fill byte (STOS),
+	// r3 = byte count. Registers advance as the copy proceeds, so a page
+	// fault mid-copy resumes correctly after the fault is serviced.
+	OpMOVS = 49
+	OpSTOS = 50
+
+	NumOpcodes = 51
+)
+
+// Instruction field extraction.
+
+// Opcode returns the opcode field of an encoded instruction word.
+func Opcode(w uint32) uint32 { return w >> 26 }
+
+// Rd returns the rd/a field.
+func Rd(w uint32) int { return int((w >> 22) & 0xF) }
+
+// Rs1 returns the rs1/b field.
+func Rs1(w uint32) int { return int((w >> 18) & 0xF) }
+
+// Rs2 returns the rs2 field of an R-type instruction.
+func Rs2(w uint32) int { return int((w >> 14) & 0xF) }
+
+// Imm18 returns the sign-extended 18-bit immediate of an I-type instruction.
+func Imm18(w uint32) int32 { return int32(w<<14) >> 14 }
+
+// Imm18U returns the zero-extended 18-bit immediate.
+func Imm18U(w uint32) uint32 { return w & 0x3FFFF }
+
+// Imm22 returns the sign-extended 22-bit immediate of a J-type instruction.
+func Imm22(w uint32) int32 { return int32(w<<10) >> 10 }
+
+// Immediate range limits.
+const (
+	MaxImm18  = 1<<17 - 1
+	MinImm18  = -(1 << 17)
+	MaxImm18U = 1<<18 - 1
+	MaxImm22  = 1<<21 - 1
+	MinImm22  = -(1 << 21)
+)
+
+// EncodeR encodes an R-type instruction.
+func EncodeR(op uint32, rd, rs1, rs2 int) uint32 {
+	return op<<26 | uint32(rd&0xF)<<22 | uint32(rs1&0xF)<<18 | uint32(rs2&0xF)<<14
+}
+
+// EncodeI encodes an I-type instruction. The immediate is truncated to 18
+// bits; the assembler range-checks before calling.
+func EncodeI(op uint32, a, b int, imm int32) uint32 {
+	return op<<26 | uint32(a&0xF)<<22 | uint32(b&0xF)<<18 | (uint32(imm) & 0x3FFFF)
+}
+
+// EncodeJ encodes a J-type instruction.
+func EncodeJ(op uint32, rd int, imm int32) uint32 {
+	return op<<26 | uint32(rd&0xF)<<22 | (uint32(imm) & 0x3FFFFF)
+}
+
+// Mnemonics indexed by opcode.
+var mnemonics = [NumOpcodes]string{
+	OpInvalid: "invalid",
+	OpADD:     "add", OpSUB: "sub", OpAND: "and", OpOR: "or", OpXOR: "xor",
+	OpSHL: "shl", OpSHR: "shr", OpSRA: "sra", OpMUL: "mul",
+	OpDIVU: "divu", OpREMU: "remu", OpSLT: "slt", OpSLTU: "sltu",
+	OpADDI: "addi", OpANDI: "andi", OpORI: "ori", OpXORI: "xori",
+	OpSHLI: "shli", OpSHRI: "shri", OpSRAI: "srai", OpLUI: "lui",
+	OpLW: "lw", OpLH: "lh", OpLHU: "lhu", OpLB: "lb", OpLBU: "lbu",
+	OpSW: "sw", OpSH: "sh", OpSB: "sb",
+	OpBEQ: "beq", OpBNE: "bne", OpBLT: "blt", OpBGE: "bge",
+	OpBLTU: "bltu", OpBGEU: "bgeu",
+	OpJAL: "jal", OpJALR: "jalr",
+	OpSYSCALL: "syscall", OpBRK: "brk", OpIRET: "iret", OpHLT: "hlt",
+	OpCLI: "cli", OpSTI: "sti", OpMOVCR: "movcr", OpMOVRC: "movrc",
+	OpTLBINV: "tlbinv", OpIN: "in", OpOUT: "out", OpMOVS: "movs", OpSTOS: "stos",
+}
+
+// Mnemonic returns the assembler mnemonic for an opcode.
+func Mnemonic(op uint32) string {
+	if op < NumOpcodes {
+		return mnemonics[op]
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
+// OpByMnemonic maps a mnemonic back to its opcode.
+func OpByMnemonic(m string) (uint32, bool) {
+	op, ok := opLookup[m]
+	return op, ok
+}
+
+var opLookup = func() map[string]uint32 {
+	m := make(map[string]uint32, NumOpcodes)
+	for op := uint32(1); op < NumOpcodes; op++ {
+		m[mnemonics[op]] = op
+	}
+	return m
+}()

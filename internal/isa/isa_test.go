@@ -1,0 +1,192 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNames(t *testing.T) {
+	if RegName(RegZero) != "zero" || RegName(RegSP) != "sp" || RegName(RegLR) != "lr" {
+		t.Fatalf("special register names wrong: %q %q %q",
+			RegName(RegZero), RegName(RegSP), RegName(RegLR))
+	}
+	if RegName(5) != "r5" {
+		t.Fatalf("RegName(5) = %q", RegName(5))
+	}
+}
+
+func TestCPLRoundTrip(t *testing.T) {
+	for _, cpl := range []uint32{CPLMonitor, CPLKernel, 2, CPLUser} {
+		psr := WithCPL(PSRIF|PSRTF, cpl)
+		if CPL(psr) != cpl {
+			t.Errorf("CPL(WithCPL(psr,%d)) = %d", cpl, CPL(psr))
+		}
+		if psr&PSRIF == 0 || psr&PSRTF == 0 {
+			t.Errorf("WithCPL clobbered flag bits: %08x", psr)
+		}
+	}
+}
+
+func TestWithCPLProperty(t *testing.T) {
+	f := func(psr uint32, cpl uint8) bool {
+		c := uint32(cpl) & 3
+		out := WithCPL(psr, c)
+		return CPL(out) == c && out&^PSRCPL == psr&^PSRCPL
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRFields(t *testing.T) {
+	w := EncodeR(OpADD, 3, 7, 12)
+	if Opcode(w) != OpADD || Rd(w) != 3 || Rs1(w) != 7 || Rs2(w) != 12 {
+		t.Fatalf("R-type field mismatch: op=%d rd=%d rs1=%d rs2=%d",
+			Opcode(w), Rd(w), Rs1(w), Rs2(w))
+	}
+}
+
+func TestEncodeIImmediateSignExtension(t *testing.T) {
+	for _, imm := range []int32{0, 1, -1, MaxImm18, MinImm18, 12345, -54321} {
+		w := EncodeI(OpADDI, 1, 2, imm)
+		if got := Imm18(w); got != imm {
+			t.Errorf("Imm18 round trip: want %d got %d", imm, got)
+		}
+	}
+}
+
+func TestEncodeJImmediate(t *testing.T) {
+	for _, imm := range []int32{0, 1, -1, MaxImm22, MinImm22} {
+		w := EncodeJ(OpJAL, RegLR, imm)
+		if got := Imm22(w); got != imm {
+			t.Errorf("Imm22 round trip: want %d got %d", imm, got)
+		}
+		if Rd(w) != RegLR {
+			t.Errorf("J-type rd: want %d got %d", RegLR, Rd(w))
+		}
+	}
+}
+
+// Property: every I-type encode/extract pair is inverse over the full
+// 18-bit signed range and every register combination.
+func TestEncodeIProperty(t *testing.T) {
+	f := func(a, b uint8, imm int32) bool {
+		imm = imm % (MaxImm18 + 1)
+		ra, rb := int(a)&0xF, int(b)&0xF
+		w := EncodeI(OpLW, ra, rb, imm)
+		return Opcode(w) == OpLW && Rd(w) == ra && Rs1(w) == rb && Imm18(w) == imm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMnemonicRoundTrip(t *testing.T) {
+	for op := uint32(1); op < NumOpcodes; op++ {
+		m := Mnemonic(op)
+		back, ok := OpByMnemonic(m)
+		if !ok || back != op {
+			t.Errorf("mnemonic round trip failed for op %d (%q)", op, m)
+		}
+	}
+}
+
+func TestCRNameRoundTrip(t *testing.T) {
+	for cr := 0; cr < NumCRs; cr++ {
+		idx, ok := CRByName(CRName(cr))
+		if !ok || idx != cr {
+			t.Errorf("CR name round trip failed for %d (%q)", cr, CRName(cr))
+		}
+	}
+	if _, ok := CRByName("nonsense"); ok {
+		t.Error("CRByName accepted nonsense")
+	}
+}
+
+func TestCauseClassification(t *testing.T) {
+	faults := []uint32{CauseUD, CausePriv, CauseIOPerm, CausePFNotPres,
+		CausePFProt, CauseAlign, CauseBusError, CauseBRK}
+	for _, c := range faults {
+		if !IsFault(c) {
+			t.Errorf("%s should be a fault", CauseName(c))
+		}
+	}
+	for _, c := range []uint32{CauseSyscall, CauseStep, CauseIRQBase, CauseIRQBase + 5} {
+		if IsFault(c) {
+			t.Errorf("%s should not be a fault", CauseName(c))
+		}
+	}
+	if !IsIRQ(CauseIRQBase) || !IsIRQ(CauseIRQBase+15) || IsIRQ(CauseIRQBase+16) || IsIRQ(CauseSyscall) {
+		t.Error("IsIRQ boundaries wrong")
+	}
+	if CauseName(CauseIRQBase+5) != "IRQ5" {
+		t.Errorf("IRQ cause name: %s", CauseName(CauseIRQBase+5))
+	}
+}
+
+func TestDisassembleForms(t *testing.T) {
+	cases := []struct {
+		w    uint32
+		pc   uint32
+		want string
+	}{
+		{EncodeR(OpADD, 1, 2, 3), 0, "add     r1, r2, r3"},
+		{EncodeI(OpADDI, 1, 0, -5), 0, "addi    r1, zero, -5"},
+		{EncodeI(OpLW, 2, RegSP, 8), 0, "lw      r2, 8(sp)"},
+		{EncodeI(OpSW, 2, RegSP, -4), 0, "sw      r2, -4(sp)"},
+		{EncodeI(OpBEQ, 1, 2, 3), 0x100, "beq     r1, r2, 0x110"},
+		{EncodeJ(OpJAL, RegLR, -4), 0x100, "jal     lr, 0xf4"},
+		{EncodeR(OpHLT, 0, 0, 0), 0, "hlt"},
+		{EncodeI(OpMOVCR, 3, 0, CRCause), 0, "movcr   r3, cause"},
+		{EncodeI(OpMOVRC, 0, 4, CRPtbr), 0, "movrc   ptbr, r4"},
+	}
+	for _, c := range cases {
+		got := Disassemble(c.pc, c.w)
+		if got != c.want {
+			t.Errorf("Disassemble(%08x): got %q want %q", c.w, got, c.want)
+		}
+	}
+}
+
+// Property: the disassembler never panics and always names a known
+// mnemonic or .word for arbitrary instruction words.
+func TestDisassembleTotal(t *testing.T) {
+	f := func(pc, w uint32) bool {
+		s := Disassemble(pc, w)
+		return s != "" && !strings.Contains(s, "%!")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpCyclesPositive(t *testing.T) {
+	for op := uint32(1); op < NumOpcodes; op++ {
+		if OpCycles(op) == 0 {
+			t.Errorf("OpCycles(%s) = 0", Mnemonic(op))
+		}
+	}
+}
+
+func TestCycleConversions(t *testing.T) {
+	if s := CyclesToSeconds(ClockHz); s != 1.0 {
+		t.Fatalf("one clock-second = %v s", s)
+	}
+	if c := SecondsToCycles(0.5); c != ClockHz/2 {
+		t.Fatalf("half second = %d cycles", c)
+	}
+}
+
+func TestStringOpCycles(t *testing.T) {
+	if MOVSCycles(0) != CycMOVSBase {
+		t.Error("MOVS base cost wrong")
+	}
+	// 1.5 cycles/byte.
+	if got := MOVSCycles(1000) - CycMOVSBase; got != 1500 {
+		t.Errorf("MOVS(1000) marginal = %d, want 1500", got)
+	}
+	if got := STOSCycles(1000) - CycSTOSBase; got != 1000 {
+		t.Errorf("STOS(1000) marginal = %d, want 1000", got)
+	}
+}

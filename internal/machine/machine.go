@@ -1,0 +1,460 @@
+// Package machine composes the target machine of the reproduction: an HX32
+// CPU, physical memory, the PC/AT-style device complement (PIC, PIT, two
+// UARTs, three SCSI HBAs, a gigabit NIC), and a discrete-event virtual
+// clock. Everything runs in virtual cycles at 1.26 GHz, so CPU-load
+// measurements are deterministic and independent of host speed.
+//
+// The machine is VMM-agnostic: a monitor attaches through three hooks —
+// the CPU trap diverter, the interrupt sink (the monitor owns the physical
+// PIC), and the idle hook (for polling the debug channel) — which is the
+// same seam the paper's lightweight monitor occupies beneath an unmodified
+// guest OS.
+package machine
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"time"
+
+	"lvmm/internal/asm"
+	"lvmm/internal/bus"
+	"lvmm/internal/cpu"
+	"lvmm/internal/hw"
+	"lvmm/internal/hw/nic"
+	"lvmm/internal/hw/pic"
+	"lvmm/internal/hw/pit"
+	"lvmm/internal/hw/scsi"
+	"lvmm/internal/hw/uart"
+	"lvmm/internal/netsim"
+)
+
+// DefaultRAMBytes is the installed memory of the reference machine.
+const DefaultRAMBytes = 64 << 20
+
+// Config parameterizes machine construction.
+type Config struct {
+	// RAMBytes is physical memory size; 0 selects DefaultRAMBytes.
+	RAMBytes int
+	// DiskData supplies disk contents per HBA index; nil disks read zeros.
+	DiskData [3]scsi.DataFunc
+	// FrameSink receives NIC transmissions; nil discards.
+	FrameSink nic.FrameSink
+	// ResetPC is the CPU reset vector (where the kernel image begins).
+	ResetPC uint32
+}
+
+// StopReason explains why Run returned.
+type StopReason int
+
+const (
+	// StopLimit: the cycle limit was reached.
+	StopLimit StopReason = iota
+	// StopGuestDone: the guest wrote the simctl DONE register.
+	StopGuestDone
+	// StopWedged: the CPU took an unrecoverable fault cascade.
+	StopWedged
+	// StopRequested: RequestStop was called (debugger, monitor, harness).
+	StopRequested
+	// StopDeadlock: CPU halted with interrupts off and no pending events.
+	StopDeadlock
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopLimit:
+		return "cycle limit"
+	case StopGuestDone:
+		return "guest done"
+	case StopWedged:
+		return "cpu wedged"
+	case StopRequested:
+		return "stop requested"
+	case StopDeadlock:
+		return "deadlock"
+	}
+	return fmt.Sprintf("reason(%d)", int(r))
+}
+
+// Machine is the composed target.
+type Machine struct {
+	Bus  *bus.Bus
+	CPU  *cpu.CPU
+	PIC  *pic.PIC
+	PIT  *pit.PIT
+	Dbg  *uart.UART // monitor/debug channel (paper's communication device)
+	Cons *uart.UART // guest console
+	SCSI [3]*scsi.HBA
+	NIC  *nic.NIC
+
+	// Console accumulates guest console output.
+	Console bytes.Buffer
+
+	clock   uint64
+	idle    uint64
+	monitor uint64 // cycles charged by an attached monitor
+	events  eventQueue
+	seq     uint64
+
+	irqSink   func(line int)
+	idleHook  func()
+	guestIdle bool
+
+	stopped    bool
+	stopReason StopReason
+	exitCode   uint32
+
+	// GuestCounters are the simctl scratch registers the guest reports
+	// results through (bytes queued, underruns, ...).
+	GuestCounters [8]uint32
+
+	// IdleSleep, when nonzero, throttles idle iterations with a real
+	// sleep so an interactive target (serving a live debugger over TCP)
+	// neither spins a host core nor races through virtual time faster
+	// than the debugger can type. Leave zero for batch runs and tests.
+	IdleSleep time.Duration
+
+	pollCountdown int
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) *Machine {
+	ram := cfg.RAMBytes
+	if ram == 0 {
+		ram = DefaultRAMBytes
+	}
+	m := &Machine{}
+	m.Bus = bus.New(ram)
+	m.CPU = cpu.New(m.Bus, cfg.ResetPC)
+	m.CPU.ClockFn = func() uint64 { return m.clock }
+
+	m.PIC = pic.New()
+	m.Bus.MapPorts(hw.PortPic, hw.PortWindow, m.PIC)
+
+	m.PIT = pit.New(m, func() { m.PIC.Raise(hw.IRQPit) })
+	m.Bus.MapPorts(hw.PortPit, hw.PortWindow, m.PIT)
+
+	m.Dbg = uart.New(nil)
+	m.Bus.MapPorts(hw.PortDebug, hw.PortWindow, m.Dbg)
+	m.Cons = uart.New(func(b byte) { m.Console.WriteByte(b) })
+	m.Bus.MapPorts(hw.PortCons, hw.PortWindow, m.Cons)
+
+	scsiIRQ := [3]int{hw.IRQScsi0, hw.IRQScsi1, hw.IRQScsi2}
+	scsiPort := [3]uint16{hw.PortScsi0, hw.PortScsi1, hw.PortScsi2}
+	for i := 0; i < 3; i++ {
+		data := cfg.DiskData[i]
+		if data == nil {
+			data = func(lba uint32, buf []byte) {
+				for j := range buf {
+					buf[j] = 0
+				}
+			}
+		}
+		line := scsiIRQ[i]
+		m.SCSI[i] = scsi.New(m, func() { m.PIC.Raise(line) }, m.Bus, data)
+		m.Bus.MapPorts(scsiPort[i], hw.PortWindow, m.SCSI[i])
+	}
+
+	sink := cfg.FrameSink
+	if sink == nil {
+		sink = func([]byte, uint64) {}
+	}
+	m.NIC = nic.New(m, func() { m.PIC.Raise(hw.IRQNic) }, m.Bus, sink)
+	m.Bus.MapPorts(hw.PortNic, hw.PortWindow, m.NIC)
+
+	m.Bus.MapPorts(hw.PortSimctl, hw.PortWindow, (*simctl)(m))
+	return m
+}
+
+// NewStreaming builds the standard evaluation machine: three disks filled
+// with the striped volume pattern for the given block size, and a
+// validating receiver on the wire.
+func NewStreaming(blockBytes uint32, recv *netsim.Receiver, resetPC uint32) *Machine {
+	cfg := Config{ResetPC: resetPC}
+	for i := 0; i < 3; i++ {
+		disk := uint64(i)
+		cfg.DiskData[i] = func(lba uint32, buf []byte) {
+			// Disk i stores volume blocks i, i+3, i+6, ... contiguously.
+			diskOff := uint64(lba) * scsi.SectorSize
+			blk := diskOff / uint64(blockBytes)
+			inBlk := diskOff % uint64(blockBytes)
+			volOff := (blk*3+disk)*uint64(blockBytes) + inBlk
+			netsim.FillPattern(buf, volOff)
+		}
+	}
+	if recv != nil {
+		cfg.FrameSink = recv.Deliver
+	}
+	return New(cfg)
+}
+
+// Scheduler interface (hw.Scheduler).
+
+// Now returns the current virtual cycle.
+func (m *Machine) Now() uint64 { return m.clock }
+
+// After schedules fn at Now()+delay.
+func (m *Machine) After(delay uint64, fn func()) {
+	m.seq++
+	heap.Push(&m.events, &event{cycle: m.clock + delay, seq: m.seq, fn: fn})
+}
+
+// Monitor attachment hooks.
+
+// SetIRQSink gives a monitor ownership of physical interrupts: every
+// deliverable PIC line is acked and passed to sink instead of being
+// vectored into the guest. Pass nil to restore architectural delivery.
+func (m *Machine) SetIRQSink(sink func(line int)) { m.irqSink = sink }
+
+// SetIdleHook installs a function called when the machine idles (guest
+// halted); monitors use it to poll the debug channel.
+func (m *Machine) SetIdleHook(h func()) { m.idleHook = h }
+
+// SetGuestIdle marks the guest as idle (monitor emulating a trapped HLT).
+// The machine advances virtual time to the next event, charging idle.
+func (m *Machine) SetGuestIdle(v bool) { m.guestIdle = v }
+
+// GuestIdle reports the monitor-emulated idle state.
+func (m *Machine) GuestIdle() bool { return m.guestIdle }
+
+// ChargeMonitor accounts cycles spent in an attached monitor (world
+// switches, emulation work). Monitor time is busy time: it advances the
+// clock without touching the idle counter.
+func (m *Machine) ChargeMonitor(cycles uint64) {
+	m.clock += cycles
+	m.monitor += cycles
+}
+
+// ChargeIdle advances the clock, counting the time as idle.
+func (m *Machine) ChargeIdle(cycles uint64) {
+	m.clock += cycles
+	m.idle += cycles
+}
+
+// Accounting.
+
+// Clock returns total elapsed cycles.
+func (m *Machine) Clock() uint64 { return m.clock }
+
+// IdleCycles returns cycles spent with the CPU halted.
+func (m *Machine) IdleCycles() uint64 { return m.idle }
+
+// MonitorCycles returns cycles charged by an attached monitor.
+func (m *Machine) MonitorCycles() uint64 { return m.monitor }
+
+// BusyCycles returns non-idle cycles.
+func (m *Machine) BusyCycles() uint64 { return m.clock - m.idle }
+
+// CPULoad returns the busy fraction since reset (0..1).
+func (m *Machine) CPULoad() float64 {
+	if m.clock == 0 {
+		return 0
+	}
+	return float64(m.BusyCycles()) / float64(m.clock)
+}
+
+// RequestStop makes Run return with StopRequested.
+func (m *Machine) RequestStop() {
+	m.stopped = true
+	m.stopReason = StopRequested
+}
+
+// ExitCode returns the guest's simctl DONE value.
+func (m *Machine) ExitCode() uint32 { return m.exitCode }
+
+// LoadImage copies an assembled image into physical memory.
+func (m *Machine) LoadImage(img *asm.Image) error {
+	if !m.Bus.LoadImage(img.Start, img.Data) {
+		return fmt.Errorf("machine: image [0x%x,0x%x) exceeds RAM", img.Start, img.Start+uint32(len(img.Data)))
+	}
+	return nil
+}
+
+// Run executes until the clock reaches limit or a stop condition occurs.
+func (m *Machine) Run(limit uint64) StopReason {
+	m.stopped = false
+	for m.clock < limit && !m.stopped {
+		m.fireDue()
+		if m.stopped {
+			break
+		}
+
+		// External input (debugger bytes) arrives asynchronously; poll at
+		// coarse granularity to keep the hot loop cheap.
+		m.pollCountdown--
+		if m.pollCountdown <= 0 {
+			m.pollCountdown = 4096
+			m.pollExternal()
+		}
+
+		// Interrupt delivery: a monitor owns the PIC if attached.
+		if line, ok := m.PIC.Pending(); ok {
+			if m.irqSink != nil {
+				m.PIC.Ack(line)
+				m.irqSink(line)
+				continue
+			}
+			if m.CPU.PSR&1 != 0 { // PSR.IF
+				m.PIC.Ack(line)
+				res := m.CPU.DeliverIRQ(line)
+				m.clock += res.Cycles
+				continue
+			}
+		}
+
+		if m.CPU.Halted() || m.guestIdle || m.CPU.Wedged() {
+			if m.CPU.Wedged() {
+				m.stopReason = StopWedged
+				return m.stopReason
+			}
+			if len(m.events) == 0 {
+				// Nothing will ever happen; idle to the limit in poll-sized
+				// slices so a debugger can still get in.
+				if m.idleSlice(limit) {
+					continue
+				}
+				m.stopReason = StopLimit
+				return m.stopReason
+			}
+			next := m.events[0].cycle
+			if next > limit {
+				next = limit
+			}
+			if next > m.clock {
+				m.ChargeIdle(next - m.clock)
+			}
+			m.pollExternal()
+			if m.idleHook != nil {
+				m.idleHook()
+			}
+			if m.IdleSleep > 0 {
+				time.Sleep(m.IdleSleep)
+			}
+			continue
+		}
+
+		res := m.CPU.Step()
+		m.clock += res.Cycles
+		if res.Wedged {
+			m.stopReason = StopWedged
+			return m.stopReason
+		}
+	}
+	if m.stopped {
+		return m.stopReason
+	}
+	m.stopReason = StopLimit
+	return StopLimit
+}
+
+// idleSlice advances idle time by up to 1 ms virtual, polling external
+// input. Returns true if the machine should continue running.
+func (m *Machine) idleSlice(limit uint64) bool {
+	const slice = 1_260_000 // 1 ms at 1.26 GHz
+	step := uint64(slice)
+	if m.clock+step > limit {
+		step = limit - m.clock
+	}
+	if step == 0 {
+		return false
+	}
+	m.ChargeIdle(step)
+	m.pollExternal()
+	if m.idleHook != nil {
+		m.idleHook()
+	}
+	if m.IdleSleep > 0 {
+		time.Sleep(m.IdleSleep)
+	}
+	return true
+}
+
+// pollExternal propagates asynchronous device input into interrupt lines.
+func (m *Machine) pollExternal() {
+	if m.Dbg.RxPending() {
+		m.PIC.Raise(hw.IRQDebug)
+	}
+	if m.Cons.RxPending() {
+		m.PIC.Raise(hw.IRQCons)
+	}
+}
+
+// fireDue runs all events scheduled at or before the current clock.
+func (m *Machine) fireDue() {
+	for len(m.events) > 0 && m.events[0].cycle <= m.clock {
+		e := heap.Pop(&m.events).(*event)
+		e.fn()
+	}
+}
+
+// StepOne executes exactly one guest instruction (debugger single-step).
+// Interrupts are not delivered and due events do not fire, so the step is
+// purely the next instruction.
+func (m *Machine) StepOne() cpu.StepResult {
+	res := m.CPU.Step()
+	m.clock += res.Cycles
+	return res
+}
+
+// event queue (min-heap on cycle, FIFO within a cycle).
+
+type event struct {
+	cycle uint64
+	seq   uint64
+	fn    func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].cycle != q[j].cycle {
+		return q[i].cycle < q[j].cycle
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// simctl is the harness measurement tap: a magic port window the guest
+// writes completion status and result counters through. It is not part of
+// the modelled hardware (its accesses cost normal port-I/O cycles but are
+// granted to all configurations).
+type simctl Machine
+
+// Simctl register offsets.
+const (
+	SimctlDone     = 0 // write: exit code; stops the machine
+	SimctlCounter0 = 1 // +1..+8: result counters
+)
+
+func (s *simctl) PortRead(port uint16) uint32 {
+	idx := int(port&0xF) - SimctlCounter0
+	if idx >= 0 && idx < len(s.GuestCounters) {
+		return s.GuestCounters[idx]
+	}
+	return 0
+}
+
+func (s *simctl) PortWrite(port uint16, v uint32) {
+	off := port & 0xF
+	if off == SimctlDone {
+		m := (*Machine)(s)
+		m.exitCode = v
+		m.stopped = true
+		m.stopReason = StopGuestDone
+		return
+	}
+	idx := int(off) - SimctlCounter0
+	if idx >= 0 && idx < len(s.GuestCounters) {
+		s.GuestCounters[idx] = v
+	}
+}

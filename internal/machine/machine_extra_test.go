@@ -1,0 +1,126 @@
+package machine
+
+import (
+	"testing"
+
+	"lvmm/internal/asm"
+	"lvmm/internal/isa"
+)
+
+func TestRequestStop(t *testing.T) {
+	m := New(Config{ResetPC: 0x1000})
+	loadKernel(t, m, ".org 0x1000\n_start:\nloop: b loop\n")
+	m.After(1000, func() { m.RequestStop() })
+	if reason := m.Run(10_000_000); reason != StopRequested {
+		t.Fatalf("reason %v", reason)
+	}
+	if m.Clock() > 100_000 {
+		t.Fatalf("ran long after stop: %d", m.Clock())
+	}
+}
+
+func TestLoadImageTooLarge(t *testing.T) {
+	m := New(Config{RAMBytes: 4096, ResetPC: 0})
+	img := asm.MustAssemble(".org 0x800\n.space 0x1000\nend: nop\n")
+	if err := m.LoadImage(img); err == nil {
+		t.Fatal("oversized image accepted")
+	}
+}
+
+func TestConsoleInputInterruptsGuest(t *testing.T) {
+	m := New(Config{ResetPC: 0x1000})
+	loadKernel(t, m, `
+        .equ CONS_DATA, 0x2F8
+        .equ CONS_IER,  0x2FA
+        .equ PIC_CMD,   0x20
+        .equ PIC_MASK,  0x21
+        .equ VTAB,      0x4000
+        .org 0x1000
+        _start:
+            li   r1, VTAB
+            movrc vbar, r1
+            la   r2, cons_irq
+            sw   r2, (16+3)*4(r1)     ; IRQ3: console UART
+            li   r1, 0x8000
+            movrc ksp, r1
+            li   r1, PIC_MASK
+            li   r2, 0xFFF7           ; unmask IRQ3
+            out  r1, r2
+            li   r1, CONS_IER
+            li   r2, 1                ; enable RX interrupt
+            out  r1, r2
+            sti
+        wait:
+            hlt
+            b    wait
+        cons_irq:
+            li   r1, CONS_DATA
+            in   r2, r1               ; read the byte
+            li   r1, 0xF1
+            out  r1, r2               ; counter0 = received byte
+            li   r1, 0xF0
+            out  r1, zero
+            iret
+    `)
+	m.Cons.InjectRX([]byte{'X'})
+	if reason := m.Run(isa.ClockHz); reason != StopGuestDone {
+		t.Fatalf("reason %v pc=%08x", reason, m.CPU.PC)
+	}
+	if m.GuestCounters[0] != 'X' {
+		t.Fatalf("guest received %q", byte(m.GuestCounters[0]))
+	}
+}
+
+func TestStepOneAdvancesClock(t *testing.T) {
+	m := New(Config{ResetPC: 0x1000})
+	loadKernel(t, m, ".org 0x1000\n_start: addi r1, zero, 5\n hlt\n")
+	before := m.Clock()
+	res := m.StepOne()
+	if res.Cycles == 0 || m.Clock() != before+res.Cycles {
+		t.Fatalf("clock %d -> %d, cycles %d", before, m.Clock(), res.Cycles)
+	}
+	if m.CPU.Regs[1] != 5 {
+		t.Fatal("instruction did not execute")
+	}
+}
+
+func TestMonitorCycleAccounting(t *testing.T) {
+	m := New(Config{ResetPC: 0x1000})
+	loadKernel(t, m, ".org 0x1000\n_start: hlt\n")
+	m.ChargeMonitor(1000)
+	m.ChargeIdle(500)
+	if m.MonitorCycles() != 1000 || m.IdleCycles() != 500 {
+		t.Fatalf("monitor=%d idle=%d", m.MonitorCycles(), m.IdleCycles())
+	}
+	if m.BusyCycles() != 1000 {
+		t.Fatalf("busy=%d", m.BusyCycles())
+	}
+	if m.CPULoad() <= 0.6 || m.CPULoad() >= 0.7 {
+		t.Fatalf("load=%v", m.CPULoad())
+	}
+}
+
+func TestGuestIdleFlag(t *testing.T) {
+	m := New(Config{ResetPC: 0x1000})
+	loadKernel(t, m, ".org 0x1000\n_start:\nloop: b loop\n")
+	m.SetGuestIdle(true)
+	if !m.GuestIdle() {
+		t.Fatal("flag not set")
+	}
+	// With guest idle, the busy loop must not execute.
+	m.Run(1_000_000)
+	if m.CPU.Stat.Instructions != 0 {
+		t.Fatalf("guest executed %d instructions while idle", m.CPU.Stat.Instructions)
+	}
+	if m.IdleCycles() == 0 {
+		t.Fatal("no idle time charged")
+	}
+}
+
+func TestStopReasonStrings(t *testing.T) {
+	for _, r := range []StopReason{StopLimit, StopGuestDone, StopWedged, StopRequested, StopDeadlock} {
+		if r.String() == "" {
+			t.Fatalf("reason %d has no name", int(r))
+		}
+	}
+}

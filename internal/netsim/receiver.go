@@ -1,0 +1,96 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lvmm/internal/isa"
+)
+
+// Receiver is the host at the far end of the gigabit link. It validates
+// every frame the guest transmits (headers, checksums, sequence numbers,
+// payload pattern) and measures the achieved transfer rate in virtual time.
+//
+// Each UDP payload begins with an 8-byte trailer the guest stamps:
+// a 32-bit sequence number and the 32-bit volume offset of the segment;
+// the remaining payload bytes must match the volume pattern.
+type Receiver struct {
+	// Stats.
+	Frames        uint64
+	PayloadBytes  uint64 // UDP payload bytes (transfer-rate numerator)
+	WireBytes     uint64 // frame + wire overhead bytes
+	FirstCycle    uint64
+	LastCycle     uint64
+	SeqErrors     uint64
+	PatternErrors uint64
+	ParseErrors   uint64
+	ChecksumBad   uint64
+
+	nextSeq   uint32
+	lastError string
+}
+
+// NewReceiver creates an empty receiver.
+func NewReceiver() *Receiver { return &Receiver{} }
+
+// StampLen is the per-segment metadata the guest writes at the start of
+// each UDP payload: sequence number and volume offset.
+const StampLen = 8
+
+// Deliver consumes one transmitted frame at the given virtual cycle.
+func (r *Receiver) Deliver(frame []byte, cycle uint64) {
+	if r.Frames == 0 {
+		r.FirstCycle = cycle
+	}
+	r.LastCycle = cycle
+	r.Frames++
+	r.WireBytes += uint64(len(frame) + WireOverhead)
+
+	p, err := ParseFrame(frame)
+	if err != nil {
+		r.ParseErrors++
+		r.lastError = err.Error()
+		return
+	}
+	if !p.UDPChecksumOK {
+		r.ChecksumBad++
+		r.lastError = "bad UDP checksum"
+		return
+	}
+	r.PayloadBytes += uint64(len(p.Payload))
+	if len(p.Payload) < StampLen {
+		r.ParseErrors++
+		r.lastError = "payload shorter than stamp"
+		return
+	}
+	seq := binary.LittleEndian.Uint32(p.Payload[0:4])
+	volOff := binary.LittleEndian.Uint32(p.Payload[4:8])
+	if seq != r.nextSeq {
+		r.SeqErrors++
+		r.lastError = fmt.Sprintf("sequence %d, expected %d", seq, r.nextSeq)
+		r.nextSeq = seq
+	}
+	r.nextSeq++
+	if i := CheckPattern(p.Payload[StampLen:], uint64(volOff)+StampLen); i >= 0 {
+		r.PatternErrors++
+		r.lastError = fmt.Sprintf("pattern mismatch at payload offset %d (vol 0x%x)", i+StampLen, volOff)
+	}
+}
+
+// Clean reports whether every delivered frame validated.
+func (r *Receiver) Clean() bool {
+	return r.ParseErrors == 0 && r.SeqErrors == 0 && r.PatternErrors == 0 && r.ChecksumBad == 0
+}
+
+// LastError describes the most recent validation failure, if any.
+func (r *Receiver) LastError() string { return r.lastError }
+
+// RateMbps returns the achieved UDP payload rate in megabits per second
+// over a measurement window of the given virtual cycles.
+func (r *Receiver) RateMbps(windowCycles uint64) float64 {
+	if windowCycles == 0 {
+		return 0
+	}
+	secs := isa.CyclesToSeconds(windowCycles)
+	return float64(r.PayloadBytes) * 8 / 1e6 / secs
+}

@@ -1,0 +1,52 @@
+package perfmodel
+
+import "testing"
+
+func TestLightweightIsLighter(t *testing.T) {
+	lw, h := Lightweight(), Hosted()
+	if lw.WorldSwitchIn >= h.WorldSwitchIn || lw.WorldSwitchOut >= h.WorldSwitchOut {
+		t.Fatal("lightweight world switches must be cheaper than hosted")
+	}
+	if lw.HostedIOSyscall != 0 {
+		t.Fatal("lightweight monitor has no hosted-I/O round trip")
+	}
+	if h.HostedIOSyscall == 0 {
+		t.Fatal("hosted monitor must pay the host-OS round trip")
+	}
+	if lw.CopyCost(1024) != 0 {
+		t.Fatal("lightweight data path is zero-copy")
+	}
+	if h.CopyCost(1024) == 0 {
+		t.Fatal("hosted DMA must charge bounce copies")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := Lightweight()
+	if c.RoundTrip(0) != c.WorldSwitchIn+c.WorldSwitchOut {
+		t.Fatal("bare round trip")
+	}
+	if c.RoundTrip(2) != c.WorldSwitchIn+c.WorldSwitchOut+2*c.Emulate {
+		t.Fatal("round trip with emulation")
+	}
+}
+
+func TestCopyCostScales(t *testing.T) {
+	h := Hosted()
+	if h.CopyCost(2000) != 2*h.CopyCost(1000) {
+		t.Fatal("copy cost not linear")
+	}
+}
+
+// The calibration contract: the cost models must keep the paper's
+// saturation ordering reachable (per-trap lightweight cost around an
+// order of magnitude below hosted).
+func TestCalibrationOrdering(t *testing.T) {
+	lw, h := Lightweight(), Hosted()
+	lwTrap := lw.RoundTrip(1)
+	hostedTrap := h.RoundTrip(1) + h.HostedIOSyscall
+	if hostedTrap < 3*lwTrap {
+		t.Fatalf("hosted per-trap %d should be several times lightweight %d",
+			hostedTrap, lwTrap)
+	}
+}

@@ -1,0 +1,160 @@
+package vmm
+
+import (
+	"strings"
+	"testing"
+
+	"lvmm/internal/guest"
+	"lvmm/internal/isa"
+	"lvmm/internal/machine"
+	"lvmm/internal/netsim"
+)
+
+// runHostedStream runs the streaming workload under the hosted VMM.
+func runHostedStream(t *testing.T, rate float64, ticks uint32) (*machine.Machine, *VMM, *netsim.Receiver) {
+	t.Helper()
+	p := guest.DefaultParams(rate)
+	p.DurationTicks = ticks
+	p.CsumOffload = false // the hosted virtual NIC has no engine
+	p.Coalesce = 1
+	recv := netsim.NewReceiver()
+	m := machine.NewStreaming(p.BlockBytes, recv, guest.KernelBase)
+	entry, err := guest.Prepare(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Attach(m, Config{Mode: Hosted})
+	if err := v.Launch(entry); err != nil {
+		t.Fatal(err)
+	}
+	reason := m.Run(uint64(ticks+400) * isa.ClockHz / 100)
+	if reason != machine.StopGuestDone {
+		t.Fatalf("stop %v pc=%08x", reason, m.CPU.PC)
+	}
+	return m, v, recv
+}
+
+func TestHostedStreamingCorrectness(t *testing.T) {
+	_, v, recv := runHostedStream(t, 20, 20)
+	if !recv.Clean() {
+		t.Fatalf("hosted stream invalid: %s", recv.LastError())
+	}
+	if recv.Frames == 0 {
+		t.Fatal("no frames")
+	}
+	// Every SCSI/NIC register access was forwarded, not passed through.
+	if v.Stats.IOForwarded == 0 {
+		t.Fatal("no forwarded I/O under full emulation")
+	}
+	// Bounce-buffer copies were charged for DMA.
+	if v.Stats.HostedCopies == 0 {
+		t.Fatal("no bounce copies charged")
+	}
+}
+
+func TestHostedGuestComputesChecksumsInSoftware(t *testing.T) {
+	// The receiver verifies checksums; with the NIC engine disabled the
+	// only way the stream validates is the guest's software path.
+	_, _, recv := runHostedStream(t, 15, 15)
+	if !recv.Clean() {
+		t.Fatalf("software checksums wrong: %s", recv.LastError())
+	}
+	if recv.ChecksumBad != 0 {
+		t.Fatalf("%d bad checksums", recv.ChecksumBad)
+	}
+}
+
+func TestHostedCostsDominateBusyTime(t *testing.T) {
+	m, _, _ := runHostedStream(t, 100, 20) // far beyond hosted capacity
+	share := float64(m.MonitorCycles()) / float64(m.BusyCycles())
+	if share < 0.8 {
+		t.Fatalf("monitor share %.2f; hosted emulation should dominate", share)
+	}
+}
+
+func TestHostedSlowerThanLightweight(t *testing.T) {
+	mh, _, rh := runHostedStream(t, 300, 25)
+	hosted := rh.RateMbps(mh.Clock())
+
+	p := guest.DefaultParams(300)
+	p.DurationTicks = 25
+	recv := netsim.NewReceiver()
+	m := machine.NewStreaming(p.BlockBytes, recv, guest.KernelBase)
+	entry, err := guest.Prepare(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Attach(m, Config{Mode: Lightweight})
+	if err := v.Launch(entry); err != nil {
+		t.Fatal(err)
+	}
+	if r := m.Run(uint64(425) * isa.ClockHz / 100); r != machine.StopGuestDone {
+		t.Fatalf("lw stop %v", r)
+	}
+	lw := recv.RateMbps(m.Clock())
+
+	if lw < hosted*3 {
+		t.Fatalf("lightweight (%.0f) should be several times hosted (%.0f)", lw, hosted)
+	}
+}
+
+// TestGuestProgramsVirtualPIT: the guest's PIT accesses never reach the
+// physical timer — they program the monitor's virtual PIT, which drives
+// virtual ticks with correct timing.
+func TestGuestProgramsVirtualPIT(t *testing.T) {
+	m, v, _ := runHostedStream(t, 15, 10)
+	// Physical PIT was never enabled.
+	if m.PIT.Ticks() != 0 {
+		t.Fatalf("physical PIT ticked %d times", m.PIT.Ticks())
+	}
+	// Yet the guest completed its 10 paced ticks (vPIT worked).
+	res := guest.ReadResults(m)
+	if res.Ticks != 10 {
+		t.Fatalf("guest saw %d ticks", res.Ticks)
+	}
+	_ = v
+}
+
+func TestVirtualPITReadback(t *testing.T) {
+	// A guest that reads back its virtual PIT programming through the
+	// monitor's emulation.
+	m, v := launch(t, Lightweight, `
+        .org 0x1000
+        _start:
+            li   r1, 0x41        ; PIT divisor register
+            li   r2, 1193
+            out  r1, r2
+            in   r3, r1          ; read back through the virtual PIT
+            li   r1, 0x43        ; tick-count register
+            in   r4, r1
+            li   r1, 0xF0
+            out  r1, zero
+    `)
+	if reason := m.Run(isa.ClockHz); reason != machine.StopGuestDone {
+		t.Fatalf("stop %v", reason)
+	}
+	if m.CPU.Regs[3] != 1193 {
+		t.Fatalf("virtual PIT divisor readback %d", m.CPU.Regs[3])
+	}
+	if m.CPU.Regs[4] != 0 {
+		t.Fatalf("virtual PIT ticks %d before enable", m.CPU.Regs[4])
+	}
+	if v.Stats.IOEmulated < 3 {
+		t.Fatalf("emulated accesses %d", v.Stats.IOEmulated)
+	}
+}
+
+func TestMonitorStringRendering(t *testing.T) {
+	_, v := launch(t, Hosted, `
+        .org 0x1000
+        _start:
+            li r1, 0xF0
+            out r1, zero
+    `)
+	s := v.String()
+	for _, want := range []string{"hosted full-emulation VMM", "guest memory", "traps="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

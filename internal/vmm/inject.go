@@ -1,0 +1,71 @@
+package vmm
+
+import "lvmm/internal/isa"
+
+// Virtual trap and interrupt delivery: the monitor mirrors the hardware's
+// architectural trap sequence against the guest's *virtual* control
+// registers and vector table — the "interruption-controller emulator /
+// interruption-handling table" of Figure 2.1.
+
+// tryInject delivers the highest-priority pending virtual interrupt if
+// the guest currently accepts interrupts.
+func (v *VMM) tryInject() {
+	if v.frozen || !v.vIF {
+		return
+	}
+	line, ok := v.vpic.Pending()
+	if !ok {
+		return
+	}
+	v.vpic.Ack(line)
+	v.charge(v.cost.Inject)
+	v.inject(isa.CauseIRQBase+uint32(line), 0, v.m.CPU.PC)
+}
+
+// inject performs the architectural trap-entry sequence into the guest:
+// the exact mirror of cpu.DeliverTrap, but against the virtual CR file
+// and with the guest's deprivileged ring mapping.
+func (v *VMM) inject(cause, vaddr, epc uint32) {
+	c := v.m.CPU
+
+	idx := cause
+	if idx >= isa.NumVectors {
+		idx = isa.CauseUD
+	}
+	handler, ok := c.ReadVirt32(v.vcr[isa.CRVbar] + idx*4)
+	if !ok || handler == 0 {
+		// The guest's vector table is unusable: virtual double fault.
+		if cause == isa.CauseDouble {
+			// Virtual triple fault. On bare hardware the machine would
+			// reset; below a monitor the guest is frozen for post-mortem
+			// debugging — the stability property in action.
+			v.Stats.DoubleFaults++
+			v.debugStop(isa.CauseDouble, epc)
+			return
+		}
+		v.Stats.DoubleFaults++
+		v.vcr[isa.CRVaddr] = cause
+		v.inject(isa.CauseDouble, vaddr, epc)
+		return
+	}
+
+	if v.vCPL != 0 {
+		v.vcr[isa.CRUsp] = c.Regs[isa.RegSP]
+		c.Regs[isa.RegSP] = v.vcr[isa.CRKsp]
+	}
+	v.vcr[isa.CREpc] = epc
+	v.vcr[isa.CRCause] = cause
+	v.vcr[isa.CRVaddr] = vaddr
+	v.vcr[isa.CREstatus] = v.guestPSR()
+	v.vCPL = 0
+	v.vIF = false
+	c.PSR = isa.WithCPL(0, isa.CPLKernel)
+	c.PC = handler
+
+	v.vHalted = false
+	v.updateIdle()
+	v.Stats.Injections++
+	// The guest pays the architectural vectoring cost it would have paid
+	// on bare hardware.
+	v.charge(isa.CycTrapEntry)
+}

@@ -1,0 +1,200 @@
+package vmm
+
+import (
+	"fmt"
+
+	"lvmm/internal/isa"
+)
+
+// Direct paging (the "lightweight mechanism protecting memory regions" of
+// §2): the guest's page tables are used by the hardware as-is, but the
+// monitor validates them on installation and write-protects them, so the
+// guest can never construct a mapping into monitor memory. Combined with
+// the monitor-built boot tables — which identity-map guest memory only —
+// monitor state is unreachable from any context the guest can run in,
+// yielding three protection levels on two-level hardware:
+//
+//	level 3 (app):    user pages only (hardware U/S bit)
+//	level 2 (kernel): all guest pages (supervisor)
+//	level 1 (monitor): no mapping exists below the monitor; unreachable
+//
+// buildBootTables constructs the monitor's identity tables in the monitor
+// region itself.
+func (v *VMM) buildBootTables() error {
+	ram := v.m.Bus.RAMSize()
+	if v.guestTop >= ram {
+		return fmt.Errorf("vmm: guest memory top 0x%x must leave a monitor region below 0x%x", v.guestTop, ram)
+	}
+	// Place the boot tables at the bottom of the monitor region.
+	pd := v.guestTop
+	ptBase := pd + isa.PageSize
+	nPT := (v.guestTop + (1 << 22) - 1) >> 22 // page tables needed
+	if ptBase+nPT*isa.PageSize > ram {
+		return fmt.Errorf("vmm: monitor region too small for boot tables")
+	}
+	bus := v.m.Bus
+	// Zero the directory.
+	for i := uint32(0); i < 1024; i++ {
+		bus.Write32(pd+i*4, 0)
+	}
+	for t := uint32(0); t < nPT; t++ {
+		pt := ptBase + t*isa.PageSize
+		bus.Write32(pd+t*4, pt|isa.PTEPresent|isa.PTEWritable|isa.PTEUser)
+		for i := uint32(0); i < 1024; i++ {
+			pa := t<<22 | i<<isa.PageShift
+			var pte uint32
+			if pa < v.guestTop {
+				// Supervisor (guest kernel) read-write identity mapping.
+				// Not user-accessible: before the guest installs its own
+				// tables there is no guest userspace.
+				pte = pa | isa.PTEPresent | isa.PTEWritable
+			}
+			bus.Write32(pt+i*4, pte)
+		}
+	}
+	v.bootPT = pd
+	return nil
+}
+
+// installGuestPTBR emulates the guest's privileged PTBR load: validate the
+// tables, record their frames, and switch the hardware onto them.
+// val is the raw register value: bits 31..12 page-directory frame,
+// bit 0 paging enable. Returns false when the tables were rejected (a
+// protection fault has been injected into the guest).
+func (v *VMM) installGuestPTBR(val uint32) bool {
+	v.vcr[isa.CRPtbr] = val
+	if val&1 == 0 {
+		// Guest "disabled paging": physically impossible below a monitor;
+		// fall back to the boot identity tables, which give the guest the
+		// same flat view. The guest cannot tell the difference (its PTBR
+		// reads come from the virtual CR file).
+		v.m.CPU.CR[isa.CRPtbr] = v.bootPT | 1
+		v.m.CPU.FlushTLB()
+		return true
+	}
+	pd := val &^ uint32(isa.PageMask)
+	if err := v.validateGuestTables(pd); err != nil {
+		// A malformed table is a guest bug the monitor must survive:
+		// record a violation and reflect a page fault at the guest's
+		// current PC rather than installing an unsafe mapping.
+		v.Stats.Violations++
+		if v.onViolation != nil {
+			v.onViolation(pd)
+		}
+		v.Stats.GuestFaults++
+		v.inject(isa.CausePFProt, pd, v.m.CPU.PC)
+		return false
+	}
+	v.m.CPU.CR[isa.CRPtbr] = pd | 1
+	v.m.CPU.FlushTLB()
+	return true
+}
+
+// validateGuestTables walks a candidate page directory and enforces the
+// monitor's invariants:
+//
+//  1. every frame referenced (tables and mappings) lies in guest memory;
+//  2. no virtual address maps a page-table page writable (the tables are
+//     write-protected so updates trap into direct paging).
+func (v *VMM) validateGuestTables(pd uint32) error {
+	bus := v.m.Bus
+	if pd+isa.PageSize > v.guestTop {
+		return fmt.Errorf("page directory 0x%x outside guest memory", pd)
+	}
+	pages := map[uint32]bool{pd: true}
+	// First pass: collect table frames and check mapping targets.
+	for i := uint32(0); i < 1024; i++ {
+		pde, ok := bus.Read32(pd + i*4)
+		if !ok {
+			return fmt.Errorf("page directory unreadable")
+		}
+		if pde&isa.PTEPresent == 0 {
+			continue
+		}
+		pt := pde &^ uint32(isa.PageMask)
+		if pt+isa.PageSize > v.guestTop {
+			return fmt.Errorf("page table 0x%x outside guest memory", pt)
+		}
+		pages[pt] = true
+		for j := uint32(0); j < 1024; j++ {
+			pte, ok := bus.Read32(pt + j*4)
+			if !ok {
+				return fmt.Errorf("page table unreadable")
+			}
+			if pte&isa.PTEPresent == 0 {
+				continue
+			}
+			frame := pte &^ uint32(isa.PageMask)
+			if frame+isa.PageSize > v.guestTop {
+				return fmt.Errorf("mapping 0x%x targets monitor memory 0x%x",
+					(i<<22)|(j<<isa.PageShift), frame)
+			}
+		}
+		v.Stats.PTValidations++
+		v.charge(v.cost.PTValidate)
+	}
+	// Second pass: no writable alias of any table frame.
+	for i := uint32(0); i < 1024; i++ {
+		pde, _ := bus.Read32(pd + i*4)
+		if pde&isa.PTEPresent == 0 {
+			continue
+		}
+		pt := pde &^ uint32(isa.PageMask)
+		pdeW := pde&isa.PTEWritable != 0
+		for j := uint32(0); j < 1024; j++ {
+			pte, _ := bus.Read32(pt + j*4)
+			if pte&isa.PTEPresent == 0 {
+				continue
+			}
+			frame := pte &^ uint32(isa.PageMask)
+			if pages[frame] && pdeW && pte&isa.PTEWritable != 0 {
+				return fmt.Errorf("page table frame 0x%x mapped writable at va 0x%x",
+					frame, (i<<22)|(j<<isa.PageShift))
+			}
+		}
+	}
+	v.ptPages = pages
+	return nil
+}
+
+// emulatePTWrite services a direct-paging update: the guest stored to a
+// write-protected page-table page. The monitor decodes the store,
+// validates the new entry, applies it, and invalidates the TLB.
+func (v *VMM) emulatePTWrite(vaddr, pa, epc uint32) {
+	c := v.m.CPU
+	w, ok := c.ReadVirt32(epc)
+	if !ok || isa.Opcode(w) != isa.OpSW {
+		// Only word stores may update page tables (PTEs are words);
+		// anything else is reflected as the protection fault it is.
+		v.Stats.GuestFaults++
+		v.inject(isa.CausePFProt, vaddr, epc)
+		return
+	}
+	newPTE := c.Regs[isa.Rd(w)] // store data register (a field)
+	frame := newPTE &^ uint32(isa.PageMask)
+	if newPTE&isa.PTEPresent != 0 {
+		if frame+isa.PageSize > v.guestTop {
+			// Attempt to map monitor memory: the canonical three-level-
+			// protection violation.
+			v.Stats.Violations++
+			if v.onViolation != nil {
+				v.onViolation(frame)
+			}
+			v.Stats.GuestFaults++
+			v.inject(isa.CausePFProt, vaddr, epc)
+			return
+		}
+		if v.ptPages[frame] && newPTE&isa.PTEWritable != 0 {
+			// Attempt to gain a writable alias of a page table.
+			v.Stats.Violations++
+			v.Stats.GuestFaults++
+			v.inject(isa.CausePFProt, vaddr, epc)
+			return
+		}
+	}
+	v.m.Bus.Write32(pa, newPTE)
+	c.FlushTLB()
+	v.Stats.PTWrites++
+	v.charge(v.cost.PTValidate)
+	c.PC = epc + 4
+}

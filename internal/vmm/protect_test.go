@@ -1,0 +1,146 @@
+package vmm
+
+import (
+	"testing"
+
+	"lvmm/internal/guest"
+	"lvmm/internal/isa"
+	"lvmm/internal/machine"
+)
+
+// runProtect boots the protection kernel for a scenario, optionally under
+// the lightweight VMM, and returns the kernel's report.
+func runProtect(t *testing.T, scenario uint32, underVMM bool) (guest.ProtectResults, *VMM, *machine.Machine) {
+	t.Helper()
+	m := machine.New(machine.Config{ResetPC: guest.KernelBase})
+	entry, err := guest.PrepareProtect(m, scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v *VMM
+	if underVMM {
+		v = Attach(m, Config{Mode: Lightweight})
+		if err := v.Launch(entry); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		m.CPU.Reset(entry)
+	}
+	reason := m.Run(200_000_000)
+	if reason != machine.StopGuestDone {
+		t.Fatalf("%s: stop=%v pc=%08x", guest.ProtectScenarioName(scenario), reason, m.CPU.PC)
+	}
+	return guest.ReadProtectResults(m), v, m
+}
+
+// TestThreeLevelProtectionSyscalls: level 3 → level 2 transition works on
+// both platforms; the kernel counts exactly five syscalls.
+func TestThreeLevelProtectionSyscalls(t *testing.T) {
+	for _, vmmOn := range []bool{false, true} {
+		res, _, _ := runProtect(t, guest.ScenarioSyscalls, vmmOn)
+		if res.Syscalls != 5 {
+			t.Errorf("vmm=%v: syscalls = %d, want 5", vmmOn, res.Syscalls)
+		}
+	}
+}
+
+// TestThreeLevelProtectionAppVsKernel: the hardware U/S bit stops the
+// application from writing kernel memory, identically with and without
+// the monitor; the fault arrives from CPL3.
+func TestThreeLevelProtectionAppVsKernel(t *testing.T) {
+	for _, vmmOn := range []bool{false, true} {
+		res, _, m := runProtect(t, guest.ScenarioAppHitsKernel, vmmOn)
+		if res.Cause != isa.CausePFProt {
+			t.Errorf("vmm=%v: cause %s, want protection fault", vmmOn, isa.CauseName(res.Cause))
+		}
+		if res.FaultVaddr != 0x2000 {
+			t.Errorf("vmm=%v: vaddr %x", vmmOn, res.FaultVaddr)
+		}
+		if res.FaultCPL != isa.CPLUser {
+			t.Errorf("vmm=%v: faulting CPL %d, want user", vmmOn, res.FaultCPL)
+		}
+		// The kernel memory was not modified.
+		if w, _ := m.CPU.ReadVirt32(0x2000); w == 0xBAD {
+			t.Errorf("vmm=%v: kernel memory modified by app", vmmOn)
+		}
+	}
+}
+
+// TestThreeLevelProtectionAppVsMonitor: the application cannot name
+// monitor memory at all.
+func TestThreeLevelProtectionAppVsMonitor(t *testing.T) {
+	res, v, _ := runProtect(t, guest.ScenarioAppHitsMon, true)
+	if res.Cause != isa.CausePFNotPres {
+		t.Errorf("cause %s", isa.CauseName(res.Cause))
+	}
+	if res.FaultVaddr != 0x3C00000 {
+		t.Errorf("vaddr %x", res.FaultVaddr)
+	}
+	if v.Stats.Violations == 0 {
+		t.Error("monitor did not record the violation")
+	}
+}
+
+// TestThreeLevelProtectionKernelVsMonitor: the *kernel* — supervisor on
+// two-level hardware — still cannot reach monitor memory: the third
+// protection level the paper claims.
+func TestThreeLevelProtectionKernelVsMonitor(t *testing.T) {
+	res, v, m := runProtect(t, guest.ScenarioKernelHitsMon, true)
+	if res.Cause != isa.CausePFNotPres {
+		t.Errorf("cause %s", isa.CauseName(res.Cause))
+	}
+	if res.FaultCPL != 0 {
+		t.Errorf("faulting CPL %d, want (virtual) kernel", res.FaultCPL)
+	}
+	if v.Stats.Violations == 0 {
+		t.Error("violation not recorded")
+	}
+	if w, _ := m.Bus.Read32(0x3C00000); w == 0xBAD {
+		t.Error("monitor memory modified")
+	}
+	// The marker written on the fall-through path must be absent.
+	if res.FaultCPL == 0x66 {
+		t.Error("kernel write to monitor region succeeded")
+	}
+}
+
+// TestDirectPagingRemap: a legitimate page-table update by the guest
+// kernel traps into the monitor (the tables are write-protected), is
+// validated, applied, and takes effect.
+func TestDirectPagingRemap(t *testing.T) {
+	res, v, _ := runProtect(t, guest.ScenarioPTRemap, true)
+	if res.Value != 0xCAFE {
+		t.Fatalf("remapped read returned %#x, want 0xCAFE", res.Value)
+	}
+	if v.Stats.PTWrites == 0 {
+		t.Error("monitor did not emulate the PTE write")
+	}
+}
+
+// TestDirectPagingRemapBareMetal: on real hardware the same kernel code
+// faults on its own write-protected tables — the monitor's direct paging
+// is what makes the update work transparently. (A bare kernel would keep
+// its tables writable; the loader write-protects them for monitor
+// compatibility, so here the write faults.)
+func TestDirectPagingRemapBareMetal(t *testing.T) {
+	res, _, _ := runProtect(t, guest.ScenarioPTRemap, false)
+	if res.Cause != isa.CausePFProt {
+		t.Fatalf("cause %s, want protection fault on the RO page table", isa.CauseName(res.Cause))
+	}
+}
+
+// TestDirectPagingRejectsMonitorMapping: the attack the paper's mechanism
+// exists to stop — the kernel forging a PTE that maps monitor memory.
+// The monitor must refuse and reflect a fault; the mapping must not work.
+func TestDirectPagingRejectsMonitorMapping(t *testing.T) {
+	res, v, _ := runProtect(t, guest.ScenarioPTMapMonitor, true)
+	if res.Value == 0x66 {
+		t.Fatal("monitor-mapping attack succeeded")
+	}
+	if res.Cause != isa.CausePFProt {
+		t.Errorf("cause %s, want reflected protection fault", isa.CauseName(res.Cause))
+	}
+	if v.Stats.Violations == 0 {
+		t.Error("attack not recorded as a violation")
+	}
+}

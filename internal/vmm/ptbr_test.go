@@ -1,0 +1,166 @@
+package vmm
+
+import (
+	"testing"
+
+	"lvmm/internal/isa"
+	"lvmm/internal/machine"
+)
+
+// Tests for the monitor's page-table installation validation: the guest's
+// PTBR load is the moment the monitor decides whether a table is safe.
+
+// ptbrKernel loads PTBR from a fixed location (0x7F0) after installing a
+// fault handler that records cause/vaddr and reports done.
+const ptbrKernel = `
+        .equ VTAB, 0x4000
+        .org 0x1000
+        _start:
+            li   sp, 0x9000
+            li   r1, VTAB
+            movrc vbar, r1
+            la   r2, vec
+            li   r3, 32
+        vfill:
+            sw   r2, 0(r1)
+            addi r1, r1, 4
+            addi r3, r3, -1
+            bnez r3, vfill
+            li   r1, 0x8000
+            movrc ksp, r1
+            lw   r1, 0x7F0(zero)     ; candidate PTBR from the harness
+            movrc ptbr, r1
+            ; if installation succeeded, prove translation works
+            li   r1, 0x2000
+            lw   r2, 0(r1)
+            li   r1, 0xF1
+            li   r2, 1               ; counter0 = 1: installed fine
+            out  r1, r2
+            b    done
+        vec:
+            movcr r10, cause
+            li   r1, 0xF7
+            out  r1, r10             ; counter6 = cause
+            movcr r10, vaddr
+            li   r1, 0xF8
+            out  r1, r10             ; counter7 = vaddr
+        done:
+            li   r1, 0xF0
+            out  r1, zero
+    `
+
+// buildTables writes a two-level identity map at pd covering [0, limit),
+// mapping extraVA→extraPA at the end if extraVA is nonzero, and marking
+// the table pages read-only unless tablesWritable.
+func buildTables(m *machine.Machine, pd, limit, extraVA, extraPA uint32, tablesWritable bool) {
+	bus := m.Bus
+	nPT := (limit + (1 << 22) - 1) >> 22
+	ptEnd := pd + isa.PageSize + nPT*isa.PageSize
+	for i := uint32(0); i < 1024; i++ {
+		bus.Write32(pd+i*4, 0)
+	}
+	for t := uint32(0); t < nPT; t++ {
+		pt := pd + isa.PageSize + t*isa.PageSize
+		bus.Write32(pd+t*4, pt|isa.PTEPresent|isa.PTEWritable|isa.PTEUser)
+		for i := uint32(0); i < 1024; i++ {
+			pa := t<<22 | i<<isa.PageShift
+			var pte uint32
+			if pa < limit {
+				pte = pa | isa.PTEPresent | isa.PTEWritable
+				if pa >= pd && pa < ptEnd && !tablesWritable {
+					pte = pa | isa.PTEPresent
+				}
+			}
+			bus.Write32(pt+i*4, pte)
+		}
+	}
+	if extraVA != 0 {
+		pt := pd + isa.PageSize + (extraVA>>22)*isa.PageSize
+		bus.Write32(pt+(extraVA>>12&0x3FF)*4, extraPA|isa.PTEPresent|isa.PTEWritable)
+	}
+}
+
+func runPTBRTest(t *testing.T, prep func(m *machine.Machine)) (*machine.Machine, *VMM) {
+	t.Helper()
+	m, v := launch(t, Lightweight, ptbrKernel)
+	prep(m)
+	if reason := m.Run(isa.ClockHz); reason != machine.StopGuestDone {
+		t.Fatalf("stop %v pc=%08x", reason, m.CPU.PC)
+	}
+	return m, v
+}
+
+func TestPTBRInstallValidTables(t *testing.T) {
+	m, v := runPTBRTest(t, func(m *machine.Machine) {
+		buildTables(m, 0x100000, 0x200000, 0, 0, false)
+		m.Bus.Write32(0x7F0, 0x100000|1)
+	})
+	if m.GuestCounters[0] != 1 {
+		t.Fatalf("valid tables rejected: cause=%s vaddr=%x",
+			isa.CauseName(m.GuestCounters[6]), m.GuestCounters[7])
+	}
+	if v.Stats.PTValidations == 0 {
+		t.Fatal("no validation performed")
+	}
+	// The hardware now runs on the guest's own tables.
+	if m.CPU.CR[isa.CRPtbr]&^uint32(isa.PageMask) != 0x100000 {
+		t.Fatalf("physical PTBR %x", m.CPU.CR[isa.CRPtbr])
+	}
+}
+
+func TestPTBRRejectsMonitorMapping(t *testing.T) {
+	m, v := runPTBRTest(t, func(m *machine.Machine) {
+		// Identity tables that additionally map VA 0x180000 to the
+		// monitor region.
+		buildTables(m, 0x100000, 0x200000, 0x180000, 0x3C00000, false)
+		m.Bus.Write32(0x7F0, 0x100000|1)
+	})
+	if m.GuestCounters[0] == 1 {
+		t.Fatal("tables mapping monitor memory were installed")
+	}
+	if m.GuestCounters[6] != isa.CausePFProt {
+		t.Fatalf("guest saw cause %s", isa.CauseName(m.GuestCounters[6]))
+	}
+	if v.Stats.Violations == 0 {
+		t.Fatal("violation not recorded")
+	}
+}
+
+func TestPTBRRejectsWritableTables(t *testing.T) {
+	m, _ := runPTBRTest(t, func(m *machine.Machine) {
+		// Tables that map themselves writable: the guest could then forge
+		// entries without trapping — must be refused.
+		buildTables(m, 0x100000, 0x200000, 0, 0, true)
+		m.Bus.Write32(0x7F0, 0x100000|1)
+	})
+	if m.GuestCounters[0] == 1 {
+		t.Fatal("self-writable tables were installed")
+	}
+}
+
+func TestPTBRRejectsDirectoryOutsideGuest(t *testing.T) {
+	m, v := runPTBRTest(t, func(m *machine.Machine) {
+		m.Bus.Write32(0x7F0, 0x3D00000|1) // PD inside the monitor region
+	})
+	if m.GuestCounters[0] == 1 {
+		t.Fatal("monitor-region page directory accepted")
+	}
+	if v.Stats.Violations == 0 {
+		t.Fatal("violation not recorded")
+	}
+}
+
+func TestPTBRPagingOffFallsBackToBootTables(t *testing.T) {
+	m, _ := runPTBRTest(t, func(m *machine.Machine) {
+		m.Bus.Write32(0x7F0, 0) // guest "disables" paging
+	})
+	// The guest still works (boot identity tables) and believes paging is
+	// off; the monitor region stays unreachable either way.
+	if m.GuestCounters[0] != 1 {
+		t.Fatalf("paging-off guest did not run: cause=%s",
+			isa.CauseName(m.GuestCounters[6]))
+	}
+	if !m.CPU.PagingEnabled() {
+		t.Fatal("hardware translation must stay on below the monitor")
+	}
+}

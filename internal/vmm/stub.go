@@ -1,0 +1,49 @@
+package vmm
+
+import (
+	"lvmm/internal/gdbstub"
+	"lvmm/internal/hw"
+	"lvmm/internal/hw/uart"
+	"lvmm/internal/isa"
+)
+
+// EnableDebugStub hosts a GDB-RSP stub inside the monitor, wired to the
+// machine's debug UART — the complete target side of Figure 2.1. The stub
+// shares nothing with the guest: its state lives in the monitor and the
+// communication device is invisible to (and untouchable by) guest code,
+// which is what keeps debugging alive through arbitrary guest failures.
+func (v *VMM) EnableDebugStub() *gdbstub.Stub {
+	stub := gdbstub.New(v.DebugTarget(), v.m.Dbg)
+
+	// Enable the debug UART's RX interrupt so input reaches the monitor
+	// promptly while the guest runs.
+	v.m.Dbg.PortWrite(uart.RegIER, 1)
+
+	// Debug-relevant stops flow from the trap dispatcher to the stub.
+	v.SetStopSink(func(cause, addr uint32) {
+		switch cause {
+		case isa.CauseBRK:
+			stub.NotifyStop(5) // SIGTRAP
+		case isa.CauseStep, isa.CauseWatch:
+			stub.NotifyStop(5)
+		case isa.CauseDouble:
+			stub.NotifyStop(11) // SIGSEGV-flavoured: guest is unrecoverable
+		default:
+			stub.NotifyStop(11)
+		}
+	})
+
+	// Poll the communication device whenever the machine idles (guest
+	// halted or frozen) …
+	v.m.SetIdleHook(stub.Poll)
+	// … and consume debug-UART interrupts in the monitor while the guest
+	// runs; they are never forwarded to the virtual PIC.
+	v.debugIRQHook = func(line int) bool {
+		if line == hw.IRQDebug {
+			stub.Poll()
+			return true
+		}
+		return false
+	}
+	return stub
+}

@@ -1,0 +1,266 @@
+package vmm
+
+import (
+	"lvmm/internal/hw"
+	"lvmm/internal/isa"
+)
+
+// divert is the CPU trap diverter: every trap the deprivileged guest
+// raises arrives here before any architectural delivery. This is the
+// monitor's main entry point — the "Remote debugging functions +
+// emulators" box of the paper's Figure 2.1.
+func (v *VMM) divert(cause, vaddr, epc uint32) bool {
+	v.Stats.Traps++
+	v.Stats.TrapsByCause[cause]++
+	v.charge(v.cost.WorldSwitchIn)
+	defer v.charge(v.cost.WorldSwitchOut)
+
+	switch cause {
+	case isa.CausePriv:
+		v.Stats.PrivEmulated++
+		v.emulatePrivileged(vaddr, epc) // vaddr carries the instruction word
+	case isa.CauseIOPerm:
+		v.Stats.IOEmulated++
+		v.emulateIO(uint16(vaddr), epc)
+	case isa.CausePFNotPres, isa.CausePFProt:
+		v.handlePageFault(cause, vaddr, epc)
+	case isa.CauseBRK:
+		// Debugger-owned: freeze and notify. (The monitor hosts the stub,
+		// so breakpoints work even while the guest OS is broken.)
+		v.debugStop(cause, epc)
+	case isa.CauseStep:
+		v.debugStop(cause, epc)
+	case isa.CauseWatch:
+		v.debugStop(cause, vaddr)
+	case isa.CauseSyscall, isa.CauseUD, isa.CauseAlign, isa.CauseBusError:
+		// Guest-internal events: reflect through the guest's virtual
+		// vector table.
+		v.Stats.GuestFaults++
+		v.inject(cause, vaddr, epc)
+	default:
+		v.Stats.GuestFaults++
+		v.inject(cause, vaddr, epc)
+	}
+	return true
+}
+
+// emulatePrivileged handles the privileged instructions a deprivileged
+// kernel traps on: interrupt-flag manipulation, halting, trap return,
+// and control-register access.
+func (v *VMM) emulatePrivileged(w, epc uint32) {
+	c := v.m.CPU
+	next := epc + 4
+	v.charge(v.cost.Emulate)
+
+	switch isa.Opcode(w) {
+	case isa.OpCLI:
+		v.vIF = false
+		c.PC = next
+	case isa.OpSTI:
+		v.vIF = true
+		c.PC = next
+		v.tryInject()
+	case isa.OpHLT:
+		v.vHalted = true
+		c.PC = next
+		v.updateIdle()
+		v.tryInject() // an already-pending interrupt wakes immediately
+	case isa.OpIRET:
+		v.emulateIRET()
+	case isa.OpTLBINV:
+		c.FlushTLB()
+		c.PC = next
+	case isa.OpMOVCR:
+		rd := isa.Rd(w)
+		cr := int(isa.Imm18U(w))
+		var val uint32
+		switch cr {
+		case isa.CRCycleLo:
+			val = uint32(v.m.Now())
+		case isa.CRCycleHi:
+			val = uint32(v.m.Now() >> 32)
+		default:
+			if cr < isa.NumCRs {
+				val = v.vcr[cr]
+			}
+		}
+		if rd != isa.RegZero {
+			c.Regs[rd] = val
+		}
+		c.PC = next
+	case isa.OpMOVRC:
+		cr := int(isa.Imm18U(w))
+		val := c.Regs[isa.Rs1(w)]
+		switch cr {
+		case isa.CRPtbr:
+			if !v.installGuestPTBR(val) {
+				// Rejected: a fault was injected; the guest is already
+				// redirected to its handler.
+				return
+			}
+		case isa.CRCycleLo, isa.CRCycleHi:
+			// read-only
+		default:
+			if cr < isa.NumCRs {
+				v.vcr[cr] = val
+			}
+		}
+		c.PC = next
+	default:
+		// A privilege trap for anything else is a guest bug: reflect it.
+		v.Stats.GuestFaults++
+		v.inject(isa.CausePriv, w, epc)
+	}
+}
+
+// emulateIRET performs the guest's virtual trap return.
+func (v *VMM) emulateIRET() {
+	c := v.m.CPU
+	newPSR := v.vcr[isa.CREstatus]
+	c.PC = v.vcr[isa.CREpc]
+	if isa.CPL(newPSR) != 0 {
+		c.Regs[isa.RegSP] = v.vcr[isa.CRUsp]
+	}
+	v.setGuestPSR(newPSR)
+	// Interrupts that became pending while the guest had vIF off fire
+	// the moment the handler returns.
+	v.tryInject()
+}
+
+// emulateIO handles a port access the I/O bitmap denied. In lightweight
+// mode these are exactly the debug-critical devices (PIC, PIT, debug
+// UART), which are emulated; in hosted mode everything lands here and is
+// forwarded to the device models with hosted-I/O costs.
+func (v *VMM) emulateIO(port uint16, epc uint32) {
+	c := v.m.CPU
+	w, ok := c.ReadVirt32(epc)
+	if !ok {
+		// Cannot even read the faulting instruction: reflect a fault.
+		v.inject(isa.CauseBusError, epc, epc)
+		return
+	}
+	v.charge(v.cost.Emulate)
+
+	isIn := isa.Opcode(w) == isa.OpIN
+	var value uint32
+	if !isIn {
+		value = c.Regs[isa.Rs2(w)]
+	}
+
+	// Retire the instruction *before* the device access: an emulated
+	// controller write (EOI, unmask) may immediately inject a pending
+	// virtual interrupt, which must observe the post-instruction PC and
+	// must not be clobbered afterwards.
+	c.PC = epc + 4
+
+	if isIn {
+		res := v.virtualPortRead(port)
+		if rd := isa.Rd(w); rd != isa.RegZero {
+			c.Regs[rd] = res
+		}
+	} else {
+		v.virtualPortWrite(port, value)
+	}
+}
+
+// virtualPortRead services a trapped port read.
+func (v *VMM) virtualPortRead(port uint16) uint32 {
+	switch {
+	case in(port, hw.PortPic):
+		return v.vpic.PortRead(port - hw.PortPic)
+	case in(port, hw.PortPit):
+		return v.vpit.PortRead(port - hw.PortPit)
+	case in(port, hw.PortDebug):
+		// The communication device belongs to the monitor; the guest sees
+		// an absent device (floating bus).
+		v.Stats.Violations++
+		if v.onViolation != nil {
+			v.onViolation(uint32(port))
+		}
+		return 0xFFFFFFFF
+	}
+	if v.mode == Hosted {
+		// Full emulation: forward to the real device model, paying the
+		// hosted round trip.
+		v.Stats.IOForwarded++
+		v.charge(v.cost.HostedIOSyscall)
+		return v.m.Bus.ReadPort(port)
+	}
+	return 0xFFFFFFFF
+}
+
+// virtualPortWrite services a trapped port write.
+func (v *VMM) virtualPortWrite(port uint16, val uint32) {
+	switch {
+	case in(port, hw.PortPic):
+		v.vpic.PortWrite(port-hw.PortPic, val)
+		// Any controller write may unblock a pending line (EOI retires
+		// the in-service interrupt; a mask write may expose a request) —
+		// a real 8259 re-evaluates INTR continuously.
+		v.tryInject()
+		return
+	case in(port, hw.PortPit):
+		v.vpit.PortWrite(port-hw.PortPit, val)
+		return
+	case in(port, hw.PortDebug):
+		v.Stats.Violations++
+		if v.onViolation != nil {
+			v.onViolation(uint32(port))
+		}
+		return // dropped: the guest cannot disturb the debug channel
+	}
+	if v.mode == Hosted {
+		v.Stats.IOForwarded++
+		v.charge(v.cost.HostedIOSyscall)
+		v.m.Bus.WritePort(port, val)
+	}
+}
+
+// in reports whether port lies in the 16-port window at base.
+func in(port, base uint16) bool {
+	return port >= base && port < base+hw.PortWindow
+}
+
+// debugStop freezes the guest and notifies the debug stub.
+func (v *VMM) debugStop(cause, addr uint32) {
+	v.SetFrozen(true)
+	if v.stopSink != nil {
+		v.stopSink(cause, addr)
+	}
+}
+
+// handlePageFault distinguishes the three interesting cases: an attempt
+// on the monitor region (the third protection level), a direct-paging
+// write to a guest page table, and ordinary guest faults (reflected).
+func (v *VMM) handlePageFault(cause, vaddr, epc uint32) {
+	// Monitor region: physically unreachable (never mapped); a fault with
+	// a target address above the guest's memory ceiling is a containment
+	// event — the paper's stability property. Record it, tell the
+	// debugger if one is attached, and reflect the fault so the guest's
+	// own handling (or crash) proceeds under observation.
+	if vaddr >= v.guestTop {
+		v.Stats.Violations++
+		if v.onViolation != nil {
+			v.onViolation(vaddr)
+		}
+		if v.stopSink != nil {
+			v.debugStop(cause, vaddr)
+			return
+		}
+		v.Stats.GuestFaults++
+		v.inject(cause, vaddr, epc)
+		return
+	}
+
+	// Direct paging: a write-protection fault whose target is a guest
+	// page-table page is a PTE update to validate and apply.
+	if cause == isa.CausePFProt {
+		if pa, ok := v.m.CPU.TranslateDebug(vaddr); ok && v.ptPages[pa&^uint32(isa.PageMask)] {
+			v.emulatePTWrite(vaddr, pa, epc)
+			return
+		}
+	}
+
+	v.Stats.GuestFaults++
+	v.inject(cause, vaddr, epc)
+}

@@ -1,0 +1,199 @@
+package vmm
+
+import (
+	"testing"
+
+	"lvmm/internal/isa"
+	"lvmm/internal/machine"
+)
+
+// Virtualization-fidelity tests: the guest's view of the emulated devices
+// must match real-hardware semantics exactly.
+
+// TestGuestMasksVirtualPIC: a line the guest masks in the *virtual* PIC
+// is not injected, even though the physical interrupt fired and the
+// monitor intercepted it.
+func TestGuestMasksVirtualPIC(t *testing.T) {
+	m, v := launch(t, Lightweight, `
+        .equ PIC_MASK, 0x21
+        .equ VTAB, 0x4000
+        .org 0x1000
+        _start:
+            li   r1, VTAB
+            movrc vbar, r1
+            la   r2, irq_h
+            li   r3, 32
+        vfill:
+            sw   r2, 0(r1)
+            addi r1, r1, 4
+            addi r3, r3, -1
+            bnez r3, vfill
+            li   r1, 0x8000
+            movrc ksp, r1
+            ; leave ALL lines masked in the (virtual) PIC
+            li   r1, PIC_MASK
+            li   r2, 0xFFFF
+            out  r1, r2
+            sti
+            ; spin for a while with interrupts enabled but masked
+            li   r9, 0
+        spin:
+            addi r9, r9, 1
+            li   r2, 200000
+            blt  r9, r2, spin
+            li   r1, 0xF1
+            li   r2, 1              ; counter0=1: never interrupted
+            out  r1, r2
+            li   r1, 0xF0
+            out  r1, zero
+        irq_h:
+            li   r1, 0xF1
+            li   r2, 2              ; counter0=2: interrupt delivered
+            out  r1, r2
+            li   r1, 0xF0
+            out  r1, zero
+    `)
+	// Fire a physical device interrupt midway: the console UART line.
+	m.After(100_000, func() { m.PIC.Raise(3) })
+	if reason := m.Run(isa.ClockHz); reason != machine.StopGuestDone {
+		t.Fatalf("stop %v", reason)
+	}
+	if m.GuestCounters[0] != 1 {
+		t.Fatal("masked virtual interrupt was injected")
+	}
+	// The monitor did intercept the physical interrupt.
+	if v.Stats.IRQsIntercepts == 0 {
+		t.Fatal("physical interrupt not intercepted")
+	}
+	// It stays pending in the virtual PIC (IRR set, not delivered).
+	if v.Stats.Injections != 0 {
+		t.Fatalf("injections %d", v.Stats.Injections)
+	}
+}
+
+// TestGuestUnmaskDeliversPending: unmasking releases a pending virtual
+// interrupt immediately (EOI-path tryInject).
+func TestGuestUnmaskDeliversPending(t *testing.T) {
+	m, _ := launch(t, Lightweight, `
+        .equ PIC_CMD,  0x20
+        .equ PIC_MASK, 0x21
+        .equ VTAB, 0x4000
+        .org 0x1000
+        _start:
+            li   r1, VTAB
+            movrc vbar, r1
+            la   r2, irq_h
+            sw   r2, vtabslot(zero)
+            li   r1, 0x8000
+            movrc ksp, r1
+            sti
+            ; spin while the line is raised but masked
+            li   r9, 0
+        spin:
+            addi r9, r9, 1
+            li   r2, 150000
+            blt  r9, r2, spin
+            ; now unmask line 3: the pending interrupt must fire at once
+            li   r1, PIC_MASK
+            li   r2, 0xFFF7
+            out  r1, r2
+            ; a few more instructions; the handler should preempt here
+            nop
+            nop
+            li   r1, 0xF1
+            li   r2, 1              ; counter0=1: never delivered
+            out  r1, r2
+            li   r1, 0xF0
+            out  r1, zero
+        irq_h:
+            li   r1, 0xF1
+            li   r2, 2              ; counter0=2: delivered after unmask
+            out  r1, r2
+            li   r1, 0xF0
+            out  r1, zero
+        .align 4
+        .equ vtabslot, 0x4000 + (16+3)*4
+    `)
+	m.After(50_000, func() { m.PIC.Raise(3) })
+	if reason := m.Run(isa.ClockHz); reason != machine.StopGuestDone {
+		t.Fatalf("stop %v", reason)
+	}
+	if m.GuestCounters[0] != 2 {
+		t.Fatalf("pending interrupt not delivered on unmask (counter=%d)", m.GuestCounters[0])
+	}
+}
+
+// TestConsolePassthroughUnderLVMM: the console UART is on the fast path
+// (I/O bitmap grant) — guest writes reach it with zero monitor traps.
+func TestConsolePassthroughUnderLVMM(t *testing.T) {
+	m, v := launch(t, Lightweight, `
+        .org 0x1000
+        _start:
+            li   r1, 0x2F8
+            li   r2, 'H'
+            out  r1, r2
+            li   r2, 'i'
+            out  r1, r2
+            li   r1, 0xF0
+            out  r1, zero
+    `)
+	before := v.Stats.IOEmulated
+	if reason := m.Run(isa.ClockHz); reason != machine.StopGuestDone {
+		t.Fatalf("stop %v", reason)
+	}
+	if got := m.Console.String(); got != "Hi" {
+		t.Fatalf("console %q", got)
+	}
+	if v.Stats.IOEmulated != before {
+		t.Fatal("console access trapped despite pass-through grant")
+	}
+}
+
+// TestConsoleEmulatedUnderHosted: under full emulation the same guest
+// code traps, is forwarded, and still works — slower but identical.
+func TestConsoleEmulatedUnderHosted(t *testing.T) {
+	m, v := launch(t, Hosted, `
+        .org 0x1000
+        _start:
+            li   r1, 0x2F8
+            li   r2, 'H'
+            out  r1, r2
+            li   r1, 0xF0
+            out  r1, zero
+    `)
+	if reason := m.Run(isa.ClockHz); reason != machine.StopGuestDone {
+		t.Fatalf("stop %v", reason)
+	}
+	if got := m.Console.String(); got != "H" {
+		t.Fatalf("console %q", got)
+	}
+	if v.Stats.IOForwarded == 0 {
+		t.Fatal("console access should be forwarded under full emulation")
+	}
+}
+
+// TestVHLTWithInterruptsOffStaysParked: a guest that halts with virtual
+// interrupts disabled idles forever without wedging the machine — the
+// monitor (and its debug stub) keep running.
+func TestVHLTWithInterruptsOffStaysParked(t *testing.T) {
+	m, v := launch(t, Lightweight, `
+        .org 0x1000
+        _start:
+            cli
+            hlt
+            li   r1, 0xF0
+            li   r2, 0x77
+            out  r1, r2
+    `)
+	reason := m.Run(100_000_000)
+	if reason != machine.StopLimit {
+		t.Fatalf("stop %v (guest escaped hlt?)", reason)
+	}
+	if m.ExitCode() == 0x77 {
+		t.Fatal("guest resumed past hlt with vIF off")
+	}
+	if !m.GuestIdle() {
+		t.Fatal("machine not idling")
+	}
+	_ = v
+}

@@ -1,0 +1,318 @@
+// Package vmm implements the paper's contribution: a lightweight virtual
+// machine monitor that sits below an unmodified guest OS and virtualizes
+// *only* the hardware the remote-debugging function depends on — the
+// interrupt controller, the timer, the CPU's control registers and the
+// interrupt-handling table — while passing high-throughput I/O devices
+// (SCSI, NIC) straight through to the guest via the I/O-permission bitmap.
+//
+// The same machinery, configured to trap and emulate *every* device and
+// charge hosted-I/O costs, provides the conventional full-emulation VMM
+// baseline (VMware Workstation 4 in the paper's evaluation).
+//
+// Structure (paper Fig 2.1):
+//
+//	┌───────────────────────────────────────────┐
+//	│ guest OS (unmodified, deprivileged CPL1/3)│
+//	├────────────┬──────────────────────────────┤
+//	│ emulated:  │ direct access:               │
+//	│ PIC PIT    │ SCSI×3  NIC  console         │
+//	│ CRs vIVT   │ (lightweight mode only)      │
+//	├────────────┴──────────────────────────────┤
+//	│ monitor: trap dispatch, virtual interrupts,│
+//	│ direct paging, debug stub (GDB RSP)        │
+//	└───────────────────────────────────────────┘
+//
+// Three-level protection: the hardware distinguishes only supervisor
+// (CPL 0-2) from user (CPL 3) in page tables. The monitor gains its third
+// level by address-space separation — monitor memory is simply never
+// mapped in any page table the guest can run on, and the monitor validates
+// every page table the guest installs (direct paging, with guest tables
+// write-protected). Guest-kernel vs. guest-user separation continues to
+// use the hardware U/S bit.
+package vmm
+
+import (
+	"fmt"
+	"strings"
+
+	"lvmm/internal/cpu"
+	"lvmm/internal/hw"
+	"lvmm/internal/hw/pic"
+	"lvmm/internal/hw/pit"
+	"lvmm/internal/isa"
+	"lvmm/internal/machine"
+	"lvmm/internal/perfmodel"
+)
+
+// Mode selects the monitor flavour.
+type Mode int
+
+const (
+	// Lightweight is the paper's monitor: partial emulation, direct I/O.
+	Lightweight Mode = iota
+	// Hosted is the conventional baseline: full device emulation with
+	// hosted-I/O costs (the VMware Workstation 4 stand-in).
+	Hosted
+)
+
+func (m Mode) String() string {
+	if m == Hosted {
+		return "hosted full-emulation VMM"
+	}
+	return "lightweight VMM"
+}
+
+// Config parameterizes Attach.
+type Config struct {
+	Mode Mode
+	// Costs prices monitor events; zero value selects the calibrated
+	// model for the chosen mode.
+	Costs perfmodel.Costs
+	// GuestMemTop is the first byte of the monitor-owned region. The
+	// guest is told (via its boot parameters) that memory ends here.
+	// Zero selects RAM size minus 4 MB.
+	GuestMemTop uint32
+}
+
+// Stats counts monitor events, by kind.
+type Stats struct {
+	Traps          uint64 // total guest→monitor crossings (excl. interrupts)
+	TrapsByCause   map[uint32]uint64
+	PrivEmulated   uint64 // CLI/STI/HLT/IRET/MOVCR/MOVRC/TLBINV
+	IOEmulated     uint64 // trapped port accesses
+	IOForwarded    uint64 // hosted mode: accesses forwarded to real devices
+	IRQsIntercepts uint64 // physical interrupts taken by the monitor
+	Injections     uint64 // virtual traps/interrupts delivered to the guest
+	PTValidations  uint64 // page-table pages validated
+	PTWrites       uint64 // direct-paging PTE updates emulated
+	Violations     uint64 // guest attempts on monitor-owned resources
+	GuestFaults    uint64 // faults reflected into the guest
+	DoubleFaults   uint64 // guest vector table unusable during injection
+	HostedCopies   uint64 // bytes charged as bounce-buffer copies
+}
+
+// VMM is an attached monitor instance.
+type VMM struct {
+	m    *machine.Machine
+	mode Mode
+	cost perfmodel.Costs
+
+	guestTop uint32
+
+	// Virtual CPU state (the guest's view of the privileged machine).
+	vcr     [isa.NumCRs]uint32
+	vIF     bool
+	vCPL    uint32
+	vHalted bool
+
+	// Virtual devices (the partial-emulation set of §2).
+	vpic *pic.PIC
+	vpit *pit.PIT
+
+	// Direct paging state.
+	ptPages map[uint32]bool // physical frames holding guest page tables
+	bootPT  uint32          // monitor-built identity tables (in monitor region)
+
+	// Debugging.
+	frozen       bool
+	stopSink     func(cause, addr uint32) // notified on debug-relevant stops
+	onViolation  func(vaddr uint32)
+	debugIRQHook func(line int) bool // claims debug-channel interrupts
+
+	Stats Stats
+}
+
+// Attach installs a monitor beneath the machine's CPU. Call before
+// Launch; the machine must already have its kernel image loaded.
+func Attach(m *machine.Machine, cfg Config) *VMM {
+	costs := cfg.Costs
+	if costs == (perfmodel.Costs{}) {
+		if cfg.Mode == Hosted {
+			costs = perfmodel.Hosted()
+		} else {
+			costs = perfmodel.Lightweight()
+		}
+	}
+	top := cfg.GuestMemTop
+	if top == 0 {
+		top = m.Bus.RAMSize() - 4<<20
+	}
+	v := &VMM{
+		m:        m,
+		mode:     cfg.Mode,
+		cost:     costs,
+		guestTop: top,
+		vpic:     pic.New(),
+		ptPages:  map[uint32]bool{},
+	}
+	v.Stats.TrapsByCause = map[uint32]uint64{}
+	v.vpit = pit.New(m, func() { v.RaiseVirtualIRQ(hw.IRQPit) })
+
+	m.CPU.Diverter = v.divert
+	m.SetIRQSink(v.onPhysicalIRQ)
+	// The monitor owns the physical interrupt controller: unmask
+	// everything and take every interrupt; the guest sees only the
+	// virtual PIC.
+	m.PIC.SetMask(0)
+
+	// The I/O permission bitmap implements the selective trapping of §2:
+	// grant the fast path, deny the debug-critical devices.
+	var bm cpu.IOBitmap
+	bm.Allow(hw.PortSimctl, hw.PortWindow) // measurement tap, all modes
+	if cfg.Mode == Lightweight {
+		bm.Allow(hw.PortScsi0, hw.PortWindow)
+		bm.Allow(hw.PortScsi1, hw.PortWindow)
+		bm.Allow(hw.PortScsi2, hw.PortWindow)
+		bm.Allow(hw.PortNic, hw.PortWindow)
+		bm.Allow(hw.PortCons, hw.PortWindow)
+	}
+	m.CPU.SetIOBitmap(&bm)
+
+	if cfg.Mode == Hosted {
+		// The hosted VMM's virtual NIC has no checksum engine, and its
+		// emulated DMA pays bounce-buffer costs per transfer.
+		m.NIC.SetCsumOffloadDisabled(true)
+		m.NIC.OnTransmit = func(frameLen uint32) {
+			v.charge(v.cost.HostedIOSyscall + v.cost.CopyCost(frameLen))
+			v.Stats.HostedCopies += uint64(frameLen)
+		}
+		for i := range m.SCSI {
+			m.SCSI[i].OnComplete = func(bytes uint32) {
+				v.charge(v.cost.HostedIOSyscall + v.cost.CopyCost(bytes))
+				v.Stats.HostedCopies += uint64(bytes)
+			}
+		}
+	}
+	return v
+}
+
+// Machine returns the underlying machine.
+func (v *VMM) Machine() *machine.Machine { return v.m }
+
+// Mode returns the monitor flavour.
+func (v *VMM) Mode() Mode { return v.mode }
+
+// GuestMemTop returns the first monitor-owned physical byte.
+func (v *VMM) GuestMemTop() uint32 { return v.guestTop }
+
+// Launch deprivileges the guest and starts it at entry with the monitor's
+// boot page tables active (identity over guest memory, monitor region
+// unmapped — the guest always runs behind translation so the monitor
+// region is unreachable even before the guest enables its own paging).
+func (v *VMM) Launch(entry uint32) error {
+	if err := v.buildBootTables(); err != nil {
+		return err
+	}
+	c := v.m.CPU
+	c.PC = entry
+	c.PSR = isa.WithCPL(0, isa.CPLKernel)
+	c.CR[isa.CRPtbr] = v.bootPT | 1
+	c.FlushTLB()
+	v.vCPL = 0
+	v.vIF = false
+	v.vHalted = false
+	return nil
+}
+
+// charge accounts monitor cycles.
+func (v *VMM) charge(cycles uint64) { v.m.ChargeMonitor(cycles) }
+
+// guestPSR composes the PSR value the guest believes it has.
+func (v *VMM) guestPSR() uint32 {
+	p := isa.WithCPL(0, v.vCPL)
+	if v.vIF {
+		p |= isa.PSRIF
+	}
+	return p
+}
+
+// setGuestPSR applies a guest-view PSR: updates virtual state and the
+// physical CPL (virtual CPL0 runs at physical CPL1; virtual CPL3 at 3).
+func (v *VMM) setGuestPSR(p uint32) {
+	v.vIF = p&isa.PSRIF != 0
+	v.vCPL = isa.CPL(p)
+	phys := isa.CPLKernel
+	if v.vCPL == isa.CPLUser {
+		phys = isa.CPLUser
+	}
+	v.m.CPU.PSR = isa.WithCPL(0, uint32(phys))
+}
+
+// VCR returns the guest's virtual control register (debug interface).
+func (v *VMM) VCR(cr int) uint32 {
+	if cr < 0 || cr >= isa.NumCRs {
+		return 0
+	}
+	return v.vcr[cr]
+}
+
+// GuestCPL returns the guest's virtual privilege level.
+func (v *VMM) GuestCPL() uint32 { return v.vCPL }
+
+// GuestIF returns the guest's virtual interrupt-enable flag.
+func (v *VMM) GuestIF() bool { return v.vIF }
+
+// Frozen reports whether the guest is stopped for the debugger.
+func (v *VMM) Frozen() bool { return v.frozen }
+
+// SetFrozen stops or resumes guest execution (debugger run control).
+// While frozen, virtual time still advances and the monitor remains
+// responsive — the stability property of §2.
+func (v *VMM) SetFrozen(f bool) {
+	v.frozen = f
+	v.updateIdle()
+}
+
+// SetStopSink registers the debug-stop callback (breakpoints, single
+// steps, monitor-region violations reach the stub through this).
+func (v *VMM) SetStopSink(f func(cause, addr uint32)) { v.stopSink = f }
+
+// SetViolationHook registers an observer for three-level-protection
+// violations (used by tests and the crash-investigation example).
+func (v *VMM) SetViolationHook(f func(vaddr uint32)) { v.onViolation = f }
+
+func (v *VMM) updateIdle() {
+	v.m.SetGuestIdle(v.vHalted || v.frozen)
+}
+
+// onPhysicalIRQ receives every physical interrupt: the monitor owns the
+// real interrupt controller (partial emulation, §2). The line is mirrored
+// into the virtual PIC and injected when the guest allows.
+func (v *VMM) onPhysicalIRQ(line int) {
+	v.Stats.IRQsIntercepts++
+	v.charge(v.cost.WorldSwitchIn + v.cost.IRQAck)
+	if v.debugIRQHook != nil && v.debugIRQHook(line) {
+		// Debug-channel traffic is the monitor's own; retire it without
+		// involving the virtual interrupt controller.
+		v.m.PIC.EOI()
+		v.charge(v.cost.WorldSwitchOut)
+		return
+	}
+	v.vpic.Raise(line)
+	// The monitor retires the physical interrupt immediately — the
+	// guest's EOI goes to the virtual controller, never the real one.
+	v.m.PIC.EOI()
+	v.tryInject()
+	v.charge(v.cost.WorldSwitchOut)
+}
+
+// RaiseVirtualIRQ asserts a line on the virtual PIC (used by the virtual
+// PIT, whose ticks never touch physical hardware).
+func (v *VMM) RaiseVirtualIRQ(line int) {
+	v.vpic.Raise(line)
+	v.tryInject()
+}
+
+// String summarises monitor state for `monitor info` debugger commands.
+func (v *VMM) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: guest vCPL=%d vIF=%v halted=%v frozen=%v\n",
+		v.mode, v.vCPL, v.vIF, v.vHalted, v.frozen)
+	fmt.Fprintf(&b, "guest memory: 0x0-0x%x (monitor region above)\n", v.guestTop)
+	s := &v.Stats
+	fmt.Fprintf(&b, "traps=%d privEmul=%d ioEmul=%d ioFwd=%d irq=%d inject=%d\n",
+		s.Traps, s.PrivEmulated, s.IOEmulated, s.IOForwarded, s.IRQsIntercepts, s.Injections)
+	fmt.Fprintf(&b, "ptValidate=%d ptWrites=%d violations=%d reflected=%d\n",
+		s.PTValidations, s.PTWrites, s.Violations, s.GuestFaults)
+	return b.String()
+}

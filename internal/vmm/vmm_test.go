@@ -1,0 +1,326 @@
+package vmm
+
+import (
+	"testing"
+
+	"lvmm/internal/asm"
+	"lvmm/internal/isa"
+	"lvmm/internal/machine"
+)
+
+// launch assembles src, loads it, attaches a monitor in the given mode,
+// and launches the guest.
+func launch(t *testing.T, mode Mode, src string) (*machine.Machine, *VMM) {
+	t.Helper()
+	img, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := machine.New(machine.Config{ResetPC: img.Entry})
+	if err := m.LoadImage(img); err != nil {
+		t.Fatal(err)
+	}
+	v := Attach(m, Config{Mode: mode})
+	if err := v.Launch(img.Entry); err != nil {
+		t.Fatal(err)
+	}
+	return m, v
+}
+
+// tickKernel is the same guest the bare-metal machine tests run: it is
+// the paper's "works with any OS unmodified" property that this identical
+// image boots under the monitor.
+const tickKernel = `
+        .equ PIC_CMD,  0x20
+        .equ PIC_MASK, 0x21
+        .equ PIT_CTRL, 0x40
+        .equ PIT_DIV,  0x41
+        .equ SIM_DONE, 0xF0
+        .equ SIM_CTR0, 0xF1
+        .equ VTAB,     0x4000
+        .org 0x1000
+        _start:
+            li   r1, VTAB
+            movrc vbar, r1
+            la   r2, tick
+            sw   r2, 64(r1)
+            li   r1, 0x8000
+            movrc ksp, r1
+            li   r1, PIC_MASK
+            li   r2, 0xFFFE
+            out  r1, r2
+            li   r1, PIT_DIV
+            li   r2, 1193
+            out  r1, r2
+            li   r1, PIT_CTRL
+            li   r2, 1
+            out  r1, r2
+            sti
+        loop:
+            hlt
+            li   r2, 10
+            blt  r9, r2, loop
+            li   r1, SIM_CTR0
+            out  r1, r9
+            li   r1, SIM_DONE
+            li   r2, 0
+            out  r1, r2
+        tick:
+            addi r9, r9, 1
+            li   r13, PIC_CMD
+            li   r12, 0x20
+            out  r13, r12
+            iret
+    `
+
+func TestTickKernelUnderLightweightVMM(t *testing.T) {
+	m, v := launch(t, Lightweight, tickKernel)
+	reason := m.Run(isa.ClockHz)
+	if reason != machine.StopGuestDone {
+		t.Fatalf("stop: %v (pc=%08x, vmm: %s)", reason, m.CPU.PC, v)
+	}
+	if m.GuestCounters[0] != 10 {
+		t.Fatalf("ticks = %d", m.GuestCounters[0])
+	}
+	// Virtual timing preserved: ten 1 kHz ticks ≈ 10 ms.
+	ms := float64(m.Clock()) / (isa.ClockHz / 1000)
+	if ms < 9.5 || ms > 12 {
+		t.Fatalf("elapsed %.2f ms", ms)
+	}
+	// The monitor did real work: traps for PIT/PIC programming, STI,
+	// HLT×10, EOI×10, IRET×10.
+	if v.Stats.PrivEmulated < 20 {
+		t.Fatalf("privileged emulations = %d", v.Stats.PrivEmulated)
+	}
+	// PIC mask + PIT divisor + PIT ctrl + 10 EOIs.
+	if v.Stats.IOEmulated != 13 {
+		t.Fatalf("emulated port accesses = %d, want 13", v.Stats.IOEmulated)
+	}
+	if v.Stats.Injections < 10 {
+		t.Fatalf("injections = %d", v.Stats.Injections)
+	}
+	if m.MonitorCycles() == 0 {
+		t.Fatal("no monitor cycles charged")
+	}
+	// The guest never ran privileged: physical CPL was 1 or 3 throughout
+	// guest execution; at stop it is in guest context.
+	if m.CPU.CPL() == isa.CPLMonitor {
+		t.Fatalf("guest runs at physical CPL0")
+	}
+}
+
+func TestTickKernelUnderHostedVMM(t *testing.T) {
+	m, v := launch(t, Hosted, tickKernel)
+	reason := m.Run(isa.ClockHz)
+	if reason != machine.StopGuestDone {
+		t.Fatalf("stop: %v (pc=%08x)", reason, m.CPU.PC)
+	}
+	if m.GuestCounters[0] != 10 {
+		t.Fatalf("ticks = %d", m.GuestCounters[0])
+	}
+	if v.Stats.PrivEmulated == 0 {
+		t.Fatal("no emulation happened")
+	}
+}
+
+// The headline qualitative property at micro scale: the same guest is
+// costlier under the hosted VMM than under the lightweight VMM, and both
+// cost more than bare metal.
+func TestMonitorOverheadOrdering(t *testing.T) {
+	loads := map[string]float64{}
+
+	img := asm.MustAssemble(tickKernel)
+	m := machine.New(machine.Config{ResetPC: img.Entry})
+	if err := m.LoadImage(img); err != nil {
+		t.Fatal(err)
+	}
+	m.CPU.Reset(img.Entry)
+	if r := m.Run(isa.ClockHz); r != machine.StopGuestDone {
+		t.Fatalf("bare: %v", r)
+	}
+	loads["bare"] = m.CPULoad()
+
+	m2, _ := launch(t, Lightweight, tickKernel)
+	if r := m2.Run(isa.ClockHz); r != machine.StopGuestDone {
+		t.Fatalf("lightweight: %v", r)
+	}
+	loads["lw"] = m2.CPULoad()
+
+	m3, _ := launch(t, Hosted, tickKernel)
+	if r := m3.Run(isa.ClockHz); r != machine.StopGuestDone {
+		t.Fatalf("hosted: %v", r)
+	}
+	loads["hosted"] = m3.CPULoad()
+
+	if !(loads["bare"] < loads["lw"] && loads["lw"] < loads["hosted"]) {
+		t.Fatalf("load ordering violated: %v", loads)
+	}
+}
+
+func TestGuestCannotReachMonitorRegion(t *testing.T) {
+	// The guest wild-writes into the monitor region; the access must be
+	// contained (reflected as a fault the guest observes), and the
+	// monitor must record the violation.
+	m, v := launch(t, Lightweight, `
+        .equ VTAB, 0x4000
+        .org 0x1000
+        _start:
+            li   r1, VTAB
+            movrc vbar, r1
+            la   r2, vec
+            li   r3, 32
+        fill:
+            sw   r2, 0(r1)
+            addi r1, r1, 4
+            addi r3, r3, -1
+            bnez r3, fill
+            li   r1, 0x8000
+            movrc ksp, r1
+            ; wild write into monitor memory (above the guest ceiling)
+            li   r1, 0x3C00000      ; 60 MB, monitor region of a 64 MB machine
+            li   r2, 0xDEAD
+            sw   r2, 0(r1)
+            ; unreachable if fault taken
+            li   r1, 0xF1
+            li   r2, 1
+            out  r1, r2
+            b    finish
+        vec:
+            movcr r10, cause
+            movcr r11, vaddr
+        finish:
+            li   r1, 0xF0
+            out  r1, zero
+    `)
+	var violated uint32
+	v.SetViolationHook(func(va uint32) { violated = va })
+	if reason := m.Run(isa.ClockHz); reason != machine.StopGuestDone {
+		t.Fatalf("stop: %v (pc=%08x)", reason, m.CPU.PC)
+	}
+	if v.Stats.Violations == 0 {
+		t.Fatal("violation not recorded")
+	}
+	if violated != 0x3C00000 {
+		t.Fatalf("violation address = %x", violated)
+	}
+	if m.GuestCounters[0] == 1 {
+		t.Fatal("wild write did not fault")
+	}
+	// Monitor memory unchanged.
+	if w, _ := m.Bus.Read32(0x3C00000); w == 0xDEAD {
+		t.Fatal("monitor memory was modified by the guest")
+	}
+	// The guest's own fault handler observed the page fault: containment
+	// without monitor involvement in recovery.
+	if m.CPU.Regs[10] != isa.CausePFNotPres {
+		t.Fatalf("guest saw cause %s", isa.CauseName(m.CPU.Regs[10]))
+	}
+	if m.CPU.Regs[11] != 0x3C00000 {
+		t.Fatalf("guest saw vaddr %x", m.CPU.Regs[11])
+	}
+}
+
+func TestGuestCRsAreVirtual(t *testing.T) {
+	m, v := launch(t, Lightweight, `
+        .org 0x1000
+        _start:
+            li   r1, 0x1234
+            movrc scratch, r1
+            movcr r2, scratch
+            movcr r3, ptbr        ; guest sees its own (virtual) PTBR: 0
+            li   r1, 0xF0
+            out  r1, zero
+    `)
+	if reason := m.Run(isa.ClockHz); reason != machine.StopGuestDone {
+		t.Fatalf("stop: %v", reason)
+	}
+	if m.CPU.Regs[2] != 0x1234 {
+		t.Fatalf("virtual scratch = %x", m.CPU.Regs[2])
+	}
+	if m.CPU.Regs[3] != 0 {
+		t.Fatalf("guest sees physical PTBR: %x", m.CPU.Regs[3])
+	}
+	if v.VCR(isa.CRScratch) != 0x1234 {
+		t.Fatalf("vcr scratch = %x", v.VCR(isa.CRScratch))
+	}
+	// Physical CRs untouched by the guest: physical PTBR is the boot
+	// tables, not zero.
+	if m.CPU.CR[isa.CRPtbr] == 0 {
+		t.Fatal("physical PTBR should be the monitor's boot tables")
+	}
+	if m.CPU.CR[isa.CRScratch] == 0x1234 {
+		t.Fatal("guest wrote physical scratch CR")
+	}
+}
+
+func TestGuestReadsVirtualCycleCounter(t *testing.T) {
+	m, _ := launch(t, Lightweight, `
+        .org 0x1000
+        _start:
+            movcr r2, cyclo
+            movcr r3, cyclo
+            li   r1, 0xF0
+            out  r1, zero
+    `)
+	if reason := m.Run(isa.ClockHz); reason != machine.StopGuestDone {
+		t.Fatalf("stop: %v", reason)
+	}
+	if m.CPU.Regs[3] <= m.CPU.Regs[2] {
+		t.Fatalf("cycle counter not advancing: %d then %d", m.CPU.Regs[2], m.CPU.Regs[3])
+	}
+}
+
+func TestDebugChannelHiddenFromGuest(t *testing.T) {
+	m, v := launch(t, Lightweight, `
+        .org 0x1000
+        _start:
+            li   r1, 0x3F8       ; monitor's debug UART
+            li   r2, 0x41
+            out  r1, r2          ; must be dropped
+            in   r3, r1          ; must read floating bus
+            li   r1, 0xF0
+            out  r1, zero
+    `)
+	var sent []byte
+	m.Dbg.SetTX(func(b byte) { sent = append(sent, b) })
+	if reason := m.Run(isa.ClockHz); reason != machine.StopGuestDone {
+		t.Fatalf("stop: %v", reason)
+	}
+	if len(sent) != 0 {
+		t.Fatal("guest wrote to the monitor's debug channel")
+	}
+	if m.CPU.Regs[3] != 0xFFFFFFFF {
+		t.Fatalf("guest read %x from hidden device", m.CPU.Regs[3])
+	}
+	if v.Stats.Violations < 2 {
+		t.Fatalf("violations = %d", v.Stats.Violations)
+	}
+}
+
+func TestVirtualDoubleFaultFreezesGuest(t *testing.T) {
+	// No vector table: the first trap (syscall) cannot be delivered, the
+	// virtual double fault cannot either; on bare hardware this is a
+	// reset, below the monitor the guest freezes and the monitor stays
+	// alive (stability property).
+	m, v := launch(t, Lightweight, `
+        .org 0x1000
+        _start:
+            syscall
+    `)
+	var stopCause uint32
+	v.SetStopSink(func(cause, addr uint32) { stopCause = cause })
+	reason := m.Run(20_000_000)
+	if reason != machine.StopLimit {
+		t.Fatalf("stop: %v", reason)
+	}
+	if !v.Frozen() {
+		t.Fatal("guest not frozen")
+	}
+	if stopCause != isa.CauseDouble {
+		t.Fatalf("stop cause %s", isa.CauseName(stopCause))
+	}
+	// The machine kept running (idle) the whole time: monitor survives.
+	if m.Clock() < 20_000_000 {
+		t.Fatal("machine stalled")
+	}
+}

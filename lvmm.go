@@ -1,0 +1,247 @@
+// Package lvmm is the public face of the reproduction of "OS Debugging
+// Method Using a Lightweight Virtual Machine Monitor" (Takeuchi, DATE'05).
+//
+// It assembles the pieces — the simulated PC/AT-class target machine, the
+// HiTactix-stand-in guest OS, the lightweight VMM (the paper's
+// contribution), the conventional hosted-VMM baseline, and the remote
+// debugger — into three-line recipes:
+//
+//	t, _ := lvmm.NewStreamingTarget(lvmm.Lightweight, lvmm.WorkloadDefaults(200))
+//	stats, _ := t.Run()
+//	fmt.Println(stats)
+//
+// and, for debugging:
+//
+//	dbg, _ := t.Debugger()
+//	dbg.Interrupt()
+//	regs, _ := dbg.Regs()
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-reproduction results.
+package lvmm
+
+import (
+	"fmt"
+
+	"lvmm/internal/debugger"
+	"lvmm/internal/experiment"
+	"lvmm/internal/gdbstub"
+	"lvmm/internal/guest"
+	"lvmm/internal/isa"
+	"lvmm/internal/machine"
+	"lvmm/internal/netsim"
+	"lvmm/internal/vmm"
+)
+
+// Platform selects how the guest OS runs — the three systems of Fig 3.1.
+type Platform int
+
+const (
+	// BareMetal runs the guest directly at CPL0 (the paper's "real
+	// hardware" baseline).
+	BareMetal Platform = iota
+	// Lightweight runs the guest on the paper's monitor: debug-critical
+	// hardware emulated, storage and network passed through.
+	Lightweight
+	// HostedFull runs the guest on a conventional full-emulation hosted
+	// VMM (the VMware Workstation 4 baseline).
+	HostedFull
+)
+
+func (p Platform) String() string {
+	switch p {
+	case BareMetal:
+		return "bare metal"
+	case Lightweight:
+		return "lightweight VMM"
+	case HostedFull:
+		return "hosted full-emulation VMM"
+	}
+	return "unknown platform"
+}
+
+// Workload parameterizes the paper's §3 streaming evaluation: read blocks
+// from three SCSI disks at a paced rate, segment, transmit as UDP.
+type Workload struct {
+	// RateMbps is the offered transfer rate (UDP payload Mb/s).
+	RateMbps float64
+	// Seconds is the virtual run length.
+	Seconds float64
+	// SegmentBytes is the UDP payload size (power of two, default 1024).
+	SegmentBytes uint32
+	// BlockBytes is the disk read size (power of two, default 2 MB).
+	BlockBytes uint32
+	// CsumOffload advertises NIC checksum offload to the guest (ignored
+	// on HostedFull, whose virtual NIC has none).
+	CsumOffload bool
+	// Coalesce is the NIC interrupt-coalescing factor.
+	Coalesce uint32
+}
+
+// WorkloadDefaults returns the paper's workload at the given rate for a
+// half-second virtual run.
+func WorkloadDefaults(rateMbps float64) Workload {
+	return Workload{
+		RateMbps:     rateMbps,
+		Seconds:      0.5,
+		SegmentBytes: 1024,
+		BlockBytes:   2 << 20,
+		CsumOffload:  true,
+		Coalesce:     1,
+	}
+}
+
+func (w Workload) params() guest.Params {
+	p := guest.DefaultParams(w.RateMbps)
+	if w.SegmentBytes != 0 {
+		p.SegmentBytes = w.SegmentBytes
+	}
+	if w.BlockBytes != 0 {
+		p.BlockBytes = w.BlockBytes
+	}
+	p.CsumOffload = w.CsumOffload
+	if w.Coalesce != 0 {
+		p.Coalesce = w.Coalesce
+	}
+	secs := w.Seconds
+	if secs == 0 {
+		secs = 0.5
+	}
+	p.DurationTicks = uint32(secs * float64(p.TickHz))
+	if p.DurationTicks == 0 {
+		p.DurationTicks = 1
+	}
+	return p
+}
+
+// Target is a booted guest on one of the three platforms.
+type Target struct {
+	platform Platform
+	m        *machine.Machine
+	mon      *vmm.VMM
+	stub     *gdbstub.Stub
+	recv     *netsim.Receiver
+	params   guest.Params
+	entry    uint32
+}
+
+// NewStreamingTarget builds the evaluation machine (three pattern-filled
+// disks, validating receiver), loads the streaming guest configured by w,
+// and boots it on the chosen platform with the debug stub attached where
+// the platform provides one (both VMM flavours).
+func NewStreamingTarget(p Platform, w Workload) (*Target, error) {
+	params := w.params()
+	if p == HostedFull {
+		params.CsumOffload = false
+		params.Coalesce = 1
+	}
+	recv := netsim.NewReceiver()
+	m := machine.NewStreaming(params.BlockBytes, recv, guest.KernelBase)
+	entry, err := guest.Prepare(m, params)
+	if err != nil {
+		return nil, err
+	}
+	t := &Target{platform: p, m: m, recv: recv, params: params, entry: entry}
+	switch p {
+	case BareMetal:
+		m.CPU.Reset(entry)
+	case Lightweight, HostedFull:
+		mode := vmm.Lightweight
+		if p == HostedFull {
+			mode = vmm.Hosted
+		}
+		t.mon = vmm.Attach(m, vmm.Config{Mode: mode})
+		t.stub = t.mon.EnableDebugStub()
+		if err := t.mon.Launch(entry); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("lvmm: unknown platform %d", p)
+	}
+	return t, nil
+}
+
+// Machine exposes the underlying simulated machine.
+func (t *Target) Machine() *machine.Machine { return t.m }
+
+// Monitor exposes the attached VMM (nil on bare metal).
+func (t *Target) Monitor() *vmm.VMM { return t.mon }
+
+// Receiver exposes the validating network sink.
+func (t *Target) Receiver() *netsim.Receiver { return t.recv }
+
+// RunStats summarizes a completed streaming run.
+type RunStats struct {
+	Platform     Platform
+	OfferedMbps  float64
+	AchievedMbps float64
+	CPULoad      float64
+	MonitorShare float64
+	Segments     uint64
+	Clean        bool
+	ValidateErr  string
+}
+
+// String renders the stats in one line.
+func (s RunStats) String() string {
+	ok := "stream clean"
+	if !s.Clean {
+		ok = "STREAM INVALID: " + s.ValidateErr
+	}
+	return fmt.Sprintf("%s: offered %.0f Mb/s, achieved %.1f Mb/s, CPU load %.1f%% (monitor %.1f%%), %d segments, %s",
+		s.Platform, s.OfferedMbps, s.AchievedMbps, s.CPULoad*100,
+		s.MonitorShare*100, s.Segments, ok)
+}
+
+// Run executes the workload to completion and returns the measurements.
+func (t *Target) Run() (RunStats, error) {
+	limit := uint64(t.params.DurationTicks+400) * isa.ClockHz / uint64(t.params.TickHz)
+	reason := t.m.Run(limit)
+	if reason != machine.StopGuestDone {
+		return RunStats{}, fmt.Errorf("lvmm: run ended with %v at pc=%08x", reason, t.m.CPU.PC)
+	}
+	res := guest.ReadResults(t.m)
+	if res.ExitCode != 0 {
+		return RunStats{}, fmt.Errorf("lvmm: guest failed, exit=%#x cause=%s vaddr=%#x",
+			res.ExitCode, isa.CauseName(res.FatalCause), res.FatalVaddr)
+	}
+	window := t.m.Clock()
+	stats := RunStats{
+		Platform:     t.platform,
+		OfferedMbps:  t.params.RateMbps,
+		AchievedMbps: t.recv.RateMbps(window),
+		CPULoad:      t.m.CPULoad(),
+		Segments:     t.recv.Frames,
+		Clean:        t.recv.Clean(),
+		ValidateErr:  t.recv.LastError(),
+	}
+	if b := t.m.BusyCycles(); b > 0 {
+		stats.MonitorShare = float64(t.m.MonitorCycles()) / float64(b)
+	}
+	return stats, nil
+}
+
+// RunFor advances the target by the given virtual seconds without
+// requiring completion (for interactive/debugging sessions).
+func (t *Target) RunFor(seconds float64) machine.StopReason {
+	return t.m.Run(t.m.Clock() + isa.SecondsToCycles(seconds))
+}
+
+// Debugger connects a remote debugger to the target's stub over an
+// in-process deterministic transport. Only VMM platforms host a
+// monitor-resident stub; see gdbstub.NewGuestResident for the
+// conventional embedded alternative.
+func (t *Target) Debugger() (*debugger.Client, error) {
+	if t.stub == nil {
+		return nil, fmt.Errorf("lvmm: platform %v has no monitor-resident debug stub", t.platform)
+	}
+	return debugger.New(debugger.NewSimTransport(t.m))
+}
+
+// Figure31Options mirrors experiment.Options for the public API.
+type Figure31Options = experiment.Options
+
+// Figure31 regenerates the paper's Figure 3.1 sweep.
+func Figure31(opts Figure31Options) *experiment.Fig31 {
+	return experiment.RunFig31(opts)
+}
