@@ -1,0 +1,204 @@
+// hxreplay records, replays, inspects, and diffs deterministic execution
+// traces of the simulated target (see internal/replay).
+//
+//	hxreplay record -o run.trc [-platform lightweight] [-rate 200] [-seconds 0.5]
+//	hxreplay replay run.trc
+//	hxreplay info   run.trc
+//	hxreplay diff   a.trc b.trc
+//
+// `record` runs the streaming workload under the chosen platform while
+// recording; `replay` re-executes the trace bit-identically and verifies
+// every interrupt, timer tick, frame digest, and the final state; `diff`
+// locates the first timeline divergence between two traces of nominally
+// identical runs — the crash-triage primitive: record a good and a bad
+// run, diff them, and the first deviating event names the cycle where the
+// executions parted ways.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lvmm"
+	"lvmm/internal/isa"
+	"lvmm/internal/replay"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hxreplay:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  hxreplay record -o FILE [-platform P] [-rate MBPS] [-seconds S] [-snap-interval CYCLES]
+  hxreplay replay FILE
+  hxreplay info   FILE
+  hxreplay diff   FILE1 FILE2`)
+}
+
+func parsePlatform(s string) (lvmm.Platform, error) {
+	switch s {
+	case "bare", "baremetal":
+		return lvmm.BareMetal, nil
+	case "lightweight", "lvmm":
+		return lvmm.Lightweight, nil
+	case "hosted", "full":
+		return lvmm.HostedFull, nil
+	}
+	return 0, fmt.Errorf("unknown platform %q (bare, lightweight, hosted)", s)
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("o", "run.trc", "output trace file")
+	platform := fs.String("platform", "lightweight", "platform: bare, lightweight, hosted")
+	rate := fs.Float64("rate", 200, "offered rate (Mb/s)")
+	seconds := fs.Float64("seconds", 0.5, "virtual run length")
+	snapInterval := fs.Uint64("snap-interval", 0, "snapshot spacing in cycles (0 = default)")
+	fs.Parse(args)
+
+	p, err := parsePlatform(*platform)
+	if err != nil {
+		return err
+	}
+	w := lvmm.WorkloadDefaults(*rate)
+	w.Seconds = *seconds
+	t, err := lvmm.NewStreamingTarget(p, w)
+	if err != nil {
+		return err
+	}
+	rec := t.Record(lvmm.RecordOptions{SnapshotInterval: *snapInterval})
+	stats, err := t.Run()
+	if err != nil {
+		return err
+	}
+	tr := rec.Finish()
+	if err := tr.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Println(stats)
+	fmt.Printf("recorded %d events, %d snapshots, %d cycles, %d instructions -> %s\n",
+		len(tr.Events), len(tr.Checkpoints), tr.EndCycle, tr.EndInstr, *out)
+	fmt.Printf("final state digest %#016x\n", tr.EndDigest)
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: hxreplay replay FILE")
+	}
+	tr, err := replay.ReadTraceFile(args[0])
+	if err != nil {
+		return err
+	}
+	rt, err := lvmm.Replay(tr)
+	if err != nil {
+		return err
+	}
+	stats, err := rt.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Println(stats)
+	fmt.Printf("replay verified bit-identical: %d events, final digest %#016x at cycle %d\n",
+		len(tr.Events), tr.EndDigest, tr.EndCycle)
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: hxreplay info FILE")
+	}
+	tr, err := replay.ReadTraceFile(args[0])
+	if err != nil {
+		return err
+	}
+	m := tr.Meta
+	fmt.Printf("platform:    %v\n", lvmm.Platform(m.Platform))
+	if m.Label != "" {
+		fmt.Printf("label:       %s\n", m.Label)
+	}
+	fmt.Printf("workload:    %.0f Mb/s, %d ticks, %d-byte segments, %d-byte blocks\n",
+		m.Params.RateMbps, m.Params.DurationTicks, m.Params.SegmentBytes, m.Params.BlockBytes)
+	fmt.Printf("length:      %d cycles (%.1f ms virtual), %d instructions\n",
+		tr.EndCycle, 1e3*float64(tr.EndCycle)/float64(isa.ClockHz), tr.EndInstr)
+	fmt.Printf("end digest:  %#016x\n", tr.EndDigest)
+	counts := map[replay.EventKind]int{}
+	for _, ev := range tr.Events {
+		counts[ev.Kind]++
+	}
+	fmt.Printf("events:      %d (irq %d, vtimer %d, frame %d, input %d)\n", len(tr.Events),
+		counts[replay.EvIRQ], counts[replay.EvTimer], counts[replay.EvFrame], counts[replay.EvInput])
+	fmt.Printf("snapshots:   %d\n", len(tr.Checkpoints))
+	for _, cp := range tr.Checkpoints {
+		fmt.Printf("  #%-3d instr %-12d cycle %d\n", cp.Index, cp.Instr, cp.Cycle)
+	}
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: hxreplay diff FILE1 FILE2")
+	}
+	a, err := replay.ReadTraceFile(args[0])
+	if err != nil {
+		return err
+	}
+	b, err := replay.ReadTraceFile(args[1])
+	if err != nil {
+		return err
+	}
+	if a.EndDigest == b.EndDigest && a.EndCycle == b.EndCycle && len(a.Events) == len(b.Events) {
+		fmt.Printf("traces are equivalent: %d events, final digest %#016x\n", len(a.Events), a.EndDigest)
+		return nil
+	}
+	n := len(a.Events)
+	if len(b.Events) < n {
+		n = len(b.Events)
+	}
+	for i := 0; i < n; i++ {
+		x, y := a.Events[i], b.Events[i]
+		if x.Kind != y.Kind || x.Cycle != y.Cycle || x.Instr != y.Instr ||
+			x.Line != y.Line || x.Digest != y.Digest {
+			fmt.Printf("first divergence at event %d:\n", i)
+			fmt.Printf("  %s: %v line=%d cycle=%d instr=%d digest=%#x\n",
+				args[0], x.Kind, x.Line, x.Cycle, x.Instr, x.Digest)
+			fmt.Printf("  %s: %v line=%d cycle=%d instr=%d digest=%#x\n",
+				args[1], y.Kind, y.Line, y.Cycle, y.Instr, y.Digest)
+			return nil
+		}
+	}
+	if len(a.Events) != len(b.Events) {
+		longer, extra := args[0], len(a.Events)-len(b.Events)
+		if extra < 0 {
+			longer, extra = args[1], -extra
+		}
+		fmt.Printf("timelines identical for %d events; %s has %d more\n", n, longer, extra)
+		return nil
+	}
+	fmt.Printf("event timelines identical; final digests differ: %#016x vs %#016x (cycle %d vs %d)\n",
+		a.EndDigest, b.EndDigest, a.EndCycle, b.EndCycle)
+	return nil
+}

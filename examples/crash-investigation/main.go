@@ -7,6 +7,9 @@
 //     the violation, and the remote debugger performs a full post-mortem.
 //   - With a conventional guest-resident stub on bare metal, the same bug
 //     destroys the debugger itself.
+//   - With the record/replay engine, the crash is captured as a trace and
+//     investigated with time travel: from the wedge point, the debugger
+//     runs *backwards* to the exact store that did the damage.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"lvmm/internal/debugger"
 	"lvmm/internal/gdbstub"
 	"lvmm/internal/machine"
+	"lvmm/internal/replay"
 	"lvmm/internal/vmm"
 )
 
@@ -79,6 +83,101 @@ func main() {
 	fmt.Println()
 	fmt.Println("=== scenario 2: conventional embedded stub on bare metal ===")
 	embeddedScenario(img)
+
+	fmt.Println()
+	fmt.Println("=== scenario 3: record the crash, then time-travel to the bug ===")
+	timeTravelScenario(img)
+}
+
+// buildCrashTarget constructs the monitored machine the same way twice:
+// once to record, once to replay (replay requires identical construction).
+func buildCrashTarget(img *asm.Image) (*machine.Machine, *vmm.VMM, *gdbstub.Stub) {
+	m := machine.New(machine.Config{ResetPC: img.Entry})
+	if err := m.LoadImage(img); err != nil {
+		log.Fatal(err)
+	}
+	v := vmm.Attach(m, vmm.Config{Mode: vmm.Lightweight})
+	stub := v.EnableDebugStub()
+	if err := v.Launch(img.Entry); err != nil {
+		log.Fatal(err)
+	}
+	return m, v, stub
+}
+
+// timeTravelScenario records the crashing run into a trace, replays it,
+// and investigates *backwards*: from the frozen wedge point, a watchpoint
+// plus reverse-continue lands on the exact store that corrupted memory —
+// a question post-mortem inspection alone cannot answer, because by the
+// time the guest is frozen the damage is thousands of instructions old.
+func timeTravelScenario(img *asm.Image) {
+	// Record: run the buggy guest to its demise under the recorder.
+	m, v, _ := buildCrashTarget(img)
+	rec := replay.NewRecorder(m, v, nil,
+		replay.TraceMeta{Custom: true, Label: "crash-investigation"},
+		replay.Options{SnapshotInterval: 10_000_000})
+	rec.Start()
+	m.Run(m.Clock() + 50_000_000)
+	tr := rec.Finish()
+	fmt.Printf("recorded the crashing run: %d instructions, %d snapshots\n",
+		tr.EndInstr, len(tr.Checkpoints))
+
+	// Replay: rebuild the identical machine and attach the replayer; the
+	// debug stub gains the RSP reverse-execution packets (bs/bc).
+	m2, v2, stub2 := buildCrashTarget(img)
+	rp, err := replay.NewReplayer(tr, m2, v2, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stub2.SetReverser(rp)
+
+	dbg, err := debugger.New(debugger.NewSimTransport(m2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	repl := debugger.NewREPL(dbg, os.Stdout)
+	repl.LoadSymbols(img)
+
+	// Seek to the wedge point — the violation that froze the guest — on a
+	// clean re-execution of the recorded timeline.
+	if err := rp.SeekInstr(tr.StartInstr()); err != nil {
+		log.Fatal(err)
+	}
+	if err := rp.SeekInstr(tr.EndInstr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nat the wedge point (instruction %d):\n", rp.Position())
+	for _, cmd := range []string{"regs"} {
+		fmt.Printf("\n(hxdbg) %s\n", cmd)
+		if err := repl.Execute(cmd); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Time travel: who overwrote 0x700 (where the embedded stub of
+	// scenario 2 kept its state)? Watch the address and run backwards.
+	fmt.Println("\n(hxdbg) watch 700 4")
+	fmt.Println("(hxdbg) rcont")
+	if err := repl.Execute("watch 700 4"); err != nil {
+		log.Fatal(err)
+	}
+	if err := repl.Execute("rcont"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nlanded just after the store; the culprit and its operands:")
+	for _, cmd := range []string{"dis scribble 3", "regs"} {
+		fmt.Printf("\n(hxdbg) %s\n", cmd)
+		if err := repl.Execute(cmd); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\n(hxdbg) rstep 2   # and two instructions further back")
+	if err := repl.Execute("unwatch 700"); err != nil {
+		log.Fatal(err)
+	}
+	if err := repl.Execute("rstep 2"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n-> the trace pinpointed the wild store, travelling backwards from the crash")
 }
 
 func monitorScenario(img *asm.Image) {

@@ -1,0 +1,3 @@
+module lvmm
+
+go 1.24

@@ -73,7 +73,7 @@ type CPU struct {
 	wedged bool
 
 	// TLB.
-	tlb    [tlbEntries]tlbEntry
+	tlb    [tlbEntries]TLBEntry
 	tlbGen uint32
 
 	// I/O permission bitmap (nil = no grants; CPL0 always allowed).
@@ -88,6 +88,17 @@ type CPU struct {
 	watchLen  [4]uint32
 	watchEn   [4]bool
 	watchAny  bool
+
+	// Spy watchpoints: observe stores without trapping or charging cycles
+	// (replay-engine scans; see state.go).
+	spyAddr [4]uint32
+	spyLen  [4]uint32
+	spyEn   [4]bool
+	spyAny  bool
+
+	// SpyHook receives the watched address for every store that lands in
+	// an enabled spy range.
+	SpyHook func(watchAddr uint32)
 
 	// Statistics.
 	Stat Stats
@@ -397,6 +408,9 @@ func (c *CPU) execute(instPC, w uint32) StepResult {
 		if !ok {
 			return trap(isa.CauseBusError, va, instPC)
 		}
+		if c.spyAny {
+			c.notifySpy(va, size)
+		}
 		if c.watchAny {
 			if wa, hit := c.watchHit(va, size); hit {
 				// The store has committed; trap with resume-after
@@ -623,6 +637,9 @@ func (c *CPU) execMOVS(instPC uint32) StepResult {
 				Trapped: cause,
 			}
 		}
+		if c.spyAny {
+			c.notifySpy(dst, chunk)
+		}
 		watchVA, watchHit := uint32(0), false
 		if c.watchAny {
 			watchVA, watchHit = c.watchHit(dst, chunk)
@@ -674,6 +691,9 @@ func (c *CPU) execSTOS(instPC uint32) StepResult {
 		ram := c.bus.RAM()[dpa : dpa+chunk]
 		for i := range ram {
 			ram[i] = fill
+		}
+		if c.spyAny {
+			c.notifySpy(dst, chunk)
 		}
 		c.Regs[1] += chunk
 		c.Regs[3] -= chunk

@@ -13,13 +13,17 @@ const (
 	tlbEntries = 512 // direct-mapped
 )
 
-type tlbEntry struct {
-	gen uint32 // generation; mismatch = invalid
-	vpn uint32
-	pfn uint32
-	w   bool // writable (combined PDE & PTE)
-	u   bool // user accessible (combined)
-	d   bool // dirty already set in PTE
+// TLBEntry is one direct-mapped translation cache entry. It is exported
+// (with exported fields) so CPU snapshots can carry the TLB verbatim:
+// replaying with a cold TLB would change TLB-miss cycle charges and break
+// bit-identical timing.
+type TLBEntry struct {
+	Gen uint32 // generation; mismatch = invalid
+	VPN uint32
+	PFN uint32
+	W   bool // writable (combined PDE & PTE)
+	U   bool // user accessible (combined)
+	D   bool // dirty already set in PTE
 }
 
 // PagingEnabled reports whether address translation is active.
@@ -38,18 +42,18 @@ func (c *CPU) translate(va uint32, write bool) (pa, cause uint32, cycles uint64)
 	user := c.CPL() == isa.CPLUser
 	vpn := va >> isa.PageShift
 	e := &c.tlb[vpn%tlbEntries]
-	if e.gen == c.tlbGen && e.vpn == vpn {
-		if user && !e.u {
+	if e.Gen == c.tlbGen && e.VPN == vpn {
+		if user && !e.U {
 			return 0, isa.CausePFProt, 0
 		}
-		if write && !e.w {
+		if write && !e.W {
 			return 0, isa.CausePFProt, 0
 		}
-		if write && !e.d {
+		if write && !e.D {
 			// Dirty bit not yet set: take the slow path to update the PTE.
 			return c.walk(va, write, user)
 		}
-		return e.pfn<<isa.PageShift | va&isa.PageMask, isa.CauseNone, 0
+		return e.PFN<<isa.PageShift | va&isa.PageMask, isa.CauseNone, 0
 	}
 	return c.walk(va, write, user)
 }
@@ -103,9 +107,9 @@ func (c *CPU) walk(va uint32, write, user bool) (pa, cause uint32, cycles uint64
 
 	vpn := va >> isa.PageShift
 	pfn := pte >> isa.PageShift
-	c.tlb[vpn%tlbEntries] = tlbEntry{
-		gen: c.tlbGen, vpn: vpn, pfn: pfn,
-		w: w, u: u, d: newPTE&isa.PTEDirty != 0,
+	c.tlb[vpn%tlbEntries] = TLBEntry{
+		Gen: c.tlbGen, VPN: vpn, PFN: pfn,
+		W: w, U: u, D: newPTE&isa.PTEDirty != 0,
 	}
 	return pfn<<isa.PageShift | va&isa.PageMask, isa.CauseNone, cycles
 }

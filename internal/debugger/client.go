@@ -188,6 +188,41 @@ func (c *Client) StepInstr() (StopInfo, error) {
 	return parseStop(p)
 }
 
+// ReverseStepInstr travels one instruction backwards through a recorded
+// timeline (RSP bs packet; replay-backed targets only).
+func (c *Client) ReverseStepInstr() (StopInfo, error) { return c.ReverseStepN(1) }
+
+// ReverseStepN travels n instructions backwards in a single target-side
+// restore+replay round trip (our stub's `bs<hex>` extension of the RSP
+// bs packet).
+func (c *Client) ReverseStepN(n uint64) (StopInfo, error) {
+	payload := "bs"
+	if n != 1 {
+		payload = fmt.Sprintf("bs%x", n)
+	}
+	p, err := c.t.Exchange(payload)
+	if err != nil {
+		return StopInfo{}, err
+	}
+	if p == "" {
+		return StopInfo{}, fmt.Errorf("debugger: target does not support reverse execution")
+	}
+	return parseStop(p)
+}
+
+// ReverseContinue travels backwards to the most recent breakpoint or
+// watchpoint crossing (RSP bc packet; replay-backed targets only).
+func (c *Client) ReverseContinue() (StopInfo, error) {
+	p, err := c.t.Exchange("bc")
+	if err != nil {
+		return StopInfo{}, err
+	}
+	if p == "" {
+		return StopInfo{}, fmt.Errorf("debugger: target does not support reverse execution")
+	}
+	return parseStop(p)
+}
+
 // Interrupt stops a running target (Ctrl-C).
 func (c *Client) Interrupt() (StopInfo, error) {
 	p, err := c.t.SendBreak()

@@ -132,6 +132,30 @@ func (r *REPL) Execute(line string) error {
 			return err
 		}
 		return r.reportStop(stop)
+	case "rs", "rstep":
+		n := uint64(1)
+		if len(args) == 1 {
+			if v, err := strconv.ParseUint(args[0], 10, 64); err == nil && v > 0 {
+				n = v
+			}
+		}
+		stop, err := r.c.ReverseStepN(n)
+		if err != nil {
+			return err
+		}
+		return r.reportStop(stop)
+	case "rc", "rcont":
+		stop, err := r.c.ReverseContinue()
+		if err != nil {
+			return err
+		}
+		return r.reportStop(stop)
+	case "checkpoint":
+		out, err := r.c.Monitor("checkpoint")
+		if err != nil {
+			return err
+		}
+		r.printf("%s", out)
 	case "dis", "disas":
 		return r.cmdDisas(args)
 	case "sym", "symbols":
@@ -162,6 +186,10 @@ const helpText = `commands:
   c                       continue until stop
   s [N]                   step N instructions
   int                     interrupt (Ctrl-C) the running guest
+  rstep [N]               time travel: step N instructions backwards
+  rcont                   time travel: run backwards to the previous
+                          breakpoint/watchpoint crossing
+  checkpoint              time travel: snapshot here to speed up reverse ops
   dis [ADDR [N]]          disassemble N (default 8) instructions
   sym [PREFIX]            list symbols
   monitor CMD             target-side command (info, breaks)

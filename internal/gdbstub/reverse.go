@@ -1,0 +1,175 @@
+package gdbstub
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Time-travel support: when the stub's target is backed by a replay
+// session, the host debugger may use the RSP reverse-execution packets
+// `bs` (reverse step) and `bc` (reverse continue). The replay engine is
+// handed the stub's breakpoint/watchpoint sets so it can locate the most
+// recent crossing while re-executing the recorded timeline; afterwards
+// the stub re-plants everything into the restored memory image.
+
+// WatchRange is one write-watchpoint interval [Addr, Addr+Len).
+type WatchRange struct {
+	Addr, Len uint32
+}
+
+// Reverser is implemented by replay-backed targets that can travel
+// backwards through a recorded execution (see internal/replay).
+type Reverser interface {
+	// Position returns the current instruction-count position.
+	Position() uint64
+	// ReverseStep moves the target back n instructions (clamped to the
+	// start of the trace).
+	ReverseStep(n uint64) error
+	// ReverseContinue moves back to the most recent point strictly before
+	// the current position where one of the breakpoints would fire or a
+	// store would land in one of the watch ranges. Returns false (landing
+	// at the start of the trace) when there is no such point.
+	ReverseContinue(breaks []uint32, watches []WatchRange) (bool, error)
+	// Checkpoint captures an extra snapshot at the current position to
+	// accelerate later reverse operations; returns the position.
+	Checkpoint() (uint64, error)
+}
+
+// SetReverser attaches a time-travel engine to the stub, enabling the
+// `bs`/`bc` packets and the `monitor checkpoint` command.
+func (s *Stub) SetReverser(rv Reverser) { s.rv = rv }
+
+// handleReverse services the bs/bc packets.
+func (s *Stub) handleReverse(p string) {
+	if s.rv == nil {
+		s.send("") // reverse execution unsupported on this target
+		return
+	}
+	var err error
+	switch {
+	case p == "bc":
+		_, err = s.rv.ReverseContinue(s.breakAddrs(), s.watchRanges())
+	case strings.HasPrefix(p, "bs"):
+		// Plain `bs` is standard RSP; `bs<hex>` is this stub's paired
+		// extension so a host can step back n instructions in one
+		// restore+replay round trip instead of n.
+		n := uint64(1)
+		if len(p) > 2 {
+			v, perr := strconv.ParseUint(p[2:], 16, 64)
+			if perr != nil || v == 0 {
+				s.send("E01")
+				return
+			}
+			n = v
+		}
+		err = s.rv.ReverseStep(n)
+	default:
+		s.send("")
+		return
+	}
+	// The restore rewound memory and the CPU debug registers to recorded
+	// state; re-plant every breakpoint and watchpoint the debugger holds.
+	s.reapplyBreaks()
+	if err != nil {
+		s.send("E03")
+		return
+	}
+	s.lastSignal = 5
+	s.send("S05")
+}
+
+// breakAddrs returns every planted breakpoint address (software and
+// hardware alike — for timeline scanning they are both "stop before
+// executing this PC").
+func (s *Stub) breakAddrs() []uint32 {
+	var out []uint32
+	for a := range s.swBreaks {
+		out = append(out, a)
+	}
+	for i, used := range s.hwUsed {
+		if used {
+			out = append(out, s.hwSlots[i])
+		}
+	}
+	return out
+}
+
+// watchRanges returns the active write-watchpoint intervals.
+func (s *Stub) watchRanges() []WatchRange {
+	var out []WatchRange
+	for i, used := range s.wpUsed {
+		if used {
+			out = append(out, WatchRange{Addr: s.wpSlots[i], Len: s.wpLens[i]})
+		}
+	}
+	return out
+}
+
+// reapplyBreaks re-plants software breakpoints and re-programs the CPU
+// hardware breakpoint and watchpoint slots after a state restore. The
+// saved original words are refreshed from the restored image first, so a
+// later removal writes back the right bytes.
+func (s *Stub) reapplyBreaks() {
+	for addr := range s.swBreaks {
+		if orig, ok := s.t.ReadMem(addr, 4); ok && len(orig) == 4 {
+			w := uint32(orig[0]) | uint32(orig[1])<<8 | uint32(orig[2])<<16 | uint32(orig[3])<<24
+			if w != brkWord {
+				s.swBreaks[addr] = w
+			}
+		}
+		s.t.WriteMem(addr, wordBytes(brkWord))
+	}
+	for i := range s.hwUsed {
+		if s.hwUsed[i] {
+			s.armHW(i)
+		} else {
+			_ = s.t.SetHWBreak(i, 0, false)
+		}
+	}
+	for i := range s.wpUsed {
+		if s.wpUsed[i] {
+			_ = s.t.SetWatchpoint(i, s.wpSlots[i], s.wpLens[i], true)
+		} else {
+			_ = s.t.SetWatchpoint(i, 0, 0, false)
+		}
+	}
+}
+
+// suspendBreaks removes every debugger artifact from the machine —
+// software-breakpoint patches from guest memory, hardware breakpoint and
+// watchpoint slots from the CPU — so a snapshot taken now captures clean
+// recorded-timeline state. reapplyBreaks undoes it.
+func (s *Stub) suspendBreaks() {
+	for addr, orig := range s.swBreaks {
+		s.t.WriteMem(addr, wordBytes(orig))
+	}
+	for i := range s.hwUsed {
+		_ = s.t.SetHWBreak(i, 0, false)
+	}
+	for i := range s.wpUsed {
+		_ = s.t.SetWatchpoint(i, 0, 0, false)
+	}
+}
+
+// monitorReplay services replay-related monitor commands.
+func (s *Stub) monitorReplay(cmd string) string {
+	if s.rv == nil {
+		return "no replay session attached\n"
+	}
+	switch cmd {
+	case "checkpoint":
+		// The snapshot must not embed planted breakpoints: a later seek
+		// re-executing from it would trap on them mid-replay.
+		s.suspendBreaks()
+		pos, err := s.rv.Checkpoint()
+		s.reapplyBreaks()
+		if err != nil {
+			return "checkpoint failed: " + err.Error() + "\n"
+		}
+		return fmt.Sprintf("checkpoint at instruction %d\n", pos)
+	case "position":
+		return fmt.Sprintf("replay position: instruction %d\n", s.rv.Position())
+	}
+	return "unknown replay command\n"
+}

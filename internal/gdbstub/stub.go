@@ -78,6 +78,7 @@ type Stub struct {
 	residence  Residence
 	canaryAddr uint32
 	dead       bool
+	rv         Reverser // non-nil on replay-backed targets (time travel)
 
 	swBreaks map[uint32]uint32 // addr -> original instruction word
 	hwSlots  [4]uint32
@@ -276,6 +277,8 @@ func (s *Stub) handle(p string) {
 		s.stepOne()
 		s.lastSignal = 5
 		s.send("S05")
+	case 'b':
+		s.handleReverse(p)
 	case 'z', 'Z':
 		s.handleBreak(p)
 	case 'k', 'D':
@@ -297,7 +300,11 @@ func (s *Stub) handle(p string) {
 func (s *Stub) handleQuery(p string) {
 	switch {
 	case strings.HasPrefix(p, "qSupported"):
-		s.send("PacketSize=4000;swbreak+;hwbreak+")
+		caps := "PacketSize=4000;swbreak+;hwbreak+"
+		if s.rv != nil {
+			caps += ";ReverseStep+;ReverseContinue+"
+		}
+		s.send(caps)
 	case p == "qAttached":
 		s.send("1")
 	case strings.HasPrefix(p, "qRcmd,"):
@@ -320,6 +327,8 @@ func (s *Stub) monitorCommand(cmd string) string {
 	switch strings.TrimSpace(cmd) {
 	case "info", "stats":
 		return s.t.Info()
+	case "checkpoint", "position":
+		return s.monitorReplay(strings.TrimSpace(cmd))
 	case "breaks":
 		var b strings.Builder
 		for a := range s.swBreaks {

@@ -82,13 +82,25 @@ type NIC struct {
 	inFlight     bool   // a transmit completion event is scheduled
 	sinceIRQ     uint32 // frames completed since last interrupt
 	itrArmed     bool   // interrupt-throttle timer pending
+	itrAt        uint64 // absolute cycle of the pending throttle timer
 	csumDisabled bool   // device-level override (hosted VMM virtual NIC)
 	FramesTx     uint64
 	BytesTx      uint64
 	DescErrors   uint64
 	OnTransmit   func(frameLen uint32) // hosted-VMM cost hook
+	frameTap     FrameSink             // record/replay observer
 	epoch        uint32
+
+	// In-flight descriptor, latched when transmission starts (fields
+	// rather than closure captures so snapshots can re-arm completion).
+	curDescAddr, curBufAddr uint32
+	curLen, curFlags        uint32
+	curDoneAt               uint64
 }
+
+// SetFrameTap installs an observer called with every transmitted frame
+// before it reaches the sink (nil to remove). Record/replay uses it.
+func (n *NIC) SetFrameTap(tap FrameSink) { n.frameTap = tap }
 
 // ITRCyclesPerUnit scales the interrupt-throttle timer: with coalescing
 // factor N, a completion that does not fill the batch is signalled at
@@ -203,13 +215,22 @@ func (n *NIC) pump() {
 	done := start + wireCycles(int(length))
 	n.busyUntil = done
 	n.inFlight = true
+	n.curDescAddr, n.curBufAddr = dAddr, bufAddr
+	n.curLen, n.curFlags = length, flags
+	n.curDoneAt = done
+	n.armCompletion(done - now)
+}
+
+// armCompletion schedules the in-flight frame's transmit completion delay
+// cycles from now.
+func (n *NIC) armCompletion(delay uint64) {
 	epoch := n.epoch
-	n.sched.After(done-now, func() {
+	n.sched.After(delay, func() {
 		if epoch != n.epoch {
 			return
 		}
 		n.inFlight = false
-		n.complete(dAddr, bufAddr, length, flags)
+		n.complete(n.curDescAddr, n.curBufAddr, n.curLen, n.curFlags)
 		n.pump()
 	})
 }
@@ -229,6 +250,9 @@ func (n *NIC) complete(descAddr, bufAddr, length, flags uint32) {
 		n.BytesTx += uint64(length)
 		if n.OnTransmit != nil {
 			n.OnTransmit(length)
+		}
+		if n.frameTap != nil {
+			n.frameTap(frame, n.sched.Now())
 		}
 		if n.sink != nil {
 			n.sink(frame, n.sched.Now())
@@ -254,15 +278,83 @@ func (n *NIC) complete(descAddr, bufAddr, length, flags uint32) {
 		// Partial batch: signal via the throttle timer instead, bounding
 		// completion latency without an interrupt per frame.
 		n.itrArmed = true
-		epoch := n.epoch
-		n.sched.After(uint64(threshold)*ITRCyclesPerUnit, func() {
-			n.itrArmed = false
-			if epoch != n.epoch || n.sinceIRQ == 0 {
-				return
-			}
-			n.sinceIRQ = 0
-			n.icr |= ICRTxDone
-			n.irq()
-		})
+		n.itrAt = n.sched.Now() + uint64(threshold)*ITRCyclesPerUnit
+		n.armITR(uint64(threshold) * ITRCyclesPerUnit)
+	}
+}
+
+// armITR schedules the interrupt-throttle timer delay cycles from now.
+func (n *NIC) armITR(delay uint64) {
+	epoch := n.epoch
+	n.sched.After(delay, func() {
+		n.itrArmed = false
+		if epoch != n.epoch || n.sinceIRQ == 0 {
+			return
+		}
+		n.sinceIRQ = 0
+		n.icr |= ICRTxDone
+		n.irq()
+	})
+}
+
+// State is the serializable controller state (record/replay snapshots).
+type State struct {
+	Enabled                 bool
+	TxBase, TxCount         uint32
+	TxTail, TxHead          uint32
+	ICR, Coalesce           uint32
+	MAC                     [2]uint32
+	BusyUntil               uint64
+	InFlight                bool
+	CurDescAddr, CurBufAddr uint32
+	CurLen, CurFlags        uint32
+	CurDoneAt               uint64
+	SinceIRQ                uint32
+	ITRArmed                bool
+	ITRAt                   uint64
+	FramesTx, BytesTx       uint64
+	DescErrors              uint64
+}
+
+// State captures the controller registers and in-flight transmission.
+func (n *NIC) State() State {
+	return State{
+		Enabled: n.enabled, TxBase: n.txBase, TxCount: n.txCount,
+		TxTail: n.txTail, TxHead: n.txHead, ICR: n.icr, Coalesce: n.coalesce,
+		MAC: n.mac, BusyUntil: n.busyUntil, InFlight: n.inFlight,
+		CurDescAddr: n.curDescAddr, CurBufAddr: n.curBufAddr,
+		CurLen: n.curLen, CurFlags: n.curFlags, CurDoneAt: n.curDoneAt,
+		SinceIRQ: n.sinceIRQ, ITRArmed: n.itrArmed, ITRAt: n.itrAt,
+		FramesTx: n.FramesTx, BytesTx: n.BytesTx, DescErrors: n.DescErrors,
+	}
+}
+
+// Restore replaces the controller state, invalidating scheduled events and
+// re-arming the in-flight transmission and throttle timer (if pending) at
+// their original absolute cycles. Call only after the machine clock has
+// been rewound to the snapshot.
+func (n *NIC) Restore(s State) {
+	n.epoch++
+	n.enabled, n.txBase, n.txCount = s.Enabled, s.TxBase, s.TxCount
+	n.txTail, n.txHead, n.icr, n.coalesce = s.TxTail, s.TxHead, s.ICR, s.Coalesce
+	n.mac, n.busyUntil, n.inFlight = s.MAC, s.BusyUntil, s.InFlight
+	n.curDescAddr, n.curBufAddr = s.CurDescAddr, s.CurBufAddr
+	n.curLen, n.curFlags, n.curDoneAt = s.CurLen, s.CurFlags, s.CurDoneAt
+	n.sinceIRQ, n.itrArmed, n.itrAt = s.SinceIRQ, s.ITRArmed, s.ITRAt
+	n.FramesTx, n.BytesTx, n.DescErrors = s.FramesTx, s.BytesTx, s.DescErrors
+	now := n.sched.Now()
+	if n.inFlight {
+		delay := uint64(0)
+		if n.curDoneAt > now {
+			delay = n.curDoneAt - now
+		}
+		n.armCompletion(delay)
+	}
+	if n.itrArmed {
+		delay := uint64(0)
+		if n.itrAt > now {
+			delay = n.itrAt - now
+		}
+		n.armITR(delay)
 	}
 }

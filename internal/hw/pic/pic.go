@@ -74,6 +74,17 @@ func (p *PIC) EOI() {
 	}
 }
 
+// State is the serializable controller state (record/replay snapshots).
+type State struct {
+	IRR, ISR, Mask uint16
+}
+
+// State captures the controller registers.
+func (p *PIC) State() State { return State{IRR: p.irr, ISR: p.isr, Mask: p.mask} }
+
+// Restore replaces the controller registers.
+func (p *PIC) Restore(s State) { p.irr, p.isr, p.mask = s.IRR, s.ISR, s.Mask }
+
 // Registers for state inspection (debugger `info pic`).
 func (p *PIC) IRR() uint16  { return p.irr }
 func (p *PIC) ISR() uint16  { return p.isr }

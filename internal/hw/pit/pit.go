@@ -32,6 +32,7 @@ type PIT struct {
 	divisor  uint32 // effective (1..65536)
 	ticks    uint32
 	lastFire uint64 // cycle of most recent tick
+	nextAt   uint64 // absolute cycle of the pending scheduled tick
 	epoch    uint32 // invalidates in-flight scheduled callbacks
 }
 
@@ -96,9 +97,17 @@ func (p *PIT) PortWrite(port uint16, v uint32) {
 	}
 }
 
-func (p *PIT) arm() {
+func (p *PIT) arm() { p.armIn(p.periodCycles()) }
+
+// armIn schedules the next tick delay cycles from now, remembering the
+// absolute target so a snapshot restore can re-arm at the exact cycle.
+// (The target is NOT simply lastFire+period: the irq callback may charge
+// cycles — a monitor injecting the virtual interrupt does — before arm()
+// runs, and the schedule is relative to the post-charge clock.)
+func (p *PIT) armIn(delay uint64) {
+	p.nextAt = p.sched.Now() + delay
 	epoch := p.epoch
-	p.sched.After(p.periodCycles(), func() {
+	p.sched.After(delay, func() {
 		if !p.enabled || epoch != p.epoch {
 			return
 		}
@@ -111,3 +120,42 @@ func (p *PIT) arm() {
 
 // Ticks returns the number of ticks fired since reset.
 func (p *PIT) Ticks() uint32 { return p.ticks }
+
+// State is the serializable timer state (record/replay snapshots). The
+// pending tick event is stored as its absolute cycle (NextAt) so Restore
+// re-schedules it exactly.
+type State struct {
+	Enabled  bool
+	Divisor  uint32
+	Ticks    uint32
+	LastFire uint64
+	NextAt   uint64
+}
+
+// State captures the timer registers.
+func (p *PIT) State() State {
+	return State{
+		Enabled: p.enabled, Divisor: p.divisor, Ticks: p.ticks,
+		LastFire: p.lastFire, NextAt: p.nextAt,
+	}
+}
+
+// Restore replaces the timer state, invalidating any in-flight scheduled
+// callback and re-arming the next tick at its original absolute cycle.
+// Call only after the machine clock has been rewound to the snapshot.
+func (p *PIT) Restore(s State) {
+	p.epoch++
+	p.enabled = s.Enabled
+	p.divisor = s.Divisor
+	p.ticks = s.Ticks
+	p.lastFire = s.LastFire
+	p.nextAt = s.NextAt
+	if p.enabled {
+		now := p.sched.Now()
+		delay := uint64(0)
+		if p.nextAt > now {
+			delay = p.nextAt - now
+		}
+		p.armIn(delay)
+	}
+}

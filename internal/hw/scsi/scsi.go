@@ -64,6 +64,11 @@ type HBA struct {
 	busy, done, errbit  bool
 	epoch               uint32
 
+	// In-flight transfer, latched at command issue (kept in fields rather
+	// than closure captures so snapshots can re-arm the completion event).
+	xferLBA, xferCount, xferAddr uint32
+	xferDoneAt                   uint64
+
 	// OnComplete, if set, observes each completed transfer (byte count);
 	// the hosted VMM uses it to charge bounce-buffer copy costs.
 	OnComplete func(bytes uint32)
@@ -150,25 +155,82 @@ func (h *HBA) startRead() {
 		return
 	}
 	h.busy = true
-	lba, count, addr := h.lba, h.count, h.dmaAddr
+	h.xferLBA, h.xferCount, h.xferAddr = h.lba, h.count, h.dmaAddr
+	d := h.transferCycles(h.count)
+	h.xferDoneAt = h.sched.Now() + d
+	h.armCompletion(d)
+}
+
+// armCompletion schedules the in-flight transfer's completion delay cycles
+// from now.
+func (h *HBA) armCompletion(delay uint64) {
 	epoch := h.epoch
-	h.sched.After(h.transferCycles(count), func() {
+	h.sched.After(delay, func() {
 		if epoch != h.epoch {
 			return
 		}
-		h.busy = false
-		h.done = true
-		if !h.mem.InRAM(addr, count) {
-			h.errbit = true
-		} else {
-			buf := h.mem.RAM()[addr : addr+count]
-			h.data(lba, buf)
-			h.ReadsCompleted++
-			h.BytesRead += uint64(count)
-		}
-		if h.OnComplete != nil {
-			h.OnComplete(count)
-		}
-		h.irq()
+		h.complete()
 	})
+}
+
+// complete finishes the in-flight transfer: DMA the data into memory and
+// raise the completion interrupt.
+func (h *HBA) complete() {
+	lba, count, addr := h.xferLBA, h.xferCount, h.xferAddr
+	h.busy = false
+	h.done = true
+	if !h.mem.InRAM(addr, count) {
+		h.errbit = true
+	} else {
+		buf := h.mem.RAM()[addr : addr+count]
+		h.data(lba, buf)
+		h.ReadsCompleted++
+		h.BytesRead += uint64(count)
+	}
+	if h.OnComplete != nil {
+		h.OnComplete(count)
+	}
+	h.irq()
+}
+
+// State is the serializable controller state (record/replay snapshots).
+type State struct {
+	LBA, Count, DMAAddr          uint32
+	Busy, Done, Errbit           bool
+	XferLBA, XferCount, XferAddr uint32
+	XferDoneAt                   uint64
+	ReadsCompleted               uint64
+	BytesRead                    uint64
+}
+
+// State captures the controller registers and in-flight transfer.
+func (h *HBA) State() State {
+	return State{
+		LBA: h.lba, Count: h.count, DMAAddr: h.dmaAddr,
+		Busy: h.busy, Done: h.done, Errbit: h.errbit,
+		XferLBA: h.xferLBA, XferCount: h.xferCount, XferAddr: h.xferAddr,
+		XferDoneAt:     h.xferDoneAt,
+		ReadsCompleted: h.ReadsCompleted, BytesRead: h.BytesRead,
+	}
+}
+
+// Restore replaces the controller state, invalidating any scheduled
+// completion and re-arming the in-flight transfer (if one was pending) at
+// its original absolute cycle. Call only after the machine clock has been
+// rewound to the snapshot.
+func (h *HBA) Restore(s State) {
+	h.epoch++
+	h.lba, h.count, h.dmaAddr = s.LBA, s.Count, s.DMAAddr
+	h.busy, h.done, h.errbit = s.Busy, s.Done, s.Errbit
+	h.xferLBA, h.xferCount, h.xferAddr = s.XferLBA, s.XferCount, s.XferAddr
+	h.xferDoneAt = s.XferDoneAt
+	h.ReadsCompleted, h.BytesRead = s.ReadsCompleted, s.BytesRead
+	if h.busy {
+		now := h.sched.Now()
+		delay := uint64(0)
+		if h.xferDoneAt > now {
+			delay = h.xferDoneAt - now
+		}
+		h.armCompletion(delay)
+	}
 }

@@ -25,10 +25,11 @@ const (
 
 // UART is one serial port.
 type UART struct {
-	mu  sync.Mutex
-	rx  []byte
-	ier uint32
-	tx  func(byte)
+	mu    sync.Mutex
+	rx    []byte
+	ier   uint32
+	tx    func(byte)
+	rxTap func([]byte)
 }
 
 // New creates a UART. tx receives transmitted bytes (may be nil to drop).
@@ -41,11 +42,49 @@ func (u *UART) SetTX(tx func(byte)) {
 	u.tx = tx
 }
 
+// SetRXTap installs an observer for injected receive bytes (nil to
+// remove). A record/replay recorder uses it to log external input as it
+// arrives. The tap runs under the UART lock so observed order matches
+// FIFO order; note that a recorder's tap also reads machine state, so
+// recording is only deterministic when input is injected from the
+// machine's own goroutine (the in-process deterministic transports) —
+// recording a live TCP target is not supported.
+func (u *UART) SetRXTap(tap func(data []byte)) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.rxTap = tap
+}
+
 // InjectRX appends bytes to the receive FIFO (host side; goroutine-safe).
 func (u *UART) InjectRX(data []byte) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	u.rx = append(u.rx, data...)
+	if u.rxTap != nil {
+		u.rxTap(data)
+	}
+}
+
+// State is the serializable device state (record/replay snapshots).
+type State struct {
+	RX  []byte
+	IER uint32
+}
+
+// State captures the receive FIFO and interrupt enable.
+func (u *UART) State() State {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return State{RX: append([]byte(nil), u.rx...), IER: u.ier}
+}
+
+// Restore replaces the receive FIFO and interrupt enable. The transmit
+// sink and RX tap are wiring, not state, and are left untouched.
+func (u *UART) Restore(s State) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.rx = append(u.rx[:0], s.RX...)
+	u.ier = s.IER
 }
 
 // RxPending reports whether receive data is waiting and the RX interrupt

@@ -58,6 +58,9 @@ const (
 	StopRequested
 	// StopDeadlock: CPU halted with interrupts off and no pending events.
 	StopDeadlock
+	// StopInstrLimit: the instruction-count target set by SetStopAtInstr
+	// was reached (replay seeks).
+	StopInstrLimit
 )
 
 func (r StopReason) String() string {
@@ -72,6 +75,8 @@ func (r StopReason) String() string {
 		return "stop requested"
 	case StopDeadlock:
 		return "deadlock"
+	case StopInstrLimit:
+		return "instruction limit"
 	}
 	return fmt.Sprintf("reason(%d)", int(r))
 }
@@ -99,6 +104,11 @@ type Machine struct {
 	irqSink   func(line int)
 	idleHook  func()
 	guestIdle bool
+
+	// Record/replay hooks (see internal/replay).
+	irqTrace    func(line int)
+	preStepHook func()
+	stopAtInstr uint64
 
 	stopped    bool
 	stopReason StopReason
@@ -214,6 +224,27 @@ func (m *Machine) SetIdleHook(h func()) { m.idleHook = h }
 // The machine advances virtual time to the next event, charging idle.
 func (m *Machine) SetGuestIdle(v bool) { m.guestIdle = v }
 
+// Record/replay hooks.
+
+// SetIRQTrace installs an observer called for every physical interrupt
+// delivery (to an attached monitor's sink or directly into the CPU), at
+// the point of delivery. Record/replay uses it to log and verify the
+// interrupt timeline. Pass nil to remove.
+func (m *Machine) SetIRQTrace(f func(line int)) { m.irqTrace = f }
+
+// SetPreStepHook installs a function called immediately before each
+// instruction executes inside Run — after due events have fired and
+// pending interrupts have been delivered, so CPU.PC is the instruction
+// about to execute. The replay engine uses it to detect breakpoint
+// crossings without perturbing the timeline. Pass nil to remove.
+func (m *Machine) SetPreStepHook(f func()) { m.preStepHook = f }
+
+// SetStopAtInstr makes Run return StopInstrLimit once the CPU's retired-
+// instruction count reaches n (checked at instruction boundaries, after
+// boundary events and interrupt deliveries). Zero disables the check.
+// Replay seeks use it to land on an exact timeline position.
+func (m *Machine) SetStopAtInstr(n uint64) { m.stopAtInstr = n }
+
 // GuestIdle reports the monitor-emulated idle state.
 func (m *Machine) GuestIdle() bool { return m.guestIdle }
 
@@ -262,6 +293,9 @@ func (m *Machine) RequestStop() {
 // ExitCode returns the guest's simctl DONE value.
 func (m *Machine) ExitCode() uint32 { return m.exitCode }
 
+// LastStopReason returns why the most recent Run returned.
+func (m *Machine) LastStopReason() StopReason { return m.stopReason }
+
 // LoadImage copies an assembled image into physical memory.
 func (m *Machine) LoadImage(img *asm.Image) error {
 	if !m.Bus.LoadImage(img.Start, img.Data) {
@@ -291,11 +325,17 @@ func (m *Machine) Run(limit uint64) StopReason {
 		if line, ok := m.PIC.Pending(); ok {
 			if m.irqSink != nil {
 				m.PIC.Ack(line)
+				if m.irqTrace != nil {
+					m.irqTrace(line)
+				}
 				m.irqSink(line)
 				continue
 			}
 			if m.CPU.PSR&1 != 0 { // PSR.IF
 				m.PIC.Ack(line)
+				if m.irqTrace != nil {
+					m.irqTrace(line)
+				}
 				res := m.CPU.DeliverIRQ(line)
 				m.clock += res.Cycles
 				continue
@@ -331,6 +371,14 @@ func (m *Machine) Run(limit uint64) StopReason {
 				time.Sleep(m.IdleSleep)
 			}
 			continue
+		}
+
+		if m.stopAtInstr != 0 && m.CPU.Stat.Instructions >= m.stopAtInstr {
+			m.stopReason = StopInstrLimit
+			return m.stopReason
+		}
+		if m.preStepHook != nil {
+			m.preStepHook()
 		}
 
 		res := m.CPU.Step()

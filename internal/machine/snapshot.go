@@ -1,0 +1,157 @@
+package machine
+
+import (
+	"lvmm/internal/cpu"
+	"lvmm/internal/hw/nic"
+	"lvmm/internal/hw/pic"
+	"lvmm/internal/hw/pit"
+	"lvmm/internal/hw/scsi"
+	"lvmm/internal/hw/uart"
+)
+
+// Snapshot is the complete serializable machine state: clock and
+// accounting, CPU (including TLB), every device, and physical memory.
+//
+// The event queue is deliberately NOT part of the snapshot — scheduled
+// events are closures and cannot be serialized. Instead, every component
+// that schedules events keeps its pending work derivable from its own
+// state (an in-flight SCSI transfer, the NIC wire horizon, the PIT phase),
+// and Restore re-arms those events at their original absolute cycles.
+// A monitor's virtual timer re-arms the same way through vmm.Restore.
+//
+// Known limitation: re-armed events get fresh sequence numbers in a fixed
+// device order, so when two pending events from *different* devices were
+// due at the *same* cycle, their FIFO tie-break after a restore may
+// differ from the original run's. Replay verification (internal/replay)
+// detects the resulting divergence at the first deviating interrupt or
+// frame rather than silently accepting it; exact tie reproduction would
+// require serializing per-event sequence numbers through every device.
+type Snapshot struct {
+	Clock   uint64
+	Idle    uint64
+	Monitor uint64
+	Seq     uint64
+
+	GuestIdle     bool
+	StopReason    StopReason
+	ExitCode      uint32
+	GuestCounters [8]uint32
+	PollCountdown int
+
+	Console []byte
+
+	CPU  cpu.State
+	PIC  pic.State
+	PIT  pit.State
+	Dbg  uart.State
+	Cons uart.State
+	SCSI [3]scsi.State
+	NIC  nic.State
+
+	// RAM is stored sparsely: only chunks containing a nonzero byte.
+	// On a 64 MB machine whose guest touches a few MB this keeps
+	// snapshots proportional to the working set, not the installed RAM.
+	RAMSize uint32
+	RAM     []RAMChunk
+}
+
+// RAMChunk is one contiguous run of physical memory bytes.
+type RAMChunk struct {
+	Addr uint32
+	Data []byte
+}
+
+// ramChunkSize is the sparse-capture granularity.
+const ramChunkSize = 64 << 10
+
+// Snapshot captures the machine state. Hooks (IRQ sink, idle hook, traces)
+// and device wiring (disk data sources, frame sinks) are configuration,
+// not state, and are not captured; Restore into a machine built with the
+// same configuration reproduces the run exactly.
+func (m *Machine) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Clock:         m.clock,
+		Idle:          m.idle,
+		Monitor:       m.monitor,
+		Seq:           m.seq,
+		GuestIdle:     m.guestIdle,
+		StopReason:    m.stopReason,
+		ExitCode:      m.exitCode,
+		GuestCounters: m.GuestCounters,
+		PollCountdown: m.pollCountdown,
+		Console:       append([]byte(nil), m.Console.Bytes()...),
+		CPU:           m.CPU.Snapshot(),
+		PIC:           m.PIC.State(),
+		PIT:           m.PIT.State(),
+		Dbg:           m.Dbg.State(),
+		Cons:          m.Cons.State(),
+		NIC:           m.NIC.State(),
+	}
+	for i := range m.SCSI {
+		s.SCSI[i] = m.SCSI[i].State()
+	}
+	ram := m.Bus.RAM()
+	s.RAMSize = uint32(len(ram))
+	for off := 0; off < len(ram); off += ramChunkSize {
+		end := off + ramChunkSize
+		if end > len(ram) {
+			end = len(ram)
+		}
+		if !allZero(ram[off:end]) {
+			s.RAM = append(s.RAM, RAMChunk{
+				Addr: uint32(off),
+				Data: append([]byte(nil), ram[off:end]...),
+			})
+		}
+	}
+	return s
+}
+
+// Restore rewinds the machine to a snapshot: scalar state, CPU, RAM, and
+// devices. The event queue is cleared and devices re-arm their pending
+// events at the snapshot's absolute cycles. The machine must have the
+// same RAM size as the snapshot (i.e., be built from the same Config).
+func (m *Machine) Restore(s *Snapshot) {
+	m.clock = s.Clock
+	m.idle = s.Idle
+	m.monitor = s.Monitor
+	m.guestIdle = s.GuestIdle
+	m.stopped = false
+	m.stopReason = s.StopReason
+	m.exitCode = s.ExitCode
+	m.GuestCounters = s.GuestCounters
+	m.pollCountdown = s.PollCountdown
+	m.Console.Reset()
+	m.Console.Write(s.Console)
+
+	// Drop the current timeline's scheduled events; devices re-arm below.
+	m.events = m.events[:0]
+	m.seq = s.Seq
+
+	ram := m.Bus.RAM()
+	for i := range ram {
+		ram[i] = 0
+	}
+	for _, ch := range s.RAM {
+		copy(ram[ch.Addr:], ch.Data)
+	}
+
+	m.CPU.Restore(s.CPU)
+	m.PIC.Restore(s.PIC)
+	m.PIT.Restore(s.PIT)
+	m.Dbg.Restore(s.Dbg)
+	m.Cons.Restore(s.Cons)
+	for i := range m.SCSI {
+		m.SCSI[i].Restore(s.SCSI[i])
+	}
+	m.NIC.Restore(s.NIC)
+}
+
+func allZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -77,6 +77,43 @@ func (r *Receiver) Deliver(frame []byte, cycle uint64) {
 	}
 }
 
+// ReceiverState is the serializable receiver state (record/replay
+// snapshots): rewinding a replayed machine must also rewind the
+// validation stream, or replayed frames would arrive out of sequence.
+type ReceiverState struct {
+	Frames        uint64
+	PayloadBytes  uint64
+	WireBytes     uint64
+	FirstCycle    uint64
+	LastCycle     uint64
+	SeqErrors     uint64
+	PatternErrors uint64
+	ParseErrors   uint64
+	ChecksumBad   uint64
+	NextSeq       uint32
+	LastError     string
+}
+
+// State captures the receiver.
+func (r *Receiver) State() ReceiverState {
+	return ReceiverState{
+		Frames: r.Frames, PayloadBytes: r.PayloadBytes, WireBytes: r.WireBytes,
+		FirstCycle: r.FirstCycle, LastCycle: r.LastCycle,
+		SeqErrors: r.SeqErrors, PatternErrors: r.PatternErrors,
+		ParseErrors: r.ParseErrors, ChecksumBad: r.ChecksumBad,
+		NextSeq: r.nextSeq, LastError: r.lastError,
+	}
+}
+
+// Restore replaces the receiver state.
+func (r *Receiver) Restore(s ReceiverState) {
+	r.Frames, r.PayloadBytes, r.WireBytes = s.Frames, s.PayloadBytes, s.WireBytes
+	r.FirstCycle, r.LastCycle = s.FirstCycle, s.LastCycle
+	r.SeqErrors, r.PatternErrors = s.SeqErrors, s.PatternErrors
+	r.ParseErrors, r.ChecksumBad = s.ParseErrors, s.ChecksumBad
+	r.nextSeq, r.lastError = s.NextSeq, s.LastError
+}
+
 // Clean reports whether every delivered frame validated.
 func (r *Receiver) Clean() bool {
 	return r.ParseErrors == 0 && r.SeqErrors == 0 && r.PatternErrors == 0 && r.ChecksumBad == 0

@@ -1,0 +1,182 @@
+package replay
+
+import (
+	"lvmm/internal/hw"
+	"lvmm/internal/machine"
+	"lvmm/internal/netsim"
+	"lvmm/internal/vmm"
+)
+
+// Options parameterizes a recording.
+type Options struct {
+	// SnapshotInterval is the virtual-cycle spacing of periodic full-state
+	// snapshots; 0 selects DefaultSnapshotInterval. Smaller intervals make
+	// reverse operations cheaper at the cost of trace size.
+	SnapshotInterval uint64
+	// MaxSnapshots caps the periodic snapshots taken (the initial
+	// checkpoint is always present); 0 selects DefaultMaxSnapshots.
+	MaxSnapshots int
+	// Label annotates the trace.
+	Label string
+}
+
+// DefaultSnapshotInterval is ~79 ms of virtual time at 1.26 GHz.
+const DefaultSnapshotInterval = 100_000_000
+
+// DefaultMaxSnapshots bounds trace memory for long runs.
+const DefaultMaxSnapshots = 64
+
+// Recorder captures a deterministic trace of a running machine. Create it
+// with the machine in the state the trace should begin at (normally right
+// after target construction, before the first Run), Start it, run the
+// workload, then Finish.
+//
+// Recording is only deterministic when all external input is injected
+// from the machine's own goroutine (batch runs, or debug sessions over
+// the in-process deterministic transports). Recording a live TCP target,
+// where a socket-reader goroutine injects UART bytes concurrently with
+// execution, is not supported.
+type Recorder struct {
+	m    *machine.Machine
+	v    *vmm.VMM         // nil on bare metal
+	recv *netsim.Receiver // nil when no validating receiver is wired
+
+	tr       *Trace
+	interval uint64
+	maxSnaps int
+	active   bool
+}
+
+// NewRecorder prepares a recorder. v and recv may be nil.
+func NewRecorder(m *machine.Machine, v *vmm.VMM, recv *netsim.Receiver, meta TraceMeta, opts Options) *Recorder {
+	if opts.SnapshotInterval == 0 {
+		opts.SnapshotInterval = DefaultSnapshotInterval
+	}
+	if opts.MaxSnapshots == 0 {
+		opts.MaxSnapshots = DefaultMaxSnapshots
+	}
+	meta.Version = TraceVersion
+	if meta.Label == "" {
+		meta.Label = opts.Label
+	}
+	return &Recorder{
+		m: m, v: v, recv: recv,
+		tr:       &Trace{Meta: meta},
+		interval: opts.SnapshotInterval,
+		maxSnaps: opts.MaxSnapshots,
+	}
+}
+
+// Start takes the initial checkpoint, installs the capture hooks, and
+// schedules the periodic snapshots.
+func (r *Recorder) Start() {
+	r.active = true
+	r.snapshot()
+
+	// Physical interrupt deliveries, with their exact delivery cycle.
+	// Debug-channel and console-UART interrupts are the monitor's own
+	// traffic — they never reach the guest timeline and may legitimately
+	// differ between a recording and an interactive replay session.
+	r.m.SetIRQTrace(func(line int) {
+		if !r.active || line == hw.IRQDebug || line == hw.IRQCons {
+			return
+		}
+		r.append(Event{Kind: EvIRQ, Line: uint8(line)})
+	})
+
+	// Virtual-timer firings (the monitor's emulated PIT tick).
+	if r.v != nil {
+		r.v.SetVTimerTrace(func() {
+			if r.active {
+				r.append(Event{Kind: EvTimer})
+			}
+		})
+	}
+
+	// Frames leaving the NIC.
+	r.m.NIC.SetFrameTap(func(frame []byte, cycle uint64) {
+		if r.active {
+			r.append(Event{Kind: EvFrame, Digest: FrameDigest(frame)})
+		}
+	})
+
+	// External input: bytes injected into the UARTs from outside the
+	// machine. These are the only true inputs of the system.
+	r.m.Dbg.SetRXTap(func(data []byte) { r.input(0, data) })
+	r.m.Cons.SetRXTap(func(data []byte) { r.input(1, data) })
+
+	r.armSnapshot()
+}
+
+func (r *Recorder) input(ch uint8, data []byte) {
+	if !r.active {
+		return
+	}
+	r.append(Event{Kind: EvInput, Chan: ch, Data: append([]byte(nil), data...)})
+}
+
+// append stamps and stores an event.
+func (r *Recorder) append(ev Event) {
+	ev.Cycle = r.m.Clock()
+	ev.Instr = r.m.CPU.Stat.Instructions
+	r.tr.Events = append(r.tr.Events, ev)
+}
+
+// armSnapshot schedules the next periodic snapshot. The snapshot closure
+// runs from the machine's event queue and captures nothing the replayed
+// timeline can observe, so recorded and replayed runs stay identical.
+func (r *Recorder) armSnapshot() {
+	r.m.After(r.interval, func() {
+		if !r.active {
+			return
+		}
+		if len(r.tr.Checkpoints) <= r.maxSnaps {
+			r.snapshot()
+		}
+		r.armSnapshot()
+	})
+}
+
+// snapshot captures a checkpoint at the current machine state.
+func (r *Recorder) snapshot() {
+	cp := Checkpoint{
+		Index:      len(r.tr.Checkpoints),
+		Instr:      r.m.CPU.Stat.Instructions,
+		Cycle:      r.m.Clock(),
+		EventIndex: len(r.tr.Events),
+		Machine:    r.m.Snapshot(),
+	}
+	if r.v != nil {
+		cp.VMM = r.v.Snapshot()
+	}
+	if r.recv != nil {
+		cp.HasRecv = true
+		cp.Recv = r.recv.State()
+	}
+	r.tr.Checkpoints = append(r.tr.Checkpoints, cp)
+}
+
+// Finish stops capturing, removes the hooks, seals the trace with the
+// final machine state, and returns it.
+func (r *Recorder) Finish() *Trace {
+	if !r.active {
+		return r.tr
+	}
+	r.active = false
+	r.m.SetIRQTrace(nil)
+	r.m.NIC.SetFrameTap(nil)
+	r.m.Dbg.SetRXTap(nil)
+	r.m.Cons.SetRXTap(nil)
+	if r.v != nil {
+		r.v.SetVTimerTrace(nil)
+	}
+	r.tr.EndCycle = r.m.Clock()
+	r.tr.EndInstr = r.m.CPU.Stat.Instructions
+	r.tr.EndReason = int(r.m.LastStopReason())
+	r.tr.EndDigest = Digest(r.m, r.v)
+	return r.tr
+}
+
+// Trace returns the trace being built (also available before Finish, for
+// inspection).
+func (r *Recorder) Trace() *Trace { return r.tr }

@@ -1,0 +1,430 @@
+package replay
+
+import (
+	"fmt"
+	"sort"
+
+	"lvmm/internal/gdbstub"
+	"lvmm/internal/hw"
+	"lvmm/internal/machine"
+	"lvmm/internal/netsim"
+	"lvmm/internal/vmm"
+)
+
+// Replayer re-executes a recorded trace on a freshly built machine of the
+// same configuration. It verifies the re-executed timeline against the
+// recorded one (interrupt deliveries, timer firings, frame digests), can
+// seek to any instruction-count position, and implements the time-travel
+// operations the debug stub exposes (gdbstub.Reverser).
+type Replayer struct {
+	tr   *Trace
+	m    *machine.Machine
+	v    *vmm.VMM
+	recv *netsim.Receiver
+
+	// Replay cursors into tr.Events.
+	verifyCursor int // next verification event expected
+	inputCursor  int // next input event to re-inject
+
+	verify bool  // verification hooks active (RunToEnd)
+	err    error // first detected divergence
+
+	// Scan state (reverse-continue).
+	scanHits []uint64
+}
+
+// NewReplayer attaches a replayer to a machine built with the same
+// configuration the trace was recorded on, and rewinds it to the trace's
+// initial checkpoint. v and recv may be nil if the recording had none.
+func NewReplayer(tr *Trace, m *machine.Machine, v *vmm.VMM, recv *netsim.Receiver) (*Replayer, error) {
+	if len(tr.Checkpoints) == 0 {
+		return nil, fmt.Errorf("replay: trace has no checkpoints")
+	}
+	if tr.Checkpoints[0].Machine.RAMSize != m.Bus.RAMSize() {
+		return nil, fmt.Errorf("replay: trace RAM size %d, machine has %d",
+			tr.Checkpoints[0].Machine.RAMSize, m.Bus.RAMSize())
+	}
+	r := &Replayer{tr: tr, m: m, v: v, recv: recv}
+	r.installHooks()
+	r.restoreCheckpoint(0)
+	return r, nil
+}
+
+// Trace returns the trace being replayed.
+func (r *Replayer) Trace() *Trace { return r.tr }
+
+// Err returns the first divergence detected by verification, if any.
+func (r *Replayer) Err() error { return r.err }
+
+// installHooks mirrors the recorder's capture points with verifiers.
+func (r *Replayer) installHooks() {
+	r.m.SetIRQTrace(func(line int) {
+		if line == hw.IRQDebug || line == hw.IRQCons {
+			return
+		}
+		r.observe(Event{Kind: EvIRQ, Line: uint8(line)})
+	})
+	if r.v != nil {
+		r.v.SetVTimerTrace(func() { r.observe(Event{Kind: EvTimer}) })
+	}
+	r.m.NIC.SetFrameTap(func(frame []byte, cycle uint64) {
+		r.observe(Event{Kind: EvFrame, Digest: FrameDigest(frame)})
+	})
+}
+
+// observe tracks one re-executed occurrence against the recorded
+// timeline. The cursor advances during every replay execution (seeks
+// included) so checkpoints taken mid-session know how much of the
+// timeline has been consumed; the comparison itself only runs during a
+// verifying replay (RunToEnd).
+func (r *Replayer) observe(got Event) {
+	for r.verifyCursor < len(r.tr.Events) && r.tr.Events[r.verifyCursor].Kind == EvInput {
+		r.verifyCursor++
+	}
+	if r.verifyCursor >= len(r.tr.Events) {
+		if r.verify && r.err == nil {
+			r.err = fmt.Errorf("replay diverged: %v at cycle %d (instr %d) beyond the recorded timeline",
+				got.Kind, r.m.Clock(), r.m.CPU.Stat.Instructions)
+		}
+		return
+	}
+	want := r.tr.Events[r.verifyCursor]
+	r.verifyCursor++
+	if !r.verify || r.err != nil {
+		return
+	}
+	got.Cycle = r.m.Clock()
+	got.Instr = r.m.CPU.Stat.Instructions
+	if want.Kind != got.Kind || want.Line != got.Line || want.Digest != got.Digest ||
+		want.Cycle != got.Cycle || want.Instr != got.Instr {
+		r.err = fmt.Errorf("replay diverged at event %d: recorded %v line=%d cycle=%d instr=%d digest=%#x, replayed %v line=%d cycle=%d instr=%d digest=%#x",
+			r.verifyCursor-1,
+			want.Kind, want.Line, want.Cycle, want.Instr, want.Digest,
+			got.Kind, got.Line, got.Cycle, got.Instr, got.Digest)
+	}
+}
+
+// restoreCheckpoint rewinds machine, monitor, and receiver to checkpoint i
+// and realigns the replay cursors.
+func (r *Replayer) restoreCheckpoint(i int) {
+	cp := &r.tr.Checkpoints[i]
+	r.m.Restore(cp.Machine)
+	if r.v != nil && cp.VMM != nil {
+		r.v.Restore(cp.VMM)
+	}
+	if r.recv != nil && cp.HasRecv {
+		r.recv.Restore(cp.Recv)
+	}
+	r.verifyCursor = cp.EventIndex
+	r.inputCursor = cp.EventIndex
+}
+
+// RunToEnd replays the whole trace with verification on: external inputs
+// are re-injected at their recorded cycles, and every interrupt, timer
+// tick, and frame is checked against the recording. It returns the first
+// divergence, or nil when the run completed bit-identically (final state
+// digest included).
+func (r *Replayer) RunToEnd() error {
+	r.verify = true
+	defer func() { r.verify = false }()
+
+	for {
+		// Next input to re-inject, if any remains before the end.
+		idx := -1
+		for j := r.inputCursor; j < len(r.tr.Events); j++ {
+			if r.tr.Events[j].Kind == EvInput {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		ev := r.tr.Events[idx]
+		if r.m.Clock() < ev.Cycle {
+			reason := r.m.Run(ev.Cycle)
+			if r.err != nil {
+				return r.err
+			}
+			if reason != machine.StopLimit && reason != machine.StopRequested {
+				// The machine ended before the recorded input arrived.
+				break
+			}
+		}
+		switch ev.Chan {
+		case 0:
+			r.m.Dbg.InjectRX(ev.Data)
+		default:
+			r.m.Cons.InjectRX(ev.Data)
+		}
+		r.inputCursor = idx + 1
+	}
+
+	reason := r.m.Run(r.tr.EndCycle)
+	if r.err != nil {
+		return r.err
+	}
+	for r.verifyCursor < len(r.tr.Events) && r.tr.Events[r.verifyCursor].Kind == EvInput {
+		r.verifyCursor++
+	}
+	if r.verifyCursor != len(r.tr.Events) {
+		want := r.tr.Events[r.verifyCursor]
+		return fmt.Errorf("replay diverged: recorded %v at cycle %d (instr %d) never happened",
+			want.Kind, want.Cycle, want.Instr)
+	}
+	if got := Digest(r.m, r.v); got != r.tr.EndDigest {
+		return fmt.Errorf("replay diverged: final state digest %#x, recorded %#x", got, r.tr.EndDigest)
+	}
+	if r.m.Clock() != r.tr.EndCycle {
+		return fmt.Errorf("replay diverged: final clock %d, recorded %d", r.m.Clock(), r.tr.EndCycle)
+	}
+	if int(reason) != r.tr.EndReason && machine.StopReason(r.tr.EndReason) != machine.StopLimit {
+		return fmt.Errorf("replay diverged: stop reason %v, recorded %v",
+			reason, machine.StopReason(r.tr.EndReason))
+	}
+	return nil
+}
+
+// Position returns the current instruction-count position in the timeline.
+func (r *Replayer) Position() uint64 { return r.m.CPU.Stat.Instructions }
+
+// SeekInstr moves the timeline to the given instruction count: backwards
+// by restoring the nearest earlier checkpoint, then forward by pure
+// re-execution. The machine is left exactly as it was at that position in
+// the recorded run.
+func (r *Replayer) SeekInstr(target uint64) error {
+	if target < r.tr.StartInstr() {
+		target = r.tr.StartInstr()
+	}
+	if target > r.tr.EndInstr {
+		return fmt.Errorf("replay: position %d is beyond the end of the trace (%d)", target, r.tr.EndInstr)
+	}
+	if target < r.Position() {
+		r.restoreCheckpoint(r.tr.nearestCheckpoint(target))
+	}
+	return r.forwardTo(target)
+}
+
+// forwardTo re-executes from the current position to the target
+// instruction count. Debug-stop notifications are swallowed (re-executed
+// breakpoint traps must not spam the host debugger), but the stop sink
+// stays installed so guest behavior — which can depend on its presence —
+// matches the recording.
+func (r *Replayer) forwardTo(target uint64) error {
+	if r.Position() > target {
+		return fmt.Errorf("replay: cannot run backwards to %d from %d", target, r.Position())
+	}
+	if r.Position() == target {
+		return nil
+	}
+	var oldSink func(cause, addr uint32)
+	if r.v != nil {
+		oldSink = r.v.StopSink()
+		if oldSink != nil {
+			r.v.SetStopSink(func(cause, addr uint32) {})
+		}
+		r.v.SetFrozen(false)
+	}
+	limit := r.tr.EndCycle + 1
+	if c := r.m.Clock(); c >= limit {
+		limit = c + 1
+	}
+	r.m.SetStopAtInstr(target)
+	var reason machine.StopReason
+	for {
+		// Re-inject recorded external input that falls inside the seek
+		// range, so a trace of an input-driven run lands on recorded
+		// state. Debug-channel bytes are the one exception: during
+		// interactive time travel a live debugger owns that UART, and
+		// replaying the recorded conversation into it would corrupt the
+		// session, so they are skipped (cursor still advances).
+		idx := -1
+		for j := r.inputCursor; j < len(r.tr.Events); j++ {
+			if r.tr.Events[j].Kind == EvInput {
+				idx = j
+				break
+			}
+		}
+		if idx >= 0 && r.tr.Events[idx].Cycle <= r.m.Clock() {
+			if r.tr.Events[idx].Chan != 0 {
+				r.m.Cons.InjectRX(r.tr.Events[idx].Data)
+			}
+			r.inputCursor = idx + 1
+			continue
+		}
+		runLimit := limit
+		if idx >= 0 && r.tr.Events[idx].Cycle < runLimit {
+			runLimit = r.tr.Events[idx].Cycle
+		}
+		reason = r.m.Run(runLimit)
+		if reason != machine.StopLimit || runLimit == limit || r.Position() >= target {
+			break
+		}
+	}
+	r.m.SetStopAtInstr(0)
+	if r.v != nil && oldSink != nil {
+		r.v.SetStopSink(oldSink)
+	}
+	if reason != machine.StopInstrLimit && r.Position() < target {
+		return fmt.Errorf("replay: position %d unreachable (stopped early: %v at instr %d, cycle %d)",
+			target, reason, r.Position(), r.m.Clock())
+	}
+	return nil
+}
+
+// freeze stops the guest for the debugger after a time-travel landing.
+func (r *Replayer) freeze() {
+	if r.v != nil {
+		r.v.SetFrozen(true)
+	}
+}
+
+// ReverseStep implements gdbstub.Reverser: move back n instructions.
+func (r *Replayer) ReverseStep(n uint64) error {
+	cur := r.Position()
+	target := r.tr.StartInstr()
+	if cur > n && cur-n > target {
+		target = cur - n
+	}
+	r.restoreCheckpoint(r.tr.nearestCheckpoint(target))
+	if err := r.forwardTo(target); err != nil {
+		return err
+	}
+	r.freeze()
+	return nil
+}
+
+// ReverseContinue implements gdbstub.Reverser: travel back to the most
+// recent point strictly before the current position where a breakpoint
+// would fire or a store would land in a watch range. The scan re-executes
+// checkpoint windows with non-perturbing observers (machine pre-step hook
+// and CPU spy watches), newest window first.
+func (r *Replayer) ReverseContinue(breaks []uint32, watches []gdbstub.WatchRange) (bool, error) {
+	cur := r.Position()
+	upper := cur
+	ci := r.tr.nearestCheckpoint(cur)
+	for {
+		// Scan [checkpoint ci, upper) for crossings.
+		r.restoreCheckpoint(ci)
+		hits, err := r.scanTo(upper, breaks, watches)
+		if err != nil {
+			return false, err
+		}
+		// Keep only crossings strictly before the starting position (a
+		// crossing at cur is the stop we are travelling away from).
+		for len(hits) > 0 && hits[len(hits)-1] >= cur {
+			hits = hits[:len(hits)-1]
+		}
+		if len(hits) > 0 {
+			target := hits[len(hits)-1]
+			r.restoreCheckpoint(r.tr.nearestCheckpoint(target))
+			if err := r.forwardTo(target); err != nil {
+				return false, err
+			}
+			r.freeze()
+			return true, nil
+		}
+		if ci == 0 {
+			// No crossing anywhere before cur: land at the trace start.
+			r.restoreCheckpoint(0)
+			r.freeze()
+			return false, nil
+		}
+		upper = r.tr.Checkpoints[ci].Instr
+		ci--
+	}
+}
+
+// scanTo re-executes forward to the target position, collecting the
+// instruction-count positions where a breakpoint PC was about to execute
+// or a watched range was stored to. The observers charge no cycles and
+// raise no traps, so the scanned timeline is the recorded one.
+func (r *Replayer) scanTo(target uint64, breaks []uint32, watches []gdbstub.WatchRange) ([]uint64, error) {
+	r.scanHits = r.scanHits[:0]
+
+	if len(breaks) > 0 {
+		set := make(map[uint32]bool, len(breaks))
+		for _, a := range breaks {
+			set[a] = true
+		}
+		r.m.SetPreStepHook(func() {
+			if set[r.m.CPU.PC] {
+				r.hit(r.m.CPU.Stat.Instructions)
+			}
+		})
+	}
+	nspy := len(watches)
+	if nspy > 4 {
+		nspy = 4
+	}
+	for i := 0; i < nspy; i++ {
+		_ = r.m.CPU.SetSpyWatch(i, watches[i].Addr, watches[i].Len, true)
+	}
+	if nspy > 0 {
+		r.m.CPU.SpyHook = func(wa uint32) {
+			// The store commits inside the current instruction; the
+			// post-instruction position is one ahead of the counter.
+			r.hit(r.m.CPU.Stat.Instructions + 1)
+		}
+	}
+
+	err := r.forwardTo(target)
+
+	r.m.SetPreStepHook(nil)
+	r.m.CPU.ClearSpyWatches()
+
+	hits := append([]uint64(nil), r.scanHits...)
+	sort.Slice(hits, func(i, j int) bool { return hits[i] < hits[j] })
+	return hits, err
+}
+
+// hit records a scan crossing, deduplicating repeats at one position
+// (e.g. a bulk store sweeping a watch range chunk by chunk).
+func (r *Replayer) hit(pos uint64) {
+	if n := len(r.scanHits); n > 0 && r.scanHits[n-1] == pos {
+		return
+	}
+	r.scanHits = append(r.scanHits, pos)
+}
+
+// Checkpoint implements gdbstub.Reverser: snapshot the current position
+// into the checkpoint list (kept sorted by position) so later reverse
+// operations replay from here instead of a distant recorded snapshot.
+func (r *Replayer) Checkpoint() (uint64, error) {
+	pos := r.Position()
+	// Events consumed so far: verifyCursor counts observed verification
+	// events (skipping inputs), inputCursor counts injected inputs
+	// (skipping verification events). In a faithful replay neither cursor
+	// passes an event the other still owes — a verification event only
+	// fires after every earlier-cycle input was injected, and vice versa —
+	// so the consumed prefix of the unified list is the larger of the two.
+	// Using the smaller would re-inject already-consumed input after a
+	// restore; using an index past a pending input would drop it.
+	eventIndex := r.verifyCursor
+	if r.inputCursor > eventIndex {
+		eventIndex = r.inputCursor
+	}
+	cp := Checkpoint{
+		Instr:      pos,
+		Cycle:      r.m.Clock(),
+		EventIndex: eventIndex,
+		Machine:    r.m.Snapshot(),
+	}
+	if r.v != nil {
+		cp.VMM = r.v.Snapshot()
+	}
+	if r.recv != nil {
+		cp.HasRecv = true
+		cp.Recv = r.recv.State()
+	}
+	i := sort.Search(len(r.tr.Checkpoints), func(i int) bool {
+		return r.tr.Checkpoints[i].Instr > pos
+	})
+	r.tr.Checkpoints = append(r.tr.Checkpoints, Checkpoint{})
+	copy(r.tr.Checkpoints[i+1:], r.tr.Checkpoints[i:])
+	r.tr.Checkpoints[i] = cp
+	for j := range r.tr.Checkpoints {
+		r.tr.Checkpoints[j].Index = j
+	}
+	return pos, nil
+}

@@ -1,0 +1,228 @@
+// Package replay implements deterministic record/replay and time-travel
+// debugging for the simulated target machine.
+//
+// The machine is fully deterministic modulo its external inputs: the
+// virtual clock, the heap-ordered event queue, and the device models all
+// advance as pure functions of machine state. A Recorder therefore only
+// has to log (a) the inputs that cross the VMM boundary from outside —
+// bytes arriving on the communication/console UARTs — and (b) a
+// *verification* timeline of internally-generated nondeterminism-sensitive
+// occurrences (physical interrupt deliveries with their cycle timestamps,
+// virtual-timer firings, frames leaving the NIC), plus periodic full-state
+// snapshots. A Replayer re-executes the run bit-identically from the trace
+// (or from the nearest snapshot), checking every occurrence against the
+// recorded timeline so any divergence is detected at the first deviating
+// interrupt or frame rather than at the end of the run.
+//
+// On top of seekable replay the package implements time travel: reverse-
+// step and reverse-continue restore the nearest snapshot and re-execute
+// forward to the target instruction count, locating breakpoint and
+// watchpoint crossings with non-perturbing spy hooks (see cpu.SetSpyWatch)
+// so the re-executed timeline stays cycle-identical to the recording.
+//
+// The design follows Oppitz's observation (AADEBUG 2003) that a VMM which
+// already interposes on all nondeterministic inputs is the natural place
+// to implement execution replay, and keeps all machinery outside the
+// guest, in the spirit of Fattori et al.'s out-of-guest analysis.
+package replay
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"lvmm/internal/guest"
+	"lvmm/internal/machine"
+	"lvmm/internal/netsim"
+	"lvmm/internal/vmm"
+)
+
+// TraceVersion is the current trace-format version. Readers reject
+// mismatched versions rather than misinterpreting state.
+const TraceVersion = 1
+
+// traceMagic identifies a trace file.
+const traceMagic = "LVMMTRC\n"
+
+// EventKind classifies trace events.
+type EventKind uint8
+
+const (
+	// EvIRQ is a physical interrupt delivery (verification event).
+	EvIRQ EventKind = 1
+	// EvTimer is a virtual-PIT tick fired by the monitor (verification).
+	EvTimer EventKind = 2
+	// EvFrame is a frame leaving the NIC; Digest hashes its bytes
+	// (verification).
+	EvFrame EventKind = 3
+	// EvInput is external bytes arriving on a UART (true input; re-injected
+	// on replay). Chan 0 is the debug channel, 1 the guest console.
+	EvInput EventKind = 4
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvIRQ:
+		return "irq"
+	case EvTimer:
+		return "vtimer"
+	case EvFrame:
+		return "frame"
+	case EvInput:
+		return "input"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one timeline entry: something nondeterminism-relevant that
+// happened at (Cycle, Instr).
+type Event struct {
+	Kind   EventKind
+	Cycle  uint64
+	Instr  uint64
+	Line   uint8  // EvIRQ: interrupt line
+	Chan   uint8  // EvInput: UART channel
+	Digest uint64 // EvFrame: FNV-64a of the frame bytes
+	Data   []byte // EvInput: the injected bytes
+}
+
+// Checkpoint is a full-state snapshot at a trace position. EventIndex is
+// the number of trace events recorded before the snapshot was taken, so a
+// restore can realign the replay cursors.
+type Checkpoint struct {
+	Index      int
+	Instr      uint64
+	Cycle      uint64
+	EventIndex int
+
+	Machine *machine.Snapshot
+	VMM     *vmm.Snapshot // nil when no monitor is attached (bare metal)
+	HasRecv bool
+	Recv    netsim.ReceiverState
+}
+
+// TraceMeta describes how to rebuild the recorded target.
+type TraceMeta struct {
+	Version  int
+	Platform int // lvmm.Platform value
+	Params   guest.Params
+	Label    string
+	// Custom marks traces of hand-built machines (not the standard
+	// streaming target); the caller must reconstruct the machine itself
+	// before attaching a Replayer.
+	Custom bool
+}
+
+// Trace is a complete recorded run.
+type Trace struct {
+	Meta        TraceMeta
+	Events      []Event
+	Checkpoints []Checkpoint
+
+	// End-of-recording state, for replay verification.
+	EndCycle  uint64
+	EndInstr  uint64
+	EndReason int // machine.StopReason at Finish time
+	EndDigest uint64
+}
+
+// StartInstr returns the instruction count at the beginning of the trace.
+func (t *Trace) StartInstr() uint64 {
+	if len(t.Checkpoints) == 0 {
+		return 0
+	}
+	return t.Checkpoints[0].Instr
+}
+
+// nearestCheckpoint returns the index of the latest checkpoint whose
+// instruction count is at most pos. Checkpoints are sorted by Instr and
+// index 0 always exists for a well-formed trace.
+func (t *Trace) nearestCheckpoint(pos uint64) int {
+	best := 0
+	for i := range t.Checkpoints {
+		if t.Checkpoints[i].Instr <= pos {
+			best = i
+		} else {
+			break
+		}
+	}
+	return best
+}
+
+// Write serializes the trace: magic, version, then a gzip-compressed
+// gob stream (snapshots carry sparse RAM images, which compress well).
+func (t *Trace) Write(w io.Writer) error {
+	if _, err := io.WriteString(w, traceMagic); err != nil {
+		return err
+	}
+	var ver [2]byte
+	ver[0] = byte(TraceVersion)
+	ver[1] = byte(TraceVersion >> 8)
+	if _, err := w.Write(ver[:]); err != nil {
+		return err
+	}
+	zw, err := gzip.NewWriterLevel(w, gzip.BestSpeed)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(zw).Encode(t); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// ReadTrace deserializes a trace written by Write.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	magic := make([]byte, len(traceMagic)+2)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("replay: reading trace header: %w", err)
+	}
+	if string(magic[:len(traceMagic)]) != traceMagic {
+		return nil, fmt.Errorf("replay: not a trace file")
+	}
+	ver := int(magic[len(traceMagic)]) | int(magic[len(traceMagic)+1])<<8
+	if ver != TraceVersion {
+		return nil, fmt.Errorf("replay: trace version %d, want %d", ver, TraceVersion)
+	}
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("replay: trace payload: %w", err)
+	}
+	defer zr.Close()
+	var t Trace
+	if err := gob.NewDecoder(zr).Decode(&t); err != nil {
+		return nil, fmt.Errorf("replay: decoding trace: %w", err)
+	}
+	if t.Meta.Version != TraceVersion {
+		return nil, fmt.Errorf("replay: trace meta version %d, want %d", t.Meta.Version, TraceVersion)
+	}
+	if len(t.Checkpoints) == 0 {
+		return nil, fmt.Errorf("replay: trace has no checkpoints")
+	}
+	return &t, nil
+}
+
+// WriteFile saves the trace to path.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTraceFile loads a trace from path.
+func ReadTraceFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}

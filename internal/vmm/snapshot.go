@@ -1,0 +1,91 @@
+package vmm
+
+import (
+	"sort"
+
+	"lvmm/internal/hw/pic"
+	"lvmm/internal/hw/pit"
+	"lvmm/internal/isa"
+)
+
+// Snapshot is the serializable monitor state for record/replay: the
+// guest's virtual CPU (CR file, interrupt flag, privilege, halt), the
+// virtual devices, the direct-paging page-table set, the freeze flag, and
+// the statistics counters. The boot page tables live in the monitor
+// region of physical memory and travel with the machine's RAM snapshot.
+type Snapshot struct {
+	VCR     [isa.NumCRs]uint32
+	VIF     bool
+	VCPL    uint32
+	VHalted bool
+	Frozen  bool
+
+	VPIC pic.State
+	VPIT pit.State
+
+	PTPages []uint32
+	BootPT  uint32
+
+	Stats Stats
+}
+
+// Snapshot captures the monitor state.
+func (v *VMM) Snapshot() *Snapshot {
+	s := &Snapshot{
+		VCR: v.vcr, VIF: v.vIF, VCPL: v.vCPL, VHalted: v.vHalted,
+		Frozen: v.frozen,
+		VPIC:   v.vpic.State(),
+		VPIT:   v.vpit.State(),
+		BootPT: v.bootPT,
+	}
+	for pa := range v.ptPages {
+		s.PTPages = append(s.PTPages, pa)
+	}
+	sort.Slice(s.PTPages, func(i, j int) bool { return s.PTPages[i] < s.PTPages[j] })
+	s.Stats = v.Stats
+	s.Stats.TrapsByCause = make(map[uint32]uint64, len(v.Stats.TrapsByCause))
+	for c, n := range v.Stats.TrapsByCause {
+		s.Stats.TrapsByCause[c] = n
+	}
+	return s
+}
+
+// Restore replaces the monitor state, re-arming the virtual timer's
+// pending tick. Call after machine.Restore (which rewinds the clock and
+// clears the event queue). Hooks — the stop sink, violation hook, and
+// debug-IRQ hook — are wiring, not state, and are left untouched.
+func (v *VMM) Restore(s *Snapshot) {
+	v.vcr = s.VCR
+	v.vIF = s.VIF
+	v.vCPL = s.VCPL
+	v.vHalted = s.VHalted
+	v.frozen = s.Frozen
+	v.vpic.Restore(s.VPIC)
+	v.vpit.Restore(s.VPIT)
+	v.bootPT = s.BootPT
+	v.ptPages = make(map[uint32]bool, len(s.PTPages))
+	for _, pa := range s.PTPages {
+		v.ptPages[pa] = true
+	}
+	v.Stats = s.Stats
+	v.Stats.TrapsByCause = make(map[uint32]uint64, len(s.Stats.TrapsByCause))
+	for c, n := range s.Stats.TrapsByCause {
+		v.Stats.TrapsByCause[c] = n
+	}
+	v.updateIdle()
+}
+
+// VPICState exposes the virtual interrupt controller's registers (replay
+// state digests).
+func (v *VMM) VPICState() pic.State { return v.vpic.State() }
+
+// VPITState exposes the virtual timer's registers (replay state digests).
+func (v *VMM) VPITState() pit.State { return v.vpit.State() }
+
+// StopSink returns the installed debug-stop callback (replay seeks swap
+// it out temporarily so re-execution does not emit stop packets).
+func (v *VMM) StopSink() func(cause, addr uint32) { return v.stopSink }
+
+// SetVTimerTrace installs an observer called at every virtual-PIT tick
+// (record/replay timer-firing verification). Pass nil to remove.
+func (v *VMM) SetVTimerTrace(f func()) { v.vtimerTrace = f }

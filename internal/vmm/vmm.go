@@ -118,6 +118,7 @@ type VMM struct {
 	stopSink     func(cause, addr uint32) // notified on debug-relevant stops
 	onViolation  func(vaddr uint32)
 	debugIRQHook func(line int) bool // claims debug-channel interrupts
+	vtimerTrace  func()              // record/replay virtual-tick observer
 
 	Stats Stats
 }
@@ -146,7 +147,12 @@ func Attach(m *machine.Machine, cfg Config) *VMM {
 		ptPages:  map[uint32]bool{},
 	}
 	v.Stats.TrapsByCause = map[uint32]uint64{}
-	v.vpit = pit.New(m, func() { v.RaiseVirtualIRQ(hw.IRQPit) })
+	v.vpit = pit.New(m, func() {
+		if v.vtimerTrace != nil {
+			v.vtimerTrace()
+		}
+		v.RaiseVirtualIRQ(hw.IRQPit)
+	})
 
 	m.CPU.Diverter = v.divert
 	m.SetIRQSink(v.onPhysicalIRQ)

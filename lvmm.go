@@ -30,6 +30,7 @@ import (
 	"lvmm/internal/isa"
 	"lvmm/internal/machine"
 	"lvmm/internal/netsim"
+	"lvmm/internal/replay"
 	"lvmm/internal/vmm"
 )
 
@@ -135,6 +136,13 @@ func NewStreamingTarget(p Platform, w Workload) (*Target, error) {
 		params.CsumOffload = false
 		params.Coalesce = 1
 	}
+	return newStreamingTarget(p, params)
+}
+
+// newStreamingTarget builds a streaming target from fully resolved guest
+// parameters. Replay uses it to reconstruct the recorded machine from a
+// trace's metadata, so construction must be a pure function of (p, params).
+func newStreamingTarget(p Platform, params guest.Params) (*Target, error) {
 	recv := netsim.NewReceiver()
 	m := machine.NewStreaming(params.BlockBytes, recv, guest.KernelBase)
 	entry, err := guest.Prepare(m, params)
@@ -200,6 +208,11 @@ func (t *Target) Run() (RunStats, error) {
 	if reason != machine.StopGuestDone {
 		return RunStats{}, fmt.Errorf("lvmm: run ended with %v at pc=%08x", reason, t.m.CPU.PC)
 	}
+	return t.stats()
+}
+
+// stats reads the completed run's measurements off the machine.
+func (t *Target) stats() (RunStats, error) {
 	res := guest.ReadResults(t.m)
 	if res.ExitCode != 0 {
 		return RunStats{}, fmt.Errorf("lvmm: guest failed, exit=%#x cause=%s vaddr=%#x",
@@ -236,6 +249,69 @@ func (t *Target) Debugger() (*debugger.Client, error) {
 		return nil, fmt.Errorf("lvmm: platform %v has no monitor-resident debug stub", t.platform)
 	}
 	return debugger.New(debugger.NewSimTransport(t.m))
+}
+
+// Record/replay: every debugging session on the deterministic target is
+// repeatable, reversible, and shippable as a trace file.
+
+// RecordOptions re-exports replay.Options.
+type RecordOptions = replay.Options
+
+// Record begins recording the target's execution: external inputs,
+// interrupt/timer/frame timelines, and periodic full-state snapshots.
+// Call before the first Run; call Finish on the returned recorder when
+// the run is over to obtain the trace.
+func (t *Target) Record(opts RecordOptions) *replay.Recorder {
+	rec := replay.NewRecorder(t.m, t.mon, t.recv, replay.TraceMeta{
+		Platform: int(t.platform),
+		Params:   t.params,
+	}, opts)
+	rec.Start()
+	return rec
+}
+
+// ReplayTarget is a Target reconstructed from a trace and driven by a
+// Replayer. Its debugger gains time travel: the RSP bs/bc packets and the
+// REPL's rstep/rcont/checkpoint commands work against the recorded
+// timeline.
+type ReplayTarget struct {
+	*Target
+	rp *replay.Replayer
+}
+
+// Replay rebuilds the recorded target from a trace and rewinds it to the
+// trace's initial checkpoint.
+func Replay(tr *replay.Trace) (*ReplayTarget, error) {
+	if tr.Meta.Custom {
+		return nil, fmt.Errorf("lvmm: trace records a custom machine; rebuild it and use replay.NewReplayer directly")
+	}
+	t, err := newStreamingTarget(Platform(tr.Meta.Platform), tr.Meta.Params)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := replay.NewReplayer(tr, t.m, t.mon, t.recv)
+	if err != nil {
+		return nil, err
+	}
+	if t.stub != nil {
+		t.stub.SetReverser(rp)
+	}
+	return &ReplayTarget{Target: t, rp: rp}, nil
+}
+
+// Replayer exposes the underlying replay engine (seeking, divergence
+// state, reverse operations).
+func (rt *ReplayTarget) Replayer() *replay.Replayer { return rt.rp }
+
+// Run re-executes the recorded run to its end, verifying the replayed
+// timeline (interrupts, timer ticks, frame digests, final state digest)
+// against the recording, and returns the re-measured statistics — which
+// are bit-identical to the original run's.
+func (rt *ReplayTarget) Run() (RunStats, error) {
+	if err := rt.rp.RunToEnd(); err != nil {
+		return RunStats{}, err
+	}
+	return rt.stats()
 }
 
 // Figure31Options mirrors experiment.Options for the public API.

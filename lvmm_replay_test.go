@@ -1,0 +1,451 @@
+package lvmm
+
+import (
+	"bytes"
+	"hash/fnv"
+	"strings"
+	"testing"
+
+	"lvmm/internal/debugger"
+	"lvmm/internal/guest"
+	"lvmm/internal/replay"
+)
+
+// memHash condenses guest physical memory.
+func memHash(t *Target) uint64 {
+	h := fnv.New64a()
+	h.Write(t.Machine().Bus.RAM())
+	return h.Sum64()
+}
+
+// TestRecordReplayBitIdentical is the tentpole determinism property: a
+// recorded streaming run replays bit-identically — same final statistics,
+// register file, memory hash, and cycle count.
+func TestRecordReplayBitIdentical(t *testing.T) {
+	w := WorkloadDefaults(100)
+	w.Seconds = 0.2
+	target, err := NewStreamingTarget(Lightweight, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := target.Record(RecordOptions{SnapshotInterval: 60_000_000})
+	stats1, err := target.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Finish()
+
+	if len(tr.Checkpoints) < 2 {
+		t.Fatalf("expected a mid-run snapshot, got %d checkpoints", len(tr.Checkpoints))
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("no events recorded")
+	}
+
+	rt, err := Replay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats2, err := rt.Run()
+	if err != nil {
+		t.Fatalf("replay diverged: %v", err)
+	}
+
+	if stats1 != stats2 {
+		t.Fatalf("stats differ:\n  recorded: %v\n  replayed: %v", stats1, stats2)
+	}
+	if target.Machine().CPU.Regs != rt.Machine().CPU.Regs {
+		t.Fatalf("register files differ:\n  recorded: %v\n  replayed: %v",
+			target.Machine().CPU.Regs, target.Machine().CPU.Regs)
+	}
+	if target.Machine().CPU.PC != rt.Machine().CPU.PC {
+		t.Fatalf("PC differs: %08x vs %08x", target.Machine().CPU.PC, rt.Machine().CPU.PC)
+	}
+	if memHash(target) != memHash(rt.Target) {
+		t.Fatal("memory hashes differ")
+	}
+	if target.Machine().Clock() != rt.Machine().Clock() {
+		t.Fatalf("clocks differ: %d vs %d", target.Machine().Clock(), rt.Machine().Clock())
+	}
+	if got, want := replay.Digest(rt.Machine(), rt.Monitor()), tr.EndDigest; got != want {
+		t.Fatalf("digest %#x, recorded %#x", got, want)
+	}
+}
+
+// TestReverseStepAcrossSnapshotBoundary drives the replay engine directly:
+// seek to a position after the second mid-run snapshot, reverse-step far
+// enough to land in an earlier snapshot's window, and verify that
+// re-seeking forward reproduces the exact state (digest includes RAM,
+// registers, clock, and cycle accounting).
+func TestReverseStepAcrossSnapshotBoundary(t *testing.T) {
+	w := WorkloadDefaults(80)
+	w.Seconds = 0.2
+	target, err := NewStreamingTarget(Lightweight, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := target.Record(RecordOptions{SnapshotInterval: 40_000_000})
+	if _, err := target.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Finish()
+	if len(tr.Checkpoints) < 3 {
+		t.Fatalf("need ≥3 checkpoints, got %d", len(tr.Checkpoints))
+	}
+
+	rt, err := Replay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := rt.Replayer()
+
+	cp1, cp2 := tr.Checkpoints[1].Instr, tr.Checkpoints[2].Instr
+	posA := cp2 + 500
+	if err := rp.SeekInstr(posA); err != nil {
+		t.Fatal(err)
+	}
+	digA := replay.Digest(rt.Machine(), rt.Monitor())
+	clockA := rt.Machine().Clock()
+
+	// Step back across the checkpoint-2 boundary into checkpoint 1's window.
+	n := posA - cp1 - (cp2-cp1)/2
+	if err := rp.ReverseStep(n); err != nil {
+		t.Fatal(err)
+	}
+	posB := rp.Position()
+	if posB != posA-n {
+		t.Fatalf("reverse-step landed at %d, want %d", posB, posA-n)
+	}
+	if posB >= cp2 || posB < cp1 {
+		t.Fatalf("landing %d did not cross the snapshot boundary (cp1=%d cp2=%d)", posB, cp1, cp2)
+	}
+	digB := replay.Digest(rt.Machine(), rt.Monitor())
+
+	// Forward again: the state at posA must reproduce exactly.
+	if err := rp.SeekInstr(posA); err != nil {
+		t.Fatal(err)
+	}
+	if got := replay.Digest(rt.Machine(), rt.Monitor()); got != digA {
+		t.Fatalf("re-seek to %d: digest %#x, want %#x", posA, got, digA)
+	}
+	if rt.Machine().Clock() != clockA {
+		t.Fatalf("re-seek clock %d, want %d", rt.Machine().Clock(), clockA)
+	}
+
+	// And backwards once more: same landing, same state.
+	if err := rp.SeekInstr(posB); err != nil {
+		t.Fatal(err)
+	}
+	if got := replay.Digest(rt.Machine(), rt.Monitor()); got != digB {
+		t.Fatalf("re-seek to %d: digest %#x, want %#x", posB, got, digB)
+	}
+	if rp.Err() != nil {
+		t.Fatalf("unexpected divergence: %v", rp.Err())
+	}
+}
+
+// TestTimeTravelEndToEnd exercises reverse-continue and reverse-step
+// through the full debugger stack — REPL → RSP client → RSP bs/bc packets
+// → monitor-resident stub → replay engine — against a trace with mid-run
+// snapshots. It travels backwards through the guest's tick counter.
+func TestTimeTravelEndToEnd(t *testing.T) {
+	w := WorkloadDefaults(50)
+	w.Seconds = 0.15
+	target, err := NewStreamingTarget(Lightweight, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := target.Record(RecordOptions{SnapshotInterval: 40_000_000})
+	if _, err := target.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Finish()
+	if len(tr.Checkpoints) < 2 {
+		t.Fatalf("need a mid-run snapshot, got %d checkpoints", len(tr.Checkpoints))
+	}
+
+	rt, err := Replay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbg, err := rt.Debugger()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := guest.Kernel()
+	tickH, ok := img.Symbols["tick_h"]
+	if !ok {
+		t.Fatal("kernel image has no tick_h symbol")
+	}
+	ticksVar := img.Symbols["ticks"]
+
+	// Drive the replayed guest forward to the tenth tick-handler entry,
+	// deep enough into the run that there is history to travel back into.
+	if err := dbg.SetBreak(tickH, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		stop, err := dbg.Continue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stop.Signal != 5 {
+			t.Fatalf("continue %d: signal %d", i, stop.Signal)
+		}
+	}
+
+	// RSP client level: reverse-continue lands on the recorded timeline's
+	// previous tick_h crossing.
+	if _, err := dbg.ReverseContinue(); err != nil {
+		t.Fatal(err)
+	}
+	regs, err := dbg.Regs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs[16] != tickH {
+		t.Fatalf("reverse-continue landed at pc=%08x, want tick_h=%08x", regs[16], tickH)
+	}
+	ticks1, err := dbg.ReadWord(ticksVar)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second reverse-continue reaches the tick before that.
+	if _, err := dbg.ReverseContinue(); err != nil {
+		t.Fatal(err)
+	}
+	regs, _ = dbg.Regs()
+	if regs[16] != tickH {
+		t.Fatalf("second reverse-continue at pc=%08x, want tick_h", regs[16])
+	}
+	ticks2, _ := dbg.ReadWord(ticksVar)
+	if ticks2 != ticks1-1 {
+		t.Fatalf("travelling back one tick: ticks went %d -> %d, want %d", ticks1, ticks2, ticks1-1)
+	}
+
+	// Reverse-step via the client: position moves back by exactly one.
+	posBefore := rt.Replayer().Position()
+	if _, err := dbg.ReverseStepInstr(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Replayer().Position(); got != posBefore-1 {
+		t.Fatalf("reverse-step: position %d, want %d", got, posBefore-1)
+	}
+
+	// Watchpoint time travel: land just after the previous store to the
+	// tick counter.
+	if err := dbg.ClearBreak(tickH, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := dbg.SetWatch(ticksVar, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dbg.ReverseContinue(); err != nil {
+		t.Fatal(err)
+	}
+	ticks3, _ := dbg.ReadWord(ticksVar)
+	if ticks3 != ticks2 {
+		t.Fatalf("watch landing: ticks=%d, want %d (value the previous store wrote)", ticks3, ticks2)
+	}
+	if err := dbg.ClearWatch(ticksVar); err != nil {
+		t.Fatal(err)
+	}
+
+	// REPL level: rstep, checkpoint, rcont.
+	var out bytes.Buffer
+	repl := debugger.NewREPL(dbg, &out)
+	repl.LoadSymbols(img)
+	if err := repl.Execute("b tick_h"); err != nil {
+		t.Fatal(err)
+	}
+	if err := repl.Execute("checkpoint"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "checkpoint at instruction") {
+		t.Fatalf("checkpoint output: %q", out.String())
+	}
+	out.Reset()
+	if err := repl.Execute("rstep"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "stopped (signal 5)") {
+		t.Fatalf("rstep output: %q", out.String())
+	}
+	out.Reset()
+	if err := repl.Execute("rcont"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "<tick_h>") {
+		t.Fatalf("rcont did not land on tick_h: %q", out.String())
+	}
+}
+
+// TestReplayDivergenceDetection tampers with a recorded timeline and
+// checks that replay reports the divergence instead of silently passing.
+func TestReplayDivergenceDetection(t *testing.T) {
+	w := WorkloadDefaults(50)
+	w.Seconds = 0.1
+	target, err := NewStreamingTarget(Lightweight, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := target.Record(RecordOptions{})
+	if _, err := target.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Finish()
+
+	// Shift one recorded interrupt by a cycle.
+	tampered := false
+	for i := range tr.Events {
+		if tr.Events[i].Kind == replay.EvIRQ {
+			tr.Events[i].Cycle++
+			tampered = true
+			break
+		}
+	}
+	if !tampered {
+		t.Fatal("no IRQ event to tamper with")
+	}
+	rt, err := Replay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err == nil {
+		t.Fatal("tampered trace replayed without a divergence error")
+	} else if !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestBareMetalRecordReplay covers the monitor-less configuration (nil
+// VMM snapshot through serialization included).
+func TestBareMetalRecordReplay(t *testing.T) {
+	w := WorkloadDefaults(50)
+	w.Seconds = 0.1
+	target, err := NewStreamingTarget(BareMetal, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := target.Record(RecordOptions{})
+	stats1, err := target.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := replay.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Replay(tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats2, err := rt.Run()
+	if err != nil {
+		t.Fatalf("bare-metal replay diverged: %v", err)
+	}
+	if stats1 != stats2 {
+		t.Fatalf("stats differ:\n  recorded: %v\n  replayed: %v", stats1, stats2)
+	}
+}
+
+// TestRecordReplayWithDebugSession records a run that includes external
+// input — a debug session over the deterministic in-process transport —
+// and replays it bit-identically, re-injecting the recorded RSP bytes at
+// their recorded cycles.
+func TestRecordReplayWithDebugSession(t *testing.T) {
+	w := WorkloadDefaults(50)
+	w.Seconds = 0.1
+	target, err := NewStreamingTarget(Lightweight, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := target.Record(RecordOptions{})
+
+	// A scripted debug session in the middle of the recorded run: stop
+	// the guest, look around, resume.
+	dbg, err := target.Debugger()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dbg.Interrupt(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dbg.Regs(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dbg.Detach(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats1, err := target.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Finish()
+
+	inputs := 0
+	for _, ev := range tr.Events {
+		if ev.Kind == replay.EvInput {
+			inputs++
+		}
+	}
+	if inputs == 0 {
+		t.Fatal("debug session recorded no input events")
+	}
+
+	rt, err := Replay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats2, err := rt.Run()
+	if err != nil {
+		t.Fatalf("replay with inputs diverged: %v", err)
+	}
+	if stats1 != stats2 {
+		t.Fatalf("stats differ:\n  recorded: %v\n  replayed: %v", stats1, stats2)
+	}
+}
+
+// TestTraceSerializationRoundTrip checks the versioned trace file format.
+func TestTraceSerializationRoundTrip(t *testing.T) {
+	w := WorkloadDefaults(50)
+	w.Seconds = 0.1
+	target, err := NewStreamingTarget(Lightweight, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := target.Record(RecordOptions{SnapshotInterval: 60_000_000})
+	if _, err := target.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := replay.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.EndDigest != tr.EndDigest || tr2.EndCycle != tr.EndCycle ||
+		len(tr2.Events) != len(tr.Events) || len(tr2.Checkpoints) != len(tr.Checkpoints) {
+		t.Fatal("trace round trip lost data")
+	}
+
+	rt, err := Replay(tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatalf("replay from deserialized trace diverged: %v", err)
+	}
+}
