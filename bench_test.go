@@ -196,6 +196,38 @@ func BenchmarkInterpreter(b *testing.B) {
 	b.ReportMetric(float64(2000001*b.N)/b.Elapsed().Seconds(), "guest_instr/s")
 }
 
+// BenchmarkInterpreterSlowPath measures the same tight loop with a CPU spy
+// watch armed — a timeline-neutral observer that disqualifies predecoded
+// bursts (cpu.BurstSafe), forcing the per-instruction slow path. The ratio
+// to BenchmarkInterpreter is the predecoded engine's speedup.
+func BenchmarkInterpreterSlowPath(b *testing.B) {
+	img := asm.MustAssemble(`
+        .org 0x1000
+        _start:
+            li   r1, 0
+            li   r2, 1000000
+        loop:
+            addi r1, r1, 1
+            bne  r1, r2, loop
+            hlt
+    `)
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.Config{ResetPC: img.Entry})
+		if err := m.LoadImage(img); err != nil {
+			b.Fatal(err)
+		}
+		m.CPU.Reset(img.Entry)
+		if err := m.CPU.SetSpyWatch(0, 0xFFFF0000, 16, true); err != nil {
+			b.Fatal(err)
+		}
+		m.Run(20_000_000)
+		if m.CPU.Regs[1] != 1000000 {
+			b.Fatalf("loop did not finish: r1=%d", m.CPU.Regs[1])
+		}
+	}
+	b.ReportMetric(float64(2000001*b.N)/b.Elapsed().Seconds(), "guest_instr/s")
+}
+
 // BenchmarkTrapRoundTrip measures the simulated cost of one guest→monitor
 // →guest crossing (CLI emulation), the lightweight VMM's atomic unit.
 func BenchmarkTrapRoundTrip(b *testing.B) {

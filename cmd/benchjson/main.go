@@ -1,0 +1,233 @@
+// Command benchjson runs the repository's engineering benchmarks with a
+// small self-contained harness and emits a machine-readable JSON artifact
+// (BENCH_<date>.json by default) so the performance trajectory of the
+// interpreter hot path is recorded in the repo rather than in someone's
+// scrollback.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson                 # ~1 s per benchmark, writes BENCH_<date>.json
+//	go run ./cmd/benchjson -quick -out -   # single iteration each, JSON to stdout (CI smoke)
+//	go run ./cmd/benchjson -note "seed"    # annotate the artifact
+//
+// The benchmark set mirrors bench_test.go's engineering benchmarks
+// (BenchmarkInterpreter, BenchmarkTrapRoundTrip) plus a forced-slow-path
+// interpreter variant, so one artifact carries both sides of the
+// predecoded-engine before/after comparison. Paper-figure benchmarks stay
+// in `go test -bench`; this tool is only for the host-side hot-path
+// numbers that DESIGN.md's benchmark table tracks.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"lvmm/internal/asm"
+	"lvmm/internal/experiment"
+	"lvmm/internal/machine"
+	"lvmm/internal/vmm"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Artifact is the JSON document benchjson emits.
+type Artifact struct {
+	Date       string   `json:"date"`
+	Note       string   `json:"note,omitempty"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	Quick      bool     `json:"quick,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// bench runs body repeatedly until the accumulated run time reaches target
+// (testing.B-style doubling), or exactly once when target is zero. body
+// receives the iteration count and returns a map of custom metrics; the
+// metrics of the final (longest) run are kept.
+func bench(name string, target time.Duration, body func(n int) map[string]float64) Result {
+	n := 1
+	for {
+		start := time.Now()
+		metrics := body(n)
+		elapsed := time.Since(start)
+		if target == 0 || elapsed >= target || n >= 1<<24 {
+			return Result{
+				Name:       name,
+				Iterations: n,
+				NsPerOp:    float64(elapsed.Nanoseconds()) / float64(n),
+				Metrics:    metrics,
+			}
+		}
+		// Aim past the target the way testing.B does: scale by the
+		// shortfall, capped at 100x growth per round.
+		grow := int64(n)
+		if elapsed > 0 {
+			grow = int64(float64(n) * float64(target) / float64(elapsed))
+		}
+		if grow > int64(n)*100 {
+			grow = int64(n) * 100
+		}
+		if grow <= int64(n) {
+			grow = int64(n) + 1
+		}
+		n = int(grow)
+	}
+}
+
+// interpreterSource is the tight guest loop BenchmarkInterpreter times:
+// 2,000,001 retired instructions per run.
+const interpreterSource = `
+        .org 0x1000
+        _start:
+            li   r1, 0
+            li   r2, 1000000
+        loop:
+            addi r1, r1, 1
+            bne  r1, r2, loop
+            hlt
+    `
+
+const interpreterInstrs = 2_000_001
+
+// runInterpreter executes the tight loop n times, optionally with a CPU spy
+// watch armed, which disqualifies the machine from predecoded bursts and
+// forces the per-instruction slow path (the pre-optimization engine).
+func runInterpreter(n int, forceSlow bool) map[string]float64 {
+	img := asm.MustAssemble(interpreterSource)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		m := machine.New(machine.Config{ResetPC: img.Entry})
+		if err := m.LoadImage(img); err != nil {
+			fatal(err)
+		}
+		m.CPU.Reset(img.Entry)
+		if forceSlow {
+			// A spy watch is the non-perturbing observer: identical
+			// timeline, slow-path execution.
+			if err := m.CPU.SetSpyWatch(0, 0xFFFF0000, 16, true); err != nil {
+				fatal(err)
+			}
+		}
+		m.Run(20_000_000)
+		if m.CPU.Regs[1] != 1000000 {
+			fatal(fmt.Errorf("interpreter loop did not finish: r1=%d", m.CPU.Regs[1]))
+		}
+	}
+	return map[string]float64{
+		"guest_instr_per_s": float64(interpreterInstrs*n) / time.Since(start).Seconds(),
+	}
+}
+
+// runTrapRoundTrip measures the guest→monitor→guest crossing (CLI
+// emulation under the lightweight VMM), n single steps.
+func runTrapRoundTrip(n int) map[string]float64 {
+	img := asm.MustAssemble(`
+        .org 0x1000
+        _start:
+        loop:
+            cli
+            sti
+            b loop
+    `)
+	m := machine.New(machine.Config{ResetPC: img.Entry})
+	if err := m.LoadImage(img); err != nil {
+		fatal(err)
+	}
+	v := vmm.Attach(m, vmm.Config{Mode: vmm.Lightweight})
+	if err := v.Launch(img.Entry); err != nil {
+		fatal(err)
+	}
+	start := v.Stats.Traps
+	for i := 0; i < n; i++ {
+		m.StepOne()
+	}
+	return map[string]float64{
+		"traps_per_op": float64(v.Stats.Traps-start) / float64(n),
+	}
+}
+
+// runFig31Point runs the lightweight-VMM saturation point of Figure 3.1,
+// the macro benchmark the paper's headline numbers come from.
+func runFig31Point(n int) map[string]float64 {
+	var last experiment.Point
+	for i := 0; i < n; i++ {
+		last = experiment.RunPoint(experiment.LightweightVMM,
+			experiment.Options{DurationTicks: 40}, 700)
+		if last.Error != "" {
+			fatal(fmt.Errorf("fig31 point: %s", last.Error))
+		}
+	}
+	return map[string]float64{
+		"mbps_achieved": last.AchievedMbps,
+		"cpu_load_pct":  last.CPULoad * 100,
+		"monitor_pct":   last.MonitorShare * 100,
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "run each benchmark once (CI smoke) instead of ~1s per benchmark")
+	out := flag.String("out", "", `output path; "-" for stdout (default BENCH_<date>.json)`)
+	note := flag.String("note", "", "free-form annotation stored in the artifact")
+	flag.Parse()
+
+	target := time.Second
+	if *quick {
+		target = 0
+	}
+
+	art := Artifact{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		Note:      *note,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Quick:     *quick,
+	}
+	art.Benchmarks = append(art.Benchmarks,
+		bench("Interpreter", target, func(n int) map[string]float64 {
+			return runInterpreter(n, false)
+		}),
+		bench("InterpreterSlowPath", target, func(n int) map[string]float64 {
+			return runInterpreter(n, true)
+		}),
+		bench("TrapRoundTrip", target, runTrapRoundTrip),
+		bench("Fig31LightweightSaturated", target, runFig31Point),
+	)
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", art.Date)
+	}
+	if path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(art.Benchmarks))
+}

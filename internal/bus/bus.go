@@ -21,11 +21,18 @@ type PortHandler interface {
 // uses taps to charge device-emulation costs without perturbing behaviour.
 type PortTap func(port uint16, v uint32, write bool)
 
+// WriteNotify observes every completed write into RAM — CPU stores,
+// page-walk A/D updates, DMA, image loads. The CPU installs one to
+// invalidate predecoded instructions covering the written range; it must
+// not touch RAM itself.
+type WriteNotify func(addr, n uint32)
+
 // Bus is the physical memory and I/O interconnect.
 type Bus struct {
-	ram   []byte
-	ports map[uint16]portEntry
-	tap   PortTap
+	ram         []byte
+	ports       map[uint16]portEntry
+	tap         PortTap
+	writeNotify WriteNotify
 }
 
 type portEntry struct {
@@ -64,6 +71,18 @@ func (b *Bus) MapPorts(base uint16, count int, h PortHandler) {
 
 // SetPortTap installs an observer for all port traffic (nil to remove).
 func (b *Bus) SetPortTap(t PortTap) { b.tap = t }
+
+// SetWriteNotify installs the RAM-write observer (nil to remove).
+func (b *Bus) SetWriteNotify(f WriteNotify) { b.writeNotify = f }
+
+// NotifyWrite reports an out-of-band write of n bytes at addr performed
+// through a slice obtained from RAM() (in-place DMA fills). Devices that
+// bypass Write*/DMAWrite must call it after mutating memory.
+func (b *Bus) NotifyWrite(addr, n uint32) {
+	if b.writeNotify != nil {
+		b.writeNotify(addr, n)
+	}
+}
 
 // ReadPort performs a port read. Unmapped ports float high (0xFFFFFFFF),
 // as on a real ISA/PCI bus; no fault is raised.
@@ -118,6 +137,9 @@ func (b *Bus) Write8(addr uint32, v byte) bool {
 		return false
 	}
 	b.ram[addr] = v
+	if b.writeNotify != nil {
+		b.writeNotify(addr, 1)
+	}
 	return true
 }
 
@@ -127,6 +149,9 @@ func (b *Bus) Write16(addr uint32, v uint16) bool {
 		return false
 	}
 	binary.LittleEndian.PutUint16(b.ram[addr:], v)
+	if b.writeNotify != nil {
+		b.writeNotify(addr, 2)
+	}
 	return true
 }
 
@@ -136,6 +161,9 @@ func (b *Bus) Write32(addr uint32, v uint32) bool {
 		return false
 	}
 	binary.LittleEndian.PutUint32(b.ram[addr:], v)
+	if b.writeNotify != nil {
+		b.writeNotify(addr, 4)
+	}
 	return true
 }
 
@@ -156,6 +184,9 @@ func (b *Bus) DMAWrite(addr uint32, data []byte) bool {
 		return false
 	}
 	copy(b.ram[addr:], data)
+	if b.writeNotify != nil {
+		b.writeNotify(addr, uint32(len(data)))
+	}
 	return true
 }
 

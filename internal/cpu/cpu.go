@@ -8,6 +8,11 @@
 // trap and interrupt first; this models the monitor owning the real
 // interrupt-descriptor machinery while the guest sees only virtualized
 // copies, exactly the structure of the paper's lightweight VMM.
+//
+// Execution has two bit-identical engines: the per-instruction slow path
+// (Step), consulted whenever any observer is armed, and a predecoded
+// fast path (StepFast/BurstRun) backed by a physical-page-indexed decode
+// cache — see decode.go for the design and its invalidation rules.
 package cpu
 
 import (
@@ -79,9 +84,16 @@ type CPU struct {
 	// I/O permission bitmap (nil = no grants; CPL0 always allowed).
 	ioBitmap *IOBitmap
 
+	// Predecoded execution engine (see decode.go): lazily decoded
+	// physical-page-indexed instruction arrays, invalidated by writes and
+	// generation-flushed on TLB flushes, Reset, and Restore.
+	dcPages []*decPage
+	dcGen   uint32
+
 	// Hardware breakpoints (debug registers).
-	hwBreak   [4]uint32
-	hwBreakEn [4]bool
+	hwBreak    [4]uint32
+	hwBreakEn  [4]bool
+	hwBreakAny bool
 
 	// Data watchpoints: fire CauseWatch after a store into the range.
 	watchAddr [4]uint32
@@ -119,6 +131,10 @@ type Stats struct {
 // CPL0, interrupts and paging disabled.
 func New(b *bus.Bus, resetPC uint32) *CPU {
 	c := &CPU{bus: b}
+	c.dcPages = make([]*decPage, (b.RAMSize()+isa.PageMask)>>isa.PageShift)
+	// Every write into RAM — CPU stores, page-walk A/D updates, device
+	// DMA, image loads — must drop predecoded instructions covering it.
+	b.SetWriteNotify(c.dcInvalidate)
 	c.Reset(resetPC)
 	return c
 }
@@ -161,6 +177,10 @@ func (c *CPU) SetHWBreak(i int, addr uint32, enabled bool) error {
 	}
 	c.hwBreak[i] = addr
 	c.hwBreakEn[i] = enabled
+	c.hwBreakAny = false
+	for _, en := range c.hwBreakEn {
+		c.hwBreakAny = c.hwBreakAny || en
+	}
 	return nil
 }
 
@@ -624,6 +644,7 @@ func (c *CPU) execMOVS(instPC uint32) StepResult {
 					cause = isa.CauseBusError
 				} else {
 					copy(c.bus.RAM()[dpa:dpa+chunk], c.bus.RAM()[spa:spa+chunk])
+					c.dcInvalidate(dpa, chunk)
 				}
 			} else {
 				src = dst // fault address is the destination
@@ -692,6 +713,7 @@ func (c *CPU) execSTOS(instPC uint32) StepResult {
 		for i := range ram {
 			ram[i] = fill
 		}
+		c.dcInvalidate(dpa, chunk)
 		if c.spyAny {
 			c.notifySpy(dst, chunk)
 		}

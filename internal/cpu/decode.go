@@ -1,0 +1,606 @@
+package cpu
+
+import "lvmm/internal/isa"
+
+// Predecoded execution engine.
+//
+// The interpreter's per-instruction cost is dominated by refetching and
+// redecoding the same words over and over: a tight guest loop pays a bus
+// read, an opcode extraction, and four field extractions on every trip.
+// The decode cache removes that: instruction words are decoded once into
+// physical-page-indexed arrays of predecoded micro-ops, and StepFast
+// dispatches on the cached form.
+//
+// The cache is indexed by *physical* page, so remapping a virtual page to
+// a different frame, a TLB flush, or a PTBR change needs no invalidation —
+// every fetch still translates its PC through the TLB (which also
+// preserves TLB-miss cycle accounting exactly), and cached decodes are a
+// pure function of RAM contents. Physical indexing is what makes the
+// monitor's constant world-switch TLB flushes free for the decode cache;
+// the virtually-indexed alternative re-decodes the working set on every
+// switch (measured ~3× slower on the Figure 3.1 macro benchmark). What
+// does invalidate a page:
+//
+//   - any write into it: CPU stores and page-walk A/D updates arrive via
+//     the bus write-notify hook installed at construction; MOVS/STOS and
+//     debugger WriteVirt patches invalidate directly (they bypass the bus
+//     write path and write RAM in place); device DMA arrives via the bus
+//     hook (bus.Write*/DMAWrite) or bus.NotifyWrite for in-place fills;
+//   - Reset and Restore (the cache starts cold after a snapshot restore,
+//     which is safe because decode state is invisible to the timeline: a
+//     cold cache re-decodes but charges identical cycles).
+//
+// Nothing in the cache affects architectural state or cycle accounting, so
+// slow-path and fast-path execution are bit-identical; the differential
+// tests in decode_test.go enforce this instruction by instruction.
+
+// Micro-op kinds. fnUnset marks an undecoded slot; fnSlow routes the word
+// through the full interpreter switch (execute) and ends a burst — it
+// covers every op that can touch machine-level state (port I/O, PSR/CR
+// writes, HLT, traps, string ops) plus undefined encodings.
+const (
+	fnUnset uint8 = iota
+	fnSlow
+
+	// Straight-line ops: cannot halt, cannot change PSR/CRs, cannot touch
+	// ports, cannot arm observers. A burst may continue after them.
+	fnADD
+	fnSUB
+	fnAND
+	fnOR
+	fnXOR
+	fnSHL
+	fnSHR
+	fnSRA
+	fnSLT
+	fnSLTU
+	fnMUL
+	fnDIVU
+	fnREMU
+	fnADDI
+	fnANDI
+	fnORI
+	fnXORI
+	fnSHLI
+	fnSHRI
+	fnSRAI
+	fnLUI
+	fnLW
+	fnLH
+	fnLHU
+	fnLB
+	fnLBU
+	fnSW
+	fnSH
+	fnSB
+	fnBEQ
+	fnBNE
+	fnBLT
+	fnBGE
+	fnBLTU
+	fnBGEU
+	fnJAL
+	fnJALR
+)
+
+// decoded is one predecoded instruction: the dispatch kind, pre-extracted
+// register fields, and the immediate in its ready-to-use form (sign- or
+// zero-extended, pre-masked shift amounts, pre-shifted LUI value,
+// pre-scaled branch/jump displacement including the +4). raw keeps the
+// original word for the fnSlow path and for trap vaddr reporting.
+type decoded struct {
+	fn  uint8
+	rd  uint8
+	rs1 uint8
+	rs2 uint8
+	imm uint32
+	raw uint32
+}
+
+// decPage holds the predecoded instructions of one physical page, decoded
+// lazily as they are first executed. A page is live only while its gen
+// matches the CPU's current decode generation.
+type decPage struct {
+	gen uint32
+	ins [isa.PageSize / 4]decoded
+}
+
+// decodeWord predecodes one instruction word.
+func decodeWord(w uint32) decoded {
+	d := decoded{
+		rd:  uint8(isa.Rd(w)),
+		rs1: uint8(isa.Rs1(w)),
+		rs2: uint8(isa.Rs2(w)),
+		raw: w,
+	}
+	switch isa.Opcode(w) {
+	case isa.OpADD:
+		d.fn = fnADD
+	case isa.OpSUB:
+		d.fn = fnSUB
+	case isa.OpAND:
+		d.fn = fnAND
+	case isa.OpOR:
+		d.fn = fnOR
+	case isa.OpXOR:
+		d.fn = fnXOR
+	case isa.OpSHL:
+		d.fn = fnSHL
+	case isa.OpSHR:
+		d.fn = fnSHR
+	case isa.OpSRA:
+		d.fn = fnSRA
+	case isa.OpSLT:
+		d.fn = fnSLT
+	case isa.OpSLTU:
+		d.fn = fnSLTU
+	case isa.OpMUL:
+		d.fn = fnMUL
+	case isa.OpDIVU:
+		d.fn = fnDIVU
+	case isa.OpREMU:
+		d.fn = fnREMU
+	case isa.OpADDI:
+		d.fn, d.imm = fnADDI, uint32(isa.Imm18(w))
+	case isa.OpANDI:
+		d.fn, d.imm = fnANDI, isa.Imm18U(w)
+	case isa.OpORI:
+		d.fn, d.imm = fnORI, isa.Imm18U(w)
+	case isa.OpXORI:
+		d.fn, d.imm = fnXORI, isa.Imm18U(w)
+	case isa.OpSHLI:
+		d.fn, d.imm = fnSHLI, isa.Imm18U(w)&31
+	case isa.OpSHRI:
+		d.fn, d.imm = fnSHRI, isa.Imm18U(w)&31
+	case isa.OpSRAI:
+		d.fn, d.imm = fnSRAI, isa.Imm18U(w)&31
+	case isa.OpLUI:
+		d.fn, d.imm = fnLUI, isa.Imm18U(w)<<14
+	case isa.OpLW:
+		d.fn, d.imm = fnLW, uint32(isa.Imm18(w))
+	case isa.OpLH:
+		d.fn, d.imm = fnLH, uint32(isa.Imm18(w))
+	case isa.OpLHU:
+		d.fn, d.imm = fnLHU, uint32(isa.Imm18(w))
+	case isa.OpLB:
+		d.fn, d.imm = fnLB, uint32(isa.Imm18(w))
+	case isa.OpLBU:
+		d.fn, d.imm = fnLBU, uint32(isa.Imm18(w))
+	case isa.OpSW:
+		d.fn, d.imm = fnSW, uint32(isa.Imm18(w))
+	case isa.OpSH:
+		d.fn, d.imm = fnSH, uint32(isa.Imm18(w))
+	case isa.OpSB:
+		d.fn, d.imm = fnSB, uint32(isa.Imm18(w))
+	case isa.OpBEQ:
+		d.fn, d.imm = fnBEQ, uint32(isa.Imm18(w)*4+4)
+	case isa.OpBNE:
+		d.fn, d.imm = fnBNE, uint32(isa.Imm18(w)*4+4)
+	case isa.OpBLT:
+		d.fn, d.imm = fnBLT, uint32(isa.Imm18(w)*4+4)
+	case isa.OpBGE:
+		d.fn, d.imm = fnBGE, uint32(isa.Imm18(w)*4+4)
+	case isa.OpBLTU:
+		d.fn, d.imm = fnBLTU, uint32(isa.Imm18(w)*4+4)
+	case isa.OpBGEU:
+		d.fn, d.imm = fnBGEU, uint32(isa.Imm18(w)*4+4)
+	case isa.OpJAL:
+		d.fn, d.imm = fnJAL, uint32(isa.Imm22(w)*4+4)
+	case isa.OpJALR:
+		d.fn, d.imm = fnJALR, uint32(isa.Imm18(w))
+	default:
+		d.fn = fnSlow
+	}
+	return d
+}
+
+// decodeLookup returns the predecoded instruction at physical address pa,
+// decoding (and allocating the page) on demand. nil means pa is not
+// word-readable RAM — the caller raises the same bus error the slow-path
+// fetch would.
+func (c *CPU) decodeLookup(pa uint32) *decoded {
+	pfn := pa >> isa.PageShift
+	if pfn >= uint32(len(c.dcPages)) {
+		return nil
+	}
+	pg := c.dcPages[pfn]
+	if pg == nil || pg.gen != c.dcGen {
+		pg = &decPage{gen: c.dcGen}
+		c.dcPages[pfn] = pg
+	}
+	d := &pg.ins[(pa&isa.PageMask)>>2]
+	if d.fn == fnUnset {
+		w, ok := c.bus.Read32(pa)
+		if !ok {
+			return nil
+		}
+		*d = decodeWord(w)
+	}
+	return d
+}
+
+// dcInvalidate drops predecoded state covering [addr, addr+n). It is the
+// bus write-notify hook, and is also called directly by the in-place RAM
+// writers (MOVS/STOS, WriteVirt).
+//
+// Small writes (a store-sized span inside one page) clear just the touched
+// entries, keeping the page live: guest kernels routinely pack data into
+// the same 4 KB pages as code, and dropping the whole page on every such
+// store re-allocates and re-decodes it in a ping-pong that dominated the
+// macro benchmarks. Bulk writes (DMA, string ops) drop whole pages.
+func (c *CPU) dcInvalidate(addr, n uint32) {
+	if n == 0 {
+		return
+	}
+	first := addr >> isa.PageShift
+	if first >= uint32(len(c.dcPages)) {
+		return
+	}
+	if (addr&isa.PageMask)+n <= isa.PageSize && n <= 8 {
+		if pg := c.dcPages[first]; pg != nil {
+			i0 := (addr & isa.PageMask) >> 2
+			i1 := ((addr & isa.PageMask) + n - 1) >> 2
+			for i := i0; i <= i1; i++ {
+				pg.ins[i].fn = fnUnset
+			}
+		}
+		return
+	}
+	last := (addr + n - 1) >> isa.PageShift
+	if last >= uint32(len(c.dcPages)) {
+		last = uint32(len(c.dcPages)) - 1
+	}
+	for p := first; p <= last; p++ {
+		if c.dcPages[p] != nil {
+			c.dcPages[p] = nil
+		}
+	}
+}
+
+// dcFlush discards the whole decode cache by advancing the generation.
+// Pages are re-decoded lazily on next execution; the allocations are
+// reclaimed as lookups replace stale pages.
+func (c *CPU) dcFlush() { c.dcGen++ }
+
+// BurstSafe reports whether the CPU may execute predecoded straight-line
+// bursts: no observer that the per-instruction slow path would consult is
+// armed (hardware breakpoints, watchpoints, spy watches, the trap flag).
+// The machine checks it once per burst entry; every operation that could
+// arm an observer mid-burst reaches the CPU through a trap or an fnSlow
+// instruction, both of which end the burst first.
+func (c *CPU) BurstSafe() bool {
+	return !c.hwBreakAny && !c.watchAny && !c.spyAny && c.PSR&isa.PSRTF == 0
+}
+
+// BurstBreak explains why BurstRun stopped.
+type BurstBreak int
+
+const (
+	// BurstHorizon: the clock reached the event horizon.
+	BurstHorizon BurstBreak = iota
+	// BurstBudget: the tick budget (poll countdown / stop-at-instruction
+	// allowance) ran out.
+	BurstBudget
+	// BurstSlow: the next instruction needs the full interpreter (port
+	// I/O, PSR/CR writes, HLT, string ops, undefined encodings). It has
+	// NOT been executed; the caller runs it via StepFast on the same tick.
+	BurstSlow
+	// BurstTrap: the last counted tick raised a trap (including fetch
+	// faults). The caller must check Wedged and re-establish invariants.
+	BurstTrap
+)
+
+// BurstRun executes predecoded straight-line instructions until the clock
+// (committed through clk after every instruction, so trap diverters and
+// scheduled work observe exact time) reaches horizon, maxTicks ticks were
+// consumed, an instruction traps, or an instruction needs the full
+// interpreter. Returns the tick count consumed (every Step-equivalent,
+// including a final faulting one) and the break reason.
+//
+// Preconditions are StepFast's: BurstSafe holds and the CPU is neither
+// halted nor wedged; the caller guarantees *clk < horizon and maxTicks ≥ 1
+// on entry. Architectural effects and cycle charges are bit-identical to
+// an equivalent sequence of Step calls.
+func (c *CPU) BurstRun(clk *uint64, horizon, maxTicks uint64) (uint64, BurstBreak) {
+	n := uint64(0)
+	// PTBR can only change through fnSlow ops or trap handlers, both of
+	// which end the burst, so the paging mode is loop-invariant.
+	pagingOff := !c.PagingEnabled()
+	for {
+		if n >= maxTicks {
+			return n, BurstBudget
+		}
+		instPC := c.PC
+		if instPC&3 != 0 {
+			*clk += c.raise(isa.CauseAlign, instPC, instPC)
+			return n + 1, BurstTrap
+		}
+		var pa uint32
+		var cyc uint64
+		if pagingOff {
+			pa = instPC
+		} else {
+			var cause uint32
+			pa, cause, cyc = c.translate(instPC, false)
+			if cause != isa.CauseNone {
+				*clk += cyc + c.raise(cause, instPC, instPC)
+				return n + 1, BurstTrap
+			}
+		}
+		d := c.decodeLookup(pa)
+		if d == nil {
+			*clk += cyc + c.raise(isa.CauseBusError, instPC, instPC)
+			return n + 1, BurstTrap
+		}
+		if d.fn == fnSlow {
+			return n, BurstSlow
+		}
+		res := c.executeFast(d, instPC)
+		c.Stat.Instructions++
+		*clk += res.Cycles + cyc
+		n++
+		if res.Trapped != isa.CauseNone {
+			return n, BurstTrap
+		}
+		if *clk >= horizon {
+			return n, BurstHorizon
+		}
+	}
+}
+
+// StepFast executes one instruction through the decode cache. The caller
+// must guarantee the BurstSafe preconditions and that the CPU is neither
+// halted nor wedged. The bool result reports whether the burst may
+// continue: true only for straight-line ops that completed without a trap.
+// Architectural effects and cycle charges are bit-identical to Step.
+func (c *CPU) StepFast() (StepResult, bool) {
+	instPC := c.PC
+
+	if instPC&3 != 0 {
+		cyc := c.raise(isa.CauseAlign, instPC, instPC)
+		return StepResult{Cycles: cyc, Wedged: c.wedged, Trapped: isa.CauseAlign}, false
+	}
+	pa, cause, cyc := c.translate(instPC, false)
+	if cause != isa.CauseNone {
+		cyc += c.raise(cause, instPC, instPC)
+		return StepResult{Cycles: cyc, Wedged: c.wedged, Trapped: cause}, false
+	}
+	d := c.decodeLookup(pa)
+	if d == nil {
+		cyc += c.raise(isa.CauseBusError, instPC, instPC)
+		return StepResult{Cycles: cyc, Wedged: c.wedged, Trapped: isa.CauseBusError}, false
+	}
+
+	var res StepResult
+	pure := d.fn != fnSlow
+	if pure {
+		res = c.executeFast(d, instPC)
+	} else {
+		res = c.execute(instPC, d.raw)
+	}
+	res.Cycles += cyc
+	c.Stat.Instructions++
+	// The slow path's TF bookkeeping is skipped: PSR.TF is clear on entry
+	// (BurstSafe) and straight-line ops cannot set it.
+	res.Halted = c.halted
+	res.Wedged = c.wedged
+	return res, pure && res.Trapped == isa.CauseNone
+}
+
+func (c *CPU) setRegFast(r uint8, v uint32) {
+	if r != 0 {
+		c.Regs[r] = v
+	}
+}
+
+// fastTrap mirrors execute's trap helper: charge the op's base cycles (plus
+// any translation extra folded into base by the caller) and deliver.
+func (c *CPU) fastTrap(cause, vaddr, epc uint32, base uint64) StepResult {
+	return StepResult{Cycles: base + c.raise(cause, vaddr, epc), Trapped: cause}
+}
+
+// executeFast runs one predecoded straight-line instruction, mirroring the
+// corresponding arm of execute exactly — same results, same trap causes,
+// same cycle charges. The spy/watch checks of the slow-path store arm are
+// omitted because StepFast's preconditions guarantee none are armed.
+func (c *CPU) executeFast(d *decoded, instPC uint32) StepResult {
+	var v uint32
+	switch d.fn {
+	case fnLW:
+		va := c.Regs[d.rs1] + d.imm
+		if va&3 != 0 {
+			return c.fastTrap(isa.CauseAlign, va, instPC, isa.CycLoad)
+		}
+		pa, cause, extra := c.translate(va, false)
+		if cause != isa.CauseNone {
+			return c.fastTrap(cause, va, instPC, isa.CycLoad+extra)
+		}
+		w, ok := c.bus.Read32(pa)
+		if !ok {
+			return c.fastTrap(isa.CauseBusError, va, instPC, isa.CycLoad+extra)
+		}
+		c.setRegFast(d.rd, w)
+		c.PC = instPC + 4
+		return StepResult{Cycles: isa.CycLoad + extra}
+	case fnLH, fnLHU:
+		va := c.Regs[d.rs1] + d.imm
+		if va&1 != 0 {
+			return c.fastTrap(isa.CauseAlign, va, instPC, isa.CycLoad)
+		}
+		pa, cause, extra := c.translate(va, false)
+		if cause != isa.CauseNone {
+			return c.fastTrap(cause, va, instPC, isa.CycLoad+extra)
+		}
+		h, ok := c.bus.Read16(pa)
+		if !ok {
+			return c.fastTrap(isa.CauseBusError, va, instPC, isa.CycLoad+extra)
+		}
+		if d.fn == fnLH {
+			c.setRegFast(d.rd, uint32(int32(int16(h))))
+		} else {
+			c.setRegFast(d.rd, uint32(h))
+		}
+		c.PC = instPC + 4
+		return StepResult{Cycles: isa.CycLoad + extra}
+	case fnLB, fnLBU:
+		va := c.Regs[d.rs1] + d.imm
+		pa, cause, extra := c.translate(va, false)
+		if cause != isa.CauseNone {
+			return c.fastTrap(cause, va, instPC, isa.CycLoad+extra)
+		}
+		b, ok := c.bus.Read8(pa)
+		if !ok {
+			return c.fastTrap(isa.CauseBusError, va, instPC, isa.CycLoad+extra)
+		}
+		if d.fn == fnLB {
+			c.setRegFast(d.rd, uint32(int32(int8(b))))
+		} else {
+			c.setRegFast(d.rd, uint32(b))
+		}
+		c.PC = instPC + 4
+		return StepResult{Cycles: isa.CycLoad + extra}
+
+	case fnSW:
+		va := c.Regs[d.rs1] + d.imm
+		if va&3 != 0 {
+			return c.fastTrap(isa.CauseAlign, va, instPC, isa.CycStore)
+		}
+		pa, cause, extra := c.translate(va, true)
+		if cause != isa.CauseNone {
+			return c.fastTrap(cause, va, instPC, isa.CycStore+extra)
+		}
+		if !c.bus.Write32(pa, c.Regs[d.rd]) {
+			return c.fastTrap(isa.CauseBusError, va, instPC, isa.CycStore+extra)
+		}
+		c.PC = instPC + 4
+		return StepResult{Cycles: isa.CycStore + extra}
+	case fnSH:
+		va := c.Regs[d.rs1] + d.imm
+		if va&1 != 0 {
+			return c.fastTrap(isa.CauseAlign, va, instPC, isa.CycStore)
+		}
+		pa, cause, extra := c.translate(va, true)
+		if cause != isa.CauseNone {
+			return c.fastTrap(cause, va, instPC, isa.CycStore+extra)
+		}
+		if !c.bus.Write16(pa, uint16(c.Regs[d.rd])) {
+			return c.fastTrap(isa.CauseBusError, va, instPC, isa.CycStore+extra)
+		}
+		c.PC = instPC + 4
+		return StepResult{Cycles: isa.CycStore + extra}
+	case fnSB:
+		va := c.Regs[d.rs1] + d.imm
+		pa, cause, extra := c.translate(va, true)
+		if cause != isa.CauseNone {
+			return c.fastTrap(cause, va, instPC, isa.CycStore+extra)
+		}
+		if !c.bus.Write8(pa, byte(c.Regs[d.rd])) {
+			return c.fastTrap(isa.CauseBusError, va, instPC, isa.CycStore+extra)
+		}
+		c.PC = instPC + 4
+		return StepResult{Cycles: isa.CycStore + extra}
+
+	case fnBEQ:
+		return c.branch(c.Regs[d.rd] == c.Regs[d.rs1], d, instPC)
+	case fnBNE:
+		return c.branch(c.Regs[d.rd] != c.Regs[d.rs1], d, instPC)
+	case fnBLT:
+		return c.branch(int32(c.Regs[d.rd]) < int32(c.Regs[d.rs1]), d, instPC)
+	case fnBGE:
+		return c.branch(int32(c.Regs[d.rd]) >= int32(c.Regs[d.rs1]), d, instPC)
+	case fnBLTU:
+		return c.branch(c.Regs[d.rd] < c.Regs[d.rs1], d, instPC)
+	case fnBGEU:
+		return c.branch(c.Regs[d.rd] >= c.Regs[d.rs1], d, instPC)
+
+	case fnJAL:
+		c.setRegFast(d.rd, instPC+4)
+		c.PC = instPC + d.imm
+		return StepResult{Cycles: isa.CycJump}
+	case fnJALR:
+		target := c.Regs[d.rs1] + d.imm
+		c.setRegFast(d.rd, instPC+4)
+		c.PC = target
+		return StepResult{Cycles: isa.CycJump}
+
+	case fnADD:
+		v = c.Regs[d.rs1] + c.Regs[d.rs2]
+	case fnSUB:
+		v = c.Regs[d.rs1] - c.Regs[d.rs2]
+	case fnAND:
+		v = c.Regs[d.rs1] & c.Regs[d.rs2]
+	case fnOR:
+		v = c.Regs[d.rs1] | c.Regs[d.rs2]
+	case fnXOR:
+		v = c.Regs[d.rs1] ^ c.Regs[d.rs2]
+	case fnSHL:
+		v = c.Regs[d.rs1] << (c.Regs[d.rs2] & 31)
+	case fnSHR:
+		v = c.Regs[d.rs1] >> (c.Regs[d.rs2] & 31)
+	case fnSRA:
+		v = uint32(int32(c.Regs[d.rs1]) >> (c.Regs[d.rs2] & 31))
+	case fnSLT:
+		if int32(c.Regs[d.rs1]) < int32(c.Regs[d.rs2]) {
+			v = 1
+		}
+	case fnSLTU:
+		if c.Regs[d.rs1] < c.Regs[d.rs2] {
+			v = 1
+		}
+	case fnMUL:
+		c.setRegFast(d.rd, c.Regs[d.rs1]*c.Regs[d.rs2])
+		c.PC = instPC + 4
+		return StepResult{Cycles: isa.CycMUL}
+	case fnDIVU:
+		div := c.Regs[d.rs2]
+		if div == 0 {
+			v = 0xFFFFFFFF
+		} else {
+			v = c.Regs[d.rs1] / div
+		}
+		c.setRegFast(d.rd, v)
+		c.PC = instPC + 4
+		return StepResult{Cycles: isa.CycDIV}
+	case fnREMU:
+		div := c.Regs[d.rs2]
+		if div == 0 {
+			v = c.Regs[d.rs1]
+		} else {
+			v = c.Regs[d.rs1] % div
+		}
+		c.setRegFast(d.rd, v)
+		c.PC = instPC + 4
+		return StepResult{Cycles: isa.CycDIV}
+	case fnADDI:
+		v = c.Regs[d.rs1] + d.imm
+	case fnANDI:
+		v = c.Regs[d.rs1] & d.imm
+	case fnORI:
+		v = c.Regs[d.rs1] | d.imm
+	case fnXORI:
+		v = c.Regs[d.rs1] ^ d.imm
+	case fnSHLI:
+		v = c.Regs[d.rs1] << d.imm
+	case fnSHRI:
+		v = c.Regs[d.rs1] >> d.imm
+	case fnSRAI:
+		v = uint32(int32(c.Regs[d.rs1]) >> d.imm)
+	case fnLUI:
+		v = d.imm
+	}
+	c.setRegFast(d.rd, v)
+	c.PC = instPC + 4
+	return StepResult{Cycles: isa.CycALU}
+}
+
+// branch resolves a predecoded conditional branch. d.imm carries the
+// taken displacement (offset*4+4), matching the slow path's
+// instPC + 4 + offset*4 arithmetic modulo 2^32.
+func (c *CPU) branch(taken bool, d *decoded, instPC uint32) StepResult {
+	if taken {
+		c.PC = instPC + d.imm
+		return StepResult{Cycles: isa.CycTaken}
+	}
+	c.PC = instPC + 4
+	return StepResult{Cycles: isa.CycBranch}
+}

@@ -29,7 +29,12 @@ type TLBEntry struct {
 // PagingEnabled reports whether address translation is active.
 func (c *CPU) PagingEnabled() bool { return c.CR[isa.CRPtbr]&1 != 0 }
 
-// FlushTLB invalidates all cached translations.
+// FlushTLB invalidates all cached translations. The decode cache survives
+// deliberately: it is indexed by physical page and every fetch translates
+// its PC through the TLB first, so remaps and PTBR changes are handled by
+// translation, not by decode-cache invalidation — flushing it here would
+// re-decode the working set on every world switch (measured ~3× on the
+// Figure 3.1 macro benchmark, where the monitor flushes constantly).
 func (c *CPU) FlushTLB() { c.tlbGen++ }
 
 // translate maps a virtual address to physical for an access by the
@@ -168,6 +173,7 @@ func (c *CPU) WriteVirt(va uint32, data []byte) bool {
 			return false
 		}
 		copy(c.bus.RAM()[pa:], data[:chunk])
+		c.dcInvalidate(pa, uint32(chunk))
 		va += uint32(chunk)
 		data = data[chunk:]
 	}

@@ -63,12 +63,20 @@ func (c *CPU) Restore(s State) {
 		c.ioBitmap = nil
 	}
 	c.hwBreak, c.hwBreakEn = s.HWBreak, s.HWBreakEn
+	c.hwBreakAny = false
+	for _, en := range c.hwBreakEn {
+		c.hwBreakAny = c.hwBreakAny || en
+	}
 	c.watchAddr, c.watchLen, c.watchEn = s.WatchAddr, s.WatchLen, s.WatchEn
 	c.watchAny = false
 	for _, en := range c.watchEn {
 		c.watchAny = c.watchAny || en
 	}
 	c.Stat = s.Stat
+	// The decode cache is not state: restoring rewrites RAM underneath it,
+	// so it restarts cold. Cold vs warm is timeline-invisible — decode
+	// charges no cycles — which is what keeps snapshots replay-safe.
+	c.dcFlush()
 }
 
 // Spy watchpoints observe stores into a range without raising a trap or

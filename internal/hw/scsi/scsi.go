@@ -184,6 +184,7 @@ func (h *HBA) complete() {
 	} else {
 		buf := h.mem.RAM()[addr : addr+count]
 		h.data(lba, buf)
+		h.mem.NotifyWrite(addr, count)
 		h.ReadsCompleted++
 		h.BytesRead += uint64(count)
 	}

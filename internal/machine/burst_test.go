@@ -1,0 +1,218 @@
+package machine
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"lvmm/internal/isa"
+)
+
+// The batched run loop must be indistinguishable from per-instruction
+// execution: same clock, same instruction counts, same interrupt delivery
+// ticks, same memory. A CPU spy watch armed on an untouched address is the
+// forcing mechanism — it disqualifies bursts (cpu.BurstSafe) without
+// perturbing the timeline, leaving the seed-equivalent slow engine.
+
+// forceSlowPath arms a timeline-neutral observer so Run never bursts.
+func forceSlowPath(t *testing.T, m *Machine) {
+	t.Helper()
+	if err := m.CPU.SetSpyWatch(3, 0xFFFF0000, 4, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ramHash(m *Machine) uint64 {
+	h := fnv.New64a()
+	h.Write(m.Bus.RAM())
+	return h.Sum64()
+}
+
+// compareMachines asserts complete observable-state equality.
+func compareMachines(t *testing.T, fast, slow *Machine) {
+	t.Helper()
+	if fast.Clock() != slow.Clock() {
+		t.Errorf("clock: fast %d, slow %d", fast.Clock(), slow.Clock())
+	}
+	if fast.IdleCycles() != slow.IdleCycles() {
+		t.Errorf("idle: fast %d, slow %d", fast.IdleCycles(), slow.IdleCycles())
+	}
+	if fast.CPU.Stat != slow.CPU.Stat {
+		t.Errorf("cpu stats: fast %+v, slow %+v", fast.CPU.Stat, slow.CPU.Stat)
+	}
+	if fast.CPU.Regs != slow.CPU.Regs {
+		t.Errorf("registers: fast %v, slow %v", fast.CPU.Regs, slow.CPU.Regs)
+	}
+	if fast.CPU.PC != slow.CPU.PC {
+		t.Errorf("pc: fast %08x, slow %08x", fast.CPU.PC, slow.CPU.PC)
+	}
+	if fast.GuestCounters != slow.GuestCounters {
+		t.Errorf("counters: fast %v, slow %v", fast.GuestCounters, slow.GuestCounters)
+	}
+	if ramHash(fast) != ramHash(slow) {
+		t.Error("RAM contents differ")
+	}
+	if fast.Console.String() != slow.Console.String() {
+		t.Error("console output differs")
+	}
+}
+
+// TestBurstMatchesSlowPathTimerKernel runs the interrupt-driven tick kernel
+// (PIT events, HLT idling, EOI port I/O, IRET — every burst-breaking
+// construct) on both engines and requires identical final state.
+func TestBurstMatchesSlowPathTimerKernel(t *testing.T) {
+	run := func(slow bool) *Machine {
+		m := New(Config{ResetPC: 0x1000})
+		loadKernel(t, m, tickKernel)
+		if slow {
+			forceSlowPath(t, m)
+		}
+		if reason := m.Run(isa.ClockHz); reason != StopGuestDone {
+			t.Fatalf("stop reason %v (slow=%v)", reason, slow)
+		}
+		return m
+	}
+	compareMachines(t, run(false), run(true))
+}
+
+// computeKernel is a busy (never-halting) loop with a periodic timer
+// interrupting mid-burst: the event horizon and delivery ticks get
+// exercised against straight-line execution instead of HLT idling.
+const computeKernel = `
+        .equ PIC_CMD,  0x20
+        .equ PIC_MASK, 0x21
+        .equ PIT_CTRL, 0x40
+        .equ PIT_DIV,  0x41
+        .equ SIM_DONE, 0xF0
+        .equ SIM_CTR0, 0xF1
+        .equ VTAB,     0x4000
+        .org 0x1000
+        _start:
+            li   r1, VTAB
+            movrc vbar, r1
+            la   r2, tick
+            sw   r2, 64(r1)        ; vector 16 = IRQ0 (PIT)
+            li   r1, 0x8000
+            movrc ksp, r1
+            li   r1, PIC_MASK
+            li   r2, 0xFFFE        ; unmask IRQ0 only
+            out  r1, r2
+            li   r1, PIT_DIV
+            li   r2, 1193          ; ~1 kHz
+            out  r1, r2
+            li   r1, PIT_CTRL
+            li   r2, 1
+            out  r1, r2
+            sti
+        work:
+            addi r4, r4, 1         ; hot straight-line loop
+            addi r5, r4, 3
+            xor  r6, r5, r4
+            li   r2, 8
+            blt  r9, r2, work      ; until 8 ticks observed
+            li   r1, SIM_CTR0
+            out  r1, r4
+            li   r1, SIM_DONE
+            li   r2, 0
+            out  r1, r2
+        tick:
+            addi r9, r9, 1
+            li   r13, PIC_CMD
+            li   r12, 0x20         ; EOI
+            out  r13, r12
+            iret
+    `
+
+// TestBurstMatchesSlowPathComputeKernel interrupts straight-line bursts
+// with timer events and compares engines exactly.
+func TestBurstMatchesSlowPathComputeKernel(t *testing.T) {
+	run := func(slow bool) *Machine {
+		m := New(Config{ResetPC: 0x1000})
+		loadKernel(t, m, computeKernel)
+		if slow {
+			forceSlowPath(t, m)
+		}
+		if reason := m.Run(isa.ClockHz); reason != StopGuestDone {
+			t.Fatalf("stop reason %v (slow=%v)", reason, slow)
+		}
+		return m
+	}
+	fast, slow := run(false), run(true)
+	compareMachines(t, fast, slow)
+	if fast.GuestCounters[0] == 0 {
+		t.Fatal("compute loop retired no iterations")
+	}
+}
+
+// TestBurstStopAtInstrExact checks that the instruction-count stop condition
+// (replay seeks) lands on the same instruction, cycle, and PC under both
+// engines, including targets that fall mid-burst.
+func TestBurstStopAtInstrExact(t *testing.T) {
+	for _, target := range []uint64{1, 7, 100, 1001, 4096, 5000} {
+		run := func(slow bool) *Machine {
+			m := New(Config{ResetPC: 0x1000})
+			loadKernel(t, m, computeKernel)
+			if slow {
+				forceSlowPath(t, m)
+			}
+			m.SetStopAtInstr(target)
+			if reason := m.Run(isa.ClockHz); reason != StopInstrLimit {
+				t.Fatalf("target %d: stop reason %v (slow=%v)", target, reason, slow)
+			}
+			return m
+		}
+		fast, slow := run(false), run(true)
+		if fast.CPU.Stat.Instructions != target {
+			t.Fatalf("target %d: fast stopped at instruction %d", target, fast.CPU.Stat.Instructions)
+		}
+		compareMachines(t, fast, slow)
+	}
+}
+
+// TestSnapshotRestoreMidBurst takes a snapshot at a cycle limit that lands
+// inside a straight-line burst, restores it into a fresh machine, and
+// requires the continuation — under either engine — to finish in the exact
+// state of the uninterrupted run.
+func TestSnapshotRestoreMidBurst(t *testing.T) {
+	const midCycles = 50_000 // lands inside the busy loop, between PIT ticks
+
+	reference := New(Config{ResetPC: 0x1000})
+	loadKernel(t, reference, computeKernel)
+	if reason := reference.Run(isa.ClockHz); reason != StopGuestDone {
+		t.Fatalf("reference run: %v", reason)
+	}
+
+	orig := New(Config{ResetPC: 0x1000})
+	loadKernel(t, orig, computeKernel)
+	if reason := orig.Run(midCycles); reason != StopLimit {
+		t.Fatalf("mid-burst stop: %v", reason)
+	}
+	if orig.CPU.Halted() {
+		t.Fatal("snapshot point is not mid-burst (CPU halted)")
+	}
+	snap := orig.Snapshot()
+
+	// Continue the original to completion: must match the reference.
+	if reason := orig.Run(isa.ClockHz); reason != StopGuestDone {
+		t.Fatalf("original continuation: %v", reason)
+	}
+	compareMachines(t, orig, reference)
+
+	// Restore into a fresh machine (cold decode cache) and continue fast.
+	cont := New(Config{ResetPC: 0x1000})
+	loadKernel(t, cont, computeKernel)
+	cont.Restore(snap)
+	if reason := cont.Run(isa.ClockHz); reason != StopGuestDone {
+		t.Fatalf("restored continuation: %v", reason)
+	}
+	compareMachines(t, cont, reference)
+
+	// And continue slow from the same snapshot: still identical.
+	contSlow := New(Config{ResetPC: 0x1000})
+	loadKernel(t, contSlow, computeKernel)
+	contSlow.Restore(snap)
+	forceSlowPath(t, contSlow)
+	if reason := contSlow.Run(isa.ClockHz); reason != StopGuestDone {
+		t.Fatalf("restored slow continuation: %v", reason)
+	}
+	compareMachines(t, contSlow, reference)
+}

@@ -304,7 +304,20 @@ func (m *Machine) LoadImage(img *asm.Image) error {
 	return nil
 }
 
+// pollInterval is the coarse granularity (in run-loop ticks) at which
+// asynchronous external input is propagated into interrupt lines.
+const pollInterval = 4096
+
 // Run executes until the clock reaches limit or a stop condition occurs.
+//
+// The loop is tick-structured: every iteration fires due events, ticks the
+// external-input poll countdown, and then spends the tick on exactly one of
+// an interrupt delivery, an idle advance, or an instruction. When no
+// observer is armed (no pre-step hook, no hardware breakpoints, watchpoints,
+// spy watches, or trap flag — see cpu.BurstSafe), the instruction arm
+// hands off to runBurst, which executes predecoded straight-line bursts up
+// to the event horizon while replicating this loop's tick bookkeeping
+// exactly, so batched and unbatched runs are cycle- and tick-identical.
 func (m *Machine) Run(limit uint64) StopReason {
 	m.stopped = false
 	for m.clock < limit && !m.stopped {
@@ -317,29 +330,13 @@ func (m *Machine) Run(limit uint64) StopReason {
 		// coarse granularity to keep the hot loop cheap.
 		m.pollCountdown--
 		if m.pollCountdown <= 0 {
-			m.pollCountdown = 4096
+			m.pollCountdown = pollInterval
 			m.pollExternal()
 		}
 
 		// Interrupt delivery: a monitor owns the PIC if attached.
-		if line, ok := m.PIC.Pending(); ok {
-			if m.irqSink != nil {
-				m.PIC.Ack(line)
-				if m.irqTrace != nil {
-					m.irqTrace(line)
-				}
-				m.irqSink(line)
-				continue
-			}
-			if m.CPU.PSR&1 != 0 { // PSR.IF
-				m.PIC.Ack(line)
-				if m.irqTrace != nil {
-					m.irqTrace(line)
-				}
-				res := m.CPU.DeliverIRQ(line)
-				m.clock += res.Cycles
-				continue
-			}
+		if m.deliverPending() {
+			continue
 		}
 
 		if m.CPU.Halted() || m.guestIdle || m.CPU.Wedged() {
@@ -377,10 +374,17 @@ func (m *Machine) Run(limit uint64) StopReason {
 			m.stopReason = StopInstrLimit
 			return m.stopReason
 		}
+
+		if m.preStepHook == nil && m.CPU.BurstSafe() {
+			if !m.runBurst(limit) {
+				return m.stopReason
+			}
+			continue
+		}
+
 		if m.preStepHook != nil {
 			m.preStepHook()
 		}
-
 		res := m.CPU.Step()
 		m.clock += res.Cycles
 		if res.Wedged {
@@ -393,6 +397,85 @@ func (m *Machine) Run(limit uint64) StopReason {
 	}
 	m.stopReason = StopLimit
 	return StopLimit
+}
+
+// deliverPending delivers one pending PIC interrupt — to the monitor's
+// sink when attached, architecturally when the guest has interrupts
+// enabled. Reports whether the current tick was consumed by a delivery.
+func (m *Machine) deliverPending() bool {
+	line, ok := m.PIC.Pending()
+	if !ok {
+		return false
+	}
+	if m.irqSink != nil {
+		m.PIC.Ack(line)
+		if m.irqTrace != nil {
+			m.irqTrace(line)
+		}
+		m.irqSink(line)
+		return true
+	}
+	if m.CPU.PSR&1 == 0 { // PSR.IF clear: leave the line pending
+		return false
+	}
+	m.PIC.Ack(line)
+	if m.irqTrace != nil {
+		m.irqTrace(line)
+	}
+	res := m.CPU.DeliverIRQ(line)
+	m.clock += res.Cycles
+	return true
+}
+
+// runBurst executes predecoded straight-line instructions without
+// per-instruction event-heap peeks. The event horizon is the next
+// scheduled event (nothing can fire before it: devices only act through
+// events, port I/O, or traps, and the latter two end the burst) capped by
+// the cycle limit; the tick budget is whichever comes first of the next
+// external-input poll and the stop-at-instruction target.
+//
+// The caller has already run the current tick's preamble (events fired,
+// poll ticked, no interrupt pending, observers unarmed), so the burst's
+// first instruction executes on the current tick and only the n-1
+// subsequent ticks consume poll-countdown decrements — identical
+// bookkeeping to n iterations of the unbatched loop, which keeps batched
+// execution tick-for-tick identical (replay traces recorded on either
+// engine verify on the other). Returns false when the CPU wedged
+// (stopReason is set).
+func (m *Machine) runBurst(limit uint64) bool {
+	horizon := limit
+	if len(m.events) > 0 && m.events[0].cycle < horizon {
+		horizon = m.events[0].cycle
+	}
+	maxTicks := uint64(m.pollCountdown)
+	if m.stopAtInstr != 0 {
+		// ≥ 1: the outer loop already returned if the target was reached.
+		if rem := m.stopAtInstr - m.CPU.Stat.Instructions; rem < maxTicks {
+			maxTicks = rem
+		}
+	}
+	n, brk := m.CPU.BurstRun(&m.clock, horizon, maxTicks)
+	if brk == cpu.BurstSlow {
+		// The pending instruction needs the full interpreter; it belongs
+		// to the current tick, so with its ticks the burst consumed n
+		// countdown decrements (the first tick was paid by the caller).
+		res, _ := m.CPU.StepFast()
+		m.clock += res.Cycles
+		m.pollCountdown -= int(n)
+		if res.Wedged {
+			m.stopReason = StopWedged
+			return false
+		}
+		return true
+	}
+	if n > 0 {
+		m.pollCountdown -= int(n - 1)
+	}
+	if brk == cpu.BurstTrap && m.CPU.Wedged() {
+		m.stopReason = StopWedged
+		return false
+	}
+	return true
 }
 
 // idleSlice advances idle time by up to 1 ms virtual, polling external

@@ -281,6 +281,80 @@ func TestTimeTravelEndToEnd(t *testing.T) {
 	}
 }
 
+// TestCrossEngineRecordReplay proves the batched predecoded engine and the
+// per-instruction slow path produce the same timeline: a trace recorded
+// under one engine must replay bit-identically under the other. The slow
+// path is forced with a CPU spy watch on an untouched address — a
+// timeline-neutral observer that disqualifies bursts (cpu.BurstSafe), i.e.
+// the seed-equivalent engine.
+func TestCrossEngineRecordReplay(t *testing.T) {
+	record := func(slow bool) (*replay.Trace, RunStats) {
+		w := WorkloadDefaults(100)
+		w.Seconds = 0.15
+		target, err := NewStreamingTarget(Lightweight, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slow {
+			if err := target.Machine().CPU.SetSpyWatch(3, 0xFFFF0000, 4, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rec := target.Record(RecordOptions{SnapshotInterval: 60_000_000})
+		stats, err := target.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec.Finish(), stats
+	}
+	rerun := func(tr *replay.Trace, slow bool) (RunStats, *ReplayTarget) {
+		rt, err := Replay(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slow {
+			if err := rt.Machine().CPU.SetSpyWatch(3, 0xFFFF0000, 4, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stats, err := rt.Run()
+		if err != nil {
+			t.Fatalf("cross-engine replay (slow=%v) diverged: %v", slow, err)
+		}
+		return stats, rt
+	}
+
+	// Record slow (seed path), replay fast (batched engine).
+	trSlow, statsSlow := record(true)
+	if len(trSlow.Events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	gotFast, rtFast := rerun(trSlow, false)
+	if gotFast != statsSlow {
+		t.Fatalf("slow-recorded trace under batched engine:\n  recorded: %v\n  replayed: %v", statsSlow, gotFast)
+	}
+	if got := replay.Digest(rtFast.Machine(), rtFast.Monitor()); got != trSlow.EndDigest {
+		t.Fatalf("digest %#x, recorded %#x", got, trSlow.EndDigest)
+	}
+
+	// Record fast, replay slow — and the two recordings must agree with
+	// each other tick for tick.
+	trFast, statsFast := record(false)
+	if statsFast != statsSlow {
+		t.Fatalf("engines recorded different runs:\n  slow: %v\n  fast: %v", statsSlow, statsFast)
+	}
+	if trFast.EndCycle != trSlow.EndCycle || trFast.EndInstr != trSlow.EndInstr ||
+		trFast.EndDigest != trSlow.EndDigest || len(trFast.Events) != len(trSlow.Events) {
+		t.Fatalf("timelines differ: slow (cycle=%d instr=%d digest=%#x events=%d), fast (cycle=%d instr=%d digest=%#x events=%d)",
+			trSlow.EndCycle, trSlow.EndInstr, trSlow.EndDigest, len(trSlow.Events),
+			trFast.EndCycle, trFast.EndInstr, trFast.EndDigest, len(trFast.Events))
+	}
+	gotSlow, _ := rerun(trFast, true)
+	if gotSlow != statsFast {
+		t.Fatalf("fast-recorded trace under slow engine:\n  recorded: %v\n  replayed: %v", statsFast, gotSlow)
+	}
+}
+
 // TestReplayDivergenceDetection tampers with a recorded timeline and
 // checks that replay reports the divergence instead of silently passing.
 func TestReplayDivergenceDetection(t *testing.T) {
