@@ -255,6 +255,43 @@ func BenchmarkTrapRoundTrip(b *testing.B) {
 	b.ReportMetric(float64(v.Stats.Traps-start)/float64(b.N), "traps/op")
 }
 
+// BenchmarkTrapRoundTripBurst measures the same guest→monitor→guest
+// crossing driven through machine.Run, where the fused one-crossing
+// dispatch keeps the VMM-attached guest on the predecoded burst engine
+// across monitor-handled traps (BenchmarkTrapRoundTrip single-steps and
+// so times the per-instruction engine). Each op is a fixed slice of
+// virtual time; ns/trap is the host cost of one fused crossing.
+func BenchmarkTrapRoundTripBurst(b *testing.B) {
+	img := asm.MustAssemble(`
+        .org 0x1000
+        _start:
+        loop:
+            cli
+            sti
+            b loop
+    `)
+	m := machine.New(machine.Config{ResetPC: img.Entry})
+	if err := m.LoadImage(img); err != nil {
+		b.Fatal(err)
+	}
+	v := vmm.Attach(m, vmm.Config{Mode: vmm.Lightweight})
+	if err := v.Launch(img.Entry); err != nil {
+		b.Fatal(err)
+	}
+	// ~20 crossings per op at the lightweight world-switch prices.
+	const sliceCycles = 200_000
+	b.ResetTimer()
+	start := v.Stats.Traps
+	for i := 0; i < b.N; i++ {
+		m.Run(m.Clock() + sliceCycles)
+	}
+	traps := v.Stats.Traps - start
+	b.ReportMetric(float64(traps)/float64(b.N), "traps/op")
+	if traps > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(traps), "ns/trap")
+	}
+}
+
 // BenchmarkAssembler measures kernel assembly speed.
 func BenchmarkAssembler(b *testing.B) {
 	for i := 0; i < b.N; i++ {

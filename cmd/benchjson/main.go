@@ -9,13 +9,18 @@
 //	go run ./cmd/benchjson                 # ~1 s per benchmark, writes BENCH_<date>.json
 //	go run ./cmd/benchjson -quick -out -   # single iteration each, JSON to stdout (CI smoke)
 //	go run ./cmd/benchjson -note "seed"    # annotate the artifact
+//	go run ./cmd/benchjson -compare BENCH_x.json -tolerance 15
+//	                                       # regression gate: exit 1 when a
+//	                                       # gated benchmark's ns/op regressed
+//	                                       # more than 15% vs the baseline
 //
 // The benchmark set mirrors bench_test.go's engineering benchmarks
-// (BenchmarkInterpreter, BenchmarkTrapRoundTrip) plus a forced-slow-path
-// interpreter variant, so one artifact carries both sides of the
-// predecoded-engine before/after comparison. Paper-figure benchmarks stay
-// in `go test -bench`; this tool is only for the host-side hot-path
-// numbers that DESIGN.md's benchmark table tracks.
+// (BenchmarkInterpreter, BenchmarkTrapRoundTrip, and the fused-dispatch
+// BenchmarkTrapRoundTripBurst) plus a forced-slow-path interpreter
+// variant, so one artifact carries both sides of the predecoded-engine
+// before/after comparison. Paper-figure benchmarks stay in
+// `go test -bench`; this tool is only for the host-side hot-path numbers
+// that DESIGN.md's benchmark table tracks.
 package main
 
 import (
@@ -158,6 +163,43 @@ func runTrapRoundTrip(n int) map[string]float64 {
 	}
 }
 
+// runTrapRoundTripBurst measures the same crossing driven through
+// machine.Run, where the fused one-crossing dispatch keeps the guest on
+// the predecoded engine across monitor-handled traps.
+func runTrapRoundTripBurst(n int) map[string]float64 {
+	img := asm.MustAssemble(`
+        .org 0x1000
+        _start:
+        loop:
+            cli
+            sti
+            b loop
+    `)
+	m := machine.New(machine.Config{ResetPC: img.Entry})
+	if err := m.LoadImage(img); err != nil {
+		fatal(err)
+	}
+	v := vmm.Attach(m, vmm.Config{Mode: vmm.Lightweight})
+	if err := v.Launch(img.Entry); err != nil {
+		fatal(err)
+	}
+	const sliceCycles = 200_000 // ~20 crossings per op
+	start := v.Stats.Traps
+	hostStart := time.Now()
+	for i := 0; i < n; i++ {
+		m.Run(m.Clock() + sliceCycles)
+	}
+	elapsed := time.Since(hostStart)
+	traps := v.Stats.Traps - start
+	out := map[string]float64{
+		"traps_per_op": float64(traps) / float64(n),
+	}
+	if traps > 0 {
+		out["ns_per_trap"] = float64(elapsed.Nanoseconds()) / float64(traps)
+	}
+	return out
+}
+
 // runFig31Point runs the lightweight-VMM saturation point of Figure 3.1,
 // the macro benchmark the paper's headline numbers come from.
 func runFig31Point(n int) map[string]float64 {
@@ -181,11 +223,56 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// gatedBenchmarks are the hot-path benchmarks the -compare regression
+// gate enforces: a CI run fails when any of these regresses in ns/op by
+// more than the tolerance against the committed baseline artifact.
+var gatedBenchmarks = []string{"Interpreter", "TrapRoundTrip", "TrapRoundTripBurst"}
+
+// compareBaseline enforces the regression gate: every gated benchmark
+// present in both artifacts must be within tolerance percent of the
+// baseline's ns/op. Returns the failures.
+func compareBaseline(baseline Artifact, current []Result, tolerance float64) []string {
+	base := map[string]Result{}
+	for _, r := range baseline.Benchmarks {
+		base[r.Name] = r
+	}
+	var failures []string
+	for _, name := range gatedBenchmarks {
+		b, okB := base[name]
+		var c Result
+		okC := false
+		for _, r := range current {
+			if r.Name == name {
+				c, okC = r, true
+			}
+		}
+		if !okB || !okC || b.NsPerOp <= 0 {
+			continue // benchmark set grew or shrank; gate what both carry
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		// Progress goes to stderr so `-out -` keeps stdout valid JSON.
+		fmt.Fprintf(os.Stderr, "compare %-22s baseline %12.1f ns/op, current %12.1f ns/op (%+.1f%%)\n",
+			name, b.NsPerOp, c.NsPerOp, (ratio-1)*100)
+		if ratio > 1+tolerance/100 {
+			failures = append(failures,
+				fmt.Sprintf("%s regressed %.1f%% (%.1f → %.1f ns/op, tolerance %.0f%%)",
+					name, (ratio-1)*100, b.NsPerOp, c.NsPerOp, tolerance))
+		}
+	}
+	return failures
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run each benchmark once (CI smoke) instead of ~1s per benchmark")
 	out := flag.String("out", "", `output path; "-" for stdout (default BENCH_<date>.json)`)
 	note := flag.String("note", "", "free-form annotation stored in the artifact")
+	compare := flag.String("compare", "", "baseline BENCH_*.json to gate against (exit 1 on regression)")
+	tolerance := flag.Float64("tolerance", 15, "allowed ns/op regression percentage for -compare")
 	flag.Parse()
+
+	if *compare != "" && *quick {
+		fatal(fmt.Errorf("-compare needs real measurements; drop -quick (single-iteration ns/op is dominated by setup)"))
+	}
 
 	target := time.Second
 	if *quick {
@@ -209,6 +296,7 @@ func main() {
 			return runInterpreter(n, true)
 		}),
 		bench("TrapRoundTrip", target, runTrapRoundTrip),
+		bench("TrapRoundTripBurst", target, runTrapRoundTripBurst),
 		bench("Fig31LightweightSaturated", target, runFig31Point),
 	)
 
@@ -224,10 +312,29 @@ func main() {
 	}
 	if path == "-" {
 		os.Stdout.Write(data)
-		return
+	} else {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", path, len(art.Benchmarks))
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		fatal(err)
+
+	if *compare != "" {
+		raw, err := os.ReadFile(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		var baseline Artifact
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fatal(fmt.Errorf("parse %s: %w", *compare, err))
+		}
+		failures := compareBaseline(baseline, art.Benchmarks, *tolerance)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", f)
+		}
+		if len(failures) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "regression gate passed against %s (tolerance %.0f%%)\n", *compare, *tolerance)
 	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(art.Benchmarks))
 }

@@ -35,10 +35,27 @@ type StepResult struct {
 	Trapped uint32
 }
 
-// Diverter intercepts traps before architectural delivery. Return true to
-// indicate the trap was consumed (CPU state already adjusted by the
-// diverter); false falls through to the guest's vector table.
-type Diverter func(cause, vaddr, epc uint32) bool
+// DivertAction is a Diverter's disposition of a trap.
+type DivertAction uint8
+
+const (
+	// DivertReflect: the diverter did not claim the trap; it is delivered
+	// architecturally through the guest's vector table.
+	DivertReflect DivertAction = iota
+	// DivertResume: the trap was consumed and fully emulated in place
+	// (CPU state already adjusted); the guest may continue on the
+	// predecoded fast path without surfacing to the run loop.
+	DivertResume
+	// DivertExit: the trap was consumed, but execution must surface to
+	// the machine loop (debug stops, faults reflected into the guest,
+	// idle transitions).
+	DivertExit
+)
+
+// Diverter intercepts traps before architectural delivery. Anything other
+// than DivertReflect means the trap was consumed by the diverter; a
+// DivertReflect falls through to the guest's vector table.
+type Diverter func(cause, vaddr, epc uint32) DivertAction
 
 // IOBitmapSize is the number of uint64 words covering the 64K port space.
 const IOBitmapSize = 65536 / 64
@@ -89,6 +106,19 @@ type CPU struct {
 	// generation-flushed on TLB flushes, Reset, and Restore.
 	dcPages []*decPage
 	dcGen   uint32
+
+	// divertResumed records whether the most recent raised trap was
+	// consumed by the Diverter with DivertResume (fully emulated in
+	// place, fast path may continue).
+	divertResumed bool
+
+	// Predecoded handoff from BurstRun to StepFast: the fnSlow
+	// instruction that ended the last burst, already fetched, translated,
+	// and decoded. Valid only for the immediately following StepFast at
+	// the same PC (nothing may run in between); StepFast consumes it
+	// instead of re-translating and re-decoding.
+	pendSlow   *decoded
+	pendSlowPC uint32
 
 	// Hardware breakpoints (debug registers).
 	hwBreak    [4]uint32
@@ -255,13 +285,15 @@ func (c *CPU) Step() StepResult {
 	instPC := c.PC
 
 	// Hardware breakpoints fire before execution.
-	for i, en := range c.hwBreakEn {
-		if en && c.hwBreak[i] == instPC {
-			// Disarm for one shot so the handler can resume past it;
-			// debuggers re-arm after stepping.
-			c.hwBreakEn[i] = false
-			cyc := c.raise(isa.CauseBRK, instPC, instPC)
-			return StepResult{Cycles: cyc, Wedged: c.wedged, Trapped: isa.CauseBRK}
+	if c.hwBreakAny {
+		for i, en := range c.hwBreakEn {
+			if en && c.hwBreak[i] == instPC {
+				// Disarm for one shot so the handler can resume past it;
+				// debuggers re-arm after stepping.
+				c.hwBreakEn[i] = false
+				cyc := c.raise(isa.CauseBRK, instPC, instPC)
+				return StepResult{Cycles: cyc, Wedged: c.wedged, Trapped: isa.CauseBRK}
+			}
 		}
 	}
 
@@ -291,17 +323,20 @@ func (c *CPU) Step() StepResult {
 	return res
 }
 
+// trapStep charges an instruction's base cycles (plus any translation
+// extra folded in by the caller) and delivers a trap — the slow-path
+// mirror of fastTrap. A named method instead of a per-execute closure
+// keeps the interpreter's hot entry free of closure setup.
+func (c *CPU) trapStep(cause, vaddr, epc uint32, cycles uint64) StepResult {
+	return StepResult{Cycles: cycles + c.raise(cause, vaddr, epc), Trapped: cause}
+}
+
 // execute runs one decoded instruction. On entry PC is still instPC; the
 // instruction advances it.
 func (c *CPU) execute(instPC, w uint32) StepResult {
 	op := isa.Opcode(w)
 	cycles := isa.OpCycles(op)
 	next := instPC + 4
-
-	trap := func(cause, vaddr, epc uint32) StepResult {
-		return StepResult{Cycles: cycles + c.raise(cause, vaddr, epc), Trapped: cause}
-	}
-	privTrap := func() StepResult { return trap(isa.CausePriv, w, instPC) }
 
 	switch op {
 	case isa.OpADD:
@@ -370,12 +405,12 @@ func (c *CPU) execute(instPC, w uint32) StepResult {
 		va := c.Regs[isa.Rs1(w)] + uint32(isa.Imm18(w))
 		size := loadSize(op)
 		if va&(size-1) != 0 {
-			return trap(isa.CauseAlign, va, instPC)
+			return c.trapStep(isa.CauseAlign, va, instPC, cycles)
 		}
 		pa, cause, extra := c.translate(va, false)
 		cycles += extra
 		if cause != isa.CauseNone {
-			return trap(cause, va, instPC)
+			return c.trapStep(cause, va, instPC, cycles)
 		}
 		var v uint32
 		var ok bool
@@ -400,7 +435,7 @@ func (c *CPU) execute(instPC, w uint32) StepResult {
 			v = uint32(b)
 		}
 		if !ok {
-			return trap(isa.CauseBusError, va, instPC)
+			return c.trapStep(isa.CauseBusError, va, instPC, cycles)
 		}
 		c.setReg(isa.Rd(w), v)
 
@@ -408,12 +443,12 @@ func (c *CPU) execute(instPC, w uint32) StepResult {
 		va := c.Regs[isa.Rs1(w)] + uint32(isa.Imm18(w))
 		size := storeSize(op)
 		if va&(size-1) != 0 {
-			return trap(isa.CauseAlign, va, instPC)
+			return c.trapStep(isa.CauseAlign, va, instPC, cycles)
 		}
 		pa, cause, extra := c.translate(va, true)
 		cycles += extra
 		if cause != isa.CauseNone {
-			return trap(cause, va, instPC)
+			return c.trapStep(cause, va, instPC, cycles)
 		}
 		v := c.Regs[isa.Rd(w)] // store data register occupies the a field
 		var ok bool
@@ -426,7 +461,7 @@ func (c *CPU) execute(instPC, w uint32) StepResult {
 			ok = c.bus.Write8(pa, byte(v))
 		}
 		if !ok {
-			return trap(isa.CauseBusError, va, instPC)
+			return c.trapStep(isa.CauseBusError, va, instPC, cycles)
 		}
 		if c.spyAny {
 			c.notifySpy(va, size)
@@ -482,11 +517,11 @@ func (c *CPU) execute(instPC, w uint32) StepResult {
 		}
 
 	case isa.OpBRK:
-		return trap(isa.CauseBRK, 0, instPC)
+		return c.trapStep(isa.CauseBRK, 0, instPC, cycles)
 
 	case isa.OpIRET:
 		if c.CPL() != isa.CPLMonitor {
-			return privTrap()
+			return c.trapStep(isa.CausePriv, w, instPC, cycles)
 		}
 		newPSR := c.CR[isa.CREstatus]
 		newPC := c.CR[isa.CREpc]
@@ -499,7 +534,7 @@ func (c *CPU) execute(instPC, w uint32) StepResult {
 
 	case isa.OpHLT:
 		if c.CPL() != isa.CPLMonitor {
-			return privTrap()
+			return c.trapStep(isa.CausePriv, w, instPC, cycles)
 		}
 		c.halted = true
 		c.PC = next
@@ -507,22 +542,22 @@ func (c *CPU) execute(instPC, w uint32) StepResult {
 
 	case isa.OpCLI:
 		if c.CPL() != isa.CPLMonitor {
-			return privTrap()
+			return c.trapStep(isa.CausePriv, w, instPC, cycles)
 		}
 		c.PSR &^= isa.PSRIF
 	case isa.OpSTI:
 		if c.CPL() != isa.CPLMonitor {
-			return privTrap()
+			return c.trapStep(isa.CausePriv, w, instPC, cycles)
 		}
 		c.PSR |= isa.PSRIF
 
 	case isa.OpMOVCR:
 		if c.CPL() != isa.CPLMonitor {
-			return privTrap()
+			return c.trapStep(isa.CausePriv, w, instPC, cycles)
 		}
 		cr := int(isa.Imm18U(w))
 		if cr >= isa.NumCRs {
-			return trap(isa.CauseUD, w, instPC)
+			return c.trapStep(isa.CauseUD, w, instPC, cycles)
 		}
 		var v uint32
 		switch cr {
@@ -537,11 +572,11 @@ func (c *CPU) execute(instPC, w uint32) StepResult {
 
 	case isa.OpMOVRC:
 		if c.CPL() != isa.CPLMonitor {
-			return privTrap()
+			return c.trapStep(isa.CausePriv, w, instPC, cycles)
 		}
 		cr := int(isa.Imm18U(w))
 		if cr >= isa.NumCRs {
-			return trap(isa.CauseUD, w, instPC)
+			return c.trapStep(isa.CauseUD, w, instPC, cycles)
 		}
 		v := c.Regs[isa.Rs1(w)]
 		switch cr {
@@ -556,14 +591,14 @@ func (c *CPU) execute(instPC, w uint32) StepResult {
 
 	case isa.OpTLBINV:
 		if c.CPL() != isa.CPLMonitor {
-			return privTrap()
+			return c.trapStep(isa.CausePriv, w, instPC, cycles)
 		}
 		c.FlushTLB()
 
 	case isa.OpIN:
 		port := uint16(c.Regs[isa.Rs1(w)])
 		if !c.ioAllowed(port) {
-			return trap(isa.CauseIOPerm, uint32(port), instPC)
+			return c.trapStep(isa.CauseIOPerm, uint32(port), instPC, cycles)
 		}
 		c.Stat.PortReads++
 		c.setReg(isa.Rd(w), c.bus.ReadPort(port))
@@ -571,7 +606,7 @@ func (c *CPU) execute(instPC, w uint32) StepResult {
 	case isa.OpOUT:
 		port := uint16(c.Regs[isa.Rs1(w)])
 		if !c.ioAllowed(port) {
-			return trap(isa.CauseIOPerm, uint32(port), instPC)
+			return c.trapStep(isa.CauseIOPerm, uint32(port), instPC, cycles)
 		}
 		c.Stat.PortWrites++
 		c.bus.WritePort(port, c.Regs[isa.Rs2(w)])
@@ -582,7 +617,7 @@ func (c *CPU) execute(instPC, w uint32) StepResult {
 		return c.execSTOS(instPC)
 
 	default:
-		return trap(isa.CauseUD, w, instPC)
+		return c.trapStep(isa.CauseUD, w, instPC, cycles)
 	}
 
 	c.PC = next

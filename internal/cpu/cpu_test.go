@@ -502,10 +502,10 @@ func TestDiverterConsumesTraps(t *testing.T) {
         hlt
     `)
 	var got []uint32
-	c.Diverter = func(cause, vaddr, epc uint32) bool {
+	c.Diverter = func(cause, vaddr, epc uint32) DivertAction {
 		got = append(got, cause)
 		c.PC = epc // emulate resume-after for syscall
-		return true
+		return DivertExit
 	}
 	run(t, c, 10)
 	if len(got) != 1 || got[0] != isa.CauseSyscall {

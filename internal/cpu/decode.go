@@ -290,30 +290,58 @@ const (
 	BurstTrap
 )
 
+// BurstResume is the inline diverter hook consulted when a trap raised
+// mid-burst was fully handled by the Diverter (DivertResume): it decides
+// whether the burst may continue predecoded and, if so, supplies a fresh
+// event horizon — the monitor's cycle charges consumed part of the old one,
+// and its emulation may have scheduled new device events or made an
+// interrupt deliverable. Returning ok=false surfaces BurstTrap as before.
+// The returned horizon must exceed the committed clock.
+type BurstResume func() (horizon uint64, ok bool)
+
 // BurstRun executes predecoded straight-line instructions until the clock
 // (committed through clk after every instruction, so trap diverters and
 // scheduled work observe exact time) reaches horizon, maxTicks ticks were
 // consumed, an instruction traps, or an instruction needs the full
 // interpreter. Returns the tick count consumed (every Step-equivalent,
-// including a final faulting one) and the break reason.
+// including a final faulting one), the break reason, and — for BurstSlow
+// only — the uncommitted cycles of the pending instruction's fetch
+// translation. Identifying a slow instruction forces its PC translation
+// early; if that translation misses the TLB, the miss is counted and the
+// TLB filled here, so the caller's StepFast re-translates as a hit. The
+// caller must commit slowFetch together with StepFast's cycles to charge
+// the miss exactly as the per-instruction engine would (after the
+// instruction, never observable mid-trap).
+//
+// A trap consumed by the Diverter with DivertResume does not end the burst
+// when resume grants a fresh horizon: delivery, monitor emulation, and the
+// return to guest execution fuse into one crossing (nil resume restores
+// the old always-exit behaviour). All other traps — architectural delivery,
+// debug stops, faults reflected into the guest — surface as BurstTrap.
 //
 // Preconditions are StepFast's: BurstSafe holds and the CPU is neither
 // halted nor wedged; the caller guarantees *clk < horizon and maxTicks ≥ 1
 // on entry. Architectural effects and cycle charges are bit-identical to
 // an equivalent sequence of Step calls.
-func (c *CPU) BurstRun(clk *uint64, horizon, maxTicks uint64) (uint64, BurstBreak) {
+func (c *CPU) BurstRun(clk *uint64, horizon, maxTicks uint64, resume BurstResume) (ticks uint64, brk BurstBreak, slowFetch uint64) {
 	n := uint64(0)
-	// PTBR can only change through fnSlow ops or trap handlers, both of
-	// which end the burst, so the paging mode is loop-invariant.
+	// PTBR can only change through fnSlow ops or trap handlers; the former
+	// end the burst and the latter re-derive the paging mode on a fused
+	// resume, so pagingOff is loop-invariant between traps.
 	pagingOff := !c.PagingEnabled()
 	for {
 		if n >= maxTicks {
-			return n, BurstBudget
+			return n, BurstBudget, 0
 		}
 		instPC := c.PC
 		if instPC&3 != 0 {
 			*clk += c.raise(isa.CauseAlign, instPC, instPC)
-			return n + 1, BurstTrap
+			n++
+			if h, ok := c.fuseTrap(resume); ok {
+				horizon, pagingOff = h, !c.PagingEnabled()
+				continue
+			}
+			return n, BurstTrap, 0
 		}
 		var pa uint32
 		var cyc uint64
@@ -324,28 +352,54 @@ func (c *CPU) BurstRun(clk *uint64, horizon, maxTicks uint64) (uint64, BurstBrea
 			pa, cause, cyc = c.translate(instPC, false)
 			if cause != isa.CauseNone {
 				*clk += cyc + c.raise(cause, instPC, instPC)
-				return n + 1, BurstTrap
+				n++
+				if h, ok := c.fuseTrap(resume); ok {
+					horizon, pagingOff = h, !c.PagingEnabled()
+					continue
+				}
+				return n, BurstTrap, 0
 			}
 		}
 		d := c.decodeLookup(pa)
 		if d == nil {
 			*clk += cyc + c.raise(isa.CauseBusError, instPC, instPC)
-			return n + 1, BurstTrap
+			n++
+			if h, ok := c.fuseTrap(resume); ok {
+				horizon, pagingOff = h, !c.PagingEnabled()
+				continue
+			}
+			return n, BurstTrap, 0
 		}
 		if d.fn == fnSlow {
-			return n, BurstSlow
+			c.pendSlow, c.pendSlowPC = d, instPC
+			return n, BurstSlow, cyc
 		}
 		res := c.executeFast(d, instPC)
 		c.Stat.Instructions++
 		*clk += res.Cycles + cyc
 		n++
 		if res.Trapped != isa.CauseNone {
-			return n, BurstTrap
+			if h, ok := c.fuseTrap(resume); ok {
+				horizon, pagingOff = h, !c.PagingEnabled()
+				continue
+			}
+			return n, BurstTrap, 0
 		}
 		if *clk >= horizon {
-			return n, BurstHorizon
+			return n, BurstHorizon, 0
 		}
 	}
+}
+
+// fuseTrap decides whether a trap just raised mid-burst may be fused: the
+// Diverter must have fully handled it (DivertResume) and the machine's
+// resume hook must grant a fresh horizon. The horizon check is skipped on
+// resume because the hook guarantees horizon > clock.
+func (c *CPU) fuseTrap(resume BurstResume) (uint64, bool) {
+	if !c.divertResumed || resume == nil || c.halted || c.wedged {
+		return 0, false
+	}
+	return resume()
 }
 
 // StepFast executes one instruction through the decode cache. The caller
@@ -355,6 +409,20 @@ func (c *CPU) BurstRun(clk *uint64, horizon, maxTicks uint64) (uint64, BurstBrea
 // Architectural effects and cycle charges are bit-identical to Step.
 func (c *CPU) StepFast() (StepResult, bool) {
 	instPC := c.PC
+
+	// Predecoded handoff: the last BurstSlow already fetched, translated,
+	// and decoded this instruction (its fetch cycles travel via BurstRun's
+	// slowFetch return); run it straight through the interpreter.
+	if d := c.pendSlow; d != nil {
+		c.pendSlow = nil
+		if c.pendSlowPC == instPC && d.fn == fnSlow {
+			res := c.execute(instPC, d.raw)
+			c.Stat.Instructions++
+			res.Halted = c.halted
+			res.Wedged = c.wedged
+			return res, false
+		}
+	}
 
 	if instPC&3 != 0 {
 		cyc := c.raise(isa.CauseAlign, instPC, instPC)

@@ -327,7 +327,7 @@ func TestBurstRunTickAccounting(t *testing.T) {
 
 	// Budget stop: exactly 2 ticks consumed, 2 instructions retired.
 	var clk uint64
-	n, brk := c.BurstRun(&clk, 1<<62, 2)
+	n, brk, _ := c.BurstRun(&clk, 1<<62, 2, nil)
 	if n != 2 || brk != BurstBudget {
 		t.Fatalf("budget burst: n=%d brk=%d, want 2, BurstBudget", n, brk)
 	}
@@ -339,7 +339,7 @@ func TestBurstRunTickAccounting(t *testing.T) {
 	}
 
 	// Slow stop: the HLT is not executed; PC parks on it.
-	n, brk = c.BurstRun(&clk, 1<<62, 100)
+	n, brk, _ = c.BurstRun(&clk, 1<<62, 100, nil)
 	if n != 1 || brk != BurstSlow {
 		t.Fatalf("slow burst: n=%d brk=%d, want 1, BurstSlow", n, brk)
 	}
@@ -353,7 +353,7 @@ func TestBurstRunTickAccounting(t *testing.T) {
 		c2.Bus().Write32(progBase+uint32(i)*4, w)
 	}
 	clk = 0
-	n, brk = c2.BurstRun(&clk, 1, 100)
+	n, brk, _ = c2.BurstRun(&clk, 1, 100, nil)
 	if n != 1 || brk != BurstHorizon {
 		t.Fatalf("horizon burst: n=%d brk=%d, want 1, BurstHorizon", n, brk)
 	}

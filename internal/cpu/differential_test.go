@@ -287,12 +287,12 @@ func TestWatchpointFiresAfterStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	var hits []uint32
-	c.Diverter = func(cause, vaddr, epc uint32) bool {
+	c.Diverter = func(cause, vaddr, epc uint32) DivertAction {
 		if cause == isa.CauseWatch {
 			hits = append(hits, vaddr, epc)
-			return true
+			return DivertExit
 		}
-		return false
+		return DivertReflect
 	}
 	res := c.Step()
 	if res.Trapped != isa.CauseWatch {
@@ -325,12 +325,12 @@ func TestWatchpointCoversMOVS(t *testing.T) {
 		t.Fatal(err)
 	}
 	fired := 0
-	c.Diverter = func(cause, vaddr, epc uint32) bool {
+	c.Diverter = func(cause, vaddr, epc uint32) DivertAction {
 		if cause == isa.CauseWatch {
 			fired++
-			return true
+			return DivertExit
 		}
-		return false
+		return DivertReflect
 	}
 	res := c.Step()
 	if res.Trapped != isa.CauseWatch || fired != 1 {

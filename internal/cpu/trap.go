@@ -8,11 +8,22 @@ import "lvmm/internal/isa"
 // machine level).
 func (c *CPU) raise(cause, vaddr, epc uint32) uint64 {
 	c.Stat.Traps++
-	if c.Diverter != nil && c.Diverter(cause, vaddr, epc) {
-		return 0
+	if c.Diverter != nil {
+		if act := c.Diverter(cause, vaddr, epc); act != DivertReflect {
+			c.divertResumed = act == DivertResume
+			return 0
+		}
 	}
+	c.divertResumed = false
 	return c.DeliverTrap(cause, vaddr, epc)
 }
+
+// DivertResumed reports whether the most recently raised trap was consumed
+// by the Diverter with DivertResume: the monitor fully emulated it in place
+// and the guest may continue on the predecoded fast path. The machine's run
+// loop consults it after a trapping StepFast to decide whether to fuse the
+// next burst onto the same crossing.
+func (c *CPU) DivertResumed() bool { return c.divertResumed }
 
 // DeliverTrap performs architectural trap delivery into the current vector
 // table: save PC/PSR/cause/vaddr to control registers, switch to the kernel

@@ -3,6 +3,7 @@ package gdbstub
 import (
 	"fmt"
 
+	"lvmm/internal/cpu"
 	"lvmm/internal/isa"
 	"lvmm/internal/machine"
 )
@@ -21,7 +22,7 @@ type BareTarget struct {
 // NewBareTarget installs the bare-metal debug hooks on a machine.
 func NewBareTarget(m *machine.Machine) *BareTarget {
 	t := &BareTarget{m: m}
-	m.CPU.Diverter = func(cause, vaddr, epc uint32) bool {
+	m.CPU.Diverter = func(cause, vaddr, epc uint32) cpu.DivertAction {
 		switch cause {
 		case isa.CauseBRK, isa.CauseStep, isa.CauseWatch:
 			// EPC semantics: BRK faults at the instruction; leave PC there
@@ -31,9 +32,9 @@ func NewBareTarget(m *machine.Machine) *BareTarget {
 			if t.onStop != nil {
 				t.onStop(cause)
 			}
-			return true
+			return cpu.DivertExit
 		}
-		return false // architectural delivery into the guest
+		return cpu.DivertReflect // architectural delivery into the guest
 	}
 	return t
 }

@@ -34,6 +34,11 @@ func New() *PIC { return &PIC{mask: 0xFFFF} }
 // Raise asserts interrupt line n (edge-triggered; idempotent while pending).
 func (p *PIC) Raise(n int) { p.irr |= 1 << uint(n&15) }
 
+// HasRequest reports whether any unmasked line is requesting — a cheap,
+// inlinable precheck for Pending (an in-service line may still block
+// delivery; callers needing the exact answer must consult Pending).
+func (p *PIC) HasRequest() bool { return p.irr&^p.mask != 0 }
+
 // Pending returns the highest-priority deliverable line, honouring the mask
 // and priority against in-service lines. ok is false when nothing is
 // deliverable.

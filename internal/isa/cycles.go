@@ -58,36 +58,36 @@ func STOSCycles(n uint32) uint64 {
 	return CycSTOSBase + uint64(n)*CycSTOSPerByteNum/CycSTOSPerByteDen
 }
 
+// opCycles is the base cost per opcode, sized to the full 6-bit opcode
+// field so a raw `word >> 26` indexes without a bounds check. Unlisted
+// (undefined) encodings cost CycALU before they trap #UD.
+var opCycles = func() [1 << 6]uint64 {
+	var t [1 << 6]uint64
+	for i := range t {
+		t[i] = CycALU
+	}
+	t[OpMUL] = CycMUL
+	t[OpDIVU], t[OpREMU] = CycDIV, CycDIV
+	for _, op := range []uint32{OpLW, OpLH, OpLHU, OpLB, OpLBU} {
+		t[op] = CycLoad
+	}
+	t[OpSW], t[OpSH], t[OpSB] = CycStore, CycStore, CycStore
+	for _, op := range []uint32{OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU} {
+		t[op] = CycBranch
+	}
+	t[OpJAL], t[OpJALR] = CycJump, CycJump
+	t[OpIN], t[OpOUT] = CycIn, CycOut
+	t[OpIRET] = CycIRET
+	for _, op := range []uint32{OpCLI, OpSTI, OpMOVCR, OpMOVRC, OpTLBINV, OpHLT} {
+		t[op] = CycSystem
+	}
+	return t
+}()
+
 // OpCycles returns the base cost of an opcode (branches add CycTaken-
 // CycBranch when taken; string ops are costed by length; HLT idles).
 func OpCycles(op uint32) uint64 {
-	switch op {
-	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSHL, OpSHR, OpSRA, OpSLT, OpSLTU,
-		OpADDI, OpANDI, OpORI, OpXORI, OpSHLI, OpSHRI, OpSRAI, OpLUI:
-		return CycALU
-	case OpMUL:
-		return CycMUL
-	case OpDIVU, OpREMU:
-		return CycDIV
-	case OpLW, OpLH, OpLHU, OpLB, OpLBU:
-		return CycLoad
-	case OpSW, OpSH, OpSB:
-		return CycStore
-	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
-		return CycBranch
-	case OpJAL, OpJALR:
-		return CycJump
-	case OpIN:
-		return CycIn
-	case OpOUT:
-		return CycOut
-	case OpIRET:
-		return CycIRET
-	case OpCLI, OpSTI, OpMOVCR, OpMOVRC, OpTLBINV, OpHLT:
-		return CycSystem
-	default:
-		return CycALU
-	}
+	return opCycles[op&(1<<6-1)]
 }
 
 // CyclesToSeconds converts a cycle count to seconds of virtual time.

@@ -26,6 +26,7 @@ import (
 	"lvmm/internal/hw/pit"
 	"lvmm/internal/hw/scsi"
 	"lvmm/internal/hw/uart"
+	"lvmm/internal/isa"
 	"lvmm/internal/netsim"
 )
 
@@ -104,6 +105,7 @@ type Machine struct {
 	irqSink   func(line int)
 	idleHook  func()
 	guestIdle bool
+	runLimit  uint64 // cycle limit of the Run call in progress
 
 	// Record/replay hooks (see internal/replay).
 	irqTrace    func(line int)
@@ -320,6 +322,7 @@ const pollInterval = 4096
 // exactly, so batched and unbatched runs are cycle- and tick-identical.
 func (m *Machine) Run(limit uint64) StopReason {
 	m.stopped = false
+	m.runLimit = limit
 	for m.clock < limit && !m.stopped {
 		m.fireDue()
 		if m.stopped {
@@ -430,9 +433,9 @@ func (m *Machine) deliverPending() bool {
 // runBurst executes predecoded straight-line instructions without
 // per-instruction event-heap peeks. The event horizon is the next
 // scheduled event (nothing can fire before it: devices only act through
-// events, port I/O, or traps, and the latter two end the burst) capped by
-// the cycle limit; the tick budget is whichever comes first of the next
-// external-input poll and the stop-at-instruction target.
+// events, port I/O, or traps, and the latter two end or pause the burst)
+// capped by the cycle limit; the tick budget is whichever comes first of
+// the next external-input poll and the stop-at-instruction target.
 //
 // The caller has already run the current tick's preamble (events fired,
 // poll ticked, no interrupt pending, observers unarmed), so the burst's
@@ -440,42 +443,115 @@ func (m *Machine) deliverPending() bool {
 // subsequent ticks consume poll-countdown decrements — identical
 // bookkeeping to n iterations of the unbatched loop, which keeps batched
 // execution tick-for-tick identical (replay traces recorded on either
-// engine verify on the other). Returns false when the CPU wedged
-// (stopReason is set).
+// engine verify on the other).
+//
+// Trap fusion: a trap a monitor fully emulates does not surface to Run.
+// Traps raised mid-burst resume inside cpu.BurstRun through the
+// burstResume hook; a slow instruction whose trap the monitor handled
+// (the dominant crossing: CLI/STI/IO-perm emulation) loops straight back
+// into the next burst here, paying only the one poll-countdown decrement
+// the outer loop would have charged for the tick — so a VMM-attached
+// guest stays on the predecoded engine across monitor-handled crossings.
+// Debugger-owned stops, reflected guest faults, idle transitions, due
+// events, deliverable interrupts, and poll/budget expiry all still
+// surface exactly as before (burstTickOK mirrors the outer loop's
+// preamble decisions, so fused and unfused runs are tick-identical).
+// Returns false when the CPU wedged (stopReason is set).
 func (m *Machine) runBurst(limit uint64) bool {
-	horizon := limit
-	if len(m.events) > 0 && m.events[0].cycle < horizon {
-		horizon = m.events[0].cycle
-	}
-	maxTicks := uint64(m.pollCountdown)
-	if m.stopAtInstr != 0 {
-		// ≥ 1: the outer loop already returned if the target was reached.
-		if rem := m.stopAtInstr - m.CPU.Stat.Instructions; rem < maxTicks {
-			maxTicks = rem
+	for {
+		horizon := m.eventHorizon(limit)
+		maxTicks := uint64(m.pollCountdown)
+		if m.stopAtInstr != 0 {
+			// ≥ 1: the outer loop already returned if the target was reached.
+			if rem := m.stopAtInstr - m.CPU.Stat.Instructions; rem < maxTicks {
+				maxTicks = rem
+			}
 		}
-	}
-	n, brk := m.CPU.BurstRun(&m.clock, horizon, maxTicks)
-	if brk == cpu.BurstSlow {
-		// The pending instruction needs the full interpreter; it belongs
-		// to the current tick, so with its ticks the burst consumed n
-		// countdown decrements (the first tick was paid by the caller).
-		res, _ := m.CPU.StepFast()
-		m.clock += res.Cycles
-		m.pollCountdown -= int(n)
-		if res.Wedged {
+		n, brk, slowFetch := m.CPU.BurstRun(&m.clock, horizon, maxTicks, m.burstResume)
+		if brk == cpu.BurstSlow {
+			// The pending instruction needs the full interpreter; it belongs
+			// to the current tick, so with its ticks the burst consumed n
+			// countdown decrements (the first tick was paid by the caller).
+			// slowFetch carries the TLB-miss cycles of the lookahead fetch
+			// translation (StepFast re-translates as a hit), committed with
+			// the instruction like the per-instruction engine does.
+			res, _ := m.CPU.StepFast()
+			m.clock += res.Cycles + slowFetch
+			m.pollCountdown -= int(n)
+			if res.Wedged {
+				m.stopReason = StopWedged
+				return false
+			}
+			if (res.Trapped == isa.CauseNone || m.CPU.DivertResumed()) && m.burstTickOK(limit) {
+				// Fused re-entry: start the next tick ourselves instead of
+				// surfacing, charging its countdown decrement like the
+				// outer loop would.
+				m.pollCountdown--
+				continue
+			}
+			return true
+		}
+		if n > 0 {
+			m.pollCountdown -= int(n - 1)
+		}
+		if brk == cpu.BurstTrap && m.CPU.Wedged() {
 			m.stopReason = StopWedged
 			return false
 		}
 		return true
 	}
-	if n > 0 {
-		m.pollCountdown -= int(n - 1)
+}
+
+// burstTickOK reports whether Run's per-tick preamble would reach the
+// burst arm again with nothing to do first: no stop, no due event, no
+// imminent external-input poll, no deliverable interrupt, a runnable CPU,
+// the stop-at-instruction target unreached, and no observer armed. When
+// it holds, runBurst may start the next tick itself; when it does not,
+// surfacing to the outer loop reproduces the unfused behaviour exactly.
+func (m *Machine) burstTickOK(limit uint64) bool {
+	return !m.stopped && m.clock < limit &&
+		(len(m.events) == 0 || m.events[0].cycle > m.clock) &&
+		m.pollCountdown > 1 &&
+		!m.irqDeliverable() &&
+		!m.CPU.Halted() && !m.guestIdle && !m.CPU.Wedged() &&
+		(m.stopAtInstr == 0 || m.CPU.Stat.Instructions < m.stopAtInstr) &&
+		m.preStepHook == nil && m.CPU.BurstSafe()
+}
+
+// burstResume is the cpu.BurstResume hook: after a monitor fully handles
+// a trap raised mid-burst (a direct-paging PTE fixup, for instance), it
+// decides whether the burst may continue and recomputes the event horizon
+// — the monitor's charges consumed part of the old one, and its emulation
+// may have scheduled earlier events. Tick budgeting stays with BurstRun's
+// maxTicks, which already bounds the burst to the countdown and
+// stop-at-instruction windows.
+func (m *Machine) burstResume() (uint64, bool) {
+	if !m.burstTickOK(m.runLimit) {
+		return 0, false
 	}
-	if brk == cpu.BurstTrap && m.CPU.Wedged() {
-		m.stopReason = StopWedged
+	return m.eventHorizon(m.runLimit), true
+}
+
+// eventHorizon is the next scheduled event's cycle capped by limit:
+// nothing can fire before it, so a burst may run to it unchecked.
+func (m *Machine) eventHorizon(limit uint64) uint64 {
+	if len(m.events) > 0 && m.events[0].cycle < limit {
+		return m.events[0].cycle
+	}
+	return limit
+}
+
+// irqDeliverable mirrors deliverPending's decision without consuming the
+// line: a pending PIC request is deliverable to a monitor's sink always,
+// and architecturally only when the guest has interrupts enabled. The
+// cheap HasRequest precheck may report true for an in-service-blocked
+// line Pending would refuse; that only surfaces to the outer loop, which
+// re-evaluates exactly.
+func (m *Machine) irqDeliverable() bool {
+	if !m.PIC.HasRequest() {
 		return false
 	}
-	return true
+	return m.irqSink != nil || m.CPU.PSR&1 != 0
 }
 
 // idleSlice advances idle time by up to 1 ms virtual, polling external

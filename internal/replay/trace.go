@@ -41,7 +41,7 @@ import (
 
 // TraceVersion is the current trace-format version. Readers reject
 // mismatched versions rather than misinterpreting state.
-const TraceVersion = 1
+const TraceVersion = 2
 
 // traceMagic identifies a trace file.
 const traceMagic = "LVMMTRC\n"

@@ -2,7 +2,6 @@ package vmm
 
 import (
 	"fmt"
-	"sort"
 
 	"lvmm/internal/isa"
 )
@@ -102,13 +101,8 @@ func (d *DebugTarget) SetWatchpoint(i int, addr, length uint32, enabled bool) er
 func (d *DebugTarget) Info() string {
 	out := fmt.Sprintf("%s\nguest pc=%08x cpl=%d if=%v\n",
 		d.v.String(), d.v.m.CPU.PC, d.v.vCPL, d.v.vIF)
-	causes := make([]uint32, 0, len(d.v.Stats.TrapsByCause))
-	for c := range d.v.Stats.TrapsByCause {
-		causes = append(causes, c)
-	}
-	sort.Slice(causes, func(i, j int) bool { return causes[i] < causes[j] })
-	for _, c := range causes {
-		out += fmt.Sprintf("  %-18s %d\n", isa.CauseName(c), d.v.Stats.TrapsByCause[c])
-	}
+	d.v.Stats.TrapsByCause.NonZero(func(c uint32, n uint64) {
+		out += fmt.Sprintf("  %-18s %d\n", isa.CauseName(c), n)
+	})
 	return out
 }

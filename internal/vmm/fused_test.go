@@ -1,0 +1,291 @@
+package vmm
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"lvmm/internal/asm"
+	"lvmm/internal/isa"
+	"lvmm/internal/machine"
+)
+
+// The fused one-crossing trap dispatch must be invisible to the simulated
+// timeline: a VMM-attached guest run on the predecoded engine (traps fused
+// into the burst) and the same guest on the forced per-instruction slow
+// path must agree on every observable — clock, idle and monitor cycle
+// accounting, CPU statistics, registers, memory, and the monitor's own
+// trap histogram. A CPU spy watch on an untouched address is the forcing
+// mechanism: it disqualifies bursts (cpu.BurstSafe) without perturbing
+// the timeline, leaving the seed-equivalent slow engine.
+
+// launchEngine assembles src, attaches a monitor, launches, and runs to
+// limit, optionally forcing the slow path.
+func launchEngine(t *testing.T, mode Mode, src string, slow bool, limit uint64) (*machine.Machine, *VMM) {
+	t.Helper()
+	m, v := launch(t, mode, src)
+	if slow {
+		if err := m.CPU.SetSpyWatch(3, 0xFFFF0000, 4, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Run(limit)
+	return m, v
+}
+
+func fusedRAMHash(m *machine.Machine) uint64 {
+	h := fnv.New64a()
+	h.Write(m.Bus.RAM())
+	return h.Sum64()
+}
+
+// compareEngines asserts complete observable-state equality between the
+// fused fast engine and the forced slow path.
+func compareEngines(t *testing.T, label string, fast, slow *machine.Machine, vf, vs *VMM) {
+	t.Helper()
+	if fast.Clock() != slow.Clock() {
+		t.Errorf("%s: clock fast=%d slow=%d", label, fast.Clock(), slow.Clock())
+	}
+	if fast.IdleCycles() != slow.IdleCycles() {
+		t.Errorf("%s: idle fast=%d slow=%d", label, fast.IdleCycles(), slow.IdleCycles())
+	}
+	if fast.MonitorCycles() != slow.MonitorCycles() {
+		t.Errorf("%s: monitor cycles fast=%d slow=%d", label, fast.MonitorCycles(), slow.MonitorCycles())
+	}
+	if fast.CPU.Stat != slow.CPU.Stat {
+		t.Errorf("%s: cpu stats fast=%+v slow=%+v", label, fast.CPU.Stat, slow.CPU.Stat)
+	}
+	if fast.CPU.Regs != slow.CPU.Regs {
+		t.Errorf("%s: regs fast=%v slow=%v", label, fast.CPU.Regs, slow.CPU.Regs)
+	}
+	if fast.CPU.PC != slow.CPU.PC {
+		t.Errorf("%s: pc fast=%08x slow=%08x", label, fast.CPU.PC, slow.CPU.PC)
+	}
+	if fast.GuestCounters != slow.GuestCounters {
+		t.Errorf("%s: counters fast=%v slow=%v", label, fast.GuestCounters, slow.GuestCounters)
+	}
+	if vf.Stats != vs.Stats {
+		t.Errorf("%s: monitor stats fast=%+v slow=%+v", label, vf.Stats, vs.Stats)
+	}
+	if vf.vcr != vs.vcr || vf.vIF != vs.vIF || vf.vCPL != vs.vCPL || vf.vHalted != vs.vHalted {
+		t.Errorf("%s: virtual CPU state differs", label)
+	}
+	if fusedRAMHash(fast) != fusedRAMHash(slow) {
+		t.Errorf("%s: RAM contents differ", label)
+	}
+}
+
+// genTrapDenseKernel emits a randomized guest: a prologue that installs a
+// vector table (every vector → a handler that folds the cause into r4 and
+// EOIs the virtual PIC), unmasks and starts the virtual timer, then a
+// straight-line body drawn from the trap-heavy instruction pool — CLI/STI
+// (privilege traps), MOVCR/MOVRC including the virtual cycle counter (a
+// mid-trap clock observation: any cycle divergence lands in a register),
+// TLBINV, emulated port I/O, reflected syscalls, loads/stores, and HLT
+// naps the timer interrupts end.
+func genTrapDenseKernel(rng *rand.Rand, n int) string {
+	src := `
+        .org 0x1000
+        _start:
+            li   sp, 0x9000
+            li   r1, 0x4000
+            movrc vbar, r1
+            la   r2, vec
+            li   r3, 32
+        vfill:
+            sw   r2, 0(r1)
+            addi r1, r1, 4
+            addi r3, r3, -1
+            bnez r3, vfill
+            li   r1, 0x8000
+            movrc ksp, r1
+            li   r13, 0x20000      ; load/store scratch base
+            li   r1, 0x21
+            li   r2, 0xFFFE        ; unmask IRQ0 on the virtual PIC
+            out  r1, r2
+            li   r1, 0x41
+            li   r2, 2000          ; virtual PIT divisor
+            out  r1, r2
+            li   r1, 0x40
+            li   r2, 1             ; periodic mode
+            out  r1, r2
+            sti
+`
+	for i := 0; i < n; i++ {
+		switch rng.Intn(16) {
+		case 0, 1, 2:
+			src += "            cli\n"
+		case 3, 4, 5:
+			src += "            sti\n"
+		case 6:
+			src += fmt.Sprintf("            movrc scratch, r%d\n", 1+rng.Intn(10))
+		case 7:
+			src += fmt.Sprintf("            movcr r%d, scratch\n", 1+rng.Intn(10))
+		case 8:
+			// Clock observation mid-stream: engines must agree exactly.
+			src += fmt.Sprintf("            movcr r%d, cyclo\n", 1+rng.Intn(10))
+		case 9:
+			src += "            tlbinv\n"
+		case 10:
+			// Emulated port read (virtual PIT status: IOPerm trap).
+			src += fmt.Sprintf("            li   r9, 0x41\n            in   r%d, r9\n", 1+rng.Intn(8))
+		case 11:
+			src += "            syscall\n"
+		case 12:
+			src += fmt.Sprintf("            sw   r%d, %d(r13)\n", 1+rng.Intn(10), rng.Intn(64)*4)
+		case 13:
+			src += fmt.Sprintf("            lw   r%d, %d(r13)\n", 1+rng.Intn(10), rng.Intn(64)*4)
+		case 14:
+			if rng.Intn(4) == 0 {
+				src += "            hlt\n" // timer wakes it
+			} else {
+				src += fmt.Sprintf("            addi r%d, r%d, %d\n",
+					1+rng.Intn(10), 1+rng.Intn(10), rng.Intn(100))
+			}
+		default:
+			src += fmt.Sprintf("            xor  r%d, r%d, r%d\n",
+				1+rng.Intn(10), 1+rng.Intn(10), 1+rng.Intn(10))
+		}
+	}
+	src += `
+            li   r1, 0xF1
+            out  r1, r4            ; counter0 = handler accumulator
+            li   r1, 0xF0
+            out  r1, zero          ; DONE
+        vec:
+            movcr r12, cause
+            add  r4, r4, r12
+            li   r12, 0x20
+            li   r11, 0x20
+            out  r11, r12          ; EOI the virtual PIC
+            iret
+`
+	return src
+}
+
+// TestFusedMatchesSlowPathRandomized is the fused-dispatch lockstep
+// differential: many random trap-dense guests, each run on both engines
+// under the lightweight monitor, must end in identical machine and
+// monitor state.
+func TestFusedMatchesSlowPathRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xFACE))
+	for trial := 0; trial < 25; trial++ {
+		src := genTrapDenseKernel(rng, 80+rng.Intn(300))
+		label := fmt.Sprintf("trial %d", trial)
+		fast, vf := launchEngine(t, Lightweight, src, false, 40_000_000)
+		slow, vs := launchEngine(t, Lightweight, src, true, 40_000_000)
+		if vf.Stats.Traps == 0 {
+			t.Fatalf("%s: no traps — generator produced a trap-free program", label)
+		}
+		compareEngines(t, label, fast, slow, vf, vs)
+		if t.Failed() {
+			t.Fatalf("%s: engines diverged; program:\n%s", label, src)
+		}
+	}
+}
+
+// TestFusedMatchesSlowPathHosted runs the same differential under the
+// hosted full-emulation monitor, where every port access is forwarded
+// with hosted-I/O costs.
+func TestFusedMatchesSlowPathHosted(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x4057ED))
+	for trial := 0; trial < 8; trial++ {
+		src := genTrapDenseKernel(rng, 60+rng.Intn(200))
+		label := fmt.Sprintf("hosted trial %d", trial)
+		fast, vf := launchEngine(t, Hosted, src, false, 40_000_000)
+		slow, vs := launchEngine(t, Hosted, src, true, 40_000_000)
+		compareEngines(t, label, fast, slow, vf, vs)
+		if t.Failed() {
+			t.Fatalf("%s: engines diverged; program:\n%s", label, src)
+		}
+	}
+}
+
+// ptWriteKernel installs the guest's own page tables (prebuilt by the
+// harness at 0x100000, write-protected by the monitor), then updates PTEs
+// in a hot loop: every `sw` into the table raises CausePFProt mid-burst
+// and is fixed up by direct paging — the in-burst fused-resume path. The
+// new mappings are then exercised.
+const ptWriteKernel = `
+        .org 0x1000
+        _start:
+            li   sp, 0x9000
+            li   r1, 0x4000
+            movrc vbar, r1
+            la   r2, vec
+            li   r3, 32
+        vfill:
+            sw   r2, 0(r1)
+            addi r1, r1, 4
+            addi r3, r3, -1
+            bnez r3, vfill
+            li   r1, 0x8000
+            movrc ksp, r1
+            li   r1, 0x100001      ; guest page directory | enable
+            movrc ptbr, r1
+            li   r1, 0x101C00      ; PTE slot for VA 0x300000 (table at 0x101000)
+            li   r2, 0x50003       ; frame 0x50000 | P | W
+            li   r3, 32
+        ptloop:
+            sw   r2, 0(r1)         ; write-protected table: direct-paging fixup
+            addi r6, r6, 1         ; straight-line filler keeps the burst hot
+            xor  r7, r6, r2
+            addi r1, r1, 4
+            addi r2, r2, 4096      ; next frame
+            addi r3, r3, -1
+            bnez r3, ptloop
+            ; prove the new mappings translate: store/load through VA 0x300000
+            li   r1, 0x300000
+            li   r2, 0xBEEF
+            sw   r2, 0(r1)
+            lw   r4, 0(r1)
+            li   r1, 0xF1
+            out  r1, r4            ; counter0 = 0xBEEF readback
+            li   r1, 0xF0
+            out  r1, zero
+        vec:
+            movcr r12, cause
+            add  r4, r4, r12
+            iret
+`
+
+// TestFusedPTWriteResume checks the in-burst fused trap: direct-paging
+// PTE fixups raised by stores mid-burst resume predecoded, and the result
+// matches the forced slow path exactly.
+func TestFusedPTWriteResume(t *testing.T) {
+	run := func(slow bool) (*machine.Machine, *VMM) {
+		img, err := asm.Assemble(ptWriteKernel)
+		if err != nil {
+			t.Fatalf("assemble: %v", err)
+		}
+		m := machine.New(machine.Config{ResetPC: img.Entry})
+		if err := m.LoadImage(img); err != nil {
+			t.Fatal(err)
+		}
+		v := Attach(m, Config{Mode: Lightweight})
+		// Identity tables over the first 2 MB, write-protected.
+		buildTables(m, 0x100000, 0x200000, 0, 0, false)
+		if err := v.Launch(img.Entry); err != nil {
+			t.Fatal(err)
+		}
+		if slow {
+			if err := m.CPU.SetSpyWatch(3, 0xFFFF0000, 4, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if reason := m.Run(isa.ClockHz); reason != machine.StopGuestDone {
+			t.Fatalf("stop %v pc=%08x (slow=%v)", reason, m.CPU.PC, slow)
+		}
+		return m, v
+	}
+	fast, vf := run(false)
+	slow, vs := run(true)
+	if vf.Stats.PTWrites == 0 {
+		t.Fatal("no direct-paging PTE writes were emulated")
+	}
+	if fast.GuestCounters[0] != 0xBEEF {
+		t.Fatalf("new mapping unusable: counter0=%#x", fast.GuestCounters[0])
+	}
+	compareEngines(t, "pt-write", fast, slow, vf, vs)
+}

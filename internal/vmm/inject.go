@@ -8,9 +8,10 @@ import "lvmm/internal/isa"
 // interruption-handling table" of Figure 2.1.
 
 // tryInject delivers the highest-priority pending virtual interrupt if
-// the guest currently accepts interrupts.
+// the guest currently accepts interrupts. The HasRequest precheck keeps
+// the common nothing-pending case (every STI/IRET emulation) inlinable.
 func (v *VMM) tryInject() {
-	if v.frozen || !v.vIF {
+	if v.frozen || !v.vIF || !v.vpic.HasRequest() {
 		return
 	}
 	line, ok := v.vpic.Pending()

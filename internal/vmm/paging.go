@@ -3,6 +3,7 @@ package vmm
 import (
 	"fmt"
 
+	"lvmm/internal/cpu"
 	"lvmm/internal/isa"
 )
 
@@ -159,16 +160,16 @@ func (v *VMM) validateGuestTables(pd uint32) error {
 
 // emulatePTWrite services a direct-paging update: the guest stored to a
 // write-protected page-table page. The monitor decodes the store,
-// validates the new entry, applies it, and invalidates the TLB.
-func (v *VMM) emulatePTWrite(vaddr, pa, epc uint32) {
+// validates the new entry, applies it, and invalidates the TLB. A valid
+// update is fully handled in place (the burst engine may resume
+// predecoded); rejected updates reflect a protection fault and exit.
+func (v *VMM) emulatePTWrite(vaddr, pa, epc uint32) cpu.DivertAction {
 	c := v.m.CPU
 	w, ok := c.ReadVirt32(epc)
 	if !ok || isa.Opcode(w) != isa.OpSW {
 		// Only word stores may update page tables (PTEs are words);
 		// anything else is reflected as the protection fault it is.
-		v.Stats.GuestFaults++
-		v.inject(isa.CausePFProt, vaddr, epc)
-		return
+		return v.reflectTrap(isa.CausePFProt, vaddr, epc)
 	}
 	newPTE := c.Regs[isa.Rd(w)] // store data register (a field)
 	frame := newPTE &^ uint32(isa.PageMask)
@@ -180,16 +181,12 @@ func (v *VMM) emulatePTWrite(vaddr, pa, epc uint32) {
 			if v.onViolation != nil {
 				v.onViolation(frame)
 			}
-			v.Stats.GuestFaults++
-			v.inject(isa.CausePFProt, vaddr, epc)
-			return
+			return v.reflectTrap(isa.CausePFProt, vaddr, epc)
 		}
 		if v.ptPages[frame] && newPTE&isa.PTEWritable != 0 {
 			// Attempt to gain a writable alias of a page table.
 			v.Stats.Violations++
-			v.Stats.GuestFaults++
-			v.inject(isa.CausePFProt, vaddr, epc)
-			return
+			return v.reflectTrap(isa.CausePFProt, vaddr, epc)
 		}
 	}
 	v.m.Bus.Write32(pa, newPTE)
@@ -197,4 +194,5 @@ func (v *VMM) emulatePTWrite(vaddr, pa, epc uint32) {
 	v.Stats.PTWrites++
 	v.charge(v.cost.PTValidate)
 	c.PC = epc + 4
+	return cpu.DivertResume
 }

@@ -42,11 +42,9 @@ func (v *VMM) Snapshot() *Snapshot {
 		s.PTPages = append(s.PTPages, pa)
 	}
 	sort.Slice(s.PTPages, func(i, j int) bool { return s.PTPages[i] < s.PTPages[j] })
+	// Stats is all value state (the per-cause histogram is a fixed array),
+	// so plain assignment is a deep copy.
 	s.Stats = v.Stats
-	s.Stats.TrapsByCause = make(map[uint32]uint64, len(v.Stats.TrapsByCause))
-	for c, n := range v.Stats.TrapsByCause {
-		s.Stats.TrapsByCause[c] = n
-	}
 	return s
 }
 
@@ -68,10 +66,6 @@ func (v *VMM) Restore(s *Snapshot) {
 		v.ptPages[pa] = true
 	}
 	v.Stats = s.Stats
-	v.Stats.TrapsByCause = make(map[uint32]uint64, len(s.Stats.TrapsByCause))
-	for c, n := range s.Stats.TrapsByCause {
-		v.Stats.TrapsByCause[c] = n
-	}
 	v.updateIdle()
 }
 

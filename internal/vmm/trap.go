@@ -1,120 +1,149 @@
 package vmm
 
 import (
+	"lvmm/internal/cpu"
 	"lvmm/internal/hw"
 	"lvmm/internal/isa"
 )
+
+// Trap dispatch is table-driven: divert indexes trapHandlers by cause, and
+// privileged-instruction emulation indexes privHandlers by opcode — the
+// predecoded analogue of the CPU's own decode cache, replacing two switch
+// ladders on the hottest monitor path. Handlers return the cpu.DivertAction
+// that tells the burst engine whether the guest may continue predecoded
+// (DivertResume: the crossing was fully emulated in place) or must surface
+// to the machine loop (DivertExit: debug stops, reflected faults, idle).
+//
+// World-switch charging is explicit at divert's single entry and exit (no
+// defer, no per-trap closures); every handler charges its own emulation
+// work before reading the clock, so a guest observing CRCycleLo mid-trap
+// sees exactly the cycles the pre-table dispatcher charged.
+
+// trapHandler services one diverted trap cause.
+type trapHandler func(v *VMM, cause, vaddr, epc uint32) cpu.DivertAction
+
+// trapHandlers dispatches guest→monitor crossings by cause. Slots not
+// claimed by an emulator reflect the trap into the guest's virtual vector
+// table (guest-internal events: syscalls, guest bugs, spurious causes).
+var trapHandlers = func() [isa.NumVectors]trapHandler {
+	var t [isa.NumVectors]trapHandler
+	for i := range t {
+		t[i] = (*VMM).reflectTrap
+	}
+	t[isa.CausePriv] = (*VMM).divertPriv
+	t[isa.CauseIOPerm] = (*VMM).divertIO
+	t[isa.CausePFNotPres] = (*VMM).divertPageFault
+	t[isa.CausePFProt] = (*VMM).divertPageFault
+	// Debugger-owned causes: freeze and notify. (The monitor hosts the
+	// stub, so breakpoints work even while the guest OS is broken.)
+	t[isa.CauseBRK] = (*VMM).divertDebug
+	t[isa.CauseStep] = (*VMM).divertDebug
+	t[isa.CauseWatch] = (*VMM).divertDebug
+	return t
+}()
 
 // divert is the CPU trap diverter: every trap the deprivileged guest
 // raises arrives here before any architectural delivery. This is the
 // monitor's main entry point — the "Remote debugging functions +
 // emulators" box of the paper's Figure 2.1.
-func (v *VMM) divert(cause, vaddr, epc uint32) bool {
-	v.Stats.Traps++
-	v.Stats.TrapsByCause[cause]++
-	v.charge(v.cost.WorldSwitchIn)
-	defer v.charge(v.cost.WorldSwitchOut)
-
-	switch cause {
-	case isa.CausePriv:
-		v.Stats.PrivEmulated++
-		v.emulatePrivileged(vaddr, epc) // vaddr carries the instruction word
-	case isa.CauseIOPerm:
-		v.Stats.IOEmulated++
-		v.emulateIO(uint16(vaddr), epc)
-	case isa.CausePFNotPres, isa.CausePFProt:
-		v.handlePageFault(cause, vaddr, epc)
-	case isa.CauseBRK:
-		// Debugger-owned: freeze and notify. (The monitor hosts the stub,
-		// so breakpoints work even while the guest OS is broken.)
-		v.debugStop(cause, epc)
-	case isa.CauseStep:
-		v.debugStop(cause, epc)
-	case isa.CauseWatch:
-		v.debugStop(cause, vaddr)
-	case isa.CauseSyscall, isa.CauseUD, isa.CauseAlign, isa.CauseBusError:
-		// Guest-internal events: reflect through the guest's virtual
-		// vector table.
-		v.Stats.GuestFaults++
-		v.inject(cause, vaddr, epc)
-	default:
-		v.Stats.GuestFaults++
-		v.inject(cause, vaddr, epc)
+func (v *VMM) divert(cause, vaddr, epc uint32) cpu.DivertAction {
+	idx := cause
+	if idx >= isa.NumVectors {
+		idx = isa.CauseUD
 	}
-	return true
+	v.Stats.Traps++
+	v.Stats.TrapsByCause[idx]++
+	v.charge(v.cost.WorldSwitchIn)
+	act := trapHandlers[idx](v, cause, vaddr, epc)
+	v.charge(v.cost.WorldSwitchOut)
+	return act
 }
 
-// emulatePrivileged handles the privileged instructions a deprivileged
-// kernel traps on: interrupt-flag manipulation, halting, trap return,
-// and control-register access.
-func (v *VMM) emulatePrivileged(w, epc uint32) {
-	c := v.m.CPU
-	next := epc + 4
-	v.charge(v.cost.Emulate)
+// reflectTrap forwards a guest-internal event (syscall, #UD, alignment,
+// bus error, guest bug) through the guest's virtual vector table.
+func (v *VMM) reflectTrap(cause, vaddr, epc uint32) cpu.DivertAction {
+	v.Stats.GuestFaults++
+	v.inject(cause, vaddr, epc)
+	return cpu.DivertExit
+}
 
-	switch isa.Opcode(w) {
-	case isa.OpCLI:
-		v.vIF = false
-		c.PC = next
-	case isa.OpSTI:
-		v.vIF = true
-		c.PC = next
-		v.tryInject()
-	case isa.OpHLT:
-		v.vHalted = true
-		c.PC = next
-		v.updateIdle()
-		v.tryInject() // an already-pending interrupt wakes immediately
-	case isa.OpIRET:
-		v.emulateIRET()
-	case isa.OpTLBINV:
-		c.FlushTLB()
-		c.PC = next
-	case isa.OpMOVCR:
-		rd := isa.Rd(w)
-		cr := int(isa.Imm18U(w))
-		var val uint32
-		switch cr {
-		case isa.CRCycleLo:
-			val = uint32(v.m.Now())
-		case isa.CRCycleHi:
-			val = uint32(v.m.Now() >> 32)
-		default:
-			if cr < isa.NumCRs {
-				val = v.vcr[cr]
-			}
-		}
-		if rd != isa.RegZero {
-			c.Regs[rd] = val
-		}
-		c.PC = next
-	case isa.OpMOVRC:
-		cr := int(isa.Imm18U(w))
-		val := c.Regs[isa.Rs1(w)]
-		switch cr {
-		case isa.CRPtbr:
-			if !v.installGuestPTBR(val) {
-				// Rejected: a fault was injected; the guest is already
-				// redirected to its handler.
-				return
-			}
-		case isa.CRCycleLo, isa.CRCycleHi:
-			// read-only
-		default:
-			if cr < isa.NumCRs {
-				v.vcr[cr] = val
-			}
-		}
-		c.PC = next
-	default:
-		// A privilege trap for anything else is a guest bug: reflect it.
-		v.Stats.GuestFaults++
-		v.inject(isa.CausePriv, w, epc)
+// divertDebug handles the debugger-owned causes: BRK and single-step stop
+// at the faulting PC, a watchpoint reports the watched address.
+func (v *VMM) divertDebug(cause, vaddr, epc uint32) cpu.DivertAction {
+	addr := epc
+	if cause == isa.CauseWatch {
+		addr = vaddr
 	}
+	v.debugStop(cause, addr)
+	return cpu.DivertExit
+}
+
+// privHandler emulates one trapped privileged instruction. w is the
+// faulting instruction word (carried in the trap's vaddr).
+type privHandler func(v *VMM, w, epc uint32) cpu.DivertAction
+
+// privHandlers is the second-level dispatch table, keyed by opcode (the
+// 6-bit opcode field spans exactly 64 slots). nil slots are guest bugs —
+// a privilege trap for an instruction the monitor does not emulate.
+var privHandlers = func() [1 << 6]privHandler {
+	var t [1 << 6]privHandler
+	t[isa.OpCLI] = (*VMM).emulateCLI
+	t[isa.OpSTI] = (*VMM).emulateSTI
+	t[isa.OpHLT] = (*VMM).emulateHLT
+	t[isa.OpIRET] = (*VMM).emulateIRET
+	t[isa.OpTLBINV] = (*VMM).emulateTLBINV
+	t[isa.OpMOVCR] = (*VMM).emulateMOVCR
+	t[isa.OpMOVRC] = (*VMM).emulateMOVRC
+	return t
+}()
+
+// divertPriv handles the privileged instructions a deprivileged kernel
+// traps on: interrupt-flag manipulation, halting, trap return, and
+// control-register access.
+func (v *VMM) divertPriv(_, w, epc uint32) cpu.DivertAction {
+	v.Stats.PrivEmulated++
+	v.charge(v.cost.Emulate)
+	if h := privHandlers[isa.Opcode(w)]; h != nil {
+		return h(v, w, epc)
+	}
+	// A privilege trap for anything else is a guest bug: reflect it.
+	v.Stats.GuestFaults++
+	v.inject(isa.CausePriv, w, epc)
+	return cpu.DivertExit
+}
+
+func (v *VMM) emulateCLI(_, epc uint32) cpu.DivertAction {
+	v.vIF = false
+	v.m.CPU.PC = epc + 4
+	return cpu.DivertResume
+}
+
+func (v *VMM) emulateSTI(_, epc uint32) cpu.DivertAction {
+	v.vIF = true
+	v.m.CPU.PC = epc + 4
+	v.tryInject()
+	return cpu.DivertResume
+}
+
+func (v *VMM) emulateHLT(_, epc uint32) cpu.DivertAction {
+	v.vHalted = true
+	v.m.CPU.PC = epc + 4
+	v.updateIdle()
+	v.tryInject() // an already-pending interrupt wakes immediately
+	// DivertResume even though the guest usually idles now: the machine's
+	// resume hook refuses while guestIdle holds, and if tryInject woke the
+	// guest the burst continues straight into the handler.
+	return cpu.DivertResume
+}
+
+func (v *VMM) emulateTLBINV(_, epc uint32) cpu.DivertAction {
+	v.m.CPU.FlushTLB()
+	v.m.CPU.PC = epc + 4
+	return cpu.DivertResume
 }
 
 // emulateIRET performs the guest's virtual trap return.
-func (v *VMM) emulateIRET() {
+func (v *VMM) emulateIRET(_, _ uint32) cpu.DivertAction {
 	c := v.m.CPU
 	newPSR := v.vcr[isa.CREstatus]
 	c.PC = v.vcr[isa.CREpc]
@@ -125,19 +154,65 @@ func (v *VMM) emulateIRET() {
 	// Interrupts that became pending while the guest had vIF off fire
 	// the moment the handler returns.
 	v.tryInject()
+	return cpu.DivertResume
 }
 
-// emulateIO handles a port access the I/O bitmap denied. In lightweight
+func (v *VMM) emulateMOVCR(w, epc uint32) cpu.DivertAction {
+	c := v.m.CPU
+	cr := int(isa.Imm18U(w))
+	var val uint32
+	switch cr {
+	case isa.CRCycleLo:
+		val = uint32(v.m.Now())
+	case isa.CRCycleHi:
+		val = uint32(v.m.Now() >> 32)
+	default:
+		if cr < isa.NumCRs {
+			val = v.vcr[cr]
+		}
+	}
+	if rd := isa.Rd(w); rd != isa.RegZero {
+		c.Regs[rd] = val
+	}
+	c.PC = epc + 4
+	return cpu.DivertResume
+}
+
+func (v *VMM) emulateMOVRC(w, epc uint32) cpu.DivertAction {
+	c := v.m.CPU
+	cr := int(isa.Imm18U(w))
+	val := c.Regs[isa.Rs1(w)]
+	switch cr {
+	case isa.CRPtbr:
+		if !v.installGuestPTBR(val) {
+			// Rejected: a fault was injected; the guest is already
+			// redirected to its handler.
+			return cpu.DivertExit
+		}
+	case isa.CRCycleLo, isa.CRCycleHi:
+		// read-only
+	default:
+		if cr < isa.NumCRs {
+			v.vcr[cr] = val
+		}
+	}
+	c.PC = epc + 4
+	return cpu.DivertResume
+}
+
+// divertIO handles a port access the I/O bitmap denied. In lightweight
 // mode these are exactly the debug-critical devices (PIC, PIT, debug
 // UART), which are emulated; in hosted mode everything lands here and is
 // forwarded to the device models with hosted-I/O costs.
-func (v *VMM) emulateIO(port uint16, epc uint32) {
+func (v *VMM) divertIO(_, vaddr, epc uint32) cpu.DivertAction {
+	v.Stats.IOEmulated++
 	c := v.m.CPU
+	port := uint16(vaddr)
 	w, ok := c.ReadVirt32(epc)
 	if !ok {
 		// Cannot even read the faulting instruction: reflect a fault.
 		v.inject(isa.CauseBusError, epc, epc)
-		return
+		return cpu.DivertExit
 	}
 	v.charge(v.cost.Emulate)
 
@@ -161,6 +236,7 @@ func (v *VMM) emulateIO(port uint16, epc uint32) {
 	} else {
 		v.virtualPortWrite(port, value)
 	}
+	return cpu.DivertResume
 }
 
 // virtualPortRead services a trapped port read.
@@ -229,10 +305,10 @@ func (v *VMM) debugStop(cause, addr uint32) {
 	}
 }
 
-// handlePageFault distinguishes the three interesting cases: an attempt
+// divertPageFault distinguishes the three interesting cases: an attempt
 // on the monitor region (the third protection level), a direct-paging
 // write to a guest page table, and ordinary guest faults (reflected).
-func (v *VMM) handlePageFault(cause, vaddr, epc uint32) {
+func (v *VMM) divertPageFault(cause, vaddr, epc uint32) cpu.DivertAction {
 	// Monitor region: physically unreachable (never mapped); a fault with
 	// a target address above the guest's memory ceiling is a containment
 	// event — the paper's stability property. Record it, tell the
@@ -245,22 +321,18 @@ func (v *VMM) handlePageFault(cause, vaddr, epc uint32) {
 		}
 		if v.stopSink != nil {
 			v.debugStop(cause, vaddr)
-			return
+			return cpu.DivertExit
 		}
-		v.Stats.GuestFaults++
-		v.inject(cause, vaddr, epc)
-		return
+		return v.reflectTrap(cause, vaddr, epc)
 	}
 
 	// Direct paging: a write-protection fault whose target is a guest
 	// page-table page is a PTE update to validate and apply.
 	if cause == isa.CausePFProt {
 		if pa, ok := v.m.CPU.TranslateDebug(vaddr); ok && v.ptPages[pa&^uint32(isa.PageMask)] {
-			v.emulatePTWrite(vaddr, pa, epc)
-			return
+			return v.emulatePTWrite(vaddr, pa, epc)
 		}
 	}
 
-	v.Stats.GuestFaults++
-	v.inject(cause, vaddr, epc)
+	return v.reflectTrap(cause, vaddr, epc)
 }

@@ -74,10 +74,26 @@ type Config struct {
 	GuestMemTop uint32
 }
 
+// TrapCauseCounts is a per-cause trap histogram, indexed by trap cause
+// (out-of-range causes are clamped onto the #UD slot, mirroring vector
+// dispatch). A fixed array keeps the per-trap count a single indexed add
+// on the hottest monitor path — no map hashing, no allocation — and makes
+// snapshot deep copies plain value assignments.
+type TrapCauseCounts [isa.NumVectors]uint64
+
+// NonZero visits the non-zero counters in cause order.
+func (t *TrapCauseCounts) NonZero(f func(cause uint32, n uint64)) {
+	for c, n := range t {
+		if n != 0 {
+			f(uint32(c), n)
+		}
+	}
+}
+
 // Stats counts monitor events, by kind.
 type Stats struct {
 	Traps          uint64 // total guest→monitor crossings (excl. interrupts)
-	TrapsByCause   map[uint32]uint64
+	TrapsByCause   TrapCauseCounts
 	PrivEmulated   uint64 // CLI/STI/HLT/IRET/MOVCR/MOVRC/TLBINV
 	IOEmulated     uint64 // trapped port accesses
 	IOForwarded    uint64 // hosted mode: accesses forwarded to real devices
@@ -146,7 +162,6 @@ func Attach(m *machine.Machine, cfg Config) *VMM {
 		vpic:     pic.New(),
 		ptPages:  map[uint32]bool{},
 	}
-	v.Stats.TrapsByCause = map[uint32]uint64{}
 	v.vpit = pit.New(m, func() {
 		if v.vtimerTrace != nil {
 			v.vtimerTrace()
