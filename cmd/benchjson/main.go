@@ -228,9 +228,14 @@ func fatal(err error) {
 // more than the tolerance against the committed baseline artifact.
 var gatedBenchmarks = []string{"Interpreter", "TrapRoundTrip", "TrapRoundTripBurst"}
 
-// compareBaseline enforces the regression gate: every gated benchmark
-// present in both artifacts must be within tolerance percent of the
-// baseline's ns/op. Returns the failures.
+// compareBaseline enforces the regression gate: every gated benchmark in
+// the current run must be within tolerance percent of the baseline's
+// ns/op, and every gated benchmark must actually be present in the
+// current run — a gated benchmark the run no longer carries is a
+// failure, not a skip, or deleting the benchmark would green the gate. A
+// gated benchmark missing from the *baseline* (the gate list grew before
+// the baseline artifact was refreshed) stays a warning-only skip.
+// Returns the failures.
 func compareBaseline(baseline Artifact, current []Result, tolerance float64) []string {
 	base := map[string]Result{}
 	for _, r := range baseline.Benchmarks {
@@ -246,8 +251,14 @@ func compareBaseline(baseline Artifact, current []Result, tolerance float64) []s
 				c, okC = r, true
 			}
 		}
-		if !okB || !okC || b.NsPerOp <= 0 {
-			continue // benchmark set grew or shrank; gate what both carry
+		if !okC {
+			failures = append(failures,
+				fmt.Sprintf("%s is gated but missing from the current run", name))
+			continue
+		}
+		if !okB || b.NsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "compare %-22s skipped: not in baseline (refresh the baseline artifact)\n", name)
+			continue
 		}
 		ratio := c.NsPerOp / b.NsPerOp
 		// Progress goes to stderr so `-out -` keeps stdout valid JSON.

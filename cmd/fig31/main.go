@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	fig31 [-ticks N] [-csv] [-rates 25,50,100,...]
+//	fig31 [-ticks N] [-csv] [-rates 25,50,100,...] [-j N]
 package main
 
 import (
@@ -21,9 +21,10 @@ func main() {
 	ticks := flag.Uint("ticks", 50, "run length per point, in 10 ms ticks")
 	csv := flag.Bool("csv", false, "emit CSV instead of the rendered table")
 	rates := flag.String("rates", "", "comma-separated offered rates in Mb/s (default: standard sweep)")
+	jobs := flag.Int("j", 0, "concurrent sweep points (0 = GOMAXPROCS); the figure is bit-identical at any parallelism")
 	flag.Parse()
 
-	opts := experiment.Options{DurationTicks: uint32(*ticks)}
+	opts := experiment.Options{DurationTicks: uint32(*ticks), Jobs: *jobs}
 	if *rates != "" {
 		for _, f := range strings.Split(*rates, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)

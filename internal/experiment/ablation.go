@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"lvmm/internal/fleet"
 	"lvmm/internal/perfmodel"
 )
 
@@ -13,10 +15,39 @@ import (
 // checksum offload. Each sweep reports the saturation throughput of the
 // platform under test (measured by offering more than it can carry).
 
+// saturationRate offers well past any plausible capacity, so the
+// achieved rate is the platform's saturation point.
+const saturationRate = 900
+
 // SaturationProbe measures a platform's maximum sustained rate by
 // offering well past any plausible capacity.
 func SaturationProbe(pf Platform, opts Options) Point {
-	return RunPoint(pf, opts, 900)
+	return RunPoint(pf, opts, saturationRate)
+}
+
+// ablate runs one saturation probe per configuration as a fleet sweep:
+// every probe is an independent machine, so the configurations run
+// concurrently on the worker pool with identical results to a
+// sequential sweep.
+func ablate(pf Platform, labels []string, optss []Options) []AblationPoint {
+	scs := make([]fleet.Scenario, len(optss))
+	for i, o := range optss {
+		scs[i] = Scenario(pf, o, saturationRate)
+		scs[i].Name = labels[i]
+	}
+	results := fleet.Runner{}.Run(context.Background(), scs)
+	out := make([]AblationPoint, len(results))
+	for i, res := range results {
+		p := pointFrom(pf, saturationRate, res)
+		out[i] = AblationPoint{
+			Label:        labels[i],
+			MaxMbps:      p.AchievedMbps,
+			CPULoad:      p.CPULoad,
+			MonitorShare: p.MonitorShare,
+			Err:          p.Error,
+		}
+	}
+	return out
 }
 
 // AblationPoint is one configuration's saturation measurement.
@@ -32,75 +63,55 @@ type AblationPoint struct {
 // VMM: per-frame interrupts are the dominant trap source, so coalescing
 // directly trades debug-visibility granularity for throughput.
 func AblationCoalesce(factors []uint32, ticks uint32) []AblationPoint {
-	var out []AblationPoint
-	for _, f := range factors {
-		p := SaturationProbe(LightweightVMM, Options{DurationTicks: ticks, Coalesce: f})
-		out = append(out, AblationPoint{
-			Label:        fmt.Sprintf("coalesce=%d", f),
-			MaxMbps:      p.AchievedMbps,
-			CPULoad:      p.CPULoad,
-			MonitorShare: p.MonitorShare,
-			Err:          p.Error,
-		})
+	labels := make([]string, len(factors))
+	optss := make([]Options, len(factors))
+	for i, f := range factors {
+		labels[i] = fmt.Sprintf("coalesce=%d", f)
+		optss[i] = Options{DurationTicks: ticks, Coalesce: f}
 	}
-	return out
+	return ablate(LightweightVMM, labels, optss)
 }
 
 // AblationSwitchCost scales the lightweight monitor's world-switch cost,
 // showing how the saturation point tracks the price of a trap (the knob
 // the "lightweight" in the title is about).
 func AblationSwitchCost(scales []float64, ticks uint32) []AblationPoint {
-	var out []AblationPoint
-	for _, s := range scales {
+	labels := make([]string, len(scales))
+	optss := make([]Options, len(scales))
+	for i, s := range scales {
 		c := perfmodel.Lightweight()
 		c.WorldSwitchIn = uint64(float64(c.WorldSwitchIn) * s)
 		c.WorldSwitchOut = uint64(float64(c.WorldSwitchOut) * s)
-		p := SaturationProbe(LightweightVMM, Options{DurationTicks: ticks, LightweightCosts: &c})
-		out = append(out, AblationPoint{
-			Label:        fmt.Sprintf("switch x%.2g", s),
-			MaxMbps:      p.AchievedMbps,
-			CPULoad:      p.CPULoad,
-			MonitorShare: p.MonitorShare,
-			Err:          p.Error,
-		})
+		labels[i] = fmt.Sprintf("switch x%.2g", s)
+		optss[i] = Options{DurationTicks: ticks, LightweightCosts: &c}
 	}
-	return out
+	return ablate(LightweightVMM, labels, optss)
 }
 
 // AblationSegmentSize varies the UDP payload size on the lightweight VMM:
 // smaller segments mean more per-packet traps per megabit.
 func AblationSegmentSize(sizes []uint32, ticks uint32) []AblationPoint {
-	var out []AblationPoint
-	for _, sz := range sizes {
-		p := SaturationProbe(LightweightVMM, Options{DurationTicks: ticks, SegmentBytes: sz})
-		out = append(out, AblationPoint{
-			Label:        fmt.Sprintf("segment=%dB", sz),
-			MaxMbps:      p.AchievedMbps,
-			CPULoad:      p.CPULoad,
-			MonitorShare: p.MonitorShare,
-			Err:          p.Error,
-		})
+	labels := make([]string, len(sizes))
+	optss := make([]Options, len(sizes))
+	for i, sz := range sizes {
+		labels[i] = fmt.Sprintf("segment=%dB", sz)
+		optss[i] = Options{DurationTicks: ticks, SegmentBytes: sz}
 	}
-	return out
+	return ablate(LightweightVMM, labels, optss)
 }
 
 // AblationHostedSyscall scales the hosted VMM's host-OS round-trip cost,
 // the dominant term in the conventional baseline's per-packet price.
 func AblationHostedSyscall(scales []float64, ticks uint32) []AblationPoint {
-	var out []AblationPoint
-	for _, s := range scales {
+	labels := make([]string, len(scales))
+	optss := make([]Options, len(scales))
+	for i, s := range scales {
 		c := perfmodel.Hosted()
 		c.HostedIOSyscall = uint64(float64(c.HostedIOSyscall) * s)
-		p := SaturationProbe(HostedVMM, Options{DurationTicks: ticks, HostedCosts: &c})
-		out = append(out, AblationPoint{
-			Label:        fmt.Sprintf("syscall x%.2g", s),
-			MaxMbps:      p.AchievedMbps,
-			CPULoad:      p.CPULoad,
-			MonitorShare: p.MonitorShare,
-			Err:          p.Error,
-		})
+		labels[i] = fmt.Sprintf("syscall x%.2g", s)
+		optss[i] = Options{DurationTicks: ticks, HostedCosts: &c}
 	}
-	return out
+	return ablate(HostedVMM, labels, optss)
 }
 
 // RenderAblation formats a sweep as a table.

@@ -6,15 +6,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
-	"lvmm/internal/guest"
+	"lvmm/internal/fleet"
 	"lvmm/internal/isa"
 	"lvmm/internal/machine"
-	"lvmm/internal/netsim"
 	"lvmm/internal/perfmodel"
-	"lvmm/internal/vmm"
 )
 
 // Platform identifies one of the three evaluated systems.
@@ -69,98 +68,84 @@ type Options struct {
 	// Workload tweaks (ablations); zero values keep guest defaults.
 	Coalesce     uint32
 	SegmentBytes uint32
+	// Jobs bounds how many sweep points run concurrently on the fleet
+	// worker pool; <= 0 selects GOMAXPROCS. Every point runs on a
+	// private machine in virtual time, so the simulated metrics are
+	// bit-identical at any parallelism.
+	Jobs int
 }
 
 // StandardRates is the offered-rate sweep of Figure 3.1 (0-700 Mb/s).
 var StandardRates = []float64{10, 25, 50, 75, 100, 150, 200, 300, 400, 500, 600, 660, 700}
 
-// RunPoint executes the streaming workload on one platform at one rate.
-func RunPoint(pf Platform, opts Options, rateMbps float64) Point {
-	params := guest.DefaultParams(rateMbps)
-	if opts.DurationTicks != 0 {
-		params.DurationTicks = opts.DurationTicks
+// Scenario maps one sweep point onto its fleet scenario: the unit the
+// scheduler dispatches and the format sweep matrices are written in.
+func Scenario(pf Platform, opts Options, rateMbps float64) fleet.Scenario {
+	sc := fleet.Scenario{
+		Platform:      fleetPlatform(pf),
+		RateMbps:      rateMbps,
+		DurationTicks: opts.DurationTicks,
+		SegmentBytes:  opts.SegmentBytes,
+		Coalesce:      opts.Coalesce,
 	}
-	if opts.SegmentBytes != 0 {
-		params.SegmentBytes = opts.SegmentBytes
+	switch pf {
+	case LightweightVMM:
+		sc.Costs = opts.LightweightCosts
+	case HostedVMM:
+		sc.Costs = opts.HostedCosts
 	}
-	if opts.Coalesce != 0 {
-		params.Coalesce = opts.Coalesce
-	}
-	if pf == HostedVMM {
-		// The hosted VMM's era-accurate virtual NIC offers neither
-		// checksum offload nor interrupt coalescing; the guest's driver
-		// discovers that and falls back (same binary, different device
-		// capabilities — exactly as with VMware's vlance).
-		params.CsumOffload = false
-		params.Coalesce = 1
-	}
+	sc.Name = fleet.ScenarioName(sc)
+	return sc
+}
 
-	recv := netsim.NewReceiver()
-	m := machine.NewStreaming(params.BlockBytes, recv, guest.KernelBase)
-	entry, err := guest.Prepare(m, params)
-	if err != nil {
-		return Point{Platform: pf, OfferedMbps: rateMbps, Error: err.Error()}
-	}
-
-	var mon *vmm.VMM
+func fleetPlatform(pf Platform) fleet.Platform {
 	switch pf {
 	case BareMetal:
-		m.CPU.Reset(entry)
-	case LightweightVMM:
-		cfg := vmm.Config{Mode: vmm.Lightweight}
-		if opts.LightweightCosts != nil {
-			cfg.Costs = *opts.LightweightCosts
-		}
-		mon = vmm.Attach(m, cfg)
-		if err := mon.Launch(entry); err != nil {
-			return Point{Platform: pf, OfferedMbps: rateMbps, Error: err.Error()}
-		}
+		return fleet.Bare
 	case HostedVMM:
-		cfg := vmm.Config{Mode: vmm.Hosted}
-		if opts.HostedCosts != nil {
-			cfg.Costs = *opts.HostedCosts
-		}
-		mon = vmm.Attach(m, cfg)
-		if err := mon.Launch(entry); err != nil {
-			return Point{Platform: pf, OfferedMbps: rateMbps, Error: err.Error()}
-		}
+		return fleet.Hosted
 	}
+	return fleet.Lightweight
+}
 
-	limit := uint64(params.DurationTicks+400) * isa.ClockHz / uint64(params.TickHz)
-	reason := m.Run(limit)
-	if reason != machine.StopGuestDone {
-		return Point{Platform: pf, OfferedMbps: rateMbps,
-			Error: fmt.Sprintf("run ended with %v at pc=%08x", reason, m.CPU.PC)}
+// pointFrom distills a fleet result into the figure's Point, preserving
+// the sweep's historical error strings.
+func pointFrom(pf Platform, rateMbps float64, res fleet.Result) Point {
+	pt := Point{Platform: pf, OfferedMbps: rateMbps}
+	if res.Err != "" {
+		pt.Error = res.Err
+		return pt
 	}
-	res := guest.ReadResults(m)
-	if res.ExitCode != 0 {
-		return Point{Platform: pf, OfferedMbps: rateMbps,
-			Error: fmt.Sprintf("guest exit %#x cause=%s vaddr=%#x",
-				res.ExitCode, isa.CauseName(res.FatalCause), res.FatalVaddr)}
+	if res.StopReason != machine.StopGuestDone.String() {
+		pt.Error = fmt.Sprintf("run ended with %s at pc=%08x", res.StopReason, res.PC)
+		return pt
 	}
-
-	window := m.Clock()
-	pt := Point{
-		Platform:     pf,
-		OfferedMbps:  rateMbps,
-		AchievedMbps: recv.RateMbps(window),
-		CPULoad:      m.CPULoad(),
-		Segments:     recv.Frames,
-		Clean:        recv.Clean(),
+	if res.Guest.ExitCode != 0 {
+		pt.Error = fmt.Sprintf("guest exit %#x cause=%s vaddr=%#x",
+			res.Guest.ExitCode, isa.CauseName(res.Guest.FatalCause), res.Guest.FatalVaddr)
+		return pt
 	}
-	if b := m.BusyCycles(); b > 0 {
-		pt.MonitorShare = float64(m.MonitorCycles()) / float64(b)
-	}
-	if mon != nil {
-		pt.Traps = mon.Stats.Traps
-		pt.Injections = mon.Stats.Injections
-		pt.IRQIntercepts = mon.Stats.IRQsIntercepts
-		pt.Violations = mon.Stats.Violations
+	pt.AchievedMbps = res.AchievedMbps
+	pt.CPULoad = res.CPULoad
+	pt.Segments = res.Frames
+	pt.Clean = res.Clean
+	pt.MonitorShare = res.MonitorShare
+	if res.VMM != nil {
+		pt.Traps = res.VMM.Traps
+		pt.Injections = res.VMM.Injections
+		pt.IRQIntercepts = res.VMM.IRQsIntercepts
+		pt.Violations = res.VMM.Violations
 	}
 	if !pt.Clean {
-		pt.Error = recv.LastError()
+		pt.Error = res.NetError
 	}
 	return pt
+}
+
+// RunPoint executes the streaming workload on one platform at one rate.
+func RunPoint(pf Platform, opts Options, rateMbps float64) Point {
+	return pointFrom(pf, rateMbps,
+		fleet.RunOne(context.Background(), Scenario(pf, opts, rateMbps)))
 }
 
 // Fig31 holds a complete sweep over the three platforms.
@@ -169,16 +154,30 @@ type Fig31 struct {
 	Rates  []float64
 }
 
-// RunFig31 reproduces the figure.
+// RunFig31 reproduces the figure. The sweep's 3×len(rates) points are
+// expressed as fleet scenarios and run on the bounded worker pool
+// (opts.Jobs); each point's machine is private and clocked in virtual
+// cycles, so the figure is bit-identical at any parallelism.
 func RunFig31(opts Options) *Fig31 {
 	rates := opts.Rates
 	if rates == nil {
 		rates = StandardRates
 	}
-	f := &Fig31{Points: map[Platform][]Point{}, Rates: rates}
-	for _, pf := range []Platform{BareMetal, LightweightVMM, HostedVMM} {
+	platforms := []Platform{BareMetal, LightweightVMM, HostedVMM}
+	scs := make([]fleet.Scenario, 0, len(platforms)*len(rates))
+	for _, pf := range platforms {
 		for _, r := range rates {
-			f.Points[pf] = append(f.Points[pf], RunPoint(pf, opts, r))
+			scs = append(scs, Scenario(pf, opts, r))
+		}
+	}
+	results := fleet.Runner{Jobs: opts.Jobs}.Run(context.Background(), scs)
+
+	f := &Fig31{Points: map[Platform][]Point{}, Rates: rates}
+	i := 0
+	for _, pf := range platforms {
+		for _, r := range rates {
+			f.Points[pf] = append(f.Points[pf], pointFrom(pf, r, results[i]))
+			i++
 		}
 	}
 	return f

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -197,5 +198,29 @@ func TestDebugLatencyUnderLoad(t *testing.T) {
 	if pts[2].StopMicros > pts[0].StopMicros*100 {
 		t.Errorf("latency collapsed under load: %.0f µs vs %.0f µs",
 			pts[2].StopMicros, pts[0].StopMicros)
+	}
+}
+
+// TestFig31ParallelBitIdentical: the figure sweep expressed as fleet
+// scenarios must produce bit-identical simulated metrics whether the
+// rate points run sequentially or eight machines at a time.
+func TestFig31ParallelBitIdentical(t *testing.T) {
+	opts := Options{Rates: []float64{50, 200, 700}, DurationTicks: 10}
+
+	seqOpts, parOpts := opts, opts
+	seqOpts.Jobs, parOpts.Jobs = 1, 8
+	seq := RunFig31(seqOpts)
+	par := RunFig31(parOpts)
+
+	for _, pf := range []Platform{BareMetal, LightweightVMM, HostedVMM} {
+		for i := range seq.Points[pf] {
+			if seq.Points[pf][i] != par.Points[pf][i] {
+				t.Errorf("%v @ %.0f: sequential and -j 8 points differ:\nseq: %+v\npar: %+v",
+					pf, opts.Rates[i], seq.Points[pf][i], par.Points[pf][i])
+			}
+		}
+	}
+	if !reflect.DeepEqual(seq.Summarize(), par.Summarize()) {
+		t.Errorf("summaries differ: %+v vs %+v", seq.Summarize(), par.Summarize())
 	}
 }

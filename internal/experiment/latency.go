@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"lvmm/internal/fleet"
 	"lvmm/internal/guest"
 	"lvmm/internal/isa"
 	"lvmm/internal/machine"
@@ -94,12 +96,16 @@ func MeasureDebugLatency(rateMbps float64, ticks uint32) LatencyPoint {
 	}
 }
 
-// DebugLatencySweep measures responsiveness across load levels.
+// DebugLatencySweep measures responsiveness across load levels. Each
+// point needs a custom interactive driver (injecting the interrupt byte
+// mid-run), so it rides the fleet's worker pool through ForEach rather
+// than as a Scenario; the machines are still private per point, so the
+// sweep parallelizes with identical results.
 func DebugLatencySweep(rates []float64, ticks uint32) []LatencyPoint {
-	var out []LatencyPoint
-	for _, r := range rates {
-		out = append(out, MeasureDebugLatency(r, ticks))
-	}
+	out := make([]LatencyPoint, len(rates))
+	fleet.Runner{}.ForEach(context.Background(), len(rates), func(i int) {
+		out[i] = MeasureDebugLatency(rates[i], ticks)
+	})
 	return out
 }
 

@@ -1,0 +1,254 @@
+// Package fleet drives N self-contained simulated machines concurrently
+// from one process: a scheduler/aggregator for scenario sweeps and
+// regression farms.
+//
+// Each Scenario describes one machine run — guest workload, platform
+// (bare metal or a monitor mode), execution engine, offered load, stop
+// condition, and a deterministic content seed. RunOne builds a private
+// machine for the scenario, runs it, and distills a Result of purely
+// simulated metrics. Because every machine (CPU, bus, devices, virtual
+// clock, receiver) is confined to the worker goroutine that runs it, a
+// Runner can execute scenarios on a bounded worker pool with bit-identical
+// results at any parallelism; the only cross-goroutine communication is
+// machine.RequestStop, which the runner uses to propagate context
+// cancellation into running guests.
+package fleet
+
+import (
+	"context"
+	"fmt"
+
+	"lvmm/internal/guest"
+	"lvmm/internal/isa"
+	"lvmm/internal/machine"
+	"lvmm/internal/netsim"
+	"lvmm/internal/perfmodel"
+	"lvmm/internal/vmm"
+)
+
+// Platform selects what runs beneath the guest OS.
+type Platform string
+
+const (
+	// Bare runs the guest directly on the simulated hardware.
+	Bare Platform = "bare"
+	// Lightweight attaches the paper's partial-emulation monitor.
+	Lightweight Platform = "lightweight"
+	// Hosted attaches the conventional full-emulation baseline.
+	Hosted Platform = "hosted"
+)
+
+// Engine selects the machine's execution engine.
+type Engine string
+
+const (
+	// EngineAuto uses predecoded bursts whenever no observer is armed
+	// (the default production engine).
+	EngineAuto Engine = "auto"
+	// EngineSlow forces the per-instruction interpreter by arming a
+	// non-perturbing spy watch: identical timeline, no bursts. Fleet
+	// sweeps use it for cross-engine differential runs.
+	EngineSlow Engine = "slow"
+)
+
+// Scenario specifies one self-contained machine run: the paper's
+// streaming workload at one configuration.
+type Scenario struct {
+	// Name labels the run in results and tables; Matrix.Expand fills a
+	// descriptive default when empty.
+	Name string `json:"name,omitempty"`
+	// Platform is bare, lightweight, or hosted (empty = lightweight).
+	Platform Platform `json:"platform,omitempty"`
+	// Engine is auto (predecoded bursts) or slow (empty = auto).
+	Engine Engine `json:"engine,omitempty"`
+	// RateMbps is the offered UDP payload rate (the figure's x-axis).
+	RateMbps float64 `json:"rate_mbps"`
+	// DurationTicks is the run length in pacing ticks (0 = guest default).
+	DurationTicks uint32 `json:"duration_ticks,omitempty"`
+	// SegmentBytes overrides the UDP payload size (0 = guest default).
+	SegmentBytes uint32 `json:"segment_bytes,omitempty"`
+	// Coalesce overrides NIC interrupt coalescing (0 = guest default;
+	// the hosted platform's era-accurate NIC always forces 1).
+	Coalesce uint32 `json:"coalesce,omitempty"`
+	// Seed selects which deterministic volume pattern the disks carry
+	// and the receiver validates. The data path's cost is
+	// content-independent, so the seed varies the streamed bytes without
+	// moving any simulated metric.
+	Seed uint64 `json:"seed,omitempty"`
+	// MaxCycles is the run's cycle limit (0 = derived from the workload
+	// duration, with the same settle margin the figure sweeps use).
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
+	// StopAtInstr stops the run once the CPU retires this many
+	// instructions (0 = disabled).
+	StopAtInstr uint64 `json:"stop_at_instr,omitempty"`
+	// Costs overrides the platform's calibrated monitor cost model
+	// (ablation sweeps). Ignored on bare metal.
+	Costs *perfmodel.Costs `json:"costs,omitempty"`
+}
+
+// Result is the distilled outcome of one scenario run. Every field is a
+// function of simulated state only — no wall-clock, no host identity —
+// so results from runs at different parallelism compare bit-identically.
+type Result struct {
+	Scenario Scenario `json:"scenario"`
+
+	// Err reports a setup, launch, or scheduling failure; the machine
+	// never ran (or never finished cleanly enough to measure).
+	Err string `json:"error,omitempty"`
+
+	// StopReason is machine.StopReason.String() for the completed run.
+	StopReason string `json:"stop_reason,omitempty"`
+	// PC is the guest program counter at stop.
+	PC uint32 `json:"pc"`
+	// ExitCode is the guest's simctl DONE value.
+	ExitCode uint32 `json:"exit_code"`
+
+	// Virtual-clock accounting.
+	Clock         uint64  `json:"clock_cycles"`
+	IdleCycles    uint64  `json:"idle_cycles"`
+	MonitorCycles uint64  `json:"monitor_cycles"`
+	CPULoad       float64 `json:"cpu_load"`
+	MonitorShare  float64 `json:"monitor_share"`
+
+	// Wire-side metrics from the validating receiver.
+	AchievedMbps float64 `json:"achieved_mbps"`
+	Frames       uint64  `json:"frames"`
+	PayloadBytes uint64  `json:"payload_bytes"`
+	Clean        bool    `json:"clean"`
+	NetError     string  `json:"net_error,omitempty"`
+
+	// Guest-reported result counters.
+	Guest guest.Results `json:"guest"`
+
+	// VMM carries the monitor statistics; nil on bare metal.
+	VMM *vmm.Stats `json:"vmm,omitempty"`
+}
+
+// RunOne executes a single scenario on a private machine and returns its
+// result. Cancelling ctx stops the machine through the thread-safe
+// RequestStop path; the result then reports StopReason "stop requested".
+func RunOne(ctx context.Context, sc Scenario) Result {
+	res := Result{Scenario: sc}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+
+	pf := sc.Platform
+	if pf == "" {
+		pf = Lightweight
+	}
+
+	params := guest.DefaultParams(sc.RateMbps)
+	if sc.DurationTicks != 0 {
+		params.DurationTicks = sc.DurationTicks
+	}
+	if sc.SegmentBytes != 0 {
+		params.SegmentBytes = sc.SegmentBytes
+	}
+	if sc.Coalesce != 0 {
+		params.Coalesce = sc.Coalesce
+	}
+	if pf == Hosted {
+		// The hosted VMM's era-accurate virtual NIC offers neither
+		// checksum offload nor interrupt coalescing; the guest's driver
+		// discovers that and falls back (same binary, different device
+		// capabilities — exactly as with VMware's vlance).
+		params.CsumOffload = false
+		params.Coalesce = 1
+	}
+
+	recv := netsim.NewReceiver()
+	m := machine.NewStreamingSeeded(params.BlockBytes, recv, guest.KernelBase, sc.Seed)
+	entry, err := guest.Prepare(m, params)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+
+	var mon *vmm.VMM
+	switch pf {
+	case Bare:
+		m.CPU.Reset(entry)
+	case Lightweight, Hosted:
+		cfg := vmm.Config{Mode: vmm.Lightweight}
+		if pf == Hosted {
+			cfg.Mode = vmm.Hosted
+		}
+		if sc.Costs != nil {
+			cfg.Costs = *sc.Costs
+		}
+		mon = vmm.Attach(m, cfg)
+		if err := mon.Launch(entry); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+	default:
+		res.Err = fmt.Sprintf("fleet: unknown platform %q", sc.Platform)
+		return res
+	}
+
+	switch sc.Engine {
+	case "", EngineAuto:
+	case EngineSlow:
+		// A spy watch on an unmapped range is the non-perturbing
+		// observer: identical timeline, per-instruction interpreter.
+		if err := m.CPU.SetSpyWatch(0, 0xFFFF0000, 16, true); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+	default:
+		res.Err = fmt.Sprintf("fleet: unknown engine %q", sc.Engine)
+		return res
+	}
+
+	if sc.StopAtInstr != 0 {
+		m.SetStopAtInstr(sc.StopAtInstr)
+	}
+	limit := sc.MaxCycles
+	if limit == 0 {
+		limit = uint64(params.DurationTicks+400) * isa.ClockHz / uint64(params.TickHz)
+	}
+
+	// Propagate cancellation into the running guest. RequestStop is the
+	// machine's one thread-safe entry point; everything else stays
+	// confined to this goroutine.
+	if ctx.Done() != nil {
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				m.RequestStop()
+			case <-watchDone:
+			}
+		}()
+	}
+
+	reason := m.Run(limit)
+
+	res.StopReason = reason.String()
+	res.PC = m.CPU.PC
+	res.ExitCode = m.ExitCode()
+	res.Clock = m.Clock()
+	res.IdleCycles = m.IdleCycles()
+	res.MonitorCycles = m.MonitorCycles()
+	res.CPULoad = m.CPULoad()
+	if b := m.BusyCycles(); b > 0 {
+		res.MonitorShare = float64(m.MonitorCycles()) / float64(b)
+	}
+	res.AchievedMbps = recv.RateMbps(m.Clock())
+	res.Frames = recv.Frames
+	res.PayloadBytes = recv.PayloadBytes
+	res.Clean = recv.Clean()
+	res.NetError = recv.LastError()
+	res.Guest = guest.ReadResults(m)
+	if mon != nil {
+		stats := mon.Stats
+		res.VMM = &stats
+	}
+	return res
+}

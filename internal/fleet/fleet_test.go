@@ -1,0 +1,187 @@
+package fleet
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// testMatrix is a small but heterogeneous sweep: every platform, two
+// rates, short windows so the whole matrix stays fast.
+func testMatrix() *Matrix {
+	return &Matrix{
+		Defaults:  Scenario{DurationTicks: 8},
+		Platforms: []Platform{Bare, Lightweight, Hosted},
+		Rates:     []float64{100, 700},
+	}
+}
+
+// TestDeterminismAcrossParallelism is the fleet's core guarantee: the
+// same scenario matrix run sequentially and at -j 8 yields bit-identical
+// per-scenario results (also the -race exercise for concurrent machines).
+func TestDeterminismAcrossParallelism(t *testing.T) {
+	scs := testMatrix().Expand()
+	seq := Runner{Jobs: 1}.Run(context.Background(), scs)
+	par := Runner{Jobs: 8}.Run(context.Background(), scs)
+	if len(seq) != len(scs) || len(par) != len(scs) {
+		t.Fatalf("result lengths: seq=%d par=%d want %d", len(seq), len(par), len(scs))
+	}
+	for i := range seq {
+		if seq[i].Err != "" {
+			t.Fatalf("%s: %s", scs[i].Name, seq[i].Err)
+		}
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			t.Errorf("%s: sequential and parallel results differ:\nseq: %+v\npar: %+v",
+				scs[i].Name, seq[i], par[i])
+		}
+	}
+}
+
+// TestSeedVariesContentNotMetrics: distinct seeds stream distinct volume
+// contents (still validating cleanly end to end) without moving any
+// simulated metric — the data path's cost is content-independent.
+func TestSeedVariesContentNotMetrics(t *testing.T) {
+	base := Scenario{Platform: Lightweight, RateMbps: 150, DurationTicks: 8}
+	seeded := base
+	seeded.Seed = 7
+
+	r0 := RunOne(context.Background(), base)
+	r7 := RunOne(context.Background(), seeded)
+	for _, r := range []Result{r0, r7} {
+		if r.Err != "" {
+			t.Fatalf("run failed: %s", r.Err)
+		}
+		if !r.Clean {
+			t.Fatalf("seed %d: stream validation failed: %s", r.Scenario.Seed, r.NetError)
+		}
+		if r.Frames == 0 {
+			t.Fatalf("seed %d: nothing transmitted", r.Scenario.Seed)
+		}
+	}
+	r7.Scenario = r0.Scenario // compare everything but the spec
+	if !reflect.DeepEqual(r0, r7) {
+		t.Errorf("seed changed simulated metrics:\nseed0: %+v\nseed7: %+v", r0, r7)
+	}
+}
+
+// TestEngineSlowMatchesAuto is a machine-level cross-engine differential
+// through the fleet: the forced per-instruction interpreter and the
+// predecoded burst engine must produce identical simulated results.
+func TestEngineSlowMatchesAuto(t *testing.T) {
+	auto := Scenario{Platform: Lightweight, RateMbps: 150, DurationTicks: 8, Engine: EngineAuto}
+	slow := auto
+	slow.Engine = EngineSlow
+
+	ra := RunOne(context.Background(), auto)
+	rs := RunOne(context.Background(), slow)
+	if ra.Err != "" || rs.Err != "" {
+		t.Fatalf("runs failed: auto=%q slow=%q", ra.Err, rs.Err)
+	}
+	rs.Scenario = ra.Scenario
+	if !reflect.DeepEqual(ra, rs) {
+		t.Errorf("engines disagree:\nauto: %+v\nslow: %+v", ra, rs)
+	}
+}
+
+// TestCancelRunningMachine stops a machine mid-run through context
+// cancellation — the RequestStop path a fleet coordinator drives.
+func TestCancelRunningMachine(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// A window far too long to finish before the cancel lands.
+	sc := Scenario{Platform: Lightweight, RateMbps: 700, DurationTicks: 100000}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	res := RunOne(ctx, sc)
+	if res.Err != "" {
+		t.Fatalf("unexpected setup error: %s", res.Err)
+	}
+	if res.StopReason != "stop requested" {
+		t.Fatalf("StopReason = %q, want %q", res.StopReason, "stop requested")
+	}
+}
+
+// TestCancelledBeforeDispatch: scenarios not yet dispatched when the
+// context dies are reported as errors, not zero results.
+func TestCancelledBeforeDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := Runner{Jobs: 2}.Run(ctx, testMatrix().Expand())
+	for _, r := range results {
+		if r.Err == "" {
+			t.Fatalf("%s: ran despite cancelled context (reason %q)", r.Scenario.Name, r.StopReason)
+		}
+	}
+}
+
+func TestMatrixExpand(t *testing.T) {
+	mx := &Matrix{
+		Defaults:  Scenario{DurationTicks: 8, SegmentBytes: 512},
+		Platforms: []Platform{Bare, Lightweight},
+		Rates:     []float64{100, 400, 700},
+		Engines:   []Engine{EngineAuto, EngineSlow},
+		Seeds:     []uint64{0, 1},
+		Scenarios: []Scenario{{Platform: Hosted, RateMbps: 50}},
+	}
+	scs := mx.Expand()
+	if want := 2*3*2*2 + 1; len(scs) != want {
+		t.Fatalf("expanded to %d scenarios, want %d", len(scs), want)
+	}
+	names := map[string]bool{}
+	for _, sc := range scs {
+		if sc.Name == "" {
+			t.Fatalf("scenario without a name: %+v", sc)
+		}
+		if names[sc.Name] {
+			t.Fatalf("duplicate scenario name %q", sc.Name)
+		}
+		names[sc.Name] = true
+	}
+	if scs[0].SegmentBytes != 512 || scs[0].DurationTicks != 8 {
+		t.Fatalf("defaults not applied: %+v", scs[0])
+	}
+	if !names["bare@100Mbps"] || !names["lightweight@700Mbps/slow#1"] || !names["hosted@50Mbps"] {
+		t.Fatalf("expected derived names missing: %v", names)
+	}
+}
+
+func TestUnknownPlatformAndEngine(t *testing.T) {
+	if res := RunOne(context.Background(), Scenario{Platform: "xen", RateMbps: 10}); res.Err == "" {
+		t.Fatal("unknown platform accepted")
+	}
+	if res := RunOne(context.Background(), Scenario{Engine: "jit", RateMbps: 10}); res.Err == "" {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestAggregateShape(t *testing.T) {
+	mx := testMatrix()
+	mx.Seeds = []uint64{0, 1} // two runs per cell: one displayed, one extra
+	results := Runner{}.Run(context.Background(), mx.Expand())
+	tab := Aggregate(results)
+	if len(tab.Rates) != 2 || len(tab.Platforms) != 3 {
+		t.Fatalf("table shape %dx%d, want 2 rates x 3 platforms", len(tab.Rates), len(tab.Platforms))
+	}
+	if tab.Platforms[0] != Bare || tab.Platforms[1] != Lightweight || tab.Platforms[2] != Hosted {
+		t.Fatalf("platform order %v", tab.Platforms)
+	}
+	if tab.Extra != 6 {
+		t.Fatalf("extra runs = %d, want 6", tab.Extra)
+	}
+	for _, pf := range tab.Platforms {
+		for i, cell := range tab.Cells[pf] {
+			if cell == nil {
+				t.Fatalf("%s @ %.0f: empty cell", pf, tab.Rates[i])
+			}
+		}
+	}
+	if out := tab.Render(); len(out) == 0 {
+		t.Fatal("empty render")
+	}
+	if out := CSV(results); len(out) == 0 {
+		t.Fatal("empty CSV")
+	}
+}

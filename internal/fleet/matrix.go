@@ -1,0 +1,99 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Matrix is the scenario-matrix file cmd/hxfleet consumes: a template
+// scenario crossed with per-axis value lists, plus explicit extras. Empty
+// axes collapse to the template's value, so a file may be as small as
+// {"rates": [100, 400, 700]}.
+type Matrix struct {
+	// Defaults is the template every expanded cell starts from.
+	Defaults Scenario `json:"defaults,omitempty"`
+	// Platforms, Rates, Engines, and Seeds are the sweep axes; the
+	// expansion is their cross product.
+	Platforms []Platform `json:"platforms,omitempty"`
+	Rates     []float64  `json:"rates,omitempty"`
+	Engines   []Engine   `json:"engines,omitempty"`
+	Seeds     []uint64   `json:"seeds,omitempty"`
+	// Scenarios are appended verbatim after the matrix cells.
+	Scenarios []Scenario `json:"scenarios,omitempty"`
+}
+
+// LoadMatrix reads and parses a scenario-matrix file.
+func LoadMatrix(path string) (*Matrix, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var mx Matrix
+	if err := dec.Decode(&mx); err != nil {
+		return nil, fmt.Errorf("fleet: parse %s: %w", path, err)
+	}
+	return &mx, nil
+}
+
+// Expand produces the concrete scenario list: the cross product of the
+// axes applied over the template, then the explicit extras. Every
+// scenario without a name gets a descriptive one.
+func (mx *Matrix) Expand() []Scenario {
+	platforms := mx.Platforms
+	if len(platforms) == 0 {
+		platforms = []Platform{mx.Defaults.Platform}
+	}
+	rates := mx.Rates
+	if len(rates) == 0 {
+		rates = []float64{mx.Defaults.RateMbps}
+	}
+	engines := mx.Engines
+	if len(engines) == 0 {
+		engines = []Engine{mx.Defaults.Engine}
+	}
+	seeds := mx.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{mx.Defaults.Seed}
+	}
+
+	var out []Scenario
+	for _, pf := range platforms {
+		for _, rate := range rates {
+			for _, eng := range engines {
+				for _, seed := range seeds {
+					sc := mx.Defaults
+					sc.Platform, sc.RateMbps, sc.Engine, sc.Seed = pf, rate, eng, seed
+					sc.Name = ScenarioName(sc)
+					out = append(out, sc)
+				}
+			}
+		}
+	}
+	for _, sc := range mx.Scenarios {
+		if sc.Name == "" {
+			sc.Name = ScenarioName(sc)
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+// ScenarioName derives a descriptive label from a scenario's axes.
+func ScenarioName(sc Scenario) string {
+	pf := sc.Platform
+	if pf == "" {
+		pf = Lightweight
+	}
+	name := fmt.Sprintf("%s@%gMbps", pf, sc.RateMbps)
+	if sc.Engine == EngineSlow {
+		name += "/slow"
+	}
+	if sc.Seed != 0 {
+		name += fmt.Sprintf("#%d", sc.Seed)
+	}
+	return name
+}

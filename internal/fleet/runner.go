@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Runner executes scenarios on a bounded worker pool. The zero value is
+// ready to use and sizes the pool to GOMAXPROCS.
+type Runner struct {
+	// Jobs bounds how many machines run concurrently; <= 0 selects
+	// GOMAXPROCS. Results do not depend on the pool size: every
+	// scenario runs on a private machine in virtual time.
+	Jobs int
+}
+
+// Run executes every scenario and returns results index-aligned with the
+// input, regardless of completion order. Cancelling ctx stops running
+// machines (via RequestStop) and fails scenarios not yet dispatched.
+func (r Runner) Run(ctx context.Context, scs []Scenario) []Result {
+	out := make([]Result, len(scs))
+	done := make([]bool, len(scs))
+	r.ForEach(ctx, len(scs), func(i int) {
+		out[i] = RunOne(ctx, scs[i])
+		done[i] = true
+	})
+	for i := range out {
+		if !done[i] {
+			out[i] = Result{Scenario: scs[i], Err: "fleet: cancelled before dispatch"}
+		}
+	}
+	return out
+}
+
+// ForEach runs fn(i) for every i in [0, n) on the worker pool and waits
+// for completion. Dispatch stops once ctx is cancelled; already-running
+// indices finish. Experiment sweeps that need a custom per-point driver
+// (the debug-latency measurement, for instance) use this directly.
+func (r Runner) ForEach(ctx context.Context, n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	jobs := r.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > n {
+		jobs = n
+	}
+
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := 0; i < n; i++ {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -15,6 +15,7 @@ import (
 	"bytes"
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"lvmm/internal/asm"
@@ -116,6 +117,12 @@ type Machine struct {
 	stopReason StopReason
 	exitCode   uint32
 
+	// stopReq is the one piece of machine state shared across
+	// goroutines: RequestStop latches it from any goroutine, and Run's
+	// tick loop consumes it. Everything else is confined to the
+	// goroutine that calls Run.
+	stopReq atomic.Bool
+
 	// GuestCounters are the simctl scratch registers the guest reports
 	// results through (bytes queued, underruns, ...).
 	GuestCounters [8]uint32
@@ -182,6 +189,13 @@ func New(cfg Config) *Machine {
 // with the striped volume pattern for the given block size, and a
 // validating receiver on the wire.
 func NewStreaming(blockBytes uint32, recv *netsim.Receiver, resetPC uint32) *Machine {
+	return NewStreamingSeeded(blockBytes, recv, resetPC, 0)
+}
+
+// NewStreamingSeeded is NewStreaming with a content seed selecting which
+// deterministic volume pattern the disks carry (fleet scenarios stream
+// distinct volumes; the receiver's PatternSeed must match).
+func NewStreamingSeeded(blockBytes uint32, recv *netsim.Receiver, resetPC uint32, seed uint64) *Machine {
 	cfg := Config{ResetPC: resetPC}
 	for i := 0; i < 3; i++ {
 		disk := uint64(i)
@@ -191,10 +205,11 @@ func NewStreaming(blockBytes uint32, recv *netsim.Receiver, resetPC uint32) *Mac
 			blk := diskOff / uint64(blockBytes)
 			inBlk := diskOff % uint64(blockBytes)
 			volOff := (blk*3+disk)*uint64(blockBytes) + inBlk
-			netsim.FillPattern(buf, volOff)
+			netsim.FillPatternSeeded(buf, volOff, seed)
 		}
 	}
 	if recv != nil {
+		recv.PatternSeed = seed
 		cfg.FrameSink = recv.Deliver
 	}
 	return New(cfg)
@@ -286,10 +301,27 @@ func (m *Machine) CPULoad() float64 {
 	return float64(m.BusyCycles()) / float64(m.clock)
 }
 
-// RequestStop makes Run return with StopRequested.
-func (m *Machine) RequestStop() {
+// RequestStop makes Run return with StopRequested. It is the only
+// Machine method that may be called from a goroutine other than the one
+// running the machine: the request latches in an atomic flag which Run's
+// tick loop (and the fused burst re-entry check) consumes, so an
+// external coordinator — a fleet scheduler, a debugger front-end — can
+// stop a running machine without a data race and with bounded latency
+// (at most one poll interval of instructions, ~4096 ticks, before the
+// flag is observed). A request made while the machine is not running is
+// not lost: it stops the next Run call on its first tick.
+func (m *Machine) RequestStop() { m.stopReq.Store(true) }
+
+// stopRequested consumes a pending cross-goroutine stop request,
+// recording StopRequested. Called only from the Run goroutine.
+func (m *Machine) stopRequested() bool {
+	if !m.stopReq.Load() {
+		return false
+	}
+	m.stopReq.Store(false)
 	m.stopped = true
 	m.stopReason = StopRequested
+	return true
 }
 
 // ExitCode returns the guest's simctl DONE value.
@@ -324,6 +356,9 @@ func (m *Machine) Run(limit uint64) StopReason {
 	m.stopped = false
 	m.runLimit = limit
 	for m.clock < limit && !m.stopped {
+		if m.stopRequested() {
+			break
+		}
 		m.fireDue()
 		if m.stopped {
 			break
@@ -509,7 +544,7 @@ func (m *Machine) runBurst(limit uint64) bool {
 // it holds, runBurst may start the next tick itself; when it does not,
 // surfacing to the outer loop reproduces the unfused behaviour exactly.
 func (m *Machine) burstTickOK(limit uint64) bool {
-	return !m.stopped && m.clock < limit &&
+	return !m.stopped && !m.stopReq.Load() && m.clock < limit &&
 		(len(m.events) == 0 || m.events[0].cycle > m.clock) &&
 		m.pollCountdown > 1 &&
 		!m.irqDeliverable() &&

@@ -7,25 +7,42 @@ package netsim
 // the pipeline shows up as a pattern mismatch.
 
 // PatternByte returns the volume content byte at absolute offset off.
-func PatternByte(off uint64) byte {
+func PatternByte(off uint64) byte { return PatternByteSeeded(off, 0) }
+
+// PatternByteSeeded returns the volume content byte at absolute offset
+// off for the given content seed. Fleet scenarios use distinct seeds to
+// stream distinct (but equally deterministic) volume contents through
+// the same pipeline: the data path cost is content-independent, so the
+// simulated metrics do not depend on the seed, while end-to-end
+// validation still catches any corruption.
+func PatternByteSeeded(off, seed uint64) byte {
 	// A cheap mix of the offset; distinct from simple counters so that
-	// off-by-one and wrong-stride bugs cannot alias to a match.
-	x := off*0x9E3779B97F4A7C15 + 0xDEADBEEF
-	return byte(x >> 56)
+	// off-by-one and wrong-stride bugs cannot alias to a match. The
+	// seed enters pre-multiply so adjacent seeds diverge everywhere.
+	x := (off + seed*0xA24BAED4963EE407) * 0x9E3779B97F4A7C15
+	return byte((x + 0xDEADBEEF) >> 56)
 }
 
 // FillPattern fills buf with the volume pattern starting at offset off.
-func FillPattern(buf []byte, off uint64) {
+func FillPattern(buf []byte, off uint64) { FillPatternSeeded(buf, off, 0) }
+
+// FillPatternSeeded fills buf with the seeded volume pattern.
+func FillPatternSeeded(buf []byte, off, seed uint64) {
 	for i := range buf {
-		buf[i] = PatternByte(off + uint64(i))
+		buf[i] = PatternByteSeeded(off+uint64(i), seed)
 	}
 }
 
 // CheckPattern verifies buf against the pattern starting at off, returning
 // the index of the first mismatch or -1 if it matches.
 func CheckPattern(buf []byte, off uint64) int {
+	return CheckPatternSeeded(buf, off, 0)
+}
+
+// CheckPatternSeeded verifies buf against the seeded pattern.
+func CheckPatternSeeded(buf []byte, off, seed uint64) int {
 	for i := range buf {
-		if buf[i] != PatternByte(off+uint64(i)) {
+		if buf[i] != PatternByteSeeded(off+uint64(i), seed) {
 			return i
 		}
 	}

@@ -26,6 +26,12 @@ type Receiver struct {
 	ParseErrors   uint64
 	ChecksumBad   uint64
 
+	// PatternSeed selects which seeded volume pattern payloads are
+	// validated against (configuration, not state: it must match the
+	// seed the machine's disks were filled with). Zero is the default
+	// volume.
+	PatternSeed uint64
+
 	nextSeq   uint32
 	lastError string
 }
@@ -71,7 +77,7 @@ func (r *Receiver) Deliver(frame []byte, cycle uint64) {
 		r.nextSeq = seq
 	}
 	r.nextSeq++
-	if i := CheckPattern(p.Payload[StampLen:], uint64(volOff)+StampLen); i >= 0 {
+	if i := CheckPatternSeeded(p.Payload[StampLen:], uint64(volOff)+StampLen, r.PatternSeed); i >= 0 {
 		r.PatternErrors++
 		r.lastError = fmt.Sprintf("pattern mismatch at payload offset %d (vol 0x%x)", i+StampLen, volOff)
 	}
