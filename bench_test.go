@@ -8,6 +8,7 @@
 package lvmm
 
 import (
+	"io"
 	"testing"
 
 	"lvmm/internal/asm"
@@ -299,4 +300,35 @@ func BenchmarkAssembler(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRecordStream measures the streaming recorder's overhead on
+// the standard workload: one 100 ms lightweight-VMM run per op, trace
+// segments (event batches, keyframes, delta snapshots) flushing to a
+// discarding sink as the run proceeds. Compare against the Fig 3.1
+// lightweight point to read the recording tax on the hot path; the
+// trace_bytes metric tracks the on-disk cost of the v3 container.
+func BenchmarkRecordStream(b *testing.B) {
+	var bytesOut int64
+	for i := 0; i < b.N; i++ {
+		w := WorkloadDefaults(100)
+		w.Seconds = 0.1
+		target, err := NewStreamingTarget(Lightweight, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec, err := target.RecordStream(io.Discard, RecordOptions{SnapshotInterval: 20_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := target.Run(); err != nil {
+			b.Fatal(err)
+		}
+		stats, err := rec.FinishStream()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytesOut = stats.BytesWritten
+	}
+	b.ReportMetric(float64(bytesOut), "trace_bytes")
 }

@@ -15,22 +15,24 @@
 //	                                       # more than 15% vs the baseline
 //
 // The benchmark set mirrors bench_test.go's engineering benchmarks
-// (BenchmarkInterpreter, BenchmarkTrapRoundTrip, and the fused-dispatch
-// BenchmarkTrapRoundTripBurst) plus a forced-slow-path interpreter
-// variant, so one artifact carries both sides of the predecoded-engine
-// before/after comparison. Paper-figure benchmarks stay in
-// `go test -bench`; this tool is only for the host-side hot-path numbers
-// that DESIGN.md's benchmark table tracks.
+// (BenchmarkInterpreter, BenchmarkTrapRoundTrip, the fused-dispatch
+// BenchmarkTrapRoundTripBurst, and the streaming-trace BenchmarkRecordStream)
+// plus a forced-slow-path interpreter variant, so one artifact carries
+// both sides of the predecoded-engine before/after comparison. Paper-
+// figure benchmarks stay in `go test -bench`; this tool is only for the
+// host-side hot-path numbers that DESIGN.md's benchmark table tracks.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
 
+	"lvmm"
 	"lvmm/internal/asm"
 	"lvmm/internal/experiment"
 	"lvmm/internal/machine"
@@ -200,6 +202,42 @@ func runTrapRoundTripBurst(n int) map[string]float64 {
 	return out
 }
 
+// runRecordStream measures the streaming v3 recorder on the standard
+// workload (100 ms lightweight-VMM run per op, segments flushed to a
+// discarding sink). Not gated yet — the baseline artifact carries it so
+// the trend is on record before a gate lands.
+func runRecordStream(n int) map[string]float64 {
+	var out map[string]float64
+	for i := 0; i < n; i++ {
+		w := lvmm.WorkloadDefaults(100)
+		w.Seconds = 0.1
+		target, err := lvmm.NewStreamingTarget(lvmm.Lightweight, w)
+		if err != nil {
+			fatal(err)
+		}
+		rec, err := target.RecordStream(io.Discard, lvmm.RecordOptions{SnapshotInterval: 20_000_000})
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := target.Run(); err != nil {
+			fatal(err)
+		}
+		stats, err := rec.FinishStream()
+		if err != nil {
+			fatal(err)
+		}
+		out = map[string]float64{
+			"trace_bytes":    float64(stats.BytesWritten),
+			"events":         float64(stats.Events),
+			"segments":       float64(stats.Segments),
+			"keyframes":      float64(stats.Keyframes),
+			"delta_snaps":    float64(stats.Deltas),
+			"max_pending_ev": float64(stats.MaxPendingEvents),
+		}
+	}
+	return out
+}
+
 // runFig31Point runs the lightweight-VMM saturation point of Figure 3.1,
 // the macro benchmark the paper's headline numbers come from.
 func runFig31Point(n int) map[string]float64 {
@@ -308,6 +346,7 @@ func main() {
 		}),
 		bench("TrapRoundTrip", target, runTrapRoundTrip),
 		bench("TrapRoundTripBurst", target, runTrapRoundTripBurst),
+		bench("RecordStream", target, runRecordStream),
 		bench("Fig31LightweightSaturated", target, runFig31Point),
 	)
 

@@ -10,6 +10,7 @@
 //	hxfleet -fig31 -out results.json      # also write per-run JSON
 //	hxfleet -fig31 -out - -table=false    # JSON to stdout only
 //	hxfleet -csv matrix.json              # flat CSV (one row per run)
+//	hxfleet -record traces/ matrix.json   # stream a replayable trace per run
 //
 // A matrix file is a template scenario crossed with axis lists:
 //
@@ -34,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -49,6 +51,7 @@ func main() {
 	table := flag.Bool("table", true, "print the aggregated sweep table")
 	csv := flag.Bool("csv", false, "print flat CSV (one row per run) instead of the table")
 	out := flag.String("out", "", `write per-run results as JSON to this path ("-" for stdout)`)
+	record := flag.String("record", "", "stream a v3 execution trace per scenario into this directory (replayable with hxreplay)")
 	flag.Parse()
 
 	var mx *fleet.Matrix
@@ -74,6 +77,29 @@ func main() {
 	if len(scs) == 0 {
 		fail(fmt.Errorf("matrix expands to no scenarios"))
 	}
+	if *record != "" {
+		if err := os.MkdirAll(*record, 0o755); err != nil {
+			fail(err)
+		}
+		for i := range scs {
+			if scs[i].Record == "" {
+				scs[i].Record = filepath.Join(*record,
+					fmt.Sprintf("%03d-%s.trc", i, fleet.SafeName(scs[i].Name)))
+			}
+		}
+	}
+	// Two workers streaming to one path would corrupt the file silently;
+	// refuse authored collisions up front.
+	recPaths := map[string]string{}
+	for _, sc := range scs {
+		if sc.Record == "" {
+			continue
+		}
+		if prev, dup := recPaths[sc.Record]; dup {
+			fail(fmt.Errorf("scenarios %q and %q both record to %s", prev, sc.Name, sc.Record))
+		}
+		recPaths[sc.Record] = sc.Name
+	}
 
 	// Ctrl-C cancels the sweep: running machines observe the stop
 	// request within a poll interval, undispatched scenarios fail fast.
@@ -87,6 +113,10 @@ func main() {
 		if r.Err != "" {
 			failures++
 			fmt.Fprintf(os.Stderr, "hxfleet: %s: %s\n", r.Scenario.Name, r.Err)
+		}
+		if r.TracePath != "" {
+			fmt.Fprintf(os.Stderr, "hxfleet: %s: recorded %s (%d bytes)\n",
+				r.Scenario.Name, r.TracePath, r.TraceBytes)
 		}
 	}
 

@@ -52,7 +52,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  hxreplay record -o FILE [-platform P] [-rate MBPS] [-seconds S] [-snap-interval CYCLES]
+  hxreplay record -o FILE [-platform P] [-rate MBPS] [-seconds S]
+                  [-snap-interval CYCLES] [-keyframe-every N] [-v2]
   hxreplay replay FILE
   hxreplay info   FILE
   hxreplay diff   FILE1 FILE2`)
@@ -77,6 +78,8 @@ func cmdRecord(args []string) error {
 	rate := fs.Float64("rate", 200, "offered rate (Mb/s)")
 	seconds := fs.Float64("seconds", 0.5, "virtual run length")
 	snapInterval := fs.Uint64("snap-interval", 0, "snapshot spacing in cycles (0 = default)")
+	keyframeEvery := fs.Int("keyframe-every", 0, "full keyframe every N snapshots, deltas between (0 = default, 1 = no deltas)")
+	v2 := fs.Bool("v2", false, "buffer in memory and write the legacy monolithic v2 format")
 	fs.Parse(args)
 
 	p, err := parsePlatform(*platform)
@@ -89,19 +92,64 @@ func cmdRecord(args []string) error {
 	if err != nil {
 		return err
 	}
-	rec := t.Record(lvmm.RecordOptions{SnapshotInterval: *snapInterval})
-	stats, err := t.Run()
+	opts := lvmm.RecordOptions{SnapshotInterval: *snapInterval, KeyframeEvery: *keyframeEvery}
+
+	if *v2 {
+		// Legacy path: accumulate the whole trace, then one blob. The v2
+		// container has no delta segments, so force full snapshots.
+		opts.KeyframeEvery = 1
+		rec := t.Record(opts)
+		stats, err := t.Run()
+		if err != nil {
+			return err
+		}
+		tr := rec.Finish()
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteV2(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println(stats)
+		fmt.Printf("recorded %d events, %d snapshots, %d cycles, %d instructions -> %s (v2)\n",
+			len(tr.Events), len(tr.Checkpoints), tr.EndCycle, tr.EndInstr, *out)
+		fmt.Printf("final state digest %#016x\n", tr.EndDigest)
+		return nil
+	}
+
+	// Streaming path (default): segments flush to the file as the run
+	// proceeds; recorder memory stays bounded by one event batch plus
+	// one snapshot however long the recording runs.
+	f, err := os.Create(*out)
 	if err != nil {
 		return err
 	}
-	tr := rec.Finish()
-	if err := tr.WriteFile(*out); err != nil {
+	rec, err := t.RecordStream(f, opts)
+	if err != nil {
+		f.Close()
 		return err
 	}
+	stats, runErr := t.Run()
+	sstats, recErr := rec.FinishStream()
+	if cerr := f.Close(); recErr == nil {
+		recErr = cerr
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if recErr != nil {
+		return recErr
+	}
 	fmt.Println(stats)
-	fmt.Printf("recorded %d events, %d snapshots, %d cycles, %d instructions -> %s\n",
-		len(tr.Events), len(tr.Checkpoints), tr.EndCycle, tr.EndInstr, *out)
-	fmt.Printf("final state digest %#016x\n", tr.EndDigest)
+	fmt.Printf("recorded %d events in %d segments (%d keyframes, %d deltas), %d cycles, %d instructions -> %s (%d bytes)\n",
+		sstats.Events, sstats.Segments, sstats.Keyframes, sstats.Deltas,
+		sstats.EndCycle, sstats.EndInstr, *out, sstats.BytesWritten)
+	fmt.Printf("final state digest %#016x\n", sstats.EndDigest)
 	return nil
 }
 
@@ -151,9 +199,37 @@ func cmdInfo(args []string) error {
 	}
 	fmt.Printf("events:      %d (irq %d, vtimer %d, frame %d, input %d)\n", len(tr.Events),
 		counts[replay.EvIRQ], counts[replay.EvTimer], counts[replay.EvFrame], counts[replay.EvInput])
-	fmt.Printf("snapshots:   %d\n", len(tr.Checkpoints))
+	keyframes, deltas := 0, 0
 	for _, cp := range tr.Checkpoints {
-		fmt.Printf("  #%-3d instr %-12d cycle %d\n", cp.Index, cp.Instr, cp.Cycle)
+		if cp.Delta {
+			deltas++
+		} else {
+			keyframes++
+		}
+	}
+	fmt.Printf("snapshots:   %d (%d keyframes, %d deltas)\n", len(tr.Checkpoints), keyframes, deltas)
+	for _, cp := range tr.Checkpoints {
+		kind := "keyframe"
+		if cp.Delta {
+			kind = fmt.Sprintf("delta of #%d", cp.Base)
+		}
+		fmt.Printf("  #%-3d instr %-12d cycle %-14d %s\n", cp.Index, cp.Instr, cp.Cycle, kind)
+	}
+	if len(tr.Segments) == 0 {
+		fmt.Printf("segments:    none (v%d monolithic blob)\n", m.Version)
+		return nil
+	}
+	fmt.Printf("segments:    %d\n", len(tr.Segments))
+	for i, sg := range tr.Segments {
+		detail := ""
+		switch {
+		case sg.IsEvents():
+			detail = fmt.Sprintf("%d events from instr %d", sg.Events, sg.Instr)
+		case sg.IsSnapshot():
+			detail = fmt.Sprintf("checkpoint #%d at instr %d", sg.Checkpoint, sg.Instr)
+		}
+		fmt.Printf("  %-3d %-9s offset %-10d %8d bytes  %s\n",
+			i, sg.KindName(), sg.Offset, sg.Bytes, detail)
 	}
 	return nil
 }

@@ -107,6 +107,12 @@ type CPU struct {
 	dcPages []*decPage
 	dcGen   uint32
 
+	// dirtyPages, when non-nil, accumulates one bit per physical page
+	// written since the last ResetDirtyPages (delta-snapshot support;
+	// see dirty.go). Maintained by dcInvalidate, which observes every
+	// RAM write.
+	dirtyPages []uint64
+
 	// divertResumed records whether the most recent raised trap was
 	// consumed by the Diverter with DivertResume (fully emulated in
 	// place, fast path may continue).

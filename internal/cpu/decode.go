@@ -232,6 +232,9 @@ func (c *CPU) dcInvalidate(addr, n uint32) {
 	if n == 0 {
 		return
 	}
+	if c.dirtyPages != nil {
+		c.markDirty(addr, n)
+	}
 	first := addr >> isa.PageShift
 	if first >= uint32(len(c.dcPages)) {
 		return

@@ -1,0 +1,60 @@
+package cpu
+
+import "lvmm/internal/isa"
+
+// Dirty physical-page tracking for delta snapshots (internal/replay).
+//
+// The decode cache's invalidation hook (dcInvalidate) already observes
+// every write into RAM — CPU stores, MOVS/STOS fills, page-walk A/D
+// updates, device DMA, debugger patches — because correctness of the
+// predecoded engine depends on it. Dirty tracking piggybacks on that
+// choke point: when enabled, every invalidation also sets a bit per
+// touched physical page, and a recorder drains the bitmap at each
+// periodic checkpoint to capture only the pages that changed since the
+// previous one. The tracking itself is timeline-neutral (no cycles, no
+// traps), so it does not disqualify predecoded bursts and recordings
+// stay bit-identical with and without it.
+
+// SetDirtyTracking enables (true) or disables (false) dirty physical-
+// page accounting. Enabling allocates a fresh bitmap (all pages clean);
+// disabling releases it.
+func (c *CPU) SetDirtyTracking(on bool) {
+	if !on {
+		c.dirtyPages = nil
+		return
+	}
+	pages := (c.bus.RAMSize() + isa.PageMask) >> isa.PageShift
+	c.dirtyPages = make([]uint64, (pages+63)/64)
+}
+
+// DirtyTracking reports whether dirty-page accounting is enabled.
+func (c *CPU) DirtyTracking() bool { return c.dirtyPages != nil }
+
+// DirtyPages returns the live bitmap (one bit per physical page, LSB =
+// lowest page of each word), or nil when tracking is off. The caller
+// must not retain the slice across a ResetDirtyPages.
+func (c *CPU) DirtyPages() []uint64 { return c.dirtyPages }
+
+// ResetDirtyPages marks every page clean, starting a new delta window.
+func (c *CPU) ResetDirtyPages() {
+	for i := range c.dirtyPages {
+		c.dirtyPages[i] = 0
+	}
+}
+
+// markDirty records a write of n bytes at physical address addr. Called
+// from dcInvalidate only when tracking is on; bounds follow dcPages
+// (both cover exactly the installed RAM).
+func (c *CPU) markDirty(addr, n uint32) {
+	first := addr >> isa.PageShift
+	last := (addr + n - 1) >> isa.PageShift
+	if max := uint32(len(c.dcPages)); last >= max {
+		if first >= max {
+			return
+		}
+		last = max - 1
+	}
+	for p := first; p <= last; p++ {
+		c.dirtyPages[p>>6] |= 1 << (p & 63)
+	}
+}

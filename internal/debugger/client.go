@@ -257,6 +257,39 @@ func (c *Client) Monitor(cmd string) (string, error) {
 	return string(out), nil
 }
 
+// MemoryMap fetches the target's memory-map XML document through the
+// chunked qXfer:memory-map:read transfer, exactly as a real GDB would.
+// Targets that do not serve the object return an empty document error.
+func (c *Client) MemoryMap() (string, error) {
+	const chunk = 0x800
+	var doc strings.Builder
+	for offset := 0; ; {
+		reply, err := c.exchangeData(fmt.Sprintf("qXfer:memory-map:read::%x,%x", offset, chunk))
+		if err != nil {
+			return "", err
+		}
+		switch {
+		case reply == "":
+			return "", fmt.Errorf("debugger: target does not serve qXfer:memory-map:read")
+		case strings.HasPrefix(reply, "E"):
+			return "", fmt.Errorf("debugger: memory-map transfer failed: %s", reply)
+		case reply[0] == 'm':
+			// A stub may return fewer bytes than requested; advance by
+			// what actually arrived, as real GDB does.
+			if len(reply) == 1 {
+				return "", fmt.Errorf("debugger: empty qXfer 'm' reply at offset %d", offset)
+			}
+			doc.WriteString(reply[1:])
+			offset += len(reply) - 1
+		case reply[0] == 'l':
+			doc.WriteString(reply[1:])
+			return doc.String(), nil
+		default:
+			return "", fmt.Errorf("debugger: unexpected qXfer reply %q", reply)
+		}
+	}
+}
+
 // Detach ends the session, resuming the target.
 func (c *Client) Detach() error { return c.expectOK("D") }
 

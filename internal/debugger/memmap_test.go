@@ -1,0 +1,31 @@
+package debugger
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClientMemoryMap walks the full stack — client → RSP qXfer chunked
+// transfer → monitor-resident stub → vmm.DebugTarget — and checks the
+// guest's RAM layout comes back as the GDB memory-map document a real
+// debugger would parse.
+func TestClientMemoryMap(t *testing.T) {
+	c, m, _, _ := session(t)
+	if _, err := c.Interrupt(); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := c.MemoryMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(doc, "<memory-map>") || !strings.Contains(doc, "</memory-map>") {
+		t.Fatalf("not a memory-map document:\n%s", doc)
+	}
+	want := `<memory type="ram" start="0x0" length="0x4000000"/>`
+	if m.Bus.RAMSize() != 64<<20 {
+		t.Fatalf("test assumes the default 64 MB machine, got %d", m.Bus.RAMSize())
+	}
+	if !strings.Contains(doc, want) {
+		t.Fatalf("document missing %q:\n%s", want, doc)
+	}
+}

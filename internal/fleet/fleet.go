@@ -17,12 +17,14 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"os"
 
 	"lvmm/internal/guest"
 	"lvmm/internal/isa"
 	"lvmm/internal/machine"
 	"lvmm/internal/netsim"
 	"lvmm/internal/perfmodel"
+	"lvmm/internal/replay"
 	"lvmm/internal/vmm"
 )
 
@@ -84,6 +86,18 @@ type Scenario struct {
 	// Costs overrides the platform's calibrated monitor cost model
 	// (ablation sweeps). Ignored on bare metal.
 	Costs *perfmodel.Costs `json:"costs,omitempty"`
+	// Record, when non-empty, streams a v3 execution trace of the run to
+	// this file path (segmented format, delta snapshots; see
+	// internal/replay) — recorder memory stays bounded however long the
+	// scenario runs. The trace replays through `hxreplay replay` unless
+	// the scenario overrides Costs, which trace metadata cannot express
+	// (such traces are marked custom). In a matrix template the path is
+	// treated as a per-cell template (the scenario name is spliced in
+	// before the extension) so concurrent workers never share a file.
+	Record string `json:"record,omitempty"`
+	// RecordSnapInterval is the recording's snapshot spacing in cycles
+	// (0 = replay.DefaultSnapshotInterval).
+	RecordSnapInterval uint64 `json:"record_snap_interval,omitempty"`
 }
 
 // Result is the distilled outcome of one scenario run. Every field is a
@@ -122,6 +136,24 @@ type Result struct {
 
 	// VMM carries the monitor statistics; nil on bare metal.
 	VMM *vmm.Stats `json:"vmm,omitempty"`
+
+	// TracePath/TraceBytes report the streamed recording when the
+	// scenario requested one.
+	TracePath  string `json:"trace_path,omitempty"`
+	TraceBytes int64  `json:"trace_bytes,omitempty"`
+}
+
+// platformIndex maps a fleet platform onto the lvmm.Platform value trace
+// metadata records (fleet cannot import the root package: the experiment
+// layer sits between them).
+func platformIndex(pf Platform) int {
+	switch pf {
+	case Bare:
+		return 0
+	case Hosted:
+		return 2
+	}
+	return 1 // Lightweight, the default
 }
 
 // RunOne executes a single scenario on a private machine and returns its
@@ -213,6 +245,38 @@ func RunOne(ctx context.Context, sc Scenario) Result {
 		limit = uint64(params.DurationTicks+400) * isa.ClockHz / uint64(params.TickHz)
 	}
 
+	// Streamed trace recording: segments flush to the file as the run
+	// proceeds, so a fleet of recording scenarios costs each worker one
+	// event batch plus one snapshot of resident memory, not one trace.
+	var rec *replay.Recorder
+	var recFile *os.File
+	if sc.Record != "" {
+		meta := replay.TraceMeta{
+			Platform: platformIndex(pf),
+			Params:   params,
+			Seed:     sc.Seed,
+			Label:    sc.Name,
+			// A Costs override changes the simulated timeline but has no
+			// slot in trace metadata; the replay side could not rebuild
+			// the machine, so the trace is marked custom.
+			Custom: sc.Costs != nil,
+		}
+		var err error
+		recFile, err = os.Create(sc.Record)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		rec, err = replay.NewStreamRecorder(recFile, m, mon, recv, meta,
+			replay.Options{SnapshotInterval: sc.RecordSnapInterval})
+		if err != nil {
+			recFile.Close()
+			res.Err = err.Error()
+			return res
+		}
+		rec.Start()
+	}
+
 	// Propagate cancellation into the running guest. RequestStop is the
 	// machine's one thread-safe entry point; everything else stays
 	// confined to this goroutine.
@@ -229,6 +293,20 @@ func RunOne(ctx context.Context, sc Scenario) Result {
 	}
 
 	reason := m.Run(limit)
+
+	if rec != nil {
+		stats, err := rec.FinishStream()
+		cerr := recFile.Close()
+		switch {
+		case err != nil:
+			res.Err = fmt.Sprintf("fleet: recording %s: %v", sc.Record, err)
+		case cerr != nil:
+			res.Err = fmt.Sprintf("fleet: recording %s: %v", sc.Record, cerr)
+		default:
+			res.TracePath = sc.Record
+			res.TraceBytes = stats.BytesWritten
+		}
+	}
 
 	res.StopReason = reason.String()
 	res.PC = m.CPU.PC

@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 )
@@ -145,6 +146,54 @@ func TestMatrixExpand(t *testing.T) {
 	}
 	if !names["bare@100Mbps"] || !names["lightweight@700Mbps/slow#1"] || !names["hosted@50Mbps"] {
 		t.Fatalf("expected derived names missing: %v", names)
+	}
+}
+
+func TestMatrixExpandUniquifiesTemplateRecordPath(t *testing.T) {
+	mx := &Matrix{
+		Defaults:  Scenario{DurationTicks: 8, Record: "traces/run.trc"},
+		Platforms: []Platform{Bare, Lightweight},
+		Rates:     []float64{100, 400},
+	}
+	scs := mx.Expand()
+	paths := map[string]string{}
+	for _, sc := range scs {
+		if sc.Record == "" {
+			t.Fatalf("%s lost its record path", sc.Name)
+		}
+		if prev, dup := paths[sc.Record]; dup {
+			t.Fatalf("scenarios %q and %q share record path %s — concurrent workers would corrupt it",
+				prev, sc.Name, sc.Record)
+		}
+		paths[sc.Record] = sc.Name
+		if !strings.HasPrefix(sc.Record, "traces/run-") || !strings.HasSuffix(sc.Record, ".trc") {
+			t.Fatalf("derived path %q does not follow the template", sc.Record)
+		}
+	}
+
+	// A single-cell matrix keeps the authored path verbatim.
+	one := &Matrix{Defaults: Scenario{RateMbps: 100, Record: "only.trc"}}
+	if got := one.Expand()[0].Record; got != "only.trc" {
+		t.Fatalf("single-cell record path rewritten to %q", got)
+	}
+}
+
+func TestRunnerRejectsDuplicateRecordPaths(t *testing.T) {
+	path := t.TempDir() + "/shared.trc"
+	scs := []Scenario{
+		{Name: "a", RateMbps: 100, DurationTicks: 4, Record: path},
+		{Name: "b", RateMbps: 400, DurationTicks: 4, Record: path},
+		{Name: "c", RateMbps: 100, DurationTicks: 4},
+	}
+	res := Runner{Jobs: 2}.Run(context.Background(), scs)
+	if res[0].Err != "" || res[0].TracePath != path {
+		t.Fatalf("first claimant failed: %+v", res[0])
+	}
+	if res[1].Err == "" || !strings.Contains(res[1].Err, "already claimed") {
+		t.Fatalf("duplicate record path not rejected: %+v", res[1])
+	}
+	if res[2].Err != "" {
+		t.Fatalf("unrecorded scenario failed: %s", res[2].Err)
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 )
 
 // Matrix is the scenario-matrix file cmd/hxfleet consumes: a template
@@ -68,6 +70,13 @@ func (mx *Matrix) Expand() []Scenario {
 					sc := mx.Defaults
 					sc.Platform, sc.RateMbps, sc.Engine, sc.Seed = pf, rate, eng, seed
 					sc.Name = ScenarioName(sc)
+					// A record path in the template would be copied into
+					// every cell, and concurrent workers streaming to one
+					// file corrupt it silently; treat it as a per-cell
+					// template instead.
+					if sc.Record != "" && len(platforms)*len(rates)*len(engines)*len(seeds) > 1 {
+						sc.Record = recordPathFor(sc.Record, sc.Name)
+					}
 					out = append(out, sc)
 				}
 			}
@@ -80,6 +89,32 @@ func (mx *Matrix) Expand() []Scenario {
 		out = append(out, sc)
 	}
 	return out
+}
+
+// recordPathFor derives a per-scenario trace path from a template path
+// by splicing the sanitized scenario name in before the extension:
+// "traces/run.trc" + "bare@100Mbps" → "traces/run-bare-100Mbps.trc".
+func recordPathFor(template, name string) string {
+	ext := filepath.Ext(template)
+	base := strings.TrimSuffix(template, ext)
+	return base + "-" + SafeName(name) + ext
+}
+
+// SafeName renders a scenario name into a filesystem-safe token
+// (letters, digits, '-', '.', '_').
+func SafeName(name string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '.', r == '_':
+			return r
+		}
+		return '-'
+	}, name)
+	if safe == "" {
+		return "scenario"
+	}
+	return safe
 }
 
 // ScenarioName derives a descriptive label from a scenario's axes.

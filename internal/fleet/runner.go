@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -18,10 +19,30 @@ type Runner struct {
 // Run executes every scenario and returns results index-aligned with the
 // input, regardless of completion order. Cancelling ctx stops running
 // machines (via RequestStop) and fails scenarios not yet dispatched.
+// Scenarios whose Record path collides with an earlier scenario's are
+// failed without running — two workers streaming to one file would
+// corrupt it silently.
 func (r Runner) Run(ctx context.Context, scs []Scenario) []Result {
 	out := make([]Result, len(scs))
 	done := make([]bool, len(scs))
+	recPaths := make(map[string]int, len(scs))
+	for i := range scs {
+		p := scs[i].Record
+		if p == "" {
+			continue
+		}
+		if first, dup := recPaths[p]; dup {
+			out[i] = Result{Scenario: scs[i], Err: fmt.Sprintf(
+				"fleet: record path %s already claimed by scenario %q", p, scs[first].Name)}
+			done[i] = true
+			continue
+		}
+		recPaths[p] = i
+	}
 	r.ForEach(ctx, len(scs), func(i int) {
+		if done[i] {
+			return
+		}
 		out[i] = RunOne(ctx, scs[i])
 		done[i] = true
 	})

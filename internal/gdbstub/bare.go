@@ -118,6 +118,13 @@ func (t *BareTarget) SetWatchpoint(i int, addr, length uint32, enabled bool) err
 	return t.m.CPU.SetWatchpoint(i, addr, length, enabled)
 }
 
+// MemoryMap describes the machine's physical layout for
+// qXfer:memory-map:read: one flat RAM region (the HX32 machine has no
+// ROM; the kernel image loads into RAM).
+func (t *BareTarget) MemoryMap() []MemRegion {
+	return []MemRegion{{Type: "ram", Start: 0, Length: t.m.Bus.RAMSize()}}
+}
+
 // Info renders target state.
 func (t *BareTarget) Info() string {
 	c := t.m.CPU

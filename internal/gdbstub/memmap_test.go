@@ -1,0 +1,106 @@
+package gdbstub
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// mapTarget is fakeTarget plus a memory map.
+type mapTarget struct {
+	*fakeTarget
+	regions []MemRegion
+}
+
+func (m *mapTarget) MemoryMap() []MemRegion { return m.regions }
+
+func newMapRig() (*Stub, *mapTarget, *wire) {
+	mt := &mapTarget{
+		fakeTarget: newFakeTarget(),
+		regions: []MemRegion{
+			{Type: "ram", Start: 0, Length: 64 << 20},
+			{Type: "rom", Start: 0xFFF0_0000, Length: 64 << 10},
+		},
+	}
+	w := &wire{}
+	return New(mt, w), mt, w
+}
+
+func TestQSupportedAdvertisesMemoryMap(t *testing.T) {
+	s, _, w := newMapRig()
+	reply := exchange(t, s, w, "qSupported")
+	if !strings.Contains(reply, "qXfer:memory-map:read+") {
+		t.Fatalf("mapping target does not advertise memory-map: %q", reply)
+	}
+
+	// A target without a MemoryMapper must not advertise or serve it.
+	s2, _, w2 := newStubRig()
+	reply = exchange(t, s2, w2, "qSupported")
+	if strings.Contains(reply, "memory-map") {
+		t.Fatalf("plain target advertises memory-map: %q", reply)
+	}
+	if got := exchange(t, s2, w2, "qXfer:memory-map:read::0,1000"); got != "" {
+		t.Fatalf("plain target served memory-map: %q", got)
+	}
+}
+
+func TestMemoryMapTransfer(t *testing.T) {
+	s, _, w := newMapRig()
+
+	// Whole document in one oversized request.
+	reply := exchange(t, s, w, "qXfer:memory-map:read::0,10000")
+	if len(reply) == 0 || reply[0] != 'l' {
+		t.Fatalf("single-shot reply %q", reply)
+	}
+	doc := reply[1:]
+	for _, want := range []string{
+		"<memory-map>",
+		`<memory type="ram" start="0x0" length="0x4000000"/>`,
+		`<memory type="rom" start="0xfff00000" length="0x10000"/>`,
+		"</memory-map>",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Fatalf("document missing %q:\n%s", want, doc)
+		}
+	}
+
+	// Chunked transfer, the way a real GDB walks the object: every reply
+	// but the last is 'm', the concatenation is the document, and reading
+	// past the end answers a bare 'l'.
+	var got strings.Builder
+	const chunk = 0x20
+	for off := 0; ; off += chunk {
+		reply := exchange(t, s, w, fmt.Sprintf("qXfer:memory-map:read::%x,%x", off, chunk))
+		if len(reply) == 0 {
+			t.Fatalf("empty chunk reply at offset %d", off)
+		}
+		got.WriteString(reply[1:])
+		if reply[0] == 'l' {
+			break
+		}
+		if reply[0] != 'm' {
+			t.Fatalf("chunk reply %q at offset %d", reply, off)
+		}
+		if len(reply[1:]) != chunk {
+			t.Fatalf("mid-document chunk of %d bytes, want %d", len(reply[1:]), chunk)
+		}
+	}
+	if got.String() != doc {
+		t.Fatalf("chunked transfer differs from single-shot:\n%q\nvs\n%q", got.String(), doc)
+	}
+	if reply := exchange(t, s, w, fmt.Sprintf("qXfer:memory-map:read::%x,20", len(doc)+10)); reply != "l" {
+		t.Fatalf("past-the-end read answered %q, want bare l", reply)
+	}
+
+	// Malformed requests error instead of crashing or answering garbage.
+	for _, bad := range []string{
+		"qXfer:memory-map:read::zz,20",
+		"qXfer:memory-map:read::0",
+		"qXfer:memory-map:read::0,0",
+		"qXfer:memory-map:read::0,fffff",
+	} {
+		if reply := exchange(t, s, w, bad); reply != "E01" {
+			t.Fatalf("%q answered %q, want E01", bad, reply)
+		}
+	}
+}

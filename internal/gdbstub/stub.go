@@ -48,6 +48,23 @@ type Target interface {
 	Info() string
 }
 
+// MemRegion is one region of the target's physical address space for the
+// qXfer:memory-map:read document (GDB memory-map DTD types: "ram",
+// "rom", "flash").
+type MemRegion struct {
+	Type   string
+	Start  uint32
+	Length uint32
+}
+
+// MemoryMapper is optionally implemented by Targets that can describe
+// the machine's memory layout. When present, the stub advertises
+// qXfer:memory-map:read+ so a real GDB learns where RAM ends and stops
+// planting software breakpoints in unbacked space.
+type MemoryMapper interface {
+	MemoryMap() []MemRegion
+}
+
 // ByteIO is the communication device (both UART ends, or a test harness).
 type ByteIO interface {
 	TakeByte() (byte, bool)
@@ -301,10 +318,15 @@ func (s *Stub) handleQuery(p string) {
 	switch {
 	case strings.HasPrefix(p, "qSupported"):
 		caps := "PacketSize=4000;swbreak+;hwbreak+"
+		if _, ok := s.t.(MemoryMapper); ok {
+			caps += ";qXfer:memory-map:read+"
+		}
 		if s.rv != nil {
 			caps += ";ReverseStep+;ReverseContinue+"
 		}
 		s.send(caps)
+	case strings.HasPrefix(p, "qXfer:memory-map:read::"):
+		s.handleMemoryMap(p[len("qXfer:memory-map:read::"):])
 	case p == "qAttached":
 		s.send("1")
 	case strings.HasPrefix(p, "qRcmd,"):

@@ -7,6 +7,7 @@ import (
 	"lvmm/internal/hw/pit"
 	"lvmm/internal/hw/scsi"
 	"lvmm/internal/hw/uart"
+	"lvmm/internal/isa"
 )
 
 // Snapshot is the complete serializable machine state: clock and
@@ -69,6 +70,67 @@ const ramChunkSize = 64 << 10
 // not state, and are not captured; Restore into a machine built with the
 // same configuration reproduces the run exactly.
 func (m *Machine) Snapshot() *Snapshot {
+	s := m.snapshotState()
+	ram := m.Bus.RAM()
+	for off := 0; off < len(ram); off += ramChunkSize {
+		end := off + ramChunkSize
+		if end > len(ram) {
+			end = len(ram)
+		}
+		if !allZero(ram[off:end]) {
+			s.RAM = append(s.RAM, RAMChunk{
+				Addr: uint32(off),
+				Data: append([]byte(nil), ram[off:end]...),
+			})
+		}
+	}
+	return s
+}
+
+// SnapshotDelta captures a delta snapshot: the complete non-RAM state
+// (CPU, devices, clock and accounting — all small), but only the RAM
+// pages the CPU's dirty-page tracking marked since the last
+// ResetDirtyPages. Adjacent dirty pages coalesce into one chunk. A delta
+// is only restorable on top of the state it was taken against (keyframe
+// plus any intervening deltas, applied in order with ApplyRAMDelta).
+//
+// The second return is false when dirty tracking is off; the snapshot is
+// then a full sparse capture (identical to Snapshot) and must be treated
+// as a keyframe — a full sparse capture omits all-zero chunks, so
+// applying it as a delta would leave stale bytes from the base.
+func (m *Machine) SnapshotDelta() (*Snapshot, bool) {
+	dirty := m.CPU.DirtyPages()
+	if dirty == nil {
+		return m.Snapshot(), false
+	}
+	s := m.snapshotState()
+	ram := m.Bus.RAM()
+	pages := (uint32(len(ram)) + isa.PageMask) >> isa.PageShift
+	for p := uint32(0); p < pages; {
+		if dirty[p>>6]&(1<<(p&63)) == 0 {
+			p++
+			continue
+		}
+		run := p
+		for run < pages && dirty[run>>6]&(1<<(run&63)) != 0 {
+			run++
+		}
+		start := p << isa.PageShift
+		end := run << isa.PageShift
+		if end > uint32(len(ram)) {
+			end = uint32(len(ram))
+		}
+		s.RAM = append(s.RAM, RAMChunk{
+			Addr: start,
+			Data: append([]byte(nil), ram[start:end]...),
+		})
+		p = run
+	}
+	return s, true
+}
+
+// snapshotState captures everything except physical memory contents.
+func (m *Machine) snapshotState() *Snapshot {
 	s := &Snapshot{
 		Clock:         m.clock,
 		Idle:          m.idle,
@@ -90,20 +152,7 @@ func (m *Machine) Snapshot() *Snapshot {
 	for i := range m.SCSI {
 		s.SCSI[i] = m.SCSI[i].State()
 	}
-	ram := m.Bus.RAM()
-	s.RAMSize = uint32(len(ram))
-	for off := 0; off < len(ram); off += ramChunkSize {
-		end := off + ramChunkSize
-		if end > len(ram) {
-			end = len(ram)
-		}
-		if !allZero(ram[off:end]) {
-			s.RAM = append(s.RAM, RAMChunk{
-				Addr: uint32(off),
-				Data: append([]byte(nil), ram[off:end]...),
-			})
-		}
-	}
+	s.RAMSize = m.Bus.RAMSize()
 	return s
 }
 
@@ -112,6 +161,42 @@ func (m *Machine) Snapshot() *Snapshot {
 // events at the snapshot's absolute cycles. The machine must have the
 // same RAM size as the snapshot (i.e., be built from the same Config).
 func (m *Machine) Restore(s *Snapshot) {
+	ram := m.Bus.RAM()
+	for i := range ram {
+		ram[i] = 0
+	}
+	for _, ch := range s.RAM {
+		copy(ram[ch.Addr:], ch.Data)
+	}
+	m.restoreState(s)
+}
+
+// ApplyRAMDelta copies a delta snapshot's RAM chunks over the current
+// memory image without zeroing anything else. The machine must already
+// hold the state the delta was taken against (the keyframe plus earlier
+// deltas of the chain); non-RAM state is untouched, so intermediate
+// chain steps cost only the page copies. Callers must finish the chain
+// with RestoreDelta (or a full Restore) so the CPU decode cache is
+// re-synchronized with the rewritten memory.
+func (m *Machine) ApplyRAMDelta(s *Snapshot) {
+	ram := m.Bus.RAM()
+	for _, ch := range s.RAM {
+		copy(ram[ch.Addr:], ch.Data)
+	}
+}
+
+// RestoreDelta applies the final delta of a checkpoint chain: its RAM
+// pages on top of the current image, then the complete non-RAM state.
+func (m *Machine) RestoreDelta(s *Snapshot) {
+	m.ApplyRAMDelta(s)
+	m.restoreState(s)
+}
+
+// restoreState rewinds everything except physical memory contents:
+// scalar state, CPU (whose Restore also flushes the decode cache, since
+// RAM was rewritten underneath it), and devices, which re-arm their
+// pending events at the snapshot's absolute cycles.
+func (m *Machine) restoreState(s *Snapshot) {
 	m.clock = s.Clock
 	m.idle = s.Idle
 	m.monitor = s.Monitor
@@ -127,14 +212,6 @@ func (m *Machine) Restore(s *Snapshot) {
 	// Drop the current timeline's scheduled events; devices re-arm below.
 	m.events = m.events[:0]
 	m.seq = s.Seq
-
-	ram := m.Bus.RAM()
-	for i := range ram {
-		ram[i] = 0
-	}
-	for _, ch := range s.RAM {
-		copy(ram[ch.Addr:], ch.Data)
-	}
 
 	m.CPU.Restore(s.CPU)
 	m.PIC.Restore(s.PIC)

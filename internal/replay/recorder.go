@@ -1,6 +1,9 @@
 package replay
 
 import (
+	"fmt"
+	"io"
+
 	"lvmm/internal/hw"
 	"lvmm/internal/machine"
 	"lvmm/internal/netsim"
@@ -9,13 +12,24 @@ import (
 
 // Options parameterizes a recording.
 type Options struct {
-	// SnapshotInterval is the virtual-cycle spacing of periodic full-state
-	// snapshots; 0 selects DefaultSnapshotInterval. Smaller intervals make
-	// reverse operations cheaper at the cost of trace size.
+	// SnapshotInterval is the virtual-cycle spacing of periodic snapshots;
+	// 0 selects DefaultSnapshotInterval. Smaller intervals make reverse
+	// operations cheaper at the cost of trace size.
 	SnapshotInterval uint64
 	// MaxSnapshots caps the periodic snapshots taken (the initial
 	// checkpoint is always present); 0 selects DefaultMaxSnapshots.
 	MaxSnapshots int
+	// KeyframeEvery makes every Nth checkpoint a full keyframe; the
+	// checkpoints between are delta snapshots holding only the RAM pages
+	// dirtied since their predecessor, which keeps long recordings small
+	// while bounding a reverse seek's restore chain to N-1 delta
+	// applications. 1 disables deltas (every checkpoint full); 0 selects
+	// DefaultKeyframeEvery.
+	KeyframeEvery int
+	// EventBatch is the event count per streamed event segment; 0 selects
+	// DefaultEventBatch. It is the recorder's resident-memory unit: the
+	// streaming recorder never holds more than one batch of events.
+	EventBatch int
 	// Label annotates the trace.
 	Label string
 }
@@ -23,13 +37,51 @@ type Options struct {
 // DefaultSnapshotInterval is ~79 ms of virtual time at 1.26 GHz.
 const DefaultSnapshotInterval = 100_000_000
 
-// DefaultMaxSnapshots bounds trace memory for long runs.
+// DefaultMaxSnapshots bounds the checkpoint count for long runs.
 const DefaultMaxSnapshots = 64
 
-// Recorder captures a deterministic trace of a running machine. Create it
-// with the machine in the state the trace should begin at (normally right
-// after target construction, before the first Run), Start it, run the
-// workload, then Finish.
+// DefaultKeyframeEvery is the keyframe cadence: checkpoint 0 and every
+// 8th after it are full; the rest are delta snapshots.
+const DefaultKeyframeEvery = 8
+
+// DefaultEventBatch is the streamed event-segment size.
+const DefaultEventBatch = 4096
+
+// StreamStats summarizes a sealed streamed recording.
+type StreamStats struct {
+	// Segments is the data segment count (meta, events, snapshots, end);
+	// the seek-index footer is framing and not counted, matching
+	// len(Trace.Segments) after a read-back.
+	Segments int
+	// EventSegments / Keyframes / Deltas break the stream down.
+	EventSegments int
+	Keyframes     int
+	Deltas        int
+	// Events is the total recorded event count.
+	Events int
+	// BytesWritten is the sealed container's size.
+	BytesWritten int64
+	// MaxPendingEvents is the high-water mark of events resident in the
+	// recorder between flushes — the O(segment) memory bound.
+	MaxPendingEvents int
+	// EndCycle/EndInstr/EndDigest mirror the end segment.
+	EndCycle  uint64
+	EndInstr  uint64
+	EndDigest uint64
+}
+
+// Recorder captures a deterministic trace of a running machine. Create
+// it with the machine in the state the trace should begin at (normally
+// right after target construction, before the first Run), Start it, run
+// the workload, then Finish (in-memory mode) or FinishStream (streaming
+// mode).
+//
+// In streaming mode (NewStreamRecorder) every event batch and snapshot
+// is flushed to the underlying writer as recording proceeds: resident
+// memory stays O(one event batch + one snapshot) regardless of run
+// length. In-memory mode (NewRecorder) accumulates a *Trace — delta
+// snapshots still apply, so memory grows with the event timeline and
+// the dirty working set, not with full-RAM copies per checkpoint.
 //
 // Recording is only deterministic when all external input is injected
 // from the machine's own goroutine (batch runs, or debug sessions over
@@ -41,36 +93,91 @@ type Recorder struct {
 	v    *vmm.VMM         // nil on bare metal
 	recv *netsim.Receiver // nil when no validating receiver is wired
 
-	tr       *Trace
-	interval uint64
-	maxSnaps int
-	active   bool
+	tr       *Trace     // in-memory mode only
+	sw       *segWriter // streaming mode only
+	pend     []Event    // streaming mode: the current event batch
+	batchLen int
+
+	interval  uint64
+	maxSnaps  int
+	keyEvery  int
+	active    bool
+	trackOwn  bool // this recorder enabled dirty tracking and must disable it
+	cpCount   int  // checkpoints taken (stable Index source)
+	evCount   int  // events recorded (EventIndex source)
+	sinceKey  int  // checkpoints since the last keyframe
+	lastIndex int  // stable Index of the previous checkpoint (delta base)
+
+	stats StreamStats
+	err   error // sticky stream error; FinishStream reports it
 }
 
-// NewRecorder prepares a recorder. v and recv may be nil.
+// NewRecorder prepares an in-memory recorder. v and recv may be nil.
 func NewRecorder(m *machine.Machine, v *vmm.VMM, recv *netsim.Receiver, meta TraceMeta, opts Options) *Recorder {
+	r := newRecorder(m, v, recv, opts)
+	meta.Version = TraceVersion
+	if meta.Label == "" {
+		meta.Label = opts.Label
+	}
+	r.tr = &Trace{Meta: meta}
+	return r
+}
+
+// NewStreamRecorder prepares a recorder that writes the v3 segmented
+// container straight to w: the header and meta segment immediately,
+// event batches and snapshots as recording proceeds, and the end
+// segment plus seek index at FinishStream. If w is also an io.Closer
+// the caller still owns the Close (and must check its error — buffered
+// short writes surface there).
+func NewStreamRecorder(w io.Writer, m *machine.Machine, v *vmm.VMM, recv *netsim.Receiver, meta TraceMeta, opts Options) (*Recorder, error) {
+	r := newRecorder(m, v, recv, opts)
+	meta.Version = TraceVersion
+	if meta.Label == "" {
+		meta.Label = opts.Label
+	}
+	sw, err := newSegWriter(w)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sw.writeSegment(segMeta, meta); err != nil {
+		return nil, err
+	}
+	r.sw = sw
+	r.pend = make([]Event, 0, r.batchLen)
+	return r, nil
+}
+
+func newRecorder(m *machine.Machine, v *vmm.VMM, recv *netsim.Receiver, opts Options) *Recorder {
 	if opts.SnapshotInterval == 0 {
 		opts.SnapshotInterval = DefaultSnapshotInterval
 	}
 	if opts.MaxSnapshots == 0 {
 		opts.MaxSnapshots = DefaultMaxSnapshots
 	}
-	meta.Version = TraceVersion
-	if meta.Label == "" {
-		meta.Label = opts.Label
+	if opts.KeyframeEvery == 0 {
+		opts.KeyframeEvery = DefaultKeyframeEvery
+	}
+	if opts.EventBatch == 0 {
+		opts.EventBatch = DefaultEventBatch
 	}
 	return &Recorder{
 		m: m, v: v, recv: recv,
-		tr:       &Trace{Meta: meta},
 		interval: opts.SnapshotInterval,
 		maxSnaps: opts.MaxSnapshots,
+		keyEvery: opts.KeyframeEvery,
+		batchLen: opts.EventBatch,
 	}
 }
 
-// Start takes the initial checkpoint, installs the capture hooks, and
-// schedules the periodic snapshots.
+// Start takes the initial checkpoint, installs the capture hooks,
+// enables dirty-page tracking for delta snapshots, and schedules the
+// periodic snapshots.
 func (r *Recorder) Start() {
 	r.active = true
+	if r.keyEvery > 1 && !r.m.CPU.DirtyTracking() {
+		r.m.CPU.SetDirtyTracking(true)
+		r.trackOwn = true
+	}
 	r.snapshot()
 
 	// Physical interrupt deliveries, with their exact delivery cycle.
@@ -115,11 +222,53 @@ func (r *Recorder) input(ch uint8, data []byte) {
 	r.append(Event{Kind: EvInput, Chan: ch, Data: append([]byte(nil), data...)})
 }
 
-// append stamps and stores an event.
+// append stamps and stores an event — into the in-memory trace, or into
+// the pending batch which flushes as a segment when full.
 func (r *Recorder) append(ev Event) {
 	ev.Cycle = r.m.Clock()
 	ev.Instr = r.m.CPU.Stat.Instructions
-	r.tr.Events = append(r.tr.Events, ev)
+	r.evCount++
+	r.stats.Events++
+	if r.sw == nil {
+		r.tr.Events = append(r.tr.Events, ev)
+		return
+	}
+	if r.err != nil {
+		// The stream is already broken (FinishStream will report it);
+		// accumulating the rest of the run's events would turn the
+		// bounded-memory recorder into an O(run) one exactly when the
+		// disk failed.
+		return
+	}
+	r.pend = append(r.pend, ev)
+	if len(r.pend) > r.stats.MaxPendingEvents {
+		r.stats.MaxPendingEvents = len(r.pend)
+	}
+	if len(r.pend) >= r.batchLen {
+		r.flushEvents()
+	}
+}
+
+// flushEvents streams the pending batch as one event segment. On a
+// broken stream the batch is dropped instead of retained — the sticky
+// error already condemns the trace, and memory must stay bounded.
+func (r *Recorder) flushEvents() {
+	if r.sw == nil || len(r.pend) == 0 {
+		return
+	}
+	if r.err != nil {
+		r.pend = r.pend[:0]
+		return
+	}
+	info, err := r.sw.writeSegment(segEvents, r.pend)
+	if err != nil {
+		r.err = err
+		return
+	}
+	info.Events = len(r.pend)
+	info.Instr, info.Cycle = r.pend[0].Instr, r.pend[0].Cycle
+	r.stats.EventSegments++
+	r.pend = r.pend[:0]
 }
 
 // armSnapshot schedules the next periodic snapshot. The snapshot closure
@@ -130,22 +279,40 @@ func (r *Recorder) armSnapshot() {
 		if !r.active {
 			return
 		}
-		if len(r.tr.Checkpoints) <= r.maxSnaps {
+		if r.cpCount <= r.maxSnaps {
 			r.snapshot()
 		}
 		r.armSnapshot()
 	})
 }
 
-// snapshot captures a checkpoint at the current machine state.
+// snapshot captures a checkpoint at the current machine state: a full
+// keyframe at the KeyframeEvery cadence (and always for checkpoint 0),
+// a delta of the pages dirtied since the previous checkpoint otherwise.
 func (r *Recorder) snapshot() {
 	cp := Checkpoint{
-		Index:      len(r.tr.Checkpoints),
+		Index:      r.cpCount,
 		Instr:      r.m.CPU.Stat.Instructions,
 		Cycle:      r.m.Clock(),
-		EventIndex: len(r.tr.Events),
-		Machine:    r.m.Snapshot(),
+		EventIndex: r.evCount,
 	}
+	wantDelta := r.cpCount > 0 && r.keyEvery > 1 && r.sinceKey < r.keyEvery-1
+	if wantDelta {
+		snap, ok := r.m.SnapshotDelta()
+		cp.Machine = snap
+		if ok {
+			cp.Delta = true
+			cp.Base = r.lastIndex
+		}
+	} else {
+		cp.Machine = r.m.Snapshot()
+	}
+	if cp.Delta {
+		r.sinceKey++
+	} else {
+		r.sinceKey = 0
+	}
+	r.m.CPU.ResetDirtyPages()
 	if r.v != nil {
 		cp.VMM = r.v.Snapshot()
 	}
@@ -153,15 +320,43 @@ func (r *Recorder) snapshot() {
 		cp.HasRecv = true
 		cp.Recv = r.recv.State()
 	}
-	r.tr.Checkpoints = append(r.tr.Checkpoints, cp)
+	r.lastIndex = cp.Index
+	r.cpCount++
+
+	if r.sw == nil {
+		r.tr.Checkpoints = append(r.tr.Checkpoints, cp)
+		if cp.Delta {
+			r.stats.Deltas++
+		} else {
+			r.stats.Keyframes++
+		}
+		return
+	}
+	// Streaming: the batch flushed first keeps segments in timeline
+	// order (every pending event precedes the checkpoint).
+	r.flushEvents()
+	if r.err != nil {
+		return
+	}
+	kind := segKeyframe
+	if cp.Delta {
+		kind = segDelta
+	}
+	info, err := r.sw.writeSegment(kind, &cp)
+	if err != nil {
+		r.err = err
+		return
+	}
+	info.Instr, info.Cycle, info.Checkpoint = cp.Instr, cp.Cycle, cp.Index
+	if cp.Delta {
+		r.stats.Deltas++
+	} else {
+		r.stats.Keyframes++
+	}
 }
 
-// Finish stops capturing, removes the hooks, seals the trace with the
-// final machine state, and returns it.
-func (r *Recorder) Finish() *Trace {
-	if !r.active {
-		return r.tr
-	}
+// stop removes the capture hooks and captures the end-of-run seal.
+func (r *Recorder) stop() traceEnd {
 	r.active = false
 	r.m.SetIRQTrace(nil)
 	r.m.NIC.SetFrameTap(nil)
@@ -170,13 +365,87 @@ func (r *Recorder) Finish() *Trace {
 	if r.v != nil {
 		r.v.SetVTimerTrace(nil)
 	}
-	r.tr.EndCycle = r.m.Clock()
-	r.tr.EndInstr = r.m.CPU.Stat.Instructions
-	r.tr.EndReason = int(r.m.LastStopReason())
-	r.tr.EndDigest = Digest(r.m, r.v)
+	if r.trackOwn {
+		r.m.CPU.SetDirtyTracking(false)
+		r.trackOwn = false
+	}
+	return traceEnd{
+		EndCycle:  r.m.Clock(),
+		EndInstr:  r.m.CPU.Stat.Instructions,
+		EndReason: int(r.m.LastStopReason()),
+		EndDigest: Digest(r.m, r.v),
+	}
+}
+
+// Finish stops capturing, removes the hooks, seals the trace with the
+// final machine state, and returns it. On a streaming recorder it seals
+// the stream instead and returns nil — use FinishStream there, which
+// also reports write errors.
+func (r *Recorder) Finish() *Trace {
+	if r.sw != nil {
+		r.FinishStream()
+		return nil
+	}
+	if !r.active {
+		return r.tr
+	}
+	end := r.stop()
+	r.tr.EndCycle = end.EndCycle
+	r.tr.EndInstr = end.EndInstr
+	r.tr.EndReason = end.EndReason
+	r.tr.EndDigest = end.EndDigest
 	return r.tr
 }
 
-// Trace returns the trace being built (also available before Finish, for
-// inspection).
+// FinishStream stops capturing and seals the streamed container: the
+// final event batch, the end segment, the seek-index footer, and the
+// trailer. The first error anywhere in the stream's life — mid-run
+// segment flushes included — is returned; a nil error plus a successful
+// Close of the underlying file means the trace is complete on disk.
+func (r *Recorder) FinishStream() (StreamStats, error) {
+	if r.sw == nil {
+		return StreamStats{}, fmt.Errorf("replay: FinishStream on an in-memory recorder (use Finish)")
+	}
+	if !r.active {
+		return r.stats, r.err
+	}
+	end := r.stop()
+	r.flushEvents()
+	if r.err == nil {
+		if _, err := r.sw.writeSegment(segEnd, end); err != nil {
+			r.err = err
+		}
+	}
+	if r.err == nil {
+		if err := r.sw.finish(); err != nil {
+			r.err = err
+		}
+	}
+	// Data segments only — the seek-index footer and trailer are framing,
+	// and the index cannot list itself (matches len(Trace.Segments) after
+	// a read-back).
+	r.stats.Segments = len(r.sw.index)
+	r.stats.BytesWritten = r.sw.off
+	r.stats.EndCycle = end.EndCycle
+	r.stats.EndInstr = end.EndInstr
+	r.stats.EndDigest = end.EndDigest
+	return r.stats, r.err
+}
+
+// PendingEvents reports how many captured events are resident in the
+// recorder right now (streaming mode: the unflushed batch; in-memory
+// mode: the whole timeline). Tests use it to pin the bounded-memory
+// property.
+func (r *Recorder) PendingEvents() int {
+	if r.sw == nil {
+		return len(r.tr.Events)
+	}
+	return len(r.pend)
+}
+
+// Err returns the sticky stream-write error, if any.
+func (r *Recorder) Err() error { return r.err }
+
+// Trace returns the trace being built in memory (also available before
+// Finish, for inspection); nil on a streaming recorder.
 func (r *Recorder) Trace() *Trace { return r.tr }

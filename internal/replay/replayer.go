@@ -44,6 +44,12 @@ func NewReplayer(tr *Trace, m *machine.Machine, v *vmm.VMM, recv *netsim.Receive
 		return nil, fmt.Errorf("replay: trace RAM size %d, machine has %d",
 			tr.Checkpoints[0].Machine.RAMSize, m.Bus.RAMSize())
 	}
+	if tr.Checkpoints[0].Delta {
+		return nil, fmt.Errorf("replay: trace's first checkpoint is a delta")
+	}
+	if err := tr.validateChains(); err != nil {
+		return nil, err
+	}
 	r := &Replayer{tr: tr, m: m, v: v, recv: recv}
 	r.installHooks()
 	r.restoreCheckpoint(0)
@@ -104,11 +110,30 @@ func (r *Replayer) observe(got Event) {
 	}
 }
 
-// restoreCheckpoint rewinds machine, monitor, and receiver to checkpoint i
-// and realigns the replay cursors.
+// restoreCheckpoint rewinds machine, monitor, and receiver to the
+// checkpoint at slice position i and realigns the replay cursors. A
+// delta checkpoint materializes through its base chain: full restore of
+// the keyframe, each intermediate delta's RAM pages applied in order,
+// then the target delta's pages and complete non-RAM state. The chain
+// length is bounded by the recording's KeyframeEvery, so a reverse seek
+// costs at most one full restore plus KeyframeEvery-1 page-set copies.
 func (r *Replayer) restoreCheckpoint(i int) {
 	cp := &r.tr.Checkpoints[i]
-	r.m.Restore(cp.Machine)
+	if !cp.Delta {
+		r.m.Restore(cp.Machine)
+	} else {
+		// Chain positions, target first; validateChains (NewReplayer)
+		// guarantees resolution and termination.
+		chain := []int{i}
+		for r.tr.Checkpoints[chain[len(chain)-1]].Delta {
+			chain = append(chain, r.tr.byIndex(r.tr.Checkpoints[chain[len(chain)-1]].Base))
+		}
+		r.m.Restore(r.tr.Checkpoints[chain[len(chain)-1]].Machine)
+		for j := len(chain) - 2; j >= 1; j-- {
+			r.m.ApplyRAMDelta(r.tr.Checkpoints[chain[j]].Machine)
+		}
+		r.m.RestoreDelta(cp.Machine)
+	}
 	if r.v != nil && cp.VMM != nil {
 		r.v.Restore(cp.VMM)
 	}
@@ -178,11 +203,21 @@ func (r *Replayer) RunToEnd() error {
 	if r.m.Clock() != r.tr.EndCycle {
 		return fmt.Errorf("replay diverged: final clock %d, recorded %d", r.m.Clock(), r.tr.EndCycle)
 	}
-	if int(reason) != r.tr.EndReason && machine.StopReason(r.tr.EndReason) != machine.StopLimit {
+	if int(reason) != r.tr.EndReason && !externallyBounded(machine.StopReason(r.tr.EndReason)) {
 		return fmt.Errorf("replay diverged: stop reason %v, recorded %v",
 			reason, machine.StopReason(r.tr.EndReason))
 	}
 	return nil
+}
+
+// externallyBounded reports whether a recorded stop reason describes an
+// external bound rather than guest behaviour: a cycle limit, an
+// instruction-count target, or a cross-goroutine stop request (fleet
+// cancellation). The replay reproduces all three as its own cycle limit
+// at the recorded EndCycle — the state digest has already proven the
+// runs identical — so the reason mismatch is not a divergence.
+func externallyBounded(r machine.StopReason) bool {
+	return r == machine.StopLimit || r == machine.StopInstrLimit || r == machine.StopRequested
 }
 
 // Position returns the current instruction-count position in the timeline.
@@ -405,6 +440,7 @@ func (r *Replayer) Checkpoint() (uint64, error) {
 		eventIndex = r.inputCursor
 	}
 	cp := Checkpoint{
+		Index:      r.tr.nextIndex(),
 		Instr:      pos,
 		Cycle:      r.m.Clock(),
 		EventIndex: eventIndex,
@@ -417,14 +453,14 @@ func (r *Replayer) Checkpoint() (uint64, error) {
 		cp.HasRecv = true
 		cp.Recv = r.recv.State()
 	}
+	// Insert sorted by position. Index stays a stable id (fresh for live
+	// checkpoints, recording order for recorded ones) — renumbering by
+	// slice position would corrupt the delta checkpoints' Base links.
 	i := sort.Search(len(r.tr.Checkpoints), func(i int) bool {
 		return r.tr.Checkpoints[i].Instr > pos
 	})
 	r.tr.Checkpoints = append(r.tr.Checkpoints, Checkpoint{})
 	copy(r.tr.Checkpoints[i+1:], r.tr.Checkpoints[i:])
 	r.tr.Checkpoints[i] = cp
-	for j := range r.tr.Checkpoints {
-		r.tr.Checkpoints[j].Index = j
-	}
 	return pos, nil
 }

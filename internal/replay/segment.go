@@ -1,0 +1,313 @@
+package replay
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// The v3 trace container is a stream of self-delimiting segments so a
+// recorder can flush state to disk as it goes and never hold more than
+// one segment's worth of trace data in memory:
+//
+//	"LVMMTRC\n" <version:u16 LE>
+//	( <kind:u8> <payloadLen:u64 LE> gzip(gob(payload)) )*
+//	<trailer: "LVMMIDX\n" <indexOffset:u64 LE>>
+//
+// Segment order is: one segMeta, then event batches and checkpoints
+// interleaved in timeline order, one segEnd, and finally one segIndex
+// (the seek footer) followed by the fixed-size trailer pointing back at
+// it. Each payload is an independent gzip stream, so a reader can
+// decode any segment knowing only its offset — the basis for seeking by
+// segment instead of scanning, and for salvage tooling on truncated
+// files. Checkpoints come in two kinds: keyframes (full sparse RAM) and
+// deltas (only pages dirtied since the base checkpoint).
+const (
+	segMeta     byte = 1 // TraceMeta
+	segEvents   byte = 2 // []Event batch
+	segKeyframe byte = 3 // Checkpoint with full sparse RAM
+	segDelta    byte = 4 // Checkpoint with dirty-page RAM vs its Base
+	segEnd      byte = 5 // traceEnd seal
+	segIndex    byte = 6 // []SegmentInfo footer
+)
+
+// indexMagic introduces the fixed-size trailer that locates the index
+// segment from the end of a seekable file.
+const indexMagic = "LVMMIDX\n"
+
+// maxSegmentPayload bounds a single segment's compressed payload; a
+// 64 MB machine's full keyframe gzips far below this, so anything larger
+// is corruption, not data.
+const maxSegmentPayload = 1 << 31
+
+func segKindName(k byte) string {
+	switch k {
+	case segMeta:
+		return "meta"
+	case segEvents:
+		return "events"
+	case segKeyframe:
+		return "keyframe"
+	case segDelta:
+		return "delta"
+	case segEnd:
+		return "end"
+	case segIndex:
+		return "index"
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// SegmentInfo is one entry of the trace's seek index: where a segment
+// lives on disk, what it holds, and the timeline position it covers.
+type SegmentInfo struct {
+	Kind   byte
+	Offset int64 // file offset of the segment header
+	Bytes  int64 // on-disk bytes including the 9-byte header
+	// Events is the batch size for event segments.
+	Events int
+	// Instr/Cycle locate the segment on the timeline: a checkpoint's
+	// position, or an event batch's first event.
+	Instr uint64
+	Cycle uint64
+	// Checkpoint is the stable Checkpoint.Index for snapshot segments,
+	// -1 otherwise.
+	Checkpoint int
+}
+
+// KindName renders the segment kind for display.
+func (si SegmentInfo) KindName() string { return segKindName(si.Kind) }
+
+// IsEvents reports whether the segment is an event batch.
+func (si SegmentInfo) IsEvents() bool { return si.Kind == segEvents }
+
+// IsSnapshot reports whether the segment is a keyframe or delta
+// checkpoint (Checkpoint then holds the stable checkpoint id).
+func (si SegmentInfo) IsSnapshot() bool { return si.Kind == segKeyframe || si.Kind == segDelta }
+
+// traceEnd seals a recording (the v3 counterpart of the End* fields).
+type traceEnd struct {
+	EndCycle  uint64
+	EndInstr  uint64
+	EndReason int
+	EndDigest uint64
+}
+
+// segWriter emits the v3 container onto any io.Writer, tracking offsets
+// itself so it never needs to seek. Errors are sticky: after the first
+// failed write every later call returns the same error, and a trace
+// sealed through a failed writer is reported as such rather than
+// silently truncated.
+type segWriter struct {
+	w     io.Writer
+	off   int64
+	index []SegmentInfo
+	err   error
+}
+
+// newSegWriter writes the file header and returns the writer.
+func newSegWriter(w io.Writer) (*segWriter, error) {
+	sw := &segWriter{w: w}
+	hdr := make([]byte, 0, len(traceMagic)+2)
+	hdr = append(hdr, traceMagic...)
+	hdr = append(hdr, byte(TraceVersion), byte(TraceVersion>>8))
+	if err := sw.writeAll(hdr); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+func (sw *segWriter) writeAll(b []byte) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	n, err := sw.w.Write(b)
+	sw.off += int64(n)
+	if err == nil && n != len(b) {
+		err = io.ErrShortWrite
+	}
+	sw.err = err
+	return err
+}
+
+// writeSegment encodes payload as gzip(gob) and appends one segment.
+// The returned SegmentInfo has already been added to the index (for
+// every kind except segIndex itself); the caller may decorate the
+// index entry through the returned pointer before the next write.
+func (sw *segWriter) writeSegment(kind byte, payload any) (*SegmentInfo, error) {
+	if sw.err != nil {
+		return nil, sw.err
+	}
+	body, err := encodeSegment(payload)
+	if err != nil {
+		sw.err = err
+		return nil, err
+	}
+	info := SegmentInfo{
+		Kind:       kind,
+		Offset:     sw.off,
+		Bytes:      int64(9 + len(body)),
+		Checkpoint: -1,
+	}
+	var hdr [9]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint64(hdr[1:], uint64(len(body)))
+	if err := sw.writeAll(hdr[:]); err != nil {
+		return nil, err
+	}
+	if err := sw.writeAll(body); err != nil {
+		return nil, err
+	}
+	if kind == segIndex {
+		return &info, nil
+	}
+	sw.index = append(sw.index, info)
+	return &sw.index[len(sw.index)-1], nil
+}
+
+// finish writes the index segment and the trailer. The caller is
+// responsible for any underlying file Close (and for propagating its
+// error — a buffered short write surfaces there).
+func (sw *segWriter) finish() error {
+	idx, err := sw.writeSegment(segIndex, sw.index)
+	if err != nil {
+		return err
+	}
+	var tr [16]byte
+	copy(tr[:], indexMagic)
+	binary.LittleEndian.PutUint64(tr[8:], uint64(idx.Offset))
+	return sw.writeAll(tr[:])
+}
+
+// encodeSegment renders one payload as an independent gzip(gob) blob.
+func encodeSegment(payload any) ([]byte, error) {
+	var buf bytes.Buffer
+	zw, err := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if err := gob.NewEncoder(zw).Encode(payload); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeSegment decodes a blob produced by encodeSegment.
+func decodeSegment(body []byte, out any) error {
+	zr, err := gzip.NewReader(bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer zr.Close()
+	return gob.NewDecoder(zr).Decode(out)
+}
+
+// readSegments scans a v3 stream after the version bytes, decoding each
+// segment into the trace under construction. It returns once the index
+// segment (always last) and trailer are consumed.
+func readSegments(r io.Reader, t *Trace) error {
+	var (
+		off      = int64(len(traceMagic) + 2)
+		sawMeta  bool
+		sawEnd   bool
+		sawIndex bool
+		segsSeen []SegmentInfo
+		hdr      [9]byte
+	)
+	for !sawIndex {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return fmt.Errorf("replay: truncated trace (segment header at offset %d): %w", off, err)
+		}
+		kind := hdr[0]
+		n := binary.LittleEndian.Uint64(hdr[1:])
+		if n > maxSegmentPayload {
+			return fmt.Errorf("replay: segment %s at offset %d claims %d payload bytes", segKindName(kind), off, n)
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return fmt.Errorf("replay: truncated %s segment at offset %d: %w", segKindName(kind), off, err)
+		}
+		info := SegmentInfo{Kind: kind, Offset: off, Bytes: int64(9 + len(body)), Checkpoint: -1}
+		switch kind {
+		case segMeta:
+			if sawMeta {
+				return fmt.Errorf("replay: duplicate meta segment")
+			}
+			if err := decodeSegment(body, &t.Meta); err != nil {
+				return fmt.Errorf("replay: decoding trace meta: %w", err)
+			}
+			sawMeta = true
+		case segEvents:
+			var batch []Event
+			if err := decodeSegment(body, &batch); err != nil {
+				return fmt.Errorf("replay: decoding event batch at offset %d: %w", off, err)
+			}
+			info.Events = len(batch)
+			if len(batch) > 0 {
+				info.Instr, info.Cycle = batch[0].Instr, batch[0].Cycle
+			}
+			t.Events = append(t.Events, batch...)
+		case segKeyframe, segDelta:
+			var cp Checkpoint
+			if err := decodeSegment(body, &cp); err != nil {
+				return fmt.Errorf("replay: decoding %s at offset %d: %w", segKindName(kind), off, err)
+			}
+			if (kind == segDelta) != cp.Delta {
+				return fmt.Errorf("replay: %s segment at offset %d carries a checkpoint with delta=%v",
+					segKindName(kind), off, cp.Delta)
+			}
+			info.Instr, info.Cycle, info.Checkpoint = cp.Instr, cp.Cycle, cp.Index
+			t.Checkpoints = append(t.Checkpoints, cp)
+		case segEnd:
+			if sawEnd {
+				return fmt.Errorf("replay: duplicate end segment")
+			}
+			var end traceEnd
+			if err := decodeSegment(body, &end); err != nil {
+				return fmt.Errorf("replay: decoding end segment: %w", err)
+			}
+			t.EndCycle, t.EndInstr = end.EndCycle, end.EndInstr
+			t.EndReason, t.EndDigest = end.EndReason, end.EndDigest
+			sawEnd = true
+		case segIndex:
+			var idx []SegmentInfo
+			if err := decodeSegment(body, &idx); err != nil {
+				return fmt.Errorf("replay: decoding segment index: %w", err)
+			}
+			if len(idx) != len(segsSeen) {
+				return fmt.Errorf("replay: segment index lists %d segments, stream has %d", len(idx), len(segsSeen))
+			}
+			t.Segments = idx
+			sawIndex = true
+		default:
+			return fmt.Errorf("replay: unknown segment kind %d at offset %d", kind, off)
+		}
+		if kind != segIndex {
+			segsSeen = append(segsSeen, info)
+		}
+		off += int64(9 + len(body))
+	}
+	// Trailer: magic + index offset. A missing trailer means the file was
+	// cut between the index and the final bytes — reject rather than
+	// guessing.
+	var tr [16]byte
+	if _, err := io.ReadFull(r, tr[:]); err != nil {
+		return fmt.Errorf("replay: truncated trace trailer: %w", err)
+	}
+	if string(tr[:8]) != indexMagic {
+		return fmt.Errorf("replay: bad trace trailer")
+	}
+	if !sawMeta {
+		return fmt.Errorf("replay: trace has no meta segment")
+	}
+	if !sawEnd {
+		return fmt.Errorf("replay: trace has no end segment (recording was not sealed)")
+	}
+	return nil
+}

@@ -1,0 +1,441 @@
+package replay
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"lvmm/internal/asm"
+	"lvmm/internal/machine"
+	"lvmm/internal/vmm"
+)
+
+// buildTrapDense boots the trap-dense kernel (fused_test.go) under the
+// lightweight monitor, optionally forcing the slow engine.
+func buildTrapDense(t *testing.T, slow bool) (*machine.Machine, *vmm.VMM) {
+	t.Helper()
+	img, err := asm.Assemble(trapDenseKernel)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := machine.New(machine.Config{ResetPC: img.Entry})
+	if err := m.LoadImage(img); err != nil {
+		t.Fatal(err)
+	}
+	v := vmm.Attach(m, vmm.Config{Mode: vmm.Lightweight})
+	if err := v.Launch(img.Entry); err != nil {
+		t.Fatal(err)
+	}
+	if slow {
+		if err := m.CPU.SetSpyWatch(3, 0xFFFF0000, 4, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, v
+}
+
+// TestStreamedTrapDenseCrossEngine is the acceptance property for the
+// streaming container: a trap-dense v3 trace streamed from the fused
+// engine replays bit-identically on both engines after a round trip
+// through the segmented format, and reverse operations work against it.
+func TestStreamedTrapDenseCrossEngine(t *testing.T) {
+	var buf bytes.Buffer
+	m, v := buildTrapDense(t, false)
+	rec, err := NewStreamRecorder(&buf, m, v, nil, TraceMeta{Custom: true},
+		Options{SnapshotInterval: 20_000_000, KeyframeEvery: 3, EventBatch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Start()
+	if reason := m.Run(400_000_000); reason != machine.StopGuestDone {
+		t.Fatalf("record: stop %v pc=%08x", reason, m.CPU.PC)
+	}
+	stats, err := rec.FinishStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Deltas == 0 || stats.Keyframes < 2 {
+		t.Fatalf("expected a keyframe/delta mix, got %d keyframes, %d deltas", stats.Keyframes, stats.Deltas)
+	}
+	if int64(buf.Len()) != stats.BytesWritten {
+		t.Fatalf("BytesWritten %d, stream holds %d", stats.BytesWritten, buf.Len())
+	}
+
+	tr, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.EndDigest != stats.EndDigest || tr.EndInstr != stats.EndInstr || len(tr.Events) != stats.Events {
+		t.Fatalf("read-back mismatch: end digest %#x/%#x, instr %d/%d, events %d/%d",
+			tr.EndDigest, stats.EndDigest, tr.EndInstr, stats.EndInstr, len(tr.Events), stats.Events)
+	}
+	if len(tr.Segments) != stats.Segments {
+		t.Fatalf("segment index lists %d, recorder reported %d", len(tr.Segments), stats.Segments)
+	}
+
+	for _, slow := range []bool{false, true} {
+		m2, v2 := buildTrapDense(t, slow)
+		rp, err := NewReplayer(tr, m2, v2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rp.RunToEnd(); err != nil {
+			t.Fatalf("streamed trace replay (slow=%v) diverged: %v", slow, err)
+		}
+	}
+
+	// Reverse operations against the streamed trace: land mid-run, step
+	// back across a delta checkpoint boundary, re-seek forward, and
+	// reverse-continue to a breakpoint crossing.
+	m3, v3 := buildTrapDense(t, false)
+	rp, err := NewReplayer(tr, m3, v3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Checkpoints) < 4 {
+		t.Fatalf("need ≥4 checkpoints, got %d", len(tr.Checkpoints))
+	}
+	// Position after a delta checkpoint (index 2 is a delta with
+	// KeyframeEvery=3: keyframe 0, deltas 1-2, keyframe 3, ...).
+	if !tr.Checkpoints[2].Delta {
+		t.Fatalf("checkpoint 2 should be a delta")
+	}
+	posA := tr.Checkpoints[2].Instr + 40
+	if err := rp.SeekInstr(posA); err != nil {
+		t.Fatal(err)
+	}
+	digA := Digest(m3, v3)
+	back := posA - tr.Checkpoints[1].Instr - 1
+	if err := rp.ReverseStep(back); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rp.Position(), posA-back; got != want {
+		t.Fatalf("reverse-step landed at %d, want %d", got, want)
+	}
+	if err := rp.SeekInstr(posA); err != nil {
+		t.Fatal(err)
+	}
+	if got := Digest(m3, v3); got != digA {
+		t.Fatalf("re-seek digest %#x, want %#x", got, digA)
+	}
+	// Reverse-continue to the previous execution of the body loop head.
+	img, _ := asm.Assemble(trapDenseKernel)
+	body := img.Symbols["body"]
+	if body == 0 {
+		t.Fatal("kernel has no body symbol")
+	}
+	hit, err := rp.ReverseContinue([]uint32{body}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("reverse-continue found no body crossing before the landing")
+	}
+	if m3.CPU.PC != body {
+		t.Fatalf("reverse-continue landed at pc=%08x, want body=%08x", m3.CPU.PC, body)
+	}
+	if rp.Err() != nil {
+		t.Fatalf("unexpected divergence: %v", rp.Err())
+	}
+}
+
+// buildEndless boots the trap-dense kernel with its loop bound removed:
+// the guest cycles through monitor crossings (and the virtual timer keeps
+// firing events) until the run's cycle limit — the long-recording shape
+// the bounded-memory property is about.
+func buildEndless(t *testing.T) (*machine.Machine, *vmm.VMM) {
+	t.Helper()
+	src := strings.Replace(trapDenseKernel, "blt  r7, r8, body", "b    body", 1)
+	img, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := machine.New(machine.Config{ResetPC: img.Entry})
+	if err := m.LoadImage(img); err != nil {
+		t.Fatal(err)
+	}
+	v := vmm.Attach(m, vmm.Config{Mode: vmm.Lightweight})
+	if err := v.Launch(img.Entry); err != nil {
+		t.Fatal(err)
+	}
+	return m, v
+}
+
+// TestStreamBoundedMemory pins the O(segment) property: however long the
+// recording runs (≥ 8 snapshot intervals here), the recorder's resident
+// trace data stays bounded by one event batch, while the stream itself
+// keeps growing — the opposite of the old accumulate-then-write design.
+func TestStreamBoundedMemory(t *testing.T) {
+	const batch = 128
+	run := func(cycles uint64) (StreamStats, int) {
+		var sink countWriter
+		m, v := buildEndless(t)
+		rec, err := NewStreamRecorder(&sink, m, v, nil, TraceMeta{Custom: true},
+			Options{SnapshotInterval: 10_000_000, KeyframeEvery: 4, EventBatch: batch, MaxSnapshots: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Start()
+		m.Run(cycles)
+		if rec.Trace() != nil {
+			t.Fatal("streaming recorder accumulated an in-memory trace")
+		}
+		pendAtFinish := rec.PendingEvents()
+		stats, err := rec.FinishStream()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.PendingEvents() != 0 {
+			t.Fatalf("events still pending after FinishStream: %d", rec.PendingEvents())
+		}
+		return stats, pendAtFinish
+	}
+
+	short, _ := run(100_000_000)
+	long, _ := run(400_000_000)
+
+	if long.Keyframes+long.Deltas < 9 {
+		t.Fatalf("long run took %d+%d snapshots, want ≥ 9 (8 intervals)",
+			long.Keyframes, long.Deltas)
+	}
+	if long.Events <= short.Events || long.Segments <= short.Segments {
+		t.Fatalf("long run did not grow the stream: events %d vs %d, segments %d vs %d",
+			long.Events, short.Events, long.Segments, short.Segments)
+	}
+	// The bound itself: resident events never exceed one batch, on either
+	// run length — a 4x longer recording holds no more trace data in
+	// memory than a short one.
+	if short.MaxPendingEvents > batch || long.MaxPendingEvents > batch {
+		t.Fatalf("resident event high-water exceeded the batch bound: short %d, long %d, batch %d",
+			short.MaxPendingEvents, long.MaxPendingEvents, batch)
+	}
+}
+
+// countWriter discards while counting (the recording sink for memory
+// tests — nothing retained).
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// TestDeltaRestoreDifferential proves delta checkpoints restore the
+// exact state full snapshots do: the same deterministic run recorded
+// with KeyframeEvery 1 (all full) and KeyframeEvery 4 (delta chains)
+// must land on identical digests at every checkpoint position when
+// seeking backwards from the end (forcing checkpoint restores).
+func TestDeltaRestoreDifferential(t *testing.T) {
+	record := func(keyEvery int) *Trace {
+		m, v := buildTrapDense(t, false)
+		rec := NewRecorder(m, v, nil, TraceMeta{Custom: true},
+			Options{SnapshotInterval: 15_000_000, KeyframeEvery: keyEvery})
+		rec.Start()
+		if reason := m.Run(400_000_000); reason != machine.StopGuestDone {
+			t.Fatalf("record: stop %v", reason)
+		}
+		return rec.Finish()
+	}
+	trFull := record(1)
+	trDelta := record(4)
+
+	if len(trFull.Checkpoints) != len(trDelta.Checkpoints) {
+		t.Fatalf("checkpoint counts differ: %d vs %d", len(trFull.Checkpoints), len(trDelta.Checkpoints))
+	}
+	deltas := 0
+	for _, cp := range trDelta.Checkpoints {
+		if cp.Delta {
+			deltas++
+		}
+	}
+	if deltas == 0 {
+		t.Fatal("KeyframeEvery=4 recording produced no delta checkpoints")
+	}
+	for _, cp := range trFull.Checkpoints {
+		if cp.Delta {
+			t.Fatal("KeyframeEvery=1 recording produced a delta checkpoint")
+		}
+	}
+
+	mF, vF := buildTrapDense(t, false)
+	rpF, err := NewReplayer(trFull, mF, vF, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mD, vD := buildTrapDense(t, false)
+	rpD, err := NewReplayer(trDelta, mD, vD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Walk the checkpoints newest-first so every seek is a backwards one:
+	// the delta replayer must materialize each chain, not just re-execute.
+	for i := len(trDelta.Checkpoints) - 1; i >= 0; i-- {
+		pos := trDelta.Checkpoints[i].Instr + 3
+		if pos > trDelta.EndInstr {
+			pos = trDelta.Checkpoints[i].Instr
+		}
+		if err := rpF.SeekInstr(pos); err != nil {
+			t.Fatalf("full seek %d: %v", pos, err)
+		}
+		if err := rpD.SeekInstr(pos); err != nil {
+			t.Fatalf("delta seek %d: %v", pos, err)
+		}
+		dF, dD := Digest(mF, vF), Digest(mD, vD)
+		if dF != dD {
+			t.Fatalf("digest mismatch at instr %d (checkpoint %d): full %#x, delta %#x", pos, i, dF, dD)
+		}
+		if mF.Clock() != mD.Clock() {
+			t.Fatalf("clock mismatch at instr %d: %d vs %d", pos, mF.Clock(), mD.Clock())
+		}
+	}
+}
+
+// TestStreamWriteErrorPropagation makes sure a failing sink cannot yield
+// a silently truncated trace: the recorder reports the error at (or
+// before) FinishStream, and Trace.Write fails loudly too.
+func TestStreamWriteErrorPropagation(t *testing.T) {
+	// In-memory trace written through a failing writer: every failure
+	// offset must surface an error.
+	m, v := buildTrapDense(t, false)
+	rec := NewRecorder(m, v, nil, TraceMeta{Custom: true}, Options{SnapshotInterval: 30_000_000})
+	rec.Start()
+	if reason := m.Run(200_000_000); reason == machine.StopWedged {
+		t.Fatal("guest wedged")
+	}
+	tr := rec.Finish()
+	var full bytes.Buffer
+	if err := tr.Write(&full); err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int64{0, 1, 9, 300, int64(full.Len()) - 1} {
+		if err := tr.Write(&failWriter{limit: limit}); err == nil {
+			t.Fatalf("Write through a sink failing at byte %d reported success", limit)
+		}
+	}
+
+	// Streaming recorder over a failing sink: the stream seals with an
+	// error, never silently — and a broken stream must not start
+	// accumulating the rest of the run's events in memory either (the
+	// bounded-memory property matters most when the disk just filled up).
+	const batch = 16
+	m2, v2 := buildEndless(t)
+	rec2, err := NewStreamRecorder(&failWriter{limit: 2_000}, m2, v2, nil, TraceMeta{Custom: true},
+		Options{SnapshotInterval: 30_000_000, EventBatch: batch})
+	if err != nil {
+		t.Fatalf("header within the limit yet rejected: %v", err)
+	}
+	rec2.Start()
+	m2.Run(300_000_000)
+	if rec2.Err() == nil {
+		t.Fatal("sink never failed; raise the run length or lower the limit")
+	}
+	if got := rec2.PendingEvents(); got > batch {
+		t.Fatalf("broken stream accumulated %d resident events (batch %d) — O(run) growth on disk failure", got, batch)
+	}
+	if _, err := rec2.FinishStream(); err == nil {
+		t.Fatal("FinishStream over a failing sink reported success")
+	}
+}
+
+// failWriter accepts limit bytes, then errors.
+type failWriter struct{ limit, n int64 }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n+int64(len(p)) > f.limit {
+		ok := f.limit - f.n
+		if ok < 0 {
+			ok = 0
+		}
+		f.n = f.limit
+		return int(ok), fmt.Errorf("sink full at byte %d", f.limit)
+	}
+	f.n += int64(len(p))
+	return len(p), nil
+}
+
+// TestTruncatedStreamRejected cuts a valid v3 stream at several points;
+// the reader must reject every prefix instead of returning a partial
+// trace as complete.
+func TestTruncatedStreamRejected(t *testing.T) {
+	var buf bytes.Buffer
+	m, v := buildTrapDense(t, false)
+	rec, err := NewStreamRecorder(&buf, m, v, nil, TraceMeta{Custom: true},
+		Options{SnapshotInterval: 40_000_000, EventBatch: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Start()
+	m.Run(150_000_000)
+	if _, err := rec.FinishStream(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadTrace(bytes.NewReader(data)); err != nil {
+		t.Fatalf("complete stream rejected: %v", err)
+	}
+	for _, cut := range []int{len(data) - 1, len(data) - 8, len(data) / 2, 64, 11} {
+		if _, err := ReadTrace(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("stream truncated to %d of %d bytes accepted as complete", cut, len(data))
+		}
+	}
+}
+
+// TestV2RoundTripThroughCompatLoader writes the legacy monolithic format
+// and reads it back through the compatibility path.
+func TestV2RoundTripThroughCompatLoader(t *testing.T) {
+	m, v := buildTrapDense(t, false)
+	rec := NewRecorder(m, v, nil, TraceMeta{Custom: true},
+		Options{SnapshotInterval: 40_000_000, KeyframeEvery: 1})
+	rec.Start()
+	if reason := m.Run(400_000_000); reason != machine.StopGuestDone {
+		t.Fatalf("record: stop %v", reason)
+	}
+	tr := rec.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.WriteV2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Meta.Version != 2 {
+		t.Fatalf("compat loader reports version %d, want 2", tr2.Meta.Version)
+	}
+	if tr2.EndDigest != tr.EndDigest || len(tr2.Events) != len(tr.Events) ||
+		len(tr2.Checkpoints) != len(tr.Checkpoints) {
+		t.Fatal("v2 round trip lost data")
+	}
+	m2, v2 := buildTrapDense(t, false)
+	rp, err := NewReplayer(tr2, m2, v2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.RunToEnd(); err != nil {
+		t.Fatalf("v2 trace replay diverged: %v", err)
+	}
+
+	// Delta checkpoints cannot be represented in v2.
+	m3, v3 := buildTrapDense(t, false)
+	rec3 := NewRecorder(m3, v3, nil, TraceMeta{Custom: true},
+		Options{SnapshotInterval: 40_000_000, KeyframeEvery: 4})
+	rec3.Start()
+	if reason := m3.Run(400_000_000); reason != machine.StopGuestDone {
+		t.Fatalf("record: stop %v", reason)
+	}
+	trDelta := rec3.Finish()
+	hasDelta := false
+	for _, cp := range trDelta.Checkpoints {
+		hasDelta = hasDelta || cp.Delta
+	}
+	if !hasDelta {
+		t.Fatal("no delta checkpoint recorded")
+	}
+	if err := trDelta.WriteV2(io.Discard); err == nil {
+		t.Fatal("WriteV2 accepted a trace with delta checkpoints")
+	}
+}

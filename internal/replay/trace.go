@@ -8,11 +8,19 @@
 // bytes arriving on the communication/console UARTs — and (b) a
 // *verification* timeline of internally-generated nondeterminism-sensitive
 // occurrences (physical interrupt deliveries with their cycle timestamps,
-// virtual-timer firings, frames leaving the NIC), plus periodic full-state
-// snapshots. A Replayer re-executes the run bit-identically from the trace
-// (or from the nearest snapshot), checking every occurrence against the
-// recorded timeline so any divergence is detected at the first deviating
-// interrupt or frame rather than at the end of the run.
+// virtual-timer firings, frames leaving the NIC), plus periodic snapshots.
+// A Replayer re-executes the run bit-identically from the trace (or from
+// the nearest snapshot), checking every occurrence against the recorded
+// timeline so any divergence is detected at the first deviating interrupt
+// or frame rather than at the end of the run.
+//
+// Traces persist in a streaming, segmented container (TraceVersion 3, see
+// segment.go): the recorder flushes self-delimiting gzip-framed segments —
+// event batches, keyframe snapshots, delta snapshots of only the RAM pages
+// dirtied since the previous checkpoint — to an io.Writer as recording
+// proceeds, so resident memory stays proportional to one segment rather
+// than the whole run, and a seek index is written as a footer. Monolithic
+// v2 traces remain readable through the compatibility loader.
 //
 // On top of seekable replay the package implements time travel: reverse-
 // step and reverse-continue restore the nearest snapshot and re-execute
@@ -22,8 +30,10 @@
 //
 // The design follows Oppitz's observation (AADEBUG 2003) that a VMM which
 // already interposes on all nondeterministic inputs is the natural place
-// to implement execution replay, and keeps all machinery outside the
-// guest, in the spirit of Fattori et al.'s out-of-guest analysis.
+// to implement execution replay — and the incremental-checkpoint-plus-
+// event-log shape of King et al.'s VM time-travel line — and keeps all
+// machinery outside the guest, in the spirit of Fattori et al.'s
+// out-of-guest analysis.
 package replay
 
 import (
@@ -32,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"lvmm/internal/guest"
 	"lvmm/internal/machine"
@@ -39,9 +50,14 @@ import (
 	"lvmm/internal/vmm"
 )
 
-// TraceVersion is the current trace-format version. Readers reject
-// mismatched versions rather than misinterpreting state.
-const TraceVersion = 2
+// TraceVersion is the current trace-format version (the streaming
+// segmented container). Readers also accept traceVersionV2, the legacy
+// monolithic gob blob, through the compatibility loader; anything else
+// is rejected rather than misinterpreted.
+const TraceVersion = 3
+
+// traceVersionV2 is the legacy monolithic format (one gzip+gob blob).
+const traceVersionV2 = 2
 
 // traceMagic identifies a trace file.
 const traceMagic = "LVMMTRC\n"
@@ -88,9 +104,15 @@ type Event struct {
 	Data   []byte // EvInput: the injected bytes
 }
 
-// Checkpoint is a full-state snapshot at a trace position. EventIndex is
-// the number of trace events recorded before the snapshot was taken, so a
-// restore can realign the replay cursors.
+// Checkpoint is a snapshot at a trace position. EventIndex is the number
+// of trace events recorded before the snapshot was taken, so a restore
+// can realign the replay cursors.
+//
+// Index is a stable identifier (recording order for recorded
+// checkpoints; live checkpoints inserted during a replay session get
+// fresh ids) — it is NOT the slice position, which shifts as live
+// checkpoints are inserted. Delta checkpoints reference their base
+// through that stable id.
 type Checkpoint struct {
 	Index      int
 	Instr      uint64
@@ -101,6 +123,13 @@ type Checkpoint struct {
 	VMM     *vmm.Snapshot // nil when no monitor is attached (bare metal)
 	HasRecv bool
 	Recv    netsim.ReceiverState
+
+	// Delta marks a delta checkpoint: Machine.RAM holds only the pages
+	// dirtied since the checkpoint whose Index is Base. Restoring one
+	// materializes its keyframe and applies the delta chain in order.
+	// Keyframes (and every v2 checkpoint) have Delta false.
+	Delta bool
+	Base  int
 }
 
 // TraceMeta describes how to rebuild the recorded target.
@@ -108,14 +137,21 @@ type TraceMeta struct {
 	Version  int
 	Platform int // lvmm.Platform value
 	Params   guest.Params
-	Label    string
+	// Seed selects the deterministic volume pattern of the streaming
+	// target's disks (fleet scenarios); 0 is the default volume.
+	Seed  uint64
+	Label string
 	// Custom marks traces of hand-built machines (not the standard
 	// streaming target); the caller must reconstruct the machine itself
 	// before attaching a Replayer.
 	Custom bool
 }
 
-// Trace is a complete recorded run.
+// Trace is a complete recorded run held in memory. The streaming
+// recorder never materializes one — it writes segments straight to its
+// io.Writer — but the replay side loads traces into this form, and
+// small-scale recordings (tests, interactive sessions) may still build
+// one directly with NewRecorder.
 type Trace struct {
 	Meta        TraceMeta
 	Events      []Event
@@ -126,6 +162,11 @@ type Trace struct {
 	EndInstr  uint64
 	EndReason int // machine.StopReason at Finish time
 	EndDigest uint64
+
+	// Segments is the seek index of the file the trace was loaded from
+	// (offsets, kinds, on-disk sizes). Empty for traces built in memory
+	// and for v2 files; Write regenerates it.
+	Segments []SegmentInfo
 }
 
 // StartInstr returns the instruction count at the beginning of the trace.
@@ -136,44 +177,162 @@ func (t *Trace) StartInstr() uint64 {
 	return t.Checkpoints[0].Instr
 }
 
-// nearestCheckpoint returns the index of the latest checkpoint whose
-// instruction count is at most pos. Checkpoints are sorted by Instr and
-// index 0 always exists for a well-formed trace.
+// nearestCheckpoint returns the slice position of the latest checkpoint
+// whose instruction count is at most pos. Checkpoints are sorted by
+// Instr and position 0 always exists for a well-formed trace; the lookup
+// is a binary search over the checkpoint index, not a scan.
 func (t *Trace) nearestCheckpoint(pos uint64) int {
-	best := 0
-	for i := range t.Checkpoints {
-		if t.Checkpoints[i].Instr <= pos {
-			best = i
-		} else {
-			break
-		}
+	i := sort.Search(len(t.Checkpoints), func(i int) bool {
+		return t.Checkpoints[i].Instr > pos
+	})
+	if i > 0 {
+		return i - 1
 	}
-	return best
+	return 0
 }
 
-// Write serializes the trace: magic, version, then a gzip-compressed
-// gob stream (snapshots carry sparse RAM images, which compress well).
+// byIndex returns the slice position of the checkpoint with the given
+// stable Index, or -1.
+func (t *Trace) byIndex(id int) int {
+	for i := range t.Checkpoints {
+		if t.Checkpoints[i].Index == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// validateChains checks that every delta checkpoint's base chain
+// resolves and terminates in a keyframe, so a restore cannot walk off
+// the trace at seek time.
+func (t *Trace) validateChains() error {
+	for i := range t.Checkpoints {
+		cp := &t.Checkpoints[i]
+		seen := 0
+		for cp.Delta {
+			b := t.byIndex(cp.Base)
+			if b < 0 {
+				return fmt.Errorf("replay: checkpoint %d's base %d is missing", cp.Index, cp.Base)
+			}
+			if t.Checkpoints[b].Instr > cp.Instr || &t.Checkpoints[b] == cp {
+				return fmt.Errorf("replay: checkpoint %d's base %d is not earlier on the timeline", cp.Index, cp.Base)
+			}
+			cp = &t.Checkpoints[b]
+			if seen++; seen > len(t.Checkpoints) {
+				return fmt.Errorf("replay: delta checkpoint chain does not terminate")
+			}
+		}
+	}
+	return nil
+}
+
+// nextIndex returns a fresh stable checkpoint id.
+func (t *Trace) nextIndex() int {
+	max := -1
+	for i := range t.Checkpoints {
+		if t.Checkpoints[i].Index > max {
+			max = t.Checkpoints[i].Index
+		}
+	}
+	return max + 1
+}
+
+// Write serializes the trace in the current (v3) segmented format:
+// header, meta segment, event batches and checkpoints interleaved in
+// timeline order, end segment, seek index, trailer. Every write error —
+// including the deferred ones gzip surfaces only at Close — propagates;
+// a nil return means the full container reached w.
 func (t *Trace) Write(w io.Writer) error {
+	sw, err := newSegWriter(w)
+	if err != nil {
+		return err
+	}
+	meta := t.Meta
+	meta.Version = TraceVersion
+	if _, err := sw.writeSegment(segMeta, meta); err != nil {
+		return err
+	}
+	written := 0
+	writeBatchesTo := func(limit int) error {
+		for written < limit {
+			n := limit - written
+			if n > DefaultEventBatch {
+				n = DefaultEventBatch
+			}
+			batch := t.Events[written : written+n]
+			info, err := sw.writeSegment(segEvents, batch)
+			if err != nil {
+				return err
+			}
+			info.Events = len(batch)
+			info.Instr, info.Cycle = batch[0].Instr, batch[0].Cycle
+			written += n
+		}
+		return nil
+	}
+	for i := range t.Checkpoints {
+		cp := &t.Checkpoints[i]
+		limit := cp.EventIndex
+		if limit > len(t.Events) {
+			limit = len(t.Events)
+		}
+		if err := writeBatchesTo(limit); err != nil {
+			return err
+		}
+		kind := segKeyframe
+		if cp.Delta {
+			kind = segDelta
+		}
+		info, err := sw.writeSegment(kind, cp)
+		if err != nil {
+			return err
+		}
+		info.Instr, info.Cycle, info.Checkpoint = cp.Instr, cp.Cycle, cp.Index
+	}
+	if err := writeBatchesTo(len(t.Events)); err != nil {
+		return err
+	}
+	if _, err := sw.writeSegment(segEnd, traceEnd{
+		EndCycle: t.EndCycle, EndInstr: t.EndInstr,
+		EndReason: t.EndReason, EndDigest: t.EndDigest,
+	}); err != nil {
+		return err
+	}
+	return sw.finish()
+}
+
+// WriteV2 serializes the trace in the legacy v2 monolithic format (one
+// gzip+gob blob). It exists for compatibility testing and for tooling
+// that must interoperate with pre-v3 readers; delta checkpoints cannot
+// be represented and are rejected.
+func (t *Trace) WriteV2(w io.Writer) error {
+	for i := range t.Checkpoints {
+		if t.Checkpoints[i].Delta {
+			return fmt.Errorf("replay: v2 format cannot hold delta checkpoints (record with KeyframeEvery 1)")
+		}
+	}
 	if _, err := io.WriteString(w, traceMagic); err != nil {
 		return err
 	}
-	var ver [2]byte
-	ver[0] = byte(TraceVersion)
-	ver[1] = byte(TraceVersion >> 8)
-	if _, err := w.Write(ver[:]); err != nil {
+	if _, err := w.Write([]byte{traceVersionV2, 0}); err != nil {
 		return err
 	}
 	zw, err := gzip.NewWriterLevel(w, gzip.BestSpeed)
 	if err != nil {
 		return err
 	}
-	if err := gob.NewEncoder(zw).Encode(t); err != nil {
+	v2 := *t
+	v2.Meta.Version = traceVersionV2
+	v2.Segments = nil
+	if err := gob.NewEncoder(zw).Encode(&v2); err != nil {
+		zw.Close()
 		return err
 	}
 	return zw.Close()
 }
 
-// ReadTrace deserializes a trace written by Write.
+// ReadTrace deserializes a trace written by Write (v3) or by the legacy
+// v2 writer.
 func ReadTrace(r io.Reader) (*Trace, error) {
 	magic := make([]byte, len(traceMagic)+2)
 	if _, err := io.ReadFull(r, magic); err != nil {
@@ -183,28 +342,55 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("replay: not a trace file")
 	}
 	ver := int(magic[len(traceMagic)]) | int(magic[len(traceMagic)+1])<<8
-	if ver != TraceVersion {
-		return nil, fmt.Errorf("replay: trace version %d, want %d", ver, TraceVersion)
-	}
-	zr, err := gzip.NewReader(r)
-	if err != nil {
-		return nil, fmt.Errorf("replay: trace payload: %w", err)
-	}
-	defer zr.Close()
 	var t Trace
-	if err := gob.NewDecoder(zr).Decode(&t); err != nil {
-		return nil, fmt.Errorf("replay: decoding trace: %w", err)
-	}
-	if t.Meta.Version != TraceVersion {
-		return nil, fmt.Errorf("replay: trace meta version %d, want %d", t.Meta.Version, TraceVersion)
+	switch ver {
+	case TraceVersion:
+		if err := readSegments(r, &t); err != nil {
+			return nil, err
+		}
+		if t.Meta.Version != TraceVersion {
+			return nil, fmt.Errorf("replay: trace meta version %d, want %d", t.Meta.Version, TraceVersion)
+		}
+	case traceVersionV2:
+		if err := readTraceV2(r, &t); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("replay: trace version %d, want %d (or legacy %d)",
+			ver, TraceVersion, traceVersionV2)
 	}
 	if len(t.Checkpoints) == 0 {
 		return nil, fmt.Errorf("replay: trace has no checkpoints")
 	}
+	if err := t.validateChains(); err != nil {
+		return nil, err
+	}
 	return &t, nil
 }
 
-// WriteFile saves the trace to path.
+// readTraceV2 is the compatibility loader for the monolithic format.
+// Old checkpoints are all full snapshots (Delta decodes as false) whose
+// Index already equals their position, so they drop straight into the
+// v3 in-memory representation.
+func readTraceV2(r io.Reader, t *Trace) error {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return fmt.Errorf("replay: trace payload: %w", err)
+	}
+	defer zr.Close()
+	if err := gob.NewDecoder(zr).Decode(t); err != nil {
+		return fmt.Errorf("replay: decoding trace: %w", err)
+	}
+	if t.Meta.Version != traceVersionV2 {
+		return fmt.Errorf("replay: trace meta version %d, want %d", t.Meta.Version, traceVersionV2)
+	}
+	t.Segments = nil
+	return nil
+}
+
+// WriteFile saves the trace to path, propagating write and close errors
+// (a short write anywhere — including at Close, where buffered bytes
+// land — fails the save instead of leaving a silently truncated trace).
 func (t *Trace) WriteFile(path string) error {
 	f, err := os.Create(path)
 	if err != nil {

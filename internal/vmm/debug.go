@@ -3,6 +3,7 @@ package vmm
 import (
 	"fmt"
 
+	"lvmm/internal/gdbstub"
 	"lvmm/internal/isa"
 )
 
@@ -93,6 +94,15 @@ func (d *DebugTarget) SetHWBreak(i int, addr uint32, enabled bool) error {
 // SetWatchpoint programs a CPU data-watchpoint slot.
 func (d *DebugTarget) SetWatchpoint(i int, addr, length uint32, enabled bool) error {
 	return d.v.m.CPU.SetWatchpoint(i, addr, length, enabled)
+}
+
+// MemoryMap describes the guest-visible physical layout for the stub's
+// qXfer:memory-map:read service: one flat RAM region. Both monitor
+// modes pass physical memory through 1:1 (the lightweight VMM by
+// design, the hosted baseline by construction), so the guest's view is
+// the machine's installed RAM.
+func (d *DebugTarget) MemoryMap() []gdbstub.MemRegion {
+	return []gdbstub.MemRegion{{Type: "ram", Start: 0, Length: d.v.m.Bus.RAMSize()}}
 }
 
 // Info renders monitor state for the debugger's `monitor info` command,

@@ -22,6 +22,7 @@ package lvmm
 
 import (
 	"fmt"
+	"io"
 
 	"lvmm/internal/debugger"
 	"lvmm/internal/experiment"
@@ -123,6 +124,7 @@ type Target struct {
 	stub     *gdbstub.Stub
 	recv     *netsim.Receiver
 	params   guest.Params
+	seed     uint64
 	entry    uint32
 }
 
@@ -136,20 +138,21 @@ func NewStreamingTarget(p Platform, w Workload) (*Target, error) {
 		params.CsumOffload = false
 		params.Coalesce = 1
 	}
-	return newStreamingTarget(p, params)
+	return newStreamingTarget(p, params, 0)
 }
 
 // newStreamingTarget builds a streaming target from fully resolved guest
-// parameters. Replay uses it to reconstruct the recorded machine from a
-// trace's metadata, so construction must be a pure function of (p, params).
-func newStreamingTarget(p Platform, params guest.Params) (*Target, error) {
+// parameters and a volume content seed. Replay uses it to reconstruct
+// the recorded machine from a trace's metadata, so construction must be
+// a pure function of (p, params, seed).
+func newStreamingTarget(p Platform, params guest.Params, seed uint64) (*Target, error) {
 	recv := netsim.NewReceiver()
-	m := machine.NewStreaming(params.BlockBytes, recv, guest.KernelBase)
+	m := machine.NewStreamingSeeded(params.BlockBytes, recv, guest.KernelBase, seed)
 	entry, err := guest.Prepare(m, params)
 	if err != nil {
 		return nil, err
 	}
-	t := &Target{platform: p, m: m, recv: recv, params: params, entry: entry}
+	t := &Target{platform: p, m: m, recv: recv, params: params, seed: seed, entry: entry}
 	switch p {
 	case BareMetal:
 		m.CPU.Reset(entry)
@@ -262,12 +265,31 @@ type RecordOptions = replay.Options
 // Call before the first Run; call Finish on the returned recorder when
 // the run is over to obtain the trace.
 func (t *Target) Record(opts RecordOptions) *replay.Recorder {
-	rec := replay.NewRecorder(t.m, t.mon, t.recv, replay.TraceMeta{
-		Platform: int(t.platform),
-		Params:   t.params,
-	}, opts)
+	rec := replay.NewRecorder(t.m, t.mon, t.recv, t.traceMeta(), opts)
 	rec.Start()
 	return rec
+}
+
+// RecordStream begins recording straight to w in the streaming v3 trace
+// format: event batches, keyframes, and delta snapshots flush as the run
+// proceeds, so recorder memory stays bounded regardless of run length.
+// Call FinishStream on the returned recorder when the run is over (and
+// close w yourself if it is a file).
+func (t *Target) RecordStream(w io.Writer, opts RecordOptions) (*replay.Recorder, error) {
+	rec, err := replay.NewStreamRecorder(w, t.m, t.mon, t.recv, t.traceMeta(), opts)
+	if err != nil {
+		return nil, err
+	}
+	rec.Start()
+	return rec, nil
+}
+
+func (t *Target) traceMeta() replay.TraceMeta {
+	return replay.TraceMeta{
+		Platform: int(t.platform),
+		Params:   t.params,
+		Seed:     t.seed,
+	}
 }
 
 // ReplayTarget is a Target reconstructed from a trace and driven by a
@@ -285,7 +307,7 @@ func Replay(tr *replay.Trace) (*ReplayTarget, error) {
 	if tr.Meta.Custom {
 		return nil, fmt.Errorf("lvmm: trace records a custom machine; rebuild it and use replay.NewReplayer directly")
 	}
-	t, err := newStreamingTarget(Platform(tr.Meta.Platform), tr.Meta.Params)
+	t, err := newStreamingTarget(Platform(tr.Meta.Platform), tr.Meta.Params, tr.Meta.Seed)
 	if err != nil {
 		return nil, err
 	}

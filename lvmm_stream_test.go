@@ -1,0 +1,234 @@
+package lvmm
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lvmm/internal/fleet"
+	"lvmm/internal/perfmodel"
+	"lvmm/internal/replay"
+)
+
+// regenGolden rewrites testdata/v2-golden.trc from the current engine.
+// Run `go test -run TestV2GoldenReplaysBitIdentically -regen-golden .`
+// only when the simulated timeline legitimately changes (which already
+// breaks every replay test) — the committed golden is the proof that
+// old v2 traces keep replaying through the compat loader.
+var regenGolden = flag.Bool("regen-golden", false, "regenerate testdata/v2-golden.trc")
+
+const goldenPath = "testdata/v2-golden.trc"
+
+// goldenWorkload is the recording the golden file holds: small but real
+// (interrupts, frames, two snapshot windows).
+func goldenWorkload() Workload {
+	w := WorkloadDefaults(50)
+	w.Seconds = 0.1
+	return w
+}
+
+// TestV2GoldenReplaysBitIdentically reads the committed legacy-format
+// trace through the compatibility loader and replays it: the event
+// timeline, final digest, and the re-measured statistics must all
+// verify. This pins two invariants at once — the v2 container stays
+// readable, and the simulated timeline it recorded stays reproducible.
+func TestV2GoldenReplaysBitIdentically(t *testing.T) {
+	if *regenGolden {
+		target, err := NewStreamingTarget(Lightweight, goldenWorkload())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := target.Record(RecordOptions{SnapshotInterval: 40_000_000, KeyframeEvery: 1})
+		if _, err := target.Run(); err != nil {
+			t.Fatal(err)
+		}
+		tr := rec.Finish()
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Create(goldenPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.WriteV2(f); err != nil {
+			f.Close()
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d events, %d checkpoints)", goldenPath, len(tr.Events), len(tr.Checkpoints))
+	}
+
+	tr, err := replay.ReadTraceFile(goldenPath)
+	if err != nil {
+		t.Fatalf("compat loader rejected the golden v2 trace: %v", err)
+	}
+	if tr.Meta.Version != 2 {
+		t.Fatalf("golden trace reports version %d, want 2", tr.Meta.Version)
+	}
+	if len(tr.Checkpoints) < 2 {
+		t.Fatalf("golden trace has %d checkpoints, want ≥ 2", len(tr.Checkpoints))
+	}
+	rt, err := Replay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := rt.Run()
+	if err != nil {
+		t.Fatalf("golden v2 trace diverged on replay: %v", err)
+	}
+	if !stats.Clean {
+		t.Fatalf("golden replay stream not clean: %s", stats.ValidateErr)
+	}
+	if got := replay.Digest(rt.Machine(), rt.Monitor()); got != tr.EndDigest {
+		t.Fatalf("final digest %#x, recorded %#x", got, tr.EndDigest)
+	}
+}
+
+// TestRecordStreamRoundTrip records the streaming workload straight to a
+// v3 container (the default hxreplay path) and replays it from disk —
+// stats, digest, and timeline all bit-identical, with the trace carrying
+// both keyframes and deltas plus a usable seek index.
+func TestRecordStreamRoundTrip(t *testing.T) {
+	w := WorkloadDefaults(100)
+	w.Seconds = 0.2
+	target, err := NewStreamingTarget(Lightweight, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec, err := target.RecordStream(&buf, RecordOptions{SnapshotInterval: 30_000_000, KeyframeEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats1, err := target.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sstats, err := rec.FinishStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sstats.Deltas == 0 {
+		t.Fatal("streamed recording produced no delta snapshots")
+	}
+
+	tr, err := replay.ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Segments) == 0 {
+		t.Fatal("streamed trace read back without a segment index")
+	}
+	events, snaps := 0, 0
+	for _, sg := range tr.Segments {
+		switch {
+		case sg.IsEvents():
+			events += sg.Events
+		case sg.IsSnapshot():
+			snaps++
+		}
+	}
+	if events != len(tr.Events) || snaps != len(tr.Checkpoints) {
+		t.Fatalf("index disagrees with payload: %d/%d events, %d/%d snapshots",
+			events, len(tr.Events), snaps, len(tr.Checkpoints))
+	}
+
+	rt, err := Replay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats2, err := rt.Run()
+	if err != nil {
+		t.Fatalf("streamed trace diverged on replay: %v", err)
+	}
+	if stats1 != stats2 {
+		t.Fatalf("stats differ:\n  recorded: %v\n  replayed: %v", stats1, stats2)
+	}
+
+	// Time travel across delta boundaries on the replayed target.
+	rp := rt.Replayer()
+	last := tr.Checkpoints[len(tr.Checkpoints)-1]
+	if err := rp.SeekInstr(last.Instr + 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.ReverseStep(last.Instr/2 + 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.SeekInstr(tr.EndInstr); err != nil {
+		t.Fatal(err)
+	}
+	if got := replay.Digest(rt.Machine(), rt.Monitor()); got != tr.EndDigest {
+		t.Fatalf("post-time-travel end digest %#x, recorded %#x", got, tr.EndDigest)
+	}
+}
+
+// TestFleetRecordedTraceReplays runs a seeded fleet scenario with the
+// Record option and replays the streamed trace through the public
+// Replay path — proving the trace metadata (platform, resolved params,
+// content seed) reconstructs the exact machine the fleet worker ran.
+func TestFleetRecordedTraceReplays(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.trc")
+	sc := fleet.Scenario{
+		Platform:      fleet.Lightweight,
+		RateMbps:      80,
+		DurationTicks: 20,
+		Seed:          7,
+		Record:        path,
+	}
+	res := fleet.RunOne(context.Background(), sc)
+	if res.Err != "" {
+		t.Fatalf("fleet run failed: %s", res.Err)
+	}
+	if res.TracePath != path || res.TraceBytes == 0 {
+		t.Fatalf("missing trace report: path=%q bytes=%d", res.TracePath, res.TraceBytes)
+	}
+
+	tr, err := replay.ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta.Seed != 7 {
+		t.Fatalf("trace seed %d, want 7", tr.Meta.Seed)
+	}
+	rt, err := Replay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := rt.Run()
+	if err != nil {
+		t.Fatalf("fleet-recorded trace diverged: %v", err)
+	}
+	if !stats.Clean {
+		t.Fatalf("replayed stream not clean: %s", stats.ValidateErr)
+	}
+	if got := stats.AchievedMbps; got != res.AchievedMbps {
+		t.Fatalf("replayed %.6f Mb/s, fleet measured %.6f", got, res.AchievedMbps)
+	}
+
+	// A Costs override cannot be reconstructed from metadata; such traces
+	// must be refused by the public path, not replayed wrongly.
+	costs := perfmodel.Lightweight()
+	costs.WorldSwitchIn *= 2
+	scC := sc
+	scC.Record = filepath.Join(t.TempDir(), "custom.trc")
+	scC.Costs = &costs
+	resC := fleet.RunOne(context.Background(), scC)
+	if resC.Err != "" {
+		t.Fatalf("costs-override run failed: %s", resC.Err)
+	}
+	trC, err := replay.ReadTraceFile(scC.Record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trC.Meta.Custom {
+		t.Fatal("costs-override trace not marked custom")
+	}
+	if _, err := Replay(trC); err == nil {
+		t.Fatal("Replay accepted a custom trace it cannot reconstruct")
+	}
+}
