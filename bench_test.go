@@ -8,6 +8,7 @@
 package lvmm
 
 import (
+	"bytes"
 	"io"
 	"testing"
 
@@ -16,6 +17,7 @@ import (
 	"lvmm/internal/guest"
 	"lvmm/internal/machine"
 	"lvmm/internal/perfmodel"
+	"lvmm/internal/replay"
 	"lvmm/internal/vmm"
 )
 
@@ -291,6 +293,56 @@ func BenchmarkTrapRoundTripBurst(b *testing.B) {
 	if traps > 0 {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(traps), "ns/trap")
 	}
+}
+
+// BenchmarkReplaySeek measures random time-travel seeks through the lazy
+// v3 reader: one streamed recording is opened through its seek index with
+// a deliberately small LRU budget, and each op seeks the replayer to a
+// pseudo-random instruction — restoring the nearest checkpoint (faulting
+// its segment back in when evicted) and running forward from there. The
+// segfaults/op metric tracks cache pressure; max_resident_bytes is the
+// cache's high-water mark — at most the budget plus one oversized
+// snapshot, since the LRU pins the entry it just decoded.
+func BenchmarkReplaySeek(b *testing.B) {
+	w := WorkloadDefaults(200)
+	w.Seconds = 0.1
+	target, err := NewStreamingTarget(Lightweight, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec, err := target.RecordStream(&buf, RecordOptions{SnapshotInterval: 10_000_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := target.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rec.FinishStream(); err != nil {
+		b.Fatal(err)
+	}
+	lt, err := replay.NewLazyTrace(bytes.NewReader(buf.Bytes()), int64(buf.Len()), 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := ReplaySource(lt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, endInstr, _, _ := lt.End()
+	rng := uint64(0x9e3779b97f4a7c15) // fixed seed: identical seek sequence every run
+	b.ResetTimer()
+	startFaults := lt.Faults()
+	for i := 0; i < b.N; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		if err := rt.Replayer().SeekInstr(rng % endInstr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(lt.Faults()-startFaults)/float64(b.N), "segfaults/op")
+	b.ReportMetric(float64(lt.MaxResidentBytes()), "max_resident_bytes")
 }
 
 // BenchmarkAssembler measures kernel assembly speed.

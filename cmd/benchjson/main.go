@@ -16,14 +16,16 @@
 //
 // The benchmark set mirrors bench_test.go's engineering benchmarks
 // (BenchmarkInterpreter, BenchmarkTrapRoundTrip, the fused-dispatch
-// BenchmarkTrapRoundTripBurst, and the streaming-trace BenchmarkRecordStream)
-// plus a forced-slow-path interpreter variant, so one artifact carries
-// both sides of the predecoded-engine before/after comparison. Paper-
-// figure benchmarks stay in `go test -bench`; this tool is only for the
-// host-side hot-path numbers that DESIGN.md's benchmark table tracks.
+// BenchmarkTrapRoundTripBurst, the streaming-trace BenchmarkRecordStream,
+// and the lazy-reader BenchmarkReplaySeek) plus a forced-slow-path
+// interpreter variant, so one artifact carries both sides of the
+// predecoded-engine before/after comparison. Paper-figure benchmarks stay
+// in `go test -bench`; this tool is only for the host-side hot-path
+// numbers that DESIGN.md's benchmark table tracks.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,6 +38,7 @@ import (
 	"lvmm/internal/asm"
 	"lvmm/internal/experiment"
 	"lvmm/internal/machine"
+	"lvmm/internal/replay"
 	"lvmm/internal/vmm"
 )
 
@@ -238,6 +241,57 @@ func runRecordStream(n int) map[string]float64 {
 	return out
 }
 
+// newReplaySeekSession records one streamed run, opens it lazily through
+// the seek index with a small LRU budget, and returns a body that seeks
+// the replayer to n pseudo-random instructions. The recording is made
+// once so the measurement covers only the seek path (checkpoint restore,
+// segment faults, forward run). Not gated yet — the baseline artifact
+// carries it so the trend is on record before a gate lands.
+func newReplaySeekSession() func(n int) map[string]float64 {
+	w := lvmm.WorkloadDefaults(200)
+	w.Seconds = 0.1
+	target, err := lvmm.NewStreamingTarget(lvmm.Lightweight, w)
+	if err != nil {
+		fatal(err)
+	}
+	var buf bytes.Buffer
+	rec, err := target.RecordStream(&buf, lvmm.RecordOptions{SnapshotInterval: 10_000_000})
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := target.Run(); err != nil {
+		fatal(err)
+	}
+	if _, err := rec.FinishStream(); err != nil {
+		fatal(err)
+	}
+	lt, err := replay.NewLazyTrace(bytes.NewReader(buf.Bytes()), int64(buf.Len()), 1<<20)
+	if err != nil {
+		fatal(err)
+	}
+	rt, err := lvmm.ReplaySource(lt)
+	if err != nil {
+		fatal(err)
+	}
+	_, endInstr, _, _ := lt.End()
+	return func(n int) map[string]float64 {
+		rng := uint64(0x9e3779b97f4a7c15) // fixed seed: identical seek sequence every round
+		startFaults := lt.Faults()
+		for i := 0; i < n; i++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			if err := rt.Replayer().SeekInstr(rng % endInstr); err != nil {
+				fatal(err)
+			}
+		}
+		return map[string]float64{
+			"segfaults_per_op":   float64(lt.Faults()-startFaults) / float64(n),
+			"max_resident_bytes": float64(lt.MaxResidentBytes()),
+		}
+	}
+}
+
 // runFig31Point runs the lightweight-VMM saturation point of Figure 3.1,
 // the macro benchmark the paper's headline numbers come from.
 func runFig31Point(n int) map[string]float64 {
@@ -347,6 +401,7 @@ func main() {
 		bench("TrapRoundTrip", target, runTrapRoundTrip),
 		bench("TrapRoundTripBurst", target, runTrapRoundTripBurst),
 		bench("RecordStream", target, runRecordStream),
+		bench("ReplaySeek", target, newReplaySeekSession()),
 		bench("Fig31LightweightSaturated", target, runFig31Point),
 	)
 

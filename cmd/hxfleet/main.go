@@ -73,7 +73,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	scs := mx.Expand()
+	scs, err := mx.Expand()
+	if err != nil {
+		fail(err)
+	}
 	if len(scs) == 0 {
 		fail(fmt.Errorf("matrix expands to no scenarios"))
 	}
@@ -89,16 +92,10 @@ func main() {
 		}
 	}
 	// Two workers streaming to one path would corrupt the file silently;
-	// refuse authored collisions up front.
-	recPaths := map[string]string{}
-	for _, sc := range scs {
-		if sc.Record == "" {
-			continue
-		}
-		if prev, dup := recPaths[sc.Record]; dup {
-			fail(fmt.Errorf("scenarios %q and %q both record to %s", prev, sc.Name, sc.Record))
-		}
-		recPaths[sc.Record] = sc.Name
+	// refuse authored collisions up front (Expand already vets the
+	// matrix itself, this re-vets after -record fills in defaults).
+	if err := fleet.CheckRecordCollisions(scs); err != nil {
+		fail(err)
 	}
 
 	// Ctrl-C cancels the sweep: running machines observe the stop

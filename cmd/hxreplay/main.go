@@ -157,11 +157,15 @@ func cmdReplay(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: hxreplay replay FILE")
 	}
-	tr, err := replay.ReadTraceFile(args[0])
+	// v3 traces open lazily through the seek index: the replay session
+	// holds O(LRU budget) of trace data however large the file is. v2
+	// monolithic traces have no index and load fully.
+	src, err := replay.OpenSourceFile(args[0], 0)
 	if err != nil {
 		return err
 	}
-	rt, err := lvmm.Replay(tr)
+	defer replay.CloseSource(src)
+	rt, err := lvmm.ReplaySource(src)
 	if err != nil {
 		return err
 	}
@@ -169,9 +173,10 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
+	endCycle, _, _, endDigest := src.End()
 	fmt.Println(stats)
 	fmt.Printf("replay verified bit-identical: %d events, final digest %#016x at cycle %d\n",
-		len(tr.Events), tr.EndDigest, tr.EndCycle)
+		src.NumEvents(), endDigest, endCycle)
 	return nil
 }
 
@@ -179,11 +184,13 @@ func cmdInfo(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: hxreplay info FILE")
 	}
-	tr, err := replay.ReadTraceFile(args[0])
+	src, err := replay.OpenSourceFile(args[0], 0)
 	if err != nil {
 		return err
 	}
-	m := tr.Meta
+	defer replay.CloseSource(src)
+	m := src.Meta()
+	endCycle, endInstr, _, endDigest := src.End()
 	fmt.Printf("platform:    %v\n", lvmm.Platform(m.Platform))
 	if m.Label != "" {
 		fmt.Printf("label:       %s\n", m.Label)
@@ -191,36 +198,59 @@ func cmdInfo(args []string) error {
 	fmt.Printf("workload:    %.0f Mb/s, %d ticks, %d-byte segments, %d-byte blocks\n",
 		m.Params.RateMbps, m.Params.DurationTicks, m.Params.SegmentBytes, m.Params.BlockBytes)
 	fmt.Printf("length:      %d cycles (%.1f ms virtual), %d instructions\n",
-		tr.EndCycle, 1e3*float64(tr.EndCycle)/float64(isa.ClockHz), tr.EndInstr)
-	fmt.Printf("end digest:  %#016x\n", tr.EndDigest)
-	counts := map[replay.EventKind]int{}
-	for _, ev := range tr.Events {
-		counts[ev.Kind]++
-	}
-	fmt.Printf("events:      %d (irq %d, vtimer %d, frame %d, input %d)\n", len(tr.Events),
-		counts[replay.EvIRQ], counts[replay.EvTimer], counts[replay.EvFrame], counts[replay.EvInput])
+		endCycle, 1e3*float64(endCycle)/float64(isa.ClockHz), endInstr)
+	fmt.Printf("end digest:  %#016x\n", endDigest)
+
 	keyframes, deltas := 0, 0
-	for _, cp := range tr.Checkpoints {
-		if cp.Delta {
+	for i := 0; i < src.NumCheckpoints(); i++ {
+		if src.CheckpointMeta(i).Delta {
 			deltas++
 		} else {
 			keyframes++
 		}
 	}
-	fmt.Printf("snapshots:   %d (%d keyframes, %d deltas)\n", len(tr.Checkpoints), keyframes, deltas)
-	for _, cp := range tr.Checkpoints {
-		kind := "keyframe"
-		if cp.Delta {
-			kind = fmt.Sprintf("delta of #%d", cp.Base)
+
+	lt, lazy := src.(*replay.LazyTrace)
+	if !lazy {
+		// Legacy v2 blob: everything is resident anyway.
+		counts := map[replay.EventKind]int{}
+		for i := 0; i < src.NumEvents(); i++ {
+			ev, _ := src.Event(i)
+			counts[ev.Kind]++
 		}
-		fmt.Printf("  #%-3d instr %-12d cycle %-14d %s\n", cp.Index, cp.Instr, cp.Cycle, kind)
-	}
-	if len(tr.Segments) == 0 {
+		printEventCounts(src.NumEvents(), counts)
+		fmt.Printf("snapshots:   %d (%d keyframes, %d deltas)\n", src.NumCheckpoints(), keyframes, deltas)
+		printCheckpointStubs(src)
 		fmt.Printf("segments:    none (v%d monolithic blob)\n", m.Version)
 		return nil
 	}
-	fmt.Printf("segments:    %d\n", len(tr.Segments))
-	for i, sg := range tr.Segments {
+
+	// v3: all per-segment stats come from the seek index; only the event
+	// kind breakdown needs payloads, decoded one batch at a time through
+	// the reader (never cached) — info on a multi-GB trace stays
+	// O(largest segment) resident.
+	sr := lt.Reader()
+	segs := sr.Segments()
+	counts := map[replay.EventKind]int{}
+	events := 0
+	for i, sg := range segs {
+		if !sg.IsEvents() {
+			continue
+		}
+		batch, err := sr.DecodeEvents(i)
+		if err != nil {
+			return err
+		}
+		events += len(batch)
+		for _, ev := range batch {
+			counts[ev.Kind]++
+		}
+	}
+	printEventCounts(events, counts)
+	fmt.Printf("snapshots:   %d (%d keyframes, %d deltas)\n", src.NumCheckpoints(), keyframes, deltas)
+	printCheckpointStubs(src)
+	fmt.Printf("segments:    %d\n", len(segs))
+	for i, sg := range segs {
 		detail := ""
 		switch {
 		case sg.IsEvents():
@@ -232,6 +262,25 @@ func cmdInfo(args []string) error {
 			i, sg.KindName(), sg.Offset, sg.Bytes, detail)
 	}
 	return nil
+}
+
+func printEventCounts(total int, counts map[replay.EventKind]int) {
+	fmt.Printf("events:      %d (irq %d, vtimer %d, frame %d, input %d)\n", total,
+		counts[replay.EvIRQ], counts[replay.EvTimer], counts[replay.EvFrame], counts[replay.EvInput])
+}
+
+// printCheckpointStubs lists checkpoints from the always-resident
+// metadata (the seek index for a lazy source), so no snapshot payload
+// is materialized for the listing.
+func printCheckpointStubs(src replay.Source) {
+	for i := 0; i < src.NumCheckpoints(); i++ {
+		cm := src.CheckpointMeta(i)
+		kind := "keyframe"
+		if cm.Delta {
+			kind = "delta"
+		}
+		fmt.Printf("  #%-3d instr %-12d cycle %-14d %s\n", cm.Index, cm.Instr, cm.Cycle, kind)
+	}
 }
 
 func cmdDiff(args []string) error {

@@ -1,0 +1,169 @@
+package farm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lvmm/internal/fleet"
+)
+
+// DiffEntry is one scenario's metric compared across two batches.
+type DiffEntry struct {
+	// Scenario is the matching key: fleet scenario names are functions
+	// of the swept axes, so the same cell recorded in two batches
+	// carries the same name.
+	Scenario string `json:"scenario"`
+	Metric   string `json:"metric"`
+	// BaseID/NewID are the matched run records.
+	BaseID string `json:"base_id"`
+	NewID  string `json:"new_id"`
+	// Base/New are the metric values; Delta = New - Base, Pct the
+	// relative change in percent (NaN when Base is zero).
+	Base  float64 `json:"base"`
+	New   float64 `json:"new"`
+	Delta float64 `json:"delta"`
+	Pct   float64 `json:"pct"`
+}
+
+// DiffReport is a full cross-batch comparison: matched entries sorted
+// by scenario name, plus the scenarios present in only one batch.
+type DiffReport struct {
+	Metric   string      `json:"metric"`
+	Entries  []DiffEntry `json:"entries"`
+	BaseOnly []string    `json:"base_only,omitempty"`
+	NewOnly  []string    `json:"new_only,omitempty"`
+}
+
+// Regressions returns the entries whose metric moved against base by at
+// least pct percent in the bad direction for that metric (lower is
+// worse for throughput-like metrics, higher is worse for load-like
+// ones).
+func (d *DiffReport) Regressions(pct float64) []DiffEntry {
+	lowerIsWorse := metricLowerIsWorse(d.Metric)
+	var out []DiffEntry
+	for _, e := range d.Entries {
+		if math.IsNaN(e.Pct) {
+			continue
+		}
+		if (lowerIsWorse && e.Pct <= -pct) || (!lowerIsWorse && e.Pct >= pct) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Metrics lists the diffable metric selectors.
+func Metrics() []string {
+	return []string{
+		"achieved_mbps", "cpu_load", "monitor_share", "monitor_cycles",
+		"clock_cycles", "idle_cycles", "frames", "payload_bytes",
+	}
+}
+
+// MetricValue extracts one metric from a fleet result.
+func MetricValue(res *fleet.Result, metric string) (float64, error) {
+	switch metric {
+	case "achieved_mbps":
+		return res.AchievedMbps, nil
+	case "cpu_load":
+		return res.CPULoad, nil
+	case "monitor_share":
+		return res.MonitorShare, nil
+	case "monitor_cycles":
+		return float64(res.MonitorCycles), nil
+	case "clock_cycles":
+		return float64(res.Clock), nil
+	case "idle_cycles":
+		return float64(res.IdleCycles), nil
+	case "frames":
+		return float64(res.Frames), nil
+	case "payload_bytes":
+		return float64(res.PayloadBytes), nil
+	}
+	return 0, fmt.Errorf("farm: unknown metric %q (have %v)", metric, Metrics())
+}
+
+// metricLowerIsWorse reports the bad direction for a metric: throughput
+// metrics regress downward, cost metrics regress upward.
+func metricLowerIsWorse(metric string) bool {
+	switch metric {
+	case "achieved_mbps", "frames", "payload_bytes", "idle_cycles":
+		return true
+	}
+	return false
+}
+
+// Diff compares one metric across two batches, matching runs by
+// scenario name. Scenarios appearing more than once within a batch are
+// ambiguous (two different recordings under one tag) and rejected —
+// re-ingest them under distinct tags instead.
+func (s *Store) Diff(baseTag, newTag, metric string) (*DiffReport, error) {
+	if _, err := MetricValue(&fleet.Result{}, metric); err != nil {
+		return nil, err
+	}
+	index := func(tag string) (map[string]Run, error) {
+		runs, err := s.Runs(tag)
+		if err != nil {
+			return nil, err
+		}
+		if len(runs) == 0 {
+			return nil, fmt.Errorf("farm: no runs under tag %q", tag)
+		}
+		byName := make(map[string]Run, len(runs))
+		for _, r := range runs {
+			name := r.Result.Scenario.Name
+			if prev, dup := byName[name]; dup {
+				return nil, fmt.Errorf("farm: tag %q holds two runs named %q (%s, %s)",
+					tag, name, prev.ID, r.ID)
+			}
+			byName[name] = r
+		}
+		return byName, nil
+	}
+	base, err := index(baseTag)
+	if err != nil {
+		return nil, err
+	}
+	next, err := index(newTag)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &DiffReport{Metric: metric}
+	for name, b := range base {
+		n, ok := next[name]
+		if !ok {
+			rep.BaseOnly = append(rep.BaseOnly, name)
+			continue
+		}
+		bv, err := MetricValue(&b.Result, metric)
+		if err != nil {
+			return nil, err
+		}
+		nv, err := MetricValue(&n.Result, metric)
+		if err != nil {
+			return nil, err
+		}
+		e := DiffEntry{
+			Scenario: name, Metric: metric,
+			BaseID: b.ID, NewID: n.ID,
+			Base: bv, New: nv, Delta: nv - bv,
+		}
+		if bv != 0 {
+			e.Pct = (nv - bv) / bv * 100
+		} else {
+			e.Pct = math.NaN()
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	for name := range next {
+		if _, ok := base[name]; !ok {
+			rep.NewOnly = append(rep.NewOnly, name)
+		}
+	}
+	sort.Slice(rep.Entries, func(i, j int) bool { return rep.Entries[i].Scenario < rep.Entries[j].Scenario })
+	sort.Strings(rep.BaseOnly)
+	sort.Strings(rep.NewOnly)
+	return rep, nil
+}

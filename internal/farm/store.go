@@ -1,0 +1,191 @@
+// Package farm turns fleets of recorded runs into a queryable corpus: a
+// persistent on-disk store of fleet results (content-addressed, tagged
+// by ingest batch), cross-run metric diffing between batches, and
+// time-travel queries that evaluate a predicate against each run's
+// recorded timeline and return the matching runs with the exact
+// position of interest — ready to be re-seeked under a debugger.
+//
+// Everything is built on the deterministic substrate below it: results
+// are functions of simulated state only, traces replay bit-identically,
+// and the query scan runs on the fleet worker pool with lazily opened
+// traces, so a thousand-trace corpus is scanned with bounded
+// concurrency and bounded memory, and every answer is identical at any
+// parallelism.
+package farm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"lvmm/internal/fleet"
+)
+
+// Run is one stored fleet result: the distilled metrics, the batch tag
+// it was ingested under, and a content-derived identity.
+type Run struct {
+	// ID is the content address: a truncated SHA-256 over the tag and
+	// the canonical result JSON. Re-ingesting the same artifact under
+	// the same tag lands on the same ID — ingest is idempotent.
+	ID string `json:"id"`
+	// Tag labels the ingest batch ("baseline", "pr-1234", ...); diffs
+	// compare two tags, queries scan one (or all).
+	Tag string `json:"tag"`
+	// Result is the fleet result as recorded, with TracePath resolved
+	// to an absolute path at ingest time.
+	Result fleet.Result `json:"result"`
+}
+
+// Store is a directory of content-addressed run records.
+type Store struct {
+	dir string
+}
+
+// Open opens (creating if needed) a farm store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "runs"), 0o755); err != nil {
+		return nil, fmt.Errorf("farm: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// runID derives the content address of one tagged result.
+func runID(tag string, res *fleet.Result) (string, error) {
+	blob, err := json.Marshal(res)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(tag))
+	h.Write([]byte{0})
+	h.Write(blob)
+	return hex.EncodeToString(h.Sum(nil))[:16], nil
+}
+
+// Ingest stores a batch of fleet results under the given tag and
+// returns the stored records, sorted by ID. Relative trace paths are
+// resolved against baseDir (so the corpus stays queryable from any
+// working directory); records are written atomically and idempotently —
+// identical content lands on the identical file.
+func (s *Store) Ingest(tag string, results []fleet.Result, baseDir string) ([]Run, error) {
+	if tag == "" {
+		return nil, fmt.Errorf("farm: ingest needs a non-empty tag")
+	}
+	if strings.ContainsAny(tag, "/\x00") {
+		return nil, fmt.Errorf("farm: tag %q may not contain '/'", tag)
+	}
+	runs := make([]Run, 0, len(results))
+	for i := range results {
+		res := results[i]
+		if res.TracePath != "" && !filepath.IsAbs(res.TracePath) {
+			abs, err := filepath.Abs(filepath.Join(baseDir, res.TracePath))
+			if err != nil {
+				return nil, err
+			}
+			res.TracePath = abs
+		}
+		id, err := runID(tag, &res)
+		if err != nil {
+			return nil, err
+		}
+		run := Run{ID: id, Tag: tag, Result: res}
+		if err := s.writeRun(run); err != nil {
+			return nil, err
+		}
+		runs = append(runs, run)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].ID < runs[j].ID })
+	return runs, nil
+}
+
+// IngestFile ingests an hxfleet -out artifact (a JSON array of fleet
+// results). Relative trace paths inside resolve against the artifact's
+// directory — the layout `hxfleet -record traces/ -out results.json`
+// leaves behind.
+func (s *Store) IngestFile(tag, path string) ([]Run, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []fleet.Result
+	if err := json.Unmarshal(raw, &results); err != nil {
+		return nil, fmt.Errorf("farm: parse %s: %w", path, err)
+	}
+	return s.Ingest(tag, results, filepath.Dir(path))
+}
+
+// writeRun persists one record atomically: full write to a temp file,
+// then rename over the final name. A re-ingest of identical content
+// rewrites the same bytes; crashing mid-ingest leaves no torn record.
+func (s *Store) writeRun(run Run) error {
+	data, err := json.MarshalIndent(run, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	final := filepath.Join(s.dir, "runs", run.ID+".json")
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// Runs returns the stored records under the given tag ("" = all),
+// sorted by ID — the store's canonical deterministic order.
+func (s *Store) Runs(tag string) ([]Run, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "runs"))
+	if err != nil {
+		return nil, err
+	}
+	var runs []Run
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(s.dir, "runs", name))
+		if err != nil {
+			return nil, err
+		}
+		var run Run
+		if err := json.Unmarshal(raw, &run); err != nil {
+			return nil, fmt.Errorf("farm: corrupt record %s: %w", name, err)
+		}
+		if run.ID != strings.TrimSuffix(name, ".json") {
+			return nil, fmt.Errorf("farm: record %s carries ID %s", name, run.ID)
+		}
+		if tag != "" && run.Tag != tag {
+			continue
+		}
+		runs = append(runs, run)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].ID < runs[j].ID })
+	return runs, nil
+}
+
+// Tags returns the distinct batch tags in the store, sorted.
+func (s *Store) Tags() ([]string, error) {
+	runs, err := s.Runs("")
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var tags []string
+	for _, r := range runs {
+		if !seen[r.Tag] {
+			seen[r.Tag] = true
+			tags = append(tags, r.Tag)
+		}
+	}
+	sort.Strings(tags)
+	return tags, nil
+}

@@ -18,11 +18,21 @@ func testMatrix() *Matrix {
 	}
 }
 
+// mustExpand expands a matrix that is known collision-free.
+func mustExpand(t *testing.T, mx *Matrix) []Scenario {
+	t.Helper()
+	scs, err := mx.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scs
+}
+
 // TestDeterminismAcrossParallelism is the fleet's core guarantee: the
 // same scenario matrix run sequentially and at -j 8 yields bit-identical
 // per-scenario results (also the -race exercise for concurrent machines).
 func TestDeterminismAcrossParallelism(t *testing.T) {
-	scs := testMatrix().Expand()
+	scs := mustExpand(t, testMatrix())
 	seq := Runner{Jobs: 1}.Run(context.Background(), scs)
 	par := Runner{Jobs: 8}.Run(context.Background(), scs)
 	if len(seq) != len(scs) || len(par) != len(scs) {
@@ -110,7 +120,7 @@ func TestCancelRunningMachine(t *testing.T) {
 func TestCancelledBeforeDispatch(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	results := Runner{Jobs: 2}.Run(ctx, testMatrix().Expand())
+	results := Runner{Jobs: 2}.Run(ctx, mustExpand(t, testMatrix()))
 	for _, r := range results {
 		if r.Err == "" {
 			t.Fatalf("%s: ran despite cancelled context (reason %q)", r.Scenario.Name, r.StopReason)
@@ -127,7 +137,7 @@ func TestMatrixExpand(t *testing.T) {
 		Seeds:     []uint64{0, 1},
 		Scenarios: []Scenario{{Platform: Hosted, RateMbps: 50}},
 	}
-	scs := mx.Expand()
+	scs := mustExpand(t, mx)
 	if want := 2*3*2*2 + 1; len(scs) != want {
 		t.Fatalf("expanded to %d scenarios, want %d", len(scs), want)
 	}
@@ -155,7 +165,7 @@ func TestMatrixExpandUniquifiesTemplateRecordPath(t *testing.T) {
 		Platforms: []Platform{Bare, Lightweight},
 		Rates:     []float64{100, 400},
 	}
-	scs := mx.Expand()
+	scs := mustExpand(t, mx)
 	paths := map[string]string{}
 	for _, sc := range scs {
 		if sc.Record == "" {
@@ -173,16 +183,77 @@ func TestMatrixExpandUniquifiesTemplateRecordPath(t *testing.T) {
 
 	// A single-cell matrix keeps the authored path verbatim.
 	one := &Matrix{Defaults: Scenario{RateMbps: 100, Record: "only.trc"}}
-	if got := one.Expand()[0].Record; got != "only.trc" {
+	if got := mustExpand(t, one)[0].Record; got != "only.trc" {
 		t.Fatalf("single-cell record path rewritten to %q", got)
 	}
 }
 
+// TestMatrixExpandRejectsRecordCollisions: expansion must fail loudly
+// when two scenarios resolve to one trace file instead of letting one
+// recording silently overwrite the other.
+func TestMatrixExpandRejectsRecordCollisions(t *testing.T) {
+	// Duplicate axis values expand to identically named cells, whose
+	// templated record paths then collide.
+	dupAxis := &Matrix{
+		Defaults: Scenario{DurationTicks: 8, Record: "traces/run.trc"},
+		Rates:    []float64{100, 400},
+		Seeds:    []uint64{1, 1},
+	}
+	if _, err := dupAxis.Expand(); err == nil || !strings.Contains(err.Error(), "both record to") {
+		t.Fatalf("duplicate seed axis expanded cleanly: %v", err)
+	}
+
+	// Distinct names can sanitize to one filesystem token.
+	if SafeName("run a") != SafeName("run:a") {
+		t.Fatal("test premise broken: names no longer sanitize alike")
+	}
+	sanitized := &Matrix{Scenarios: []Scenario{
+		{Name: "run a", RateMbps: 100, Record: recordPathFor("traces/run.trc", "run a")},
+		{Name: "run:a", RateMbps: 400, Record: recordPathFor("traces/run.trc", "run:a")},
+	}}
+	if _, err := sanitized.Expand(); err == nil {
+		t.Fatal("sanitized-name collision expanded cleanly")
+	}
+
+	// Textually different paths naming the same file still collide.
+	lexical := &Matrix{Scenarios: []Scenario{
+		{Name: "a", RateMbps: 100, Record: "./x.trc"},
+		{Name: "b", RateMbps: 400, Record: "x.trc"},
+	}}
+	if _, err := lexical.Expand(); err == nil {
+		t.Fatal("lexically distinct aliases of one path expanded cleanly")
+	}
+
+	// An explicit extra shadowing a templated cell collides too.
+	shadow := &Matrix{
+		Defaults:  Scenario{DurationTicks: 8, Record: "traces/run.trc"},
+		Platforms: []Platform{Bare, Lightweight},
+		Scenarios: []Scenario{{Name: "shadow", RateMbps: 9,
+			Record: recordPathFor("traces/run.trc", ScenarioName(Scenario{Platform: Bare}))}},
+	}
+	if _, err := shadow.Expand(); err == nil {
+		t.Fatal("extra scenario shadowing a matrix cell expanded cleanly")
+	}
+
+	// Control: the same shapes without collisions expand fine.
+	ok := &Matrix{
+		Defaults: Scenario{DurationTicks: 8, Record: "traces/run.trc"},
+		Rates:    []float64{100, 400},
+		Seeds:    []uint64{1, 2},
+	}
+	if _, err := ok.Expand(); err != nil {
+		t.Fatalf("collision-free matrix rejected: %v", err)
+	}
+}
+
 func TestRunnerRejectsDuplicateRecordPaths(t *testing.T) {
-	path := t.TempDir() + "/shared.trc"
+	dir := t.TempDir()
+	path := dir + "/shared.trc"
 	scs := []Scenario{
 		{Name: "a", RateMbps: 100, DurationTicks: 4, Record: path},
-		{Name: "b", RateMbps: 400, DurationTicks: 4, Record: path},
+		// A lexical alias of the same file must collide, not slip through
+		// an exact-string comparison.
+		{Name: "b", RateMbps: 400, DurationTicks: 4, Record: dir + "/./shared.trc"},
 		{Name: "c", RateMbps: 100, DurationTicks: 4},
 	}
 	res := Runner{Jobs: 2}.Run(context.Background(), scs)
@@ -209,7 +280,7 @@ func TestUnknownPlatformAndEngine(t *testing.T) {
 func TestAggregateShape(t *testing.T) {
 	mx := testMatrix()
 	mx.Seeds = []uint64{0, 1} // two runs per cell: one displayed, one extra
-	results := Runner{}.Run(context.Background(), mx.Expand())
+	results := Runner{}.Run(context.Background(), mustExpand(t, mx))
 	tab := Aggregate(results)
 	if len(tab.Rates) != 2 || len(tab.Platforms) != 3 {
 		t.Fatalf("table shape %dx%d, want 2 rates x 3 platforms", len(tab.Rates), len(tab.Platforms))

@@ -44,7 +44,13 @@ func LoadMatrix(path string) (*Matrix, error) {
 // Expand produces the concrete scenario list: the cross product of the
 // axes applied over the template, then the explicit extras. Every
 // scenario without a name gets a descriptive one.
-func (mx *Matrix) Expand() []Scenario {
+//
+// Expansion fails when two scenarios resolve to the same record file —
+// duplicate axis values, distinct names that sanitize to one token, or
+// an explicit extra shadowing a matrix cell would otherwise make two
+// workers stream to one path and corrupt it silently. Paths compare
+// after lexical normalization, so "./x.trc" and "x.trc" collide.
+func (mx *Matrix) Expand() ([]Scenario, error) {
 	platforms := mx.Platforms
 	if len(platforms) == 0 {
 		platforms = []Platform{mx.Defaults.Platform}
@@ -88,7 +94,27 @@ func (mx *Matrix) Expand() []Scenario {
 		}
 		out = append(out, sc)
 	}
-	return out
+	if err := CheckRecordCollisions(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CheckRecordCollisions reports the first pair of scenarios whose
+// record paths name the same file (after lexical normalization).
+func CheckRecordCollisions(scs []Scenario) error {
+	seen := make(map[string]string, len(scs))
+	for _, sc := range scs {
+		if sc.Record == "" {
+			continue
+		}
+		key := filepath.Clean(sc.Record)
+		if prev, dup := seen[key]; dup {
+			return fmt.Errorf("fleet: scenarios %q and %q both record to %s", prev, sc.Name, key)
+		}
+		seen[key] = sc.Name
+	}
+	return nil
 }
 
 // recordPathFor derives a per-scenario trace path from a template path

@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 )
@@ -19,9 +20,10 @@ type Runner struct {
 // Run executes every scenario and returns results index-aligned with the
 // input, regardless of completion order. Cancelling ctx stops running
 // machines (via RequestStop) and fails scenarios not yet dispatched.
-// Scenarios whose Record path collides with an earlier scenario's are
-// failed without running — two workers streaming to one file would
-// corrupt it silently.
+// Scenarios whose Record path names the same file as an earlier
+// scenario's — compared after lexical normalization, so "./x.trc"
+// collides with "x.trc" — are failed without running: two workers
+// streaming to one file would corrupt it silently.
 func (r Runner) Run(ctx context.Context, scs []Scenario) []Result {
 	out := make([]Result, len(scs))
 	done := make([]bool, len(scs))
@@ -31,6 +33,7 @@ func (r Runner) Run(ctx context.Context, scs []Scenario) []Result {
 		if p == "" {
 			continue
 		}
+		p = filepath.Clean(p)
 		if first, dup := recPaths[p]; dup {
 			out[i] = Result{Scenario: scs[i], Err: fmt.Sprintf(
 				"fleet: record path %s already claimed by scenario %q", p, scs[first].Name)}

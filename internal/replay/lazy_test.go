@@ -1,0 +1,364 @@
+package replay
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lvmm/internal/asm"
+	"lvmm/internal/machine"
+)
+
+// streamTrapDense records the trap-dense kernel to a v3 stream and
+// returns the raw container bytes.
+func streamTrapDense(t *testing.T, opts Options) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	m, v := buildTrapDense(t, false)
+	rec, err := NewStreamRecorder(&buf, m, v, nil, TraceMeta{Custom: true}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Start()
+	if reason := m.Run(400_000_000); reason != machine.StopGuestDone {
+		t.Fatalf("record: stop %v pc=%08x", reason, m.CPU.PC)
+	}
+	if _, err := rec.FinishStream(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// lazyOpen opens raw v3 bytes as a LazyTrace with the given budget.
+func lazyOpen(t *testing.T, data []byte, budget int64) *LazyTrace {
+	t.Helper()
+	lt, err := NewLazyTrace(bytes.NewReader(data), int64(len(data)), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lt
+}
+
+// TestLazyReplayDifferential proves the lazy engine is the resident
+// engine: the same streamed trace replayed through a LazyTrace and
+// through the fully loaded Trace must verify end to end on both
+// execution engines, and the lazily decoded metadata must match the
+// full loader's.
+func TestLazyReplayDifferential(t *testing.T) {
+	data := streamTrapDense(t, Options{SnapshotInterval: 20_000_000, KeyframeEvery: 3, EventBatch: 64})
+
+	tr, err := ReadTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := lazyOpen(t, data, 0)
+	defer lt.Close()
+
+	if got, want := lt.NumEvents(), len(tr.Events); got != want {
+		t.Fatalf("lazy event count %d, full loader has %d", got, want)
+	}
+	if got, want := lt.NumCheckpoints(), len(tr.Checkpoints); got != want {
+		t.Fatalf("lazy checkpoint count %d, full loader has %d", got, want)
+	}
+	for i := range tr.Checkpoints {
+		cp := &tr.Checkpoints[i]
+		cm := lt.CheckpointMeta(i)
+		if cm.Index != cp.Index || cm.Instr != cp.Instr || cm.Cycle != cp.Cycle ||
+			cm.EventIndex != cp.EventIndex || cm.Delta != cp.Delta {
+			t.Fatalf("checkpoint %d stub %+v does not match full loader's %d/%d/%d/%d/%v",
+				i, cm, cp.Index, cp.Instr, cp.Cycle, cp.EventIndex, cp.Delta)
+		}
+	}
+	ec, ei, er, ed := lt.End()
+	if ec != tr.EndCycle || ei != tr.EndInstr || er != tr.EndReason || ed != tr.EndDigest {
+		t.Fatal("lazy end seal does not match the full loader's")
+	}
+	for i := range tr.Events {
+		ev, err := lt.Event(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind != tr.Events[i].Kind || ev.Cycle != tr.Events[i].Cycle ||
+			ev.Instr != tr.Events[i].Instr || ev.Digest != tr.Events[i].Digest {
+			t.Fatalf("event %d differs between lazy and full loads", i)
+		}
+	}
+
+	for _, slow := range []bool{false, true} {
+		lt2 := lazyOpen(t, data, 0)
+		m, v := buildTrapDense(t, slow)
+		rp, err := NewReplayerSource(lt2, m, v, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rp.RunToEnd(); err != nil {
+			t.Fatalf("lazy replay (slow=%v) diverged: %v", slow, err)
+		}
+		lt2.Close()
+	}
+}
+
+// TestLazyReplayBoundedMemory pins the replay-side O(segment) property,
+// mirroring TestStreamBoundedMemory on the read path: a 4x longer
+// recording replayed through the LRU-backed engine holds no more
+// resident segment bytes than the configured budget — the high-water
+// mark does not grow with trace length.
+func TestLazyReplayBoundedMemory(t *testing.T) {
+	record := func(cycles uint64) []byte {
+		var buf bytes.Buffer
+		m, v := buildEndless(t)
+		rec, err := NewStreamRecorder(&buf, m, v, nil, TraceMeta{Custom: true},
+			Options{SnapshotInterval: 10_000_000, KeyframeEvery: 4, EventBatch: 128, MaxSnapshots: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Start()
+		m.Run(cycles)
+		if _, err := rec.FinishStream(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	shortData := record(100_000_000)
+	longData := record(400_000_000)
+	if len(longData) <= 2*len(shortData) {
+		t.Fatalf("long recording is not meaningfully longer: %d vs %d bytes", len(longData), len(shortData))
+	}
+
+	const budget = 1 << 20
+	replay := func(data []byte) *LazyTrace {
+		lt := lazyOpen(t, data, budget)
+		m, v := buildEndless(t)
+		rp, err := NewReplayerSource(lt, m, v, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rp.RunToEnd(); err != nil {
+			t.Fatalf("lazy replay diverged: %v", err)
+		}
+		return lt
+	}
+	shortLT := replay(shortData)
+	defer shortLT.Close()
+	longLT := replay(longData)
+	defer longLT.Close()
+
+	if shortLT.MaxResidentBytes() > budget || longLT.MaxResidentBytes() > budget {
+		t.Fatalf("resident high-water exceeded the budget: short %d, long %d, budget %d",
+			shortLT.MaxResidentBytes(), longLT.MaxResidentBytes(), budget)
+	}
+	// The long replay must actually have cycled segments through the
+	// budget: more faults than a trace that fits resident would take.
+	if longLT.Faults() <= shortLT.Faults() {
+		t.Fatalf("long replay faulted %d segments, short %d — cache never cycled",
+			longLT.Faults(), shortLT.Faults())
+	}
+	// And the bound is about the budget, not the trace: the 4x trace's
+	// high-water is no higher than the short one's budget ceiling.
+	if longLT.MaxResidentBytes() > budget {
+		t.Fatalf("4x trace high-water %d exceeds budget %d", longLT.MaxResidentBytes(), budget)
+	}
+}
+
+// TestLazyEvictionReFaultDifferential is the LRU correctness property:
+// drive reverse operations through a cache so small that checkpoint and
+// event segments are evicted and re-faulted mid-session, and require
+// every landing to be bit-identical to the same operations on a cold
+// fully resident replay — on both execution engines.
+func TestLazyEvictionReFaultDifferential(t *testing.T) {
+	data := streamTrapDense(t, Options{SnapshotInterval: 15_000_000, KeyframeEvery: 4, EventBatch: 32})
+	tr, err := ReadTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := asm.Assemble(trapDenseKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := img.Symbols["body"]
+	if body == 0 {
+		t.Fatal("kernel has no body symbol")
+	}
+
+	for _, slow := range []bool{false, true} {
+		// Reference: cold, fully resident replay.
+		mF, vF := buildTrapDense(t, slow)
+		rpF, err := NewReplayer(tr, mF, vF, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Subject: lazy replay with a budget far below the decoded trace
+		// (one snapshot at a time, roughly), forcing eviction traffic.
+		lt := lazyOpen(t, data, 96<<10)
+		mL, vL := buildTrapDense(t, slow)
+		rpL, err := NewReplayerSource(lt, mL, vL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		check := func(stage string) {
+			t.Helper()
+			if rpF.Position() != rpL.Position() {
+				t.Fatalf("%s (slow=%v): positions diverge, full %d lazy %d", stage, slow, rpF.Position(), rpL.Position())
+			}
+			if dF, dL := Digest(mF, vF), Digest(mL, vL); dF != dL {
+				t.Fatalf("%s (slow=%v): digest full %#x, lazy %#x", stage, slow, dF, dL)
+			}
+			if mF.Clock() != mL.Clock() {
+				t.Fatalf("%s (slow=%v): clock full %d, lazy %d", stage, slow, mF.Clock(), mL.Clock())
+			}
+		}
+
+		// Seek deep, then walk checkpoint positions newest-first: every
+		// backwards seek restores a chain whose members were long evicted.
+		for i := len(tr.Checkpoints) - 1; i >= 0; i-- {
+			pos := tr.Checkpoints[i].Instr + 3
+			if pos > tr.EndInstr {
+				pos = tr.Checkpoints[i].Instr
+			}
+			if err := rpF.SeekInstr(pos); err != nil {
+				t.Fatalf("full seek %d: %v", pos, err)
+			}
+			if err := rpL.SeekInstr(pos); err != nil {
+				t.Fatalf("lazy seek %d: %v", pos, err)
+			}
+			check("checkpoint walk")
+		}
+
+		// Reverse operations from a mid-run landing.
+		mid := tr.Checkpoints[len(tr.Checkpoints)/2].Instr + 40
+		for _, rp := range []*Replayer{rpF, rpL} {
+			if err := rp.SeekInstr(mid); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check("mid-run landing")
+		for _, rp := range []*Replayer{rpF, rpL} {
+			if err := rp.ReverseStep(5_000); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check("reverse-step")
+		hitF, err := rpF.ReverseContinue([]uint32{body}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hitL, err := rpL.ReverseContinue([]uint32{body}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hitF != hitL {
+			t.Fatalf("reverse-continue hit full=%v lazy=%v", hitF, hitL)
+		}
+		check("reverse-continue")
+		if mL.CPU.PC != mF.CPU.PC {
+			t.Fatalf("landing pc full=%08x lazy=%08x", mF.CPU.PC, mL.CPU.PC)
+		}
+
+		// The point of the test: the lazy session must actually have
+		// re-faulted — more decodes than the trace has segments.
+		if lt.Faults() <= int64(len(lt.Reader().Segments())) {
+			t.Fatalf("only %d faults over %d segments — the cache never evicted, shrink the budget",
+				lt.Faults(), len(lt.Reader().Segments()))
+		}
+		lt.Close()
+	}
+}
+
+// TestLazyLiveCheckpoint proves session-created checkpoints work on a
+// lazy source: a live snapshot inserted mid-timeline is used by a later
+// reverse seek and survives cache eviction (it has no segment to
+// re-fault from).
+func TestLazyLiveCheckpoint(t *testing.T) {
+	data := streamTrapDense(t, Options{SnapshotInterval: 20_000_000, KeyframeEvery: 3, EventBatch: 64})
+	lt := lazyOpen(t, data, 96<<10)
+	defer lt.Close()
+	m, v := buildTrapDense(t, false)
+	rp, err := NewReplayerSource(lt, m, v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, endInstr, _, _ := lt.End()
+	pos := endInstr / 2
+	if err := rp.SeekInstr(pos); err != nil {
+		t.Fatal(err)
+	}
+	dig := Digest(m, v)
+	before := lt.NumCheckpoints()
+	if _, err := rp.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if lt.NumCheckpoints() != before+1 {
+		t.Fatalf("live checkpoint not inserted: %d checkpoints, had %d", lt.NumCheckpoints(), before)
+	}
+	// Run away, thrash the cache, then come back: the landing must
+	// restore from the live snapshot (nearest checkpoint at pos) and
+	// reproduce the digest exactly.
+	if err := rp.SeekInstr(endInstr); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.SeekInstr(pos); err != nil {
+		t.Fatal(err)
+	}
+	if got := Digest(m, v); got != dig {
+		t.Fatalf("post-checkpoint re-seek digest %#x, want %#x", got, dig)
+	}
+	if got := nearestCheckpointIdx(lt, pos); lt.CheckpointMeta(got).Instr != pos {
+		t.Fatalf("nearest checkpoint to %d is at %d — live snapshot not found by the seek planner",
+			pos, lt.CheckpointMeta(got).Instr)
+	}
+}
+
+// TestOpenSourceFile proves the format sniffing: a v3 file opens lazily,
+// a legacy v2 file falls back to the full loader, and both replay.
+func TestOpenSourceFile(t *testing.T) {
+	dir := t.TempDir()
+
+	// KeyframeEvery 1: the v2 format cannot carry delta checkpoints.
+	data := streamTrapDense(t, Options{SnapshotInterval: 40_000_000, KeyframeEvery: 1, EventBatch: 64})
+	v3path := filepath.Join(dir, "v3.trc")
+	if err := os.WriteFile(v3path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := ReadTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2buf bytes.Buffer
+	if err := tr.WriteV2(&v2buf); err != nil {
+		t.Fatal(err)
+	}
+	v2path := filepath.Join(dir, "v2.trc")
+	if err := os.WriteFile(v2path, v2buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	src3, err := OpenSourceFile(v3path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseSource(src3)
+	if _, ok := src3.(*LazyTrace); !ok {
+		t.Fatalf("v3 file opened as %T, want *LazyTrace", src3)
+	}
+	src2, err := OpenSourceFile(v2path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseSource(src2)
+	if _, ok := src2.(*LazyTrace); ok {
+		t.Fatal("v2 file opened lazily; it has no seek index")
+	}
+	for _, src := range []Source{src3, src2} {
+		m, v := buildTrapDense(t, false)
+		rp, err := NewReplayerSource(src, m, v, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rp.RunToEnd(); err != nil {
+			t.Fatalf("replay through %T diverged: %v", src, err)
+		}
+	}
+}

@@ -16,18 +16,28 @@ import (
 // recorded one (interrupt deliveries, timer firings, frame digests), can
 // seek to any instruction-count position, and implements the time-travel
 // operations the debug stub exposes (gdbstub.Reverser).
+//
+// The trace is accessed through the Source interface: a fully resident
+// *Trace, or a *LazyTrace that decodes event batches and snapshots on
+// demand through a byte-budgeted LRU — forward runs, checkpoint
+// restores, reverse-step, and reverse-continue all touch only the
+// segments they need, so a replay session's memory is O(LRU budget) on
+// a lazy source regardless of trace length.
 type Replayer struct {
-	tr   *Trace
+	src  Source
 	m    *machine.Machine
 	v    *vmm.VMM
 	recv *netsim.Receiver
 
-	// Replay cursors into tr.Events.
+	// Replay cursors into the event timeline.
 	verifyCursor int // next verification event expected
 	inputCursor  int // next input event to re-inject
 
+	endCycle uint64
+	endInstr uint64
+
 	verify bool  // verification hooks active (RunToEnd)
-	err    error // first detected divergence
+	err    error // first detected divergence (or source read failure)
 
 	// Scan state (reverse-continue).
 	scanHits []uint64
@@ -37,30 +47,54 @@ type Replayer struct {
 // configuration the trace was recorded on, and rewinds it to the trace's
 // initial checkpoint. v and recv may be nil if the recording had none.
 func NewReplayer(tr *Trace, m *machine.Machine, v *vmm.VMM, recv *netsim.Receiver) (*Replayer, error) {
-	if len(tr.Checkpoints) == 0 {
-		return nil, fmt.Errorf("replay: trace has no checkpoints")
-	}
-	if tr.Checkpoints[0].Machine.RAMSize != m.Bus.RAMSize() {
-		return nil, fmt.Errorf("replay: trace RAM size %d, machine has %d",
-			tr.Checkpoints[0].Machine.RAMSize, m.Bus.RAMSize())
-	}
-	if tr.Checkpoints[0].Delta {
-		return nil, fmt.Errorf("replay: trace's first checkpoint is a delta")
-	}
 	if err := tr.validateChains(); err != nil {
 		return nil, err
 	}
-	r := &Replayer{tr: tr, m: m, v: v, recv: recv}
+	return NewReplayerSource(tr.AsSource(), m, v, recv)
+}
+
+// NewReplayerSource attaches a replayer to any trace source (resident
+// or lazy). Delta-checkpoint base chains are validated as they are
+// materialized — a lazy source cannot walk every chain up front without
+// decoding every snapshot segment, which is exactly what it exists to
+// avoid.
+func NewReplayerSource(src Source, m *machine.Machine, v *vmm.VMM, recv *netsim.Receiver) (*Replayer, error) {
+	if src.NumCheckpoints() == 0 {
+		return nil, fmt.Errorf("replay: trace has no checkpoints")
+	}
+	cp0, err := src.Checkpoint(0)
+	if err != nil {
+		return nil, err
+	}
+	if cp0.Machine.RAMSize != m.Bus.RAMSize() {
+		return nil, fmt.Errorf("replay: trace RAM size %d, machine has %d",
+			cp0.Machine.RAMSize, m.Bus.RAMSize())
+	}
+	if cp0.Delta {
+		return nil, fmt.Errorf("replay: trace's first checkpoint is a delta")
+	}
+	r := &Replayer{src: src, m: m, v: v, recv: recv}
+	r.endCycle, r.endInstr, _, _ = src.End()
 	r.installHooks()
-	r.restoreCheckpoint(0)
+	if err := r.restoreCheckpoint(0); err != nil {
+		return nil, err
+	}
 	return r, nil
 }
 
-// Trace returns the trace being replayed.
-func (r *Replayer) Trace() *Trace { return r.tr }
+// Source returns the trace source being replayed.
+func (r *Replayer) Source() Source { return r.src }
 
-// Err returns the first divergence detected by verification, if any.
+// Err returns the first divergence (or trace read failure) detected, if
+// any.
 func (r *Replayer) Err() error { return r.err }
+
+// fail records the first error; later ones are dropped.
+func (r *Replayer) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
 
 // installHooks mirrors the recorder's capture points with verifiers.
 func (r *Replayer) installHooks() {
@@ -84,17 +118,27 @@ func (r *Replayer) installHooks() {
 // timeline has been consumed; the comparison itself only runs during a
 // verifying replay (RunToEnd).
 func (r *Replayer) observe(got Event) {
-	for r.verifyCursor < len(r.tr.Events) && r.tr.Events[r.verifyCursor].Kind == EvInput {
+	total := r.src.NumEvents()
+	var want Event
+	for {
+		if r.verifyCursor >= total {
+			if r.verify && r.err == nil {
+				r.err = fmt.Errorf("replay diverged: %v at cycle %d (instr %d) beyond the recorded timeline",
+					got.Kind, r.m.Clock(), r.m.CPU.Stat.Instructions)
+			}
+			return
+		}
+		ev, err := r.src.Event(r.verifyCursor)
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		if ev.Kind != EvInput {
+			want = ev
+			break
+		}
 		r.verifyCursor++
 	}
-	if r.verifyCursor >= len(r.tr.Events) {
-		if r.verify && r.err == nil {
-			r.err = fmt.Errorf("replay diverged: %v at cycle %d (instr %d) beyond the recorded timeline",
-				got.Kind, r.m.Clock(), r.m.CPU.Stat.Instructions)
-		}
-		return
-	}
-	want := r.tr.Events[r.verifyCursor]
 	r.verifyCursor++
 	if !r.verify || r.err != nil {
 		return
@@ -117,20 +161,57 @@ func (r *Replayer) observe(got Event) {
 // then the target delta's pages and complete non-RAM state. The chain
 // length is bounded by the recording's KeyframeEvery, so a reverse seek
 // costs at most one full restore plus KeyframeEvery-1 page-set copies.
-func (r *Replayer) restoreCheckpoint(i int) {
-	cp := &r.tr.Checkpoints[i]
+// On a lazy source each chain member decodes on demand (and re-faults
+// from disk if the LRU evicted it); the chain is validated here rather
+// than at open, since walking every chain up front would decode every
+// snapshot segment.
+func (r *Replayer) restoreCheckpoint(i int) error {
+	cp, err := r.src.Checkpoint(i)
+	if err != nil {
+		return err
+	}
 	if !cp.Delta {
 		r.m.Restore(cp.Machine)
 	} else {
-		// Chain positions, target first; validateChains (NewReplayer)
-		// guarantees resolution and termination.
+		// Chain positions, target first.
 		chain := []int{i}
-		for r.tr.Checkpoints[chain[len(chain)-1]].Delta {
-			chain = append(chain, r.tr.byIndex(r.tr.Checkpoints[chain[len(chain)-1]].Base))
+		cur := cp
+		for cur.Delta {
+			b := r.src.ByIndex(cur.Base)
+			if b < 0 {
+				return fmt.Errorf("replay: checkpoint %d's base %d is missing", cur.Index, cur.Base)
+			}
+			base, err := r.src.Checkpoint(b)
+			if err != nil {
+				return err
+			}
+			if base.Instr > cur.Instr || base == cur {
+				return fmt.Errorf("replay: checkpoint %d's base %d is not earlier on the timeline", cur.Index, cur.Base)
+			}
+			if len(chain) > r.src.NumCheckpoints() {
+				return fmt.Errorf("replay: delta checkpoint chain does not terminate")
+			}
+			chain = append(chain, b)
+			cur = base
 		}
-		r.m.Restore(r.tr.Checkpoints[chain[len(chain)-1]].Machine)
+		// Keyframe first, then each intermediate delta's pages; members
+		// are re-materialized one at a time so a lazy source never needs
+		// the whole chain resident at once.
+		key, err := r.src.Checkpoint(chain[len(chain)-1])
+		if err != nil {
+			return err
+		}
+		r.m.Restore(key.Machine)
 		for j := len(chain) - 2; j >= 1; j-- {
-			r.m.ApplyRAMDelta(r.tr.Checkpoints[chain[j]].Machine)
+			mid, err := r.src.Checkpoint(chain[j])
+			if err != nil {
+				return err
+			}
+			r.m.ApplyRAMDelta(mid.Machine)
+		}
+		cp, err = r.src.Checkpoint(i)
+		if err != nil {
+			return err
 		}
 		r.m.RestoreDelta(cp.Machine)
 	}
@@ -142,6 +223,7 @@ func (r *Replayer) restoreCheckpoint(i int) {
 	}
 	r.verifyCursor = cp.EventIndex
 	r.inputCursor = cp.EventIndex
+	return nil
 }
 
 // RunToEnd replays the whole trace with verification on: external inputs
@@ -155,17 +237,17 @@ func (r *Replayer) RunToEnd() error {
 
 	for {
 		// Next input to re-inject, if any remains before the end.
-		idx := -1
-		for j := r.inputCursor; j < len(r.tr.Events); j++ {
-			if r.tr.Events[j].Kind == EvInput {
-				idx = j
-				break
-			}
+		idx, err := r.src.NextInput(r.inputCursor)
+		if err != nil {
+			return err
 		}
 		if idx < 0 {
 			break
 		}
-		ev := r.tr.Events[idx]
+		ev, err := r.src.Event(idx)
+		if err != nil {
+			return err
+		}
 		if r.m.Clock() < ev.Cycle {
 			reason := r.m.Run(ev.Cycle)
 			if r.err != nil {
@@ -185,27 +267,39 @@ func (r *Replayer) RunToEnd() error {
 		r.inputCursor = idx + 1
 	}
 
-	reason := r.m.Run(r.tr.EndCycle)
+	_, _, endReason, endDigest := r.src.End()
+	reason := r.m.Run(r.endCycle)
 	if r.err != nil {
 		return r.err
 	}
-	for r.verifyCursor < len(r.tr.Events) && r.tr.Events[r.verifyCursor].Kind == EvInput {
+	total := r.src.NumEvents()
+	for r.verifyCursor < total {
+		ev, err := r.src.Event(r.verifyCursor)
+		if err != nil {
+			return err
+		}
+		if ev.Kind != EvInput {
+			break
+		}
 		r.verifyCursor++
 	}
-	if r.verifyCursor != len(r.tr.Events) {
-		want := r.tr.Events[r.verifyCursor]
+	if r.verifyCursor != total {
+		want, err := r.src.Event(r.verifyCursor)
+		if err != nil {
+			return err
+		}
 		return fmt.Errorf("replay diverged: recorded %v at cycle %d (instr %d) never happened",
 			want.Kind, want.Cycle, want.Instr)
 	}
-	if got := Digest(r.m, r.v); got != r.tr.EndDigest {
-		return fmt.Errorf("replay diverged: final state digest %#x, recorded %#x", got, r.tr.EndDigest)
+	if got := Digest(r.m, r.v); got != endDigest {
+		return fmt.Errorf("replay diverged: final state digest %#x, recorded %#x", got, endDigest)
 	}
-	if r.m.Clock() != r.tr.EndCycle {
-		return fmt.Errorf("replay diverged: final clock %d, recorded %d", r.m.Clock(), r.tr.EndCycle)
+	if r.m.Clock() != r.endCycle {
+		return fmt.Errorf("replay diverged: final clock %d, recorded %d", r.m.Clock(), r.endCycle)
 	}
-	if int(reason) != r.tr.EndReason && !externallyBounded(machine.StopReason(r.tr.EndReason)) {
+	if int(reason) != endReason && !externallyBounded(machine.StopReason(endReason)) {
 		return fmt.Errorf("replay diverged: stop reason %v, recorded %v",
-			reason, machine.StopReason(r.tr.EndReason))
+			reason, machine.StopReason(endReason))
 	}
 	return nil
 }
@@ -228,14 +322,16 @@ func (r *Replayer) Position() uint64 { return r.m.CPU.Stat.Instructions }
 // re-execution. The machine is left exactly as it was at that position in
 // the recorded run.
 func (r *Replayer) SeekInstr(target uint64) error {
-	if target < r.tr.StartInstr() {
-		target = r.tr.StartInstr()
+	if target < r.src.StartInstr() {
+		target = r.src.StartInstr()
 	}
-	if target > r.tr.EndInstr {
-		return fmt.Errorf("replay: position %d is beyond the end of the trace (%d)", target, r.tr.EndInstr)
+	if target > r.endInstr {
+		return fmt.Errorf("replay: position %d is beyond the end of the trace (%d)", target, r.endInstr)
 	}
 	if target < r.Position() {
-		r.restoreCheckpoint(r.tr.nearestCheckpoint(target))
+		if err := r.restoreCheckpoint(nearestCheckpointIdx(r.src, target)); err != nil {
+			return err
+		}
 	}
 	return r.forwardTo(target)
 }
@@ -260,7 +356,7 @@ func (r *Replayer) forwardTo(target uint64) error {
 		}
 		r.v.SetFrozen(false)
 	}
-	limit := r.tr.EndCycle + 1
+	limit := r.endCycle + 1
 	if c := r.m.Clock(); c >= limit {
 		limit = c + 1
 	}
@@ -273,23 +369,28 @@ func (r *Replayer) forwardTo(target uint64) error {
 		// interactive time travel a live debugger owns that UART, and
 		// replaying the recorded conversation into it would corrupt the
 		// session, so they are skipped (cursor still advances).
-		idx := -1
-		for j := r.inputCursor; j < len(r.tr.Events); j++ {
-			if r.tr.Events[j].Kind == EvInput {
-				idx = j
-				break
+		idx, err := r.src.NextInput(r.inputCursor)
+		if err != nil {
+			r.m.SetStopAtInstr(0)
+			return err
+		}
+		var ev Event
+		if idx >= 0 {
+			if ev, err = r.src.Event(idx); err != nil {
+				r.m.SetStopAtInstr(0)
+				return err
 			}
 		}
-		if idx >= 0 && r.tr.Events[idx].Cycle <= r.m.Clock() {
-			if r.tr.Events[idx].Chan != 0 {
-				r.m.Cons.InjectRX(r.tr.Events[idx].Data)
+		if idx >= 0 && ev.Cycle <= r.m.Clock() {
+			if ev.Chan != 0 {
+				r.m.Cons.InjectRX(ev.Data)
 			}
 			r.inputCursor = idx + 1
 			continue
 		}
 		runLimit := limit
-		if idx >= 0 && r.tr.Events[idx].Cycle < runLimit {
-			runLimit = r.tr.Events[idx].Cycle
+		if idx >= 0 && ev.Cycle < runLimit {
+			runLimit = ev.Cycle
 		}
 		reason = r.m.Run(runLimit)
 		if reason != machine.StopLimit || runLimit == limit || r.Position() >= target {
@@ -317,11 +418,13 @@ func (r *Replayer) freeze() {
 // ReverseStep implements gdbstub.Reverser: move back n instructions.
 func (r *Replayer) ReverseStep(n uint64) error {
 	cur := r.Position()
-	target := r.tr.StartInstr()
+	target := r.src.StartInstr()
 	if cur > n && cur-n > target {
 		target = cur - n
 	}
-	r.restoreCheckpoint(r.tr.nearestCheckpoint(target))
+	if err := r.restoreCheckpoint(nearestCheckpointIdx(r.src, target)); err != nil {
+		return err
+	}
 	if err := r.forwardTo(target); err != nil {
 		return err
 	}
@@ -337,10 +440,12 @@ func (r *Replayer) ReverseStep(n uint64) error {
 func (r *Replayer) ReverseContinue(breaks []uint32, watches []gdbstub.WatchRange) (bool, error) {
 	cur := r.Position()
 	upper := cur
-	ci := r.tr.nearestCheckpoint(cur)
+	ci := nearestCheckpointIdx(r.src, cur)
 	for {
 		// Scan [checkpoint ci, upper) for crossings.
-		r.restoreCheckpoint(ci)
+		if err := r.restoreCheckpoint(ci); err != nil {
+			return false, err
+		}
 		hits, err := r.scanTo(upper, breaks, watches)
 		if err != nil {
 			return false, err
@@ -352,7 +457,9 @@ func (r *Replayer) ReverseContinue(breaks []uint32, watches []gdbstub.WatchRange
 		}
 		if len(hits) > 0 {
 			target := hits[len(hits)-1]
-			r.restoreCheckpoint(r.tr.nearestCheckpoint(target))
+			if err := r.restoreCheckpoint(nearestCheckpointIdx(r.src, target)); err != nil {
+				return false, err
+			}
 			if err := r.forwardTo(target); err != nil {
 				return false, err
 			}
@@ -361,11 +468,13 @@ func (r *Replayer) ReverseContinue(breaks []uint32, watches []gdbstub.WatchRange
 		}
 		if ci == 0 {
 			// No crossing anywhere before cur: land at the trace start.
-			r.restoreCheckpoint(0)
+			if err := r.restoreCheckpoint(0); err != nil {
+				return false, err
+			}
 			r.freeze()
 			return false, nil
 		}
-		upper = r.tr.Checkpoints[ci].Instr
+		upper = r.src.CheckpointMeta(ci).Instr
 		ci--
 	}
 }
@@ -423,8 +532,9 @@ func (r *Replayer) hit(pos uint64) {
 }
 
 // Checkpoint implements gdbstub.Reverser: snapshot the current position
-// into the checkpoint list (kept sorted by position) so later reverse
-// operations replay from here instead of a distant recorded snapshot.
+// into the source's checkpoint list (kept sorted by position) so later
+// reverse operations replay from here instead of a distant recorded
+// snapshot.
 func (r *Replayer) Checkpoint() (uint64, error) {
 	pos := r.Position()
 	// Events consumed so far: verifyCursor counts observed verification
@@ -440,7 +550,7 @@ func (r *Replayer) Checkpoint() (uint64, error) {
 		eventIndex = r.inputCursor
 	}
 	cp := Checkpoint{
-		Index:      r.tr.nextIndex(),
+		Index:      r.src.FreshIndex(),
 		Instr:      pos,
 		Cycle:      r.m.Clock(),
 		EventIndex: eventIndex,
@@ -453,14 +563,6 @@ func (r *Replayer) Checkpoint() (uint64, error) {
 		cp.HasRecv = true
 		cp.Recv = r.recv.State()
 	}
-	// Insert sorted by position. Index stays a stable id (fresh for live
-	// checkpoints, recording order for recorded ones) — renumbering by
-	// slice position would corrupt the delta checkpoints' Base links.
-	i := sort.Search(len(r.tr.Checkpoints), func(i int) bool {
-		return r.tr.Checkpoints[i].Instr > pos
-	})
-	r.tr.Checkpoints = append(r.tr.Checkpoints, Checkpoint{})
-	copy(r.tr.Checkpoints[i+1:], r.tr.Checkpoints[i:])
-	r.tr.Checkpoints[i] = cp
+	r.src.InsertCheckpoint(cp)
 	return pos, nil
 }

@@ -1,0 +1,188 @@
+package replay
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Source is the Replayer's view of a recorded timeline. Two
+// implementations exist: *Trace, the fully resident form every v2 trace
+// and in-memory recording uses, and *LazyTrace, which keeps only the
+// seek index and checkpoint stubs resident and decodes event batches
+// and snapshots on demand through a byte-budgeted LRU (see
+// segreader.go). The Replayer works against this interface so a replay
+// session's memory is O(LRU budget) on a lazy source and unchanged on a
+// resident one.
+//
+// Event and checkpoint access can fail on a lazy source (disk I/O,
+// corrupt segment); the resident implementation never errors.
+type Source interface {
+	// Meta describes how to rebuild the recorded target.
+	Meta() TraceMeta
+	// StartInstr is the instruction count at the trace beginning.
+	StartInstr() uint64
+	// End returns the end-of-recording seal.
+	End() (endCycle, endInstr uint64, endReason int, endDigest uint64)
+
+	// NumEvents is the total recorded event count.
+	NumEvents() int
+	// Event returns timeline entry i, 0 <= i < NumEvents().
+	Event(i int) (Event, error)
+	// NextInput returns the index of the first EvInput event at or
+	// after from, or -1 when none remains.
+	NextInput(from int) (int, error)
+
+	// NumCheckpoints is the checkpoint count (recorded + live).
+	NumCheckpoints() int
+	// CheckpointMeta is the cheap always-resident view of checkpoint i
+	// (slice position, sorted by Instr).
+	CheckpointMeta(i int) CheckpointMeta
+	// Checkpoint materializes the full checkpoint at slice position i.
+	Checkpoint(i int) (*Checkpoint, error)
+	// ByIndex maps a stable checkpoint id to its slice position, -1
+	// when absent.
+	ByIndex(id int) int
+	// InsertCheckpoint adds a live (session-created, full) checkpoint,
+	// keeping the list sorted by Instr. cp.Index must come from
+	// FreshIndex.
+	InsertCheckpoint(cp Checkpoint)
+	// FreshIndex returns an unused stable checkpoint id.
+	FreshIndex() int
+}
+
+// CheckpointMeta is the always-resident description of one checkpoint:
+// everything the Replayer needs for seeking decisions without
+// materializing the snapshot itself.
+type CheckpointMeta struct {
+	Index      int    // stable checkpoint id
+	Instr      uint64 // timeline position
+	Cycle      uint64
+	EventIndex int  // events recorded before the snapshot
+	Delta      bool // delta snapshot (restore walks the base chain)
+}
+
+// nearestCheckpointIdx returns the slice position of the latest
+// checkpoint whose instruction count is at most pos (binary search over
+// the resident metadata; position 0 always exists for a valid source).
+func nearestCheckpointIdx(src Source, pos uint64) int {
+	n := src.NumCheckpoints()
+	i := sort.Search(n, func(i int) bool {
+		return src.CheckpointMeta(i).Instr > pos
+	})
+	if i > 0 {
+		return i - 1
+	}
+	return 0
+}
+
+// --- Source implementation for the fully resident *Trace ---
+
+// End implements Source.
+func (t *Trace) End() (uint64, uint64, int, uint64) {
+	return t.EndCycle, t.EndInstr, t.EndReason, t.EndDigest
+}
+
+// NumEvents implements Source.
+func (t *Trace) NumEvents() int { return len(t.Events) }
+
+// Event implements Source.
+func (t *Trace) Event(i int) (Event, error) { return t.Events[i], nil }
+
+// NextInput implements Source.
+func (t *Trace) NextInput(from int) (int, error) {
+	for j := from; j < len(t.Events); j++ {
+		if t.Events[j].Kind == EvInput {
+			return j, nil
+		}
+	}
+	return -1, nil
+}
+
+// NumCheckpoints implements Source.
+func (t *Trace) NumCheckpoints() int { return len(t.Checkpoints) }
+
+// CheckpointMeta implements Source.
+func (t *Trace) CheckpointMeta(i int) CheckpointMeta {
+	cp := &t.Checkpoints[i]
+	return CheckpointMeta{
+		Index: cp.Index, Instr: cp.Instr, Cycle: cp.Cycle,
+		EventIndex: cp.EventIndex, Delta: cp.Delta,
+	}
+}
+
+// Checkpoint implements Source.
+func (t *Trace) Checkpoint(i int) (*Checkpoint, error) {
+	if i < 0 || i >= len(t.Checkpoints) {
+		return nil, fmt.Errorf("replay: checkpoint position %d out of range (%d)", i, len(t.Checkpoints))
+	}
+	return &t.Checkpoints[i], nil
+}
+
+// ByIndex implements Source (exported alias of the internal lookup).
+func (t *Trace) ByIndex(id int) int { return t.byIndex(id) }
+
+// FreshIndex implements Source.
+func (t *Trace) FreshIndex() int { return t.nextIndex() }
+
+// InsertCheckpoint implements Source: insert sorted by position. Index
+// stays a stable id — renumbering by slice position would corrupt the
+// delta checkpoints' Base links.
+func (t *Trace) InsertCheckpoint(cp Checkpoint) {
+	i := sort.Search(len(t.Checkpoints), func(i int) bool {
+		return t.Checkpoints[i].Instr > cp.Instr
+	})
+	t.Checkpoints = append(t.Checkpoints, Checkpoint{})
+	copy(t.Checkpoints[i+1:], t.Checkpoints[i:])
+	t.Checkpoints[i] = cp
+}
+
+// traceSource resolves the naming clash between the Trace.Meta field
+// and the Source.Meta method: Trace cannot carry both, so the interface
+// is satisfied through a thin wrapper whose directly declared method
+// shadows the promoted field.
+type traceSource struct{ *Trace }
+
+func (ts traceSource) Meta() TraceMeta { return ts.Trace.Meta }
+
+// AsSource adapts a fully resident trace to the Source interface.
+func (t *Trace) AsSource() Source { return traceSource{t} }
+
+// OpenSourceFile opens a trace file as a replay Source, picking the
+// cheapest faithful form: v3 containers open lazily through their seek
+// index (resident memory bounded by the LRU budget; <= 0 selects
+// DefaultLRUBudget), legacy v2 traces — which have no index — load
+// fully. Release the source with CloseSource when done.
+func OpenSourceFile(path string, budget int64) (Source, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, len(traceMagic)+2)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("replay: reading trace header: %w", err)
+	}
+	f.Close()
+	if string(hdr[:len(traceMagic)]) != traceMagic {
+		return nil, fmt.Errorf("replay: %s is not a trace file", path)
+	}
+	if ver := int(hdr[len(traceMagic)]) | int(hdr[len(traceMagic)+1])<<8; ver == traceVersionV2 {
+		tr, err := ReadTraceFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return tr.AsSource(), nil
+	}
+	return OpenLazyTraceFile(path, budget)
+}
+
+// CloseSource releases whatever the source holds open (the trace file,
+// for a lazy source); resident sources hold nothing and close to nil.
+func CloseSource(src Source) error {
+	if c, ok := src.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

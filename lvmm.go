@@ -304,14 +304,24 @@ type ReplayTarget struct {
 // Replay rebuilds the recorded target from a trace and rewinds it to the
 // trace's initial checkpoint.
 func Replay(tr *replay.Trace) (*ReplayTarget, error) {
-	if tr.Meta.Custom {
-		return nil, fmt.Errorf("lvmm: trace records a custom machine; rebuild it and use replay.NewReplayer directly")
+	return ReplaySource(tr.AsSource())
+}
+
+// ReplaySource rebuilds the recorded target from any trace source —
+// a fully resident *Trace or a lazily opened *LazyTrace (see
+// replay.OpenSourceFile) — and rewinds it to the trace's initial
+// checkpoint. On a lazy source the replay session's resident trace data
+// stays bounded by the LRU budget however long the recording is.
+func ReplaySource(src replay.Source) (*ReplayTarget, error) {
+	meta := src.Meta()
+	if meta.Custom {
+		return nil, fmt.Errorf("lvmm: trace records a custom machine; rebuild it and use replay.NewReplayerSource directly")
 	}
-	t, err := newStreamingTarget(Platform(tr.Meta.Platform), tr.Meta.Params, tr.Meta.Seed)
+	t, err := newStreamingTarget(Platform(meta.Platform), meta.Params, meta.Seed)
 	if err != nil {
 		return nil, err
 	}
-	rp, err := replay.NewReplayer(tr, t.m, t.mon, t.recv)
+	rp, err := replay.NewReplayerSource(src, t.m, t.mon, t.recv)
 	if err != nil {
 		return nil, err
 	}
