@@ -360,6 +360,8 @@ func BenchmarkAssembler(b *testing.B) {
 // discarding sink as the run proceeds. Compare against the Fig 3.1
 // lightweight point to read the recording tax on the hot path; the
 // trace_bytes metric tracks the on-disk cost of the v3 container.
+// Gated by cmd/benchjson -compare, so a serialization change that
+// re-inflates the recording tax fails CI instead of landing silently.
 func BenchmarkRecordStream(b *testing.B) {
 	var bytesOut int64
 	for i := 0; i < b.N; i++ {
@@ -381,6 +383,7 @@ func BenchmarkRecordStream(b *testing.B) {
 			b.Fatal(err)
 		}
 		bytesOut = stats.BytesWritten
+		target.Release()
 	}
 	b.ReportMetric(float64(bytesOut), "trace_bytes")
 }

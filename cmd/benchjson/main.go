@@ -69,6 +69,11 @@ type Artifact struct {
 func bench(name string, target time.Duration, body func(n int) map[string]float64) Result {
 	n := 1
 	for {
+		// Settle the heap so each round starts from the same GC state:
+		// without this, garbage left by earlier benchmarks in the same
+		// process bleeds into later measurements (observed as ~15%
+		// run-position-dependent drift in RecordStream).
+		runtime.GC()
 		start := time.Now()
 		metrics := body(n)
 		elapsed := time.Since(start)
@@ -237,6 +242,10 @@ func runRecordStream(n int) map[string]float64 {
 			"delta_snaps":    float64(stats.Deltas),
 			"max_pending_ev": float64(stats.MaxPendingEvents),
 		}
+		// Recycle the machine's RAM like bench_test.go does: without it
+		// every op retires a 64 MB slice to the GC and the measurement
+		// drifts with heap growth instead of tracking the recorder.
+		target.Release()
 	}
 	return out
 }
@@ -318,7 +327,7 @@ func fatal(err error) {
 // gatedBenchmarks are the hot-path benchmarks the -compare regression
 // gate enforces: a CI run fails when any of these regresses in ns/op by
 // more than the tolerance against the committed baseline artifact.
-var gatedBenchmarks = []string{"Interpreter", "TrapRoundTrip", "TrapRoundTripBurst"}
+var gatedBenchmarks = []string{"Interpreter", "TrapRoundTrip", "TrapRoundTripBurst", "RecordStream"}
 
 // compareBaseline enforces the regression gate: every gated benchmark in
 // the current run must be within tolerance percent of the baseline's

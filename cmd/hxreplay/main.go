@@ -80,6 +80,7 @@ func cmdRecord(args []string) error {
 	snapInterval := fs.Uint64("snap-interval", 0, "snapshot spacing in cycles (0 = default)")
 	keyframeEvery := fs.Int("keyframe-every", 0, "full keyframe every N snapshots, deltas between (0 = default, 1 = no deltas)")
 	v2 := fs.Bool("v2", false, "buffer in memory and write the legacy monolithic v2 format")
+	sync := fs.Bool("sync", false, "serialize segments on the run goroutine instead of the async pipeline (bytes are identical; debugging aid)")
 	fs.Parse(args)
 
 	p, err := parsePlatform(*platform)
@@ -92,7 +93,7 @@ func cmdRecord(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := lvmm.RecordOptions{SnapshotInterval: *snapInterval, KeyframeEvery: *keyframeEvery}
+	opts := lvmm.RecordOptions{SnapshotInterval: *snapInterval, KeyframeEvery: *keyframeEvery, Sync: *sync}
 
 	if *v2 {
 		// Legacy path: accumulate the whole trace, then one blob. The v2

@@ -7,7 +7,10 @@
 // the x86 TSS I/O-permission-bitmap mechanism.
 package bus
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sync"
+)
 
 // PortHandler is implemented by devices that respond to port I/O. All
 // device registers are 32 bits wide. The port passed to the handler is
@@ -40,13 +43,40 @@ type portEntry struct {
 	base uint16
 }
 
-// New creates a bus with ramSize bytes of RAM.
+// ramPool recycles physical-memory slices across machine lifetimes.
+// Allocating tens of megabytes of zeroed RAM per machine is a real cost
+// for callers that build machines in a loop (the fleet runner, the
+// trace farm, benchmarks): the allocator must clear the whole reused
+// span even though a released machine knows — via the CPU's
+// write-coverage map — that only a few blocks were ever dirtied. Every
+// slice in the pool is fully zero; ReclaimRAM is the only producer and
+// its callers re-zero exactly the covered blocks before handing the
+// slice back.
+var ramPool sync.Pool
+
+// New creates a bus with ramSize bytes of RAM (all zero).
 func New(ramSize int) *Bus {
 	return &Bus{
-		ram:   make([]byte, ramSize),
+		ram:   acquireRAM(ramSize),
 		ports: make(map[uint16]portEntry),
 	}
 }
+
+func acquireRAM(n int) []byte {
+	if v := ramPool.Get(); v != nil {
+		if ram := v.([]byte); len(ram) == n {
+			return ram
+		}
+		// Wrong size: drop it. In practice every machine of a process
+		// uses one RAM size, so the pool is homogeneous.
+	}
+	return make([]byte, n)
+}
+
+// ReclaimRAM pushes a fully re-zeroed RAM slice into the pool for the
+// next New to reuse. The caller (machine.Release) must have zeroed
+// every byte the machine ever wrote and must not touch the slice again.
+func ReclaimRAM(ram []byte) { ramPool.Put(ram) }
 
 // RAMSize returns the installed physical memory size.
 func (b *Bus) RAMSize() uint32 { return uint32(len(b.ram)) }

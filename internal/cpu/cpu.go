@@ -113,6 +113,16 @@ type CPU struct {
 	// RAM write.
 	dirtyPages []uint64
 
+	// writeCov is the write-coverage bitmap: bit b set means some write
+	// since construction (or since a Restore recomputed it) touched the
+	// 1 MB block starting at b<<CovShift (bit 63 covers everything from
+	// 63 MB up). A clear bit proves its block has never been written and
+	// is therefore still zero — RAM starts zeroed and every writer
+	// funnels through dcInvalidate, which maintains the map. Sparse
+	// consumers (keyframe snapshots, the replay digest) skip clear
+	// blocks instead of scanning all of installed memory (see dirty.go).
+	writeCov uint64
+
 	// divertResumed records whether the most recent raised trap was
 	// consumed by the Diverter with DivertResume (fully emulated in
 	// place, fast path may continue).

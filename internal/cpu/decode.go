@@ -232,6 +232,7 @@ func (c *CPU) dcInvalidate(addr, n uint32) {
 	if n == 0 {
 		return
 	}
+	c.writeCov |= coverageBits(addr, n)
 	if c.dirtyPages != nil {
 		c.markDirty(addr, n)
 	}

@@ -42,6 +42,54 @@ func (c *CPU) ResetDirtyPages() {
 	}
 }
 
+// CovShift is the write-coverage granule: one coverage bit spans a
+// 1 MB block of physical memory, so the whole map of a 64 MB machine
+// is a single uint64 and maintaining it costs one OR per write.
+const CovShift = 20
+
+// coverageBits returns the coverage-bit mask for a write of n bytes at
+// physical address addr (n > 0, addr+n free of overflow — dcInvalidate's
+// callers validate against installed RAM). Blocks past bit 62 saturate
+// into bit 63, which therefore covers everything from 63 MB up; on
+// machines with more than 64 MB of RAM that whole region shares one bit.
+func coverageBits(addr, n uint32) uint64 {
+	lo := addr >> CovShift
+	hi := (addr + n - 1) >> CovShift
+	if hi > 63 {
+		hi = 63
+		if lo > 63 {
+			lo = 63
+		}
+	}
+	return (^uint64(0) << lo) & (^uint64(0) >> (63 - hi))
+}
+
+// WriteCoverage returns the write-coverage bitmap: bit b set means some
+// write touched the 1 MB block at b<<CovShift (bit 63: 63 MB and up). A
+// clear bit proves the block is still zero — physical memory starts
+// zeroed and every writer (CPU stores, string ops, page-walk updates,
+// DMA, image loads, debugger patches) funnels through dcInvalidate,
+// which maintains the map. Sparse consumers (keyframe snapshots, the
+// replay digest) skip clear blocks instead of scanning installed-but-
+// untouched memory.
+func (c *CPU) WriteCoverage() uint64 { return c.writeCov }
+
+// SetWriteCoverage overrides the coverage map after memory was
+// rewritten wholesale outside the write path (machine Restore, which
+// zeroes RAM before copying snapshot chunks back in). Every block not
+// covered by cov must be entirely zero.
+func (c *CPU) SetWriteCoverage(cov uint64) { c.writeCov = cov }
+
+// AddWriteCoverage marks the blocks touched by an out-of-band write of
+// n bytes at addr (snapshot chunk restores, delta RAM application).
+// n == 0 is a no-op.
+func (c *CPU) AddWriteCoverage(addr, n uint32) {
+	if n == 0 {
+		return
+	}
+	c.writeCov |= coverageBits(addr, n)
+}
+
 // markDirty records a write of n bytes at physical address addr. Called
 // from dcInvalidate only when tracking is on; bounds follow dcPages
 // (both cover exactly the installed RAM).

@@ -98,6 +98,12 @@ type Scenario struct {
 	// RecordSnapInterval is the recording's snapshot spacing in cycles
 	// (0 = replay.DefaultSnapshotInterval).
 	RecordSnapInterval uint64 `json:"record_snap_interval,omitempty"`
+	// RecordSync serializes trace segments on the scenario's own
+	// goroutine instead of the recorder's pipelined async writer. The
+	// trace bytes are identical either way — and independent of the
+	// fleet's -j level in both modes — so this is a debugging escape
+	// hatch, not a correctness knob.
+	RecordSync bool `json:"record_sync,omitempty"`
 }
 
 // Result is the distilled outcome of one scenario run. Every field is a
@@ -268,7 +274,7 @@ func RunOne(ctx context.Context, sc Scenario) Result {
 			return res
 		}
 		rec, err = replay.NewStreamRecorder(recFile, m, mon, recv, meta,
-			replay.Options{SnapshotInterval: sc.RecordSnapInterval})
+			replay.Options{SnapshotInterval: sc.RecordSnapInterval, Sync: sc.RecordSync})
 		if err != nil {
 			recFile.Close()
 			res.Err = err.Error()
@@ -328,5 +334,9 @@ func RunOne(ctx context.Context, sc Scenario) Result {
 		stats := mon.Stats
 		res.VMM = &stats
 	}
+	// Everything the result needs has been copied out; recycle the
+	// machine's RAM so the worker's next scenario skips a multi-MB
+	// allocate-and-clear.
+	m.Release()
 	return res
 }

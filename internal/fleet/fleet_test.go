@@ -1,7 +1,10 @@
 package fleet
 
 import (
+	"bytes"
 	"context"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -45,6 +48,57 @@ func TestDeterminismAcrossParallelism(t *testing.T) {
 		if !reflect.DeepEqual(seq[i], par[i]) {
 			t.Errorf("%s: sequential and parallel results differ:\nseq: %+v\npar: %+v",
 				scs[i].Name, seq[i], par[i])
+		}
+	}
+}
+
+// TestRecordedTraceDeterministicAcrossJobsAndPipeline extends the fleet
+// determinism guarantee to recorded artifacts: the trace file a scenario
+// streams must be byte-identical whether the sweep runs sequentially or
+// at -j 4, and whether segments are serialized through the async
+// pipeline (default) or on the run goroutine (RecordSync) — four
+// configurations, one canonical byte sequence per scenario.
+func TestRecordedTraceDeterministicAcrossJobsAndPipeline(t *testing.T) {
+	mx := &Matrix{
+		Defaults:  Scenario{DurationTicks: 8},
+		Platforms: []Platform{Lightweight},
+		Rates:     []float64{100, 700},
+	}
+	base := mustExpand(t, mx)
+
+	record := func(jobs int, sync bool) map[string][]byte {
+		t.Helper()
+		dir := t.TempDir()
+		scs := append([]Scenario(nil), base...)
+		for i := range scs {
+			scs[i].Record = filepath.Join(dir, SafeName(scs[i].Name)+".trc")
+			scs[i].RecordSync = sync
+		}
+		traces := map[string][]byte{}
+		for _, r := range (Runner{Jobs: jobs}).Run(context.Background(), scs) {
+			if r.Err != "" {
+				t.Fatalf("jobs=%d sync=%v %s: %s", jobs, sync, r.Scenario.Name, r.Err)
+			}
+			data, err := os.ReadFile(r.TracePath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			traces[r.Scenario.Name] = data
+		}
+		return traces
+	}
+
+	want := record(1, false)
+	for _, cfg := range []struct {
+		jobs int
+		sync bool
+	}{{4, false}, {1, true}, {4, true}} {
+		got := record(cfg.jobs, cfg.sync)
+		for name, data := range want {
+			if !bytes.Equal(got[name], data) {
+				t.Errorf("jobs=%d sync=%v %s: trace bytes differ from the jobs=1 async recording (%d vs %d bytes)",
+					cfg.jobs, cfg.sync, name, len(got[name]), len(data))
+			}
 		}
 	}
 }

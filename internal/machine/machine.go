@@ -185,6 +185,41 @@ func New(cfg Config) *Machine {
 	return m
 }
 
+// Release returns the machine's physical memory to the process-wide RAM
+// pool so the next New skips allocating (and the allocator skips
+// clearing) tens of megabytes. Only the blocks the CPU's write-coverage
+// map marks as touched are re-zeroed — everything else is still zero by
+// the coverage invariant — so releasing costs O(working set), not
+// O(installed RAM).
+//
+// The machine must not be used again after Release, and callers that
+// wrote RAM directly (bypassing the bus and its write notifications)
+// must not call it: such writes are invisible to the coverage map and
+// would leak nonzero bytes into a "zeroed" slice. Loaders and DMA
+// engines all go through the bus, so machines driven normally — built,
+// booted, run — are safe to release.
+func (m *Machine) Release() {
+	ram := m.Bus.RAM()
+	cov := m.CPU.WriteCoverage()
+	for off := 0; off < len(ram); {
+		b := uint(off >> cpu.CovShift)
+		end := len(ram)
+		if b > 63 {
+			b = 63
+		} else if e := (int(b) + 1) << cpu.CovShift; e < end {
+			end = e
+		}
+		if cov&(1<<b) != 0 {
+			blk := ram[off:end]
+			for i := range blk {
+				blk[i] = 0
+			}
+		}
+		off = end
+	}
+	bus.ReclaimRAM(ram)
+}
+
 // NewStreaming builds the standard evaluation machine: three disks filled
 // with the striped volume pattern for the given block size, and a
 // validating receiver on the wire.

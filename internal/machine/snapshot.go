@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"encoding/binary"
+
 	"lvmm/internal/cpu"
 	"lvmm/internal/hw/nic"
 	"lvmm/internal/hw/pic"
@@ -69,10 +71,30 @@ const ramChunkSize = 64 << 10
 // and device wiring (disk data sources, frame sinks) are configuration,
 // not state, and are not captured; Restore into a machine built with the
 // same configuration reproduces the run exactly.
+//
+// The returned Snapshot is fully self-contained: every buffer (RAM
+// chunks, console, UART queues, device state) is a deep copy that
+// aliases nothing in the live machine. The replay recorder relies on
+// this to hand snapshots to its async serialization pipeline by
+// ownership transfer while the machine keeps running —
+// TestSnapshotSelfContained pins the contract. The same holds for
+// SnapshotDelta.
 func (m *Machine) Snapshot() *Snapshot {
 	s := m.snapshotState()
 	ram := m.Bus.RAM()
+	// The CPU's write-coverage map proves blocks that were never
+	// written are still zero — the sparse scan skips them instead of
+	// walking all of installed memory. (ramChunkSize divides the 1 MB
+	// coverage granule, so a chunk maps to exactly one coverage bit.)
+	cov := m.CPU.WriteCoverage()
 	for off := 0; off < len(ram); off += ramChunkSize {
+		b := uint(off >> cpu.CovShift)
+		if b > 63 {
+			b = 63
+		}
+		if cov&(1<<b) == 0 {
+			continue
+		}
 		end := off + ramChunkSize
 		if end > len(ram) {
 			end = len(ram)
@@ -169,6 +191,12 @@ func (m *Machine) Restore(s *Snapshot) {
 		copy(ram[ch.Addr:], ch.Data)
 	}
 	m.restoreState(s)
+	// Every block outside the restored chunks was just zeroed, so the
+	// write-coverage map restarts at exactly the restored image's extent.
+	m.CPU.SetWriteCoverage(0)
+	for _, ch := range s.RAM {
+		m.CPU.AddWriteCoverage(ch.Addr, uint32(len(ch.Data)))
+	}
 }
 
 // ApplyRAMDelta copies a delta snapshot's RAM chunks over the current
@@ -182,6 +210,7 @@ func (m *Machine) ApplyRAMDelta(s *Snapshot) {
 	ram := m.Bus.RAM()
 	for _, ch := range s.RAM {
 		copy(ram[ch.Addr:], ch.Data)
+		m.CPU.AddWriteCoverage(ch.Addr, uint32(len(ch.Data)))
 	}
 }
 
@@ -224,7 +253,32 @@ func (m *Machine) restoreState(s *Snapshot) {
 	m.NIC.Restore(s.NIC)
 }
 
+// allZero scans word-wise: the keyframe sparse scan walks all of
+// physical memory, and almost every chunk of a real guest is zero, so
+// the 8-byte loads (OR-folded eight at a time, advancing the slice so
+// the compiler drops the bounds checks) are what make full keyframes
+// cheap.
 func allZero(b []byte) bool {
+	for len(b) >= 64 {
+		x := binary.LittleEndian.Uint64(b) |
+			binary.LittleEndian.Uint64(b[8:]) |
+			binary.LittleEndian.Uint64(b[16:]) |
+			binary.LittleEndian.Uint64(b[24:]) |
+			binary.LittleEndian.Uint64(b[32:]) |
+			binary.LittleEndian.Uint64(b[40:]) |
+			binary.LittleEndian.Uint64(b[48:]) |
+			binary.LittleEndian.Uint64(b[56:])
+		if x != 0 {
+			return false
+		}
+		b = b[64:]
+	}
+	for len(b) >= 8 {
+		if binary.LittleEndian.Uint64(b) != 0 {
+			return false
+		}
+		b = b[8:]
+	}
 	for _, x := range b {
 		if x != 0 {
 			return false

@@ -26,10 +26,16 @@ func PatternByteSeeded(off, seed uint64) byte {
 // FillPattern fills buf with the volume pattern starting at offset off.
 func FillPattern(buf []byte, off uint64) { FillPatternSeeded(buf, off, 0) }
 
-// FillPatternSeeded fills buf with the seeded volume pattern.
+// FillPatternSeeded fills buf with the seeded volume pattern. The
+// per-byte multiply strength-reduces to an add — (base+i+1)*M is
+// (base+i)*M + M — so the bulk fill produces the exact PatternByteSeeded
+// sequence at one add per byte. Disk reads regenerate volume content
+// through this on every DMA, so it is on the simulation hot path.
 func FillPatternSeeded(buf []byte, off, seed uint64) {
+	x := (off + seed*0xA24BAED4963EE407) * 0x9E3779B97F4A7C15
 	for i := range buf {
-		buf[i] = PatternByteSeeded(off+uint64(i), seed)
+		buf[i] = byte((x + 0xDEADBEEF) >> 56)
+		x += 0x9E3779B97F4A7C15
 	}
 }
 
@@ -39,12 +45,15 @@ func CheckPattern(buf []byte, off uint64) int {
 	return CheckPatternSeeded(buf, off, 0)
 }
 
-// CheckPatternSeeded verifies buf against the seeded pattern.
+// CheckPatternSeeded verifies buf against the seeded pattern, with the
+// same strength reduction as FillPatternSeeded.
 func CheckPatternSeeded(buf []byte, off, seed uint64) int {
+	x := (off + seed*0xA24BAED4963EE407) * 0x9E3779B97F4A7C15
 	for i := range buf {
-		if buf[i] != PatternByteSeeded(off+uint64(i), seed) {
+		if buf[i] != byte((x+0xDEADBEEF)>>56) {
 			return i
 		}
+		x += 0x9E3779B97F4A7C15
 	}
 	return -1
 }

@@ -1,0 +1,106 @@
+package replay
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"lvmm/internal/machine"
+)
+
+// TestFNVZeroSkipMatchesStdlib pins the digest's fast paths to
+// hash/fnv: digests are recorded inside traces, so fnvSparse,
+// fnvSkipZeros, and the fnvDigest accumulator must reproduce the
+// stdlib's FNV-64a bit-for-bit on every input shape — dense data, long
+// zero runs, zero runs at every alignment, and interleavings of both.
+func TestFNVZeroSkipMatchesStdlib(t *testing.T) {
+	ref := func(b []byte) uint64 {
+		h := fnv.New64a()
+		h.Write(b)
+		return h.Sum64()
+	}
+
+	var cases [][]byte
+	// Sizes around every stride boundary in fnvSparse (8 and 64 bytes).
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65, 127, 128, 1000, 4096} {
+		zero := make([]byte, n)
+		cases = append(cases, zero)
+		dense := make([]byte, n)
+		x := uint64(0x9E3779B97F4A7C15)
+		for i := range dense {
+			dense[i] = byte(x >> 56)
+			x = x*6364136223846793005 + 1442695040888963407
+		}
+		cases = append(cases, dense)
+		// A zero run at every offset inside dense data.
+		for off := 0; off+16 <= n; off += 7 {
+			mixed := append([]byte(nil), dense...)
+			for i := off; i < off+16 && i < n; i++ {
+				mixed[i] = 0
+			}
+			cases = append(cases, mixed)
+		}
+	}
+	// One sparse-RAM shape: a few dense islands in a sea of zeros.
+	big := make([]byte, 1<<18)
+	for _, isle := range []int{0, 5_000, 77_777, 1<<18 - 200} {
+		for i := 0; i < 150 && isle+i < len(big); i++ {
+			big[isle+i] = byte(isle + i)
+		}
+	}
+	cases = append(cases, big)
+
+	for i, b := range cases {
+		want := ref(b)
+		if got := fnvSparse(fnvOffset64, b); got != want {
+			t.Fatalf("case %d (len %d): fnvSparse %#x, stdlib %#x", i, len(b), got, want)
+		}
+		if got := fnvBytes(fnvOffset64, b); got != want {
+			t.Fatalf("case %d (len %d): fnvBytes %#x, stdlib %#x", i, len(b), got, want)
+		}
+	}
+
+	// WriteZeros is exactly hashing n zero bytes, from any start state.
+	for _, n := range []int{0, 1, 8, 63, 1 << 10, 1 << 20, 63 << 20} {
+		d := newFNVDigest()
+		d.Write([]byte("seed state"))
+		h := d.Sum64()
+		d.WriteZeros(n)
+		if got, want := d.Sum64(), fnvBytes(h, make([]byte, n)); got != want {
+			t.Fatalf("WriteZeros(%d): %#x, want %#x", n, got, want)
+		}
+	}
+}
+
+// TestDigestCoverageExact pins the write-coverage fast path end to end:
+// after a real recorded run, Digest — which skips every 1 MB block the
+// CPU's coverage map proves untouched — must equal the digest of the
+// same machine with coverage forced to "everything written" (a full
+// sparse scan of installed RAM).
+func TestDigestCoverageExact(t *testing.T) {
+	m, v := buildTrapDense(t, false)
+	if reason := m.Run(400_000_000); reason != machine.StopGuestDone {
+		t.Fatalf("run: stop %v", reason)
+	}
+	fast := Digest(m, v)
+	cov := m.CPU.WriteCoverage()
+	if cov == 0 {
+		t.Fatal("run left no write coverage; the fast path was never exercised")
+	}
+	m.CPU.SetWriteCoverage(^uint64(0))
+	full := Digest(m, v)
+	if fast != full {
+		t.Fatalf("coverage-pruned digest %#x, full-scan digest %#x (coverage %#x)", fast, full, cov)
+	}
+
+	// Restore recomputes coverage from the snapshot's chunks; the digest
+	// must survive a snapshot/restore round trip with pruning active.
+	m.CPU.SetWriteCoverage(cov)
+	snap := m.Snapshot()
+	vs := v.Snapshot()
+	m2, v2 := buildTrapDense(t, false)
+	m2.Restore(snap)
+	v2.Restore(vs)
+	if got := Digest(m2, v2); got != full {
+		t.Fatalf("digest after restore %#x, want %#x", got, full)
+	}
+}

@@ -11,8 +11,9 @@ import (
 )
 
 // streamTrapDense records the trap-dense kernel to a v3 stream and
-// returns the raw container bytes.
-func streamTrapDense(t *testing.T, opts Options) []byte {
+// returns the raw container bytes. testing.TB so fuzz targets can build
+// seed traces from their *testing.F.
+func streamTrapDense(t testing.TB, opts Options) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	m, v := buildTrapDense(t, false)

@@ -30,6 +30,15 @@ type Options struct {
 	// DefaultEventBatch. It is the recorder's resident-memory unit: the
 	// streaming recorder never holds more than one batch of events.
 	EventBatch int
+	// Sync disables the pipelined async writer and serializes segments on
+	// the caller's goroutine, as the recorder always did before the
+	// pipeline existed. The container bytes are identical either way
+	// (TestAsyncRecordDifferential pins it); Sync exists for debugging and
+	// for the differential itself.
+	Sync bool
+	// AsyncQueue bounds the async writer's in-flight segment queue; 0
+	// selects DefaultAsyncQueue. Ignored when Sync is set.
+	AsyncQueue int
 	// Label annotates the trace.
 	Label string
 }
@@ -93,10 +102,12 @@ type Recorder struct {
 	v    *vmm.VMM         // nil on bare metal
 	recv *netsim.Receiver // nil when no validating receiver is wired
 
-	tr       *Trace     // in-memory mode only
-	sw       *segWriter // streaming mode only
-	pend     []Event    // streaming mode: the current event batch
+	tr       *Trace          // in-memory mode only
+	sw       *segWriter      // streaming mode only
+	aw       *asyncSegWriter // streaming mode, async (default): owns sw until sealed
+	pend     []Event         // streaming mode: the current event batch
 	batchLen int
+	queueLen int
 
 	interval  uint64
 	maxSnaps  int
@@ -129,6 +140,11 @@ func NewRecorder(m *machine.Machine, v *vmm.VMM, recv *netsim.Receiver, meta Tra
 // segment plus seek index at FinishStream. If w is also an io.Closer
 // the caller still owns the Close (and must check its error — buffered
 // short writes surface there).
+//
+// By default serialization (gob + gzip + framing) runs on a pipelined
+// async writer so the simulation goroutine only pays for the state
+// copies; Options.Sync selects the old on-thread path. Both produce
+// bit-identical containers.
 func NewStreamRecorder(w io.Writer, m *machine.Machine, v *vmm.VMM, recv *netsim.Receiver, meta TraceMeta, opts Options) (*Recorder, error) {
 	r := newRecorder(m, v, recv, opts)
 	meta.Version = TraceVersion
@@ -139,10 +155,15 @@ func NewStreamRecorder(w io.Writer, m *machine.Machine, v *vmm.VMM, recv *netsim
 	if err != nil {
 		return nil, err
 	}
-	if _, err := sw.writeSegment(segMeta, meta); err != nil {
+	r.sw = sw
+	if !opts.Sync {
+		r.aw = newAsyncSegWriter(sw, r.queueLen)
+		if err := r.aw.enqueue(segMeta, meta, decoNone()); err != nil {
+			return nil, err
+		}
+	} else if err := sw.writeSegment(segMeta, meta, decoNone()); err != nil {
 		return nil, err
 	}
-	r.sw = sw
 	r.pend = make([]Event, 0, r.batchLen)
 	return r, nil
 }
@@ -166,7 +187,18 @@ func newRecorder(m *machine.Machine, v *vmm.VMM, recv *netsim.Receiver, opts Opt
 		maxSnaps: opts.MaxSnapshots,
 		keyEvery: opts.KeyframeEvery,
 		batchLen: opts.EventBatch,
+		queueLen: opts.AsyncQueue,
 	}
+}
+
+// streamErr reports the sticky stream error regardless of mode. In
+// async mode errors latch inside the pipeline (any goroutine may set
+// them), so the recorder reads through it instead of caching.
+func (r *Recorder) streamErr() error {
+	if r.aw != nil {
+		return r.aw.Err()
+	}
+	return r.err
 }
 
 // Start takes the initial checkpoint, installs the capture hooks,
@@ -233,7 +265,7 @@ func (r *Recorder) append(ev Event) {
 		r.tr.Events = append(r.tr.Events, ev)
 		return
 	}
-	if r.err != nil {
+	if r.streamErr() != nil {
 		// The stream is already broken (FinishStream will report it);
 		// accumulating the rest of the run's events would turn the
 		// bounded-memory recorder into an O(run) one exactly when the
@@ -252,21 +284,31 @@ func (r *Recorder) append(ev Event) {
 // flushEvents streams the pending batch as one event segment. On a
 // broken stream the batch is dropped instead of retained — the sticky
 // error already condemns the trace, and memory must stay bounded.
+//
+// Async mode transfers ownership of the batch slice to the pipeline
+// (it is never touched again here) and starts a fresh one; sync mode
+// serializes in place and reuses the slice.
 func (r *Recorder) flushEvents() {
 	if r.sw == nil || len(r.pend) == 0 {
 		return
 	}
-	if r.err != nil {
+	if r.streamErr() != nil {
 		r.pend = r.pend[:0]
 		return
 	}
-	info, err := r.sw.writeSegment(segEvents, r.pend)
-	if err != nil {
+	if r.aw != nil {
+		batch := r.pend
+		r.pend = make([]Event, 0, r.batchLen)
+		if err := r.aw.enqueue(segEvents, batch, decoEvents(batch)); err != nil {
+			return
+		}
+		r.stats.EventSegments++
+		return
+	}
+	if err := r.sw.writeSegment(segEvents, r.pend, decoEvents(r.pend)); err != nil {
 		r.err = err
 		return
 	}
-	info.Events = len(r.pend)
-	info.Instr, info.Cycle = r.pend[0].Instr, r.pend[0].Cycle
 	r.stats.EventSegments++
 	r.pend = r.pend[:0]
 }
@@ -335,19 +377,23 @@ func (r *Recorder) snapshot() {
 	// Streaming: the batch flushed first keeps segments in timeline
 	// order (every pending event precedes the checkpoint).
 	r.flushEvents()
-	if r.err != nil {
+	if r.streamErr() != nil {
 		return
 	}
 	kind := segKeyframe
 	if cp.Delta {
 		kind = segDelta
 	}
-	info, err := r.sw.writeSegment(kind, &cp)
-	if err != nil {
+	if r.aw != nil {
+		// Ownership of cp (and the snapshot buffers inside it — deep
+		// copies, see machine.Snapshot) transfers to the pipeline here.
+		if err := r.aw.enqueue(kind, &cp, decoCheckpoint(&cp)); err != nil {
+			return
+		}
+	} else if err := r.sw.writeSegment(kind, &cp, decoCheckpoint(&cp)); err != nil {
 		r.err = err
 		return
 	}
-	info.Instr, info.Cycle, info.Checkpoint = cp.Instr, cp.Cycle, cp.Index
 	if cp.Delta {
 		r.stats.Deltas++
 	} else {
@@ -407,18 +453,30 @@ func (r *Recorder) FinishStream() (StreamStats, error) {
 		return StreamStats{}, fmt.Errorf("replay: FinishStream on an in-memory recorder (use Finish)")
 	}
 	if !r.active {
-		return r.stats, r.err
+		return r.stats, r.streamErr()
 	}
 	end := r.stop()
 	r.flushEvents()
-	if r.err == nil {
-		if _, err := r.sw.writeSegment(segEnd, end); err != nil {
+	if r.aw != nil {
+		if r.aw.Err() == nil {
+			r.aw.enqueue(segEnd, end, decoNone())
+		}
+		// seal joins the pipeline: every enqueued segment is committed (or
+		// the first error latched) before it returns, then the index and
+		// trailer go out. After this the segWriter is ours again.
+		if err := r.aw.seal(); err != nil {
 			r.err = err
 		}
-	}
-	if r.err == nil {
-		if err := r.sw.finish(); err != nil {
-			r.err = err
+	} else {
+		if r.err == nil {
+			if err := r.sw.writeSegment(segEnd, end, decoNone()); err != nil {
+				r.err = err
+			}
+		}
+		if r.err == nil {
+			if err := r.sw.finish(); err != nil {
+				r.err = err
+			}
 		}
 	}
 	// Data segments only — the seek-index footer and trailer are framing,
@@ -443,8 +501,10 @@ func (r *Recorder) PendingEvents() int {
 	return len(r.pend)
 }
 
-// Err returns the sticky stream-write error, if any.
-func (r *Recorder) Err() error { return r.err }
+// Err returns the sticky stream-write error, if any. In async mode the
+// error may have latched on a pipeline goroutine; this is safe to poll
+// from the machine's goroutine while recording.
+func (r *Recorder) Err() error { return r.streamErr() }
 
 // Trace returns the trace being built in memory (also available before
 // Finish, for inspection); nil on a streaming recorder.

@@ -7,6 +7,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // The v3 trace container is a stream of self-delimiting segments so a
@@ -42,6 +43,13 @@ const indexMagic = "LVMMIDX\n"
 // 64 MB machine's full keyframe gzips far below this, so anything larger
 // is corruption, not data.
 const maxSegmentPayload = 1 << 31
+
+// maxSegmentDecoded bounds a single segment's decompressed gob payload.
+// The largest legitimate segment — a full keyframe of a 64 MB machine
+// with every chunk nonzero — stays well under this, so the cap only
+// trips on decompression bombs: tiny gzip segments crafted to expand
+// into gigabytes while decoding.
+const maxSegmentDecoded = 1 << 28
 
 func segKindName(k byte) string {
 	switch k {
@@ -133,79 +141,187 @@ func (sw *segWriter) writeAll(b []byte) error {
 	return err
 }
 
-// writeSegment encodes payload as gzip(gob) and appends one segment.
-// The returned SegmentInfo has already been added to the index (for
-// every kind except segIndex itself); the caller may decorate the
-// index entry through the returned pointer before the next write.
-func (sw *segWriter) writeSegment(kind byte, payload any) (*SegmentInfo, error) {
+// segDeco carries the index decorations only the producer of a segment
+// knows — the batch size of an event segment, the timeline position, the
+// stable checkpoint id. Passing them up front (instead of patching the
+// index entry after the write) lets serialization run on a different
+// goroutine than the one producing segments.
+type segDeco struct {
+	Events     int
+	Instr      uint64
+	Cycle      uint64
+	Checkpoint int // -1 for everything but snapshots
+}
+
+// decoNone decorates segments with no timeline position (meta, end).
+func decoNone() segDeco { return segDeco{Checkpoint: -1} }
+
+// decoEvents decorates an event batch with its size and first position.
+func decoEvents(batch []Event) segDeco {
+	d := segDeco{Checkpoint: -1, Events: len(batch)}
+	if len(batch) > 0 {
+		d.Instr, d.Cycle = batch[0].Instr, batch[0].Cycle
+	}
+	return d
+}
+
+// decoCheckpoint decorates a snapshot segment with its timeline position
+// and stable checkpoint id.
+func decoCheckpoint(cp *Checkpoint) segDeco {
+	return segDeco{Instr: cp.Instr, Cycle: cp.Cycle, Checkpoint: cp.Index}
+}
+
+// writeSegment encodes payload as gzip(gob) and appends one decorated
+// segment.
+func (sw *segWriter) writeSegment(kind byte, payload any, d segDeco) error {
 	if sw.err != nil {
-		return nil, sw.err
+		return sw.err
 	}
 	body, err := encodeSegment(payload)
 	if err != nil {
 		sw.err = err
-		return nil, err
+		return err
+	}
+	return sw.writeEncoded(kind, body, d)
+}
+
+// writeEncoded appends one segment whose payload is already encoded
+// (the async pipeline encodes on worker goroutines and hands finished
+// bodies here, in enqueue order, so the byte stream is identical to the
+// synchronous writer's). The index entry is built from the write offset
+// plus the producer's decorations.
+func (sw *segWriter) writeEncoded(kind byte, body []byte, d segDeco) error {
+	if sw.err != nil {
+		return sw.err
 	}
 	info := SegmentInfo{
 		Kind:       kind,
 		Offset:     sw.off,
 		Bytes:      int64(9 + len(body)),
-		Checkpoint: -1,
+		Events:     d.Events,
+		Instr:      d.Instr,
+		Cycle:      d.Cycle,
+		Checkpoint: d.Checkpoint,
 	}
 	var hdr [9]byte
 	hdr[0] = kind
 	binary.LittleEndian.PutUint64(hdr[1:], uint64(len(body)))
 	if err := sw.writeAll(hdr[:]); err != nil {
-		return nil, err
+		return err
 	}
 	if err := sw.writeAll(body); err != nil {
-		return nil, err
-	}
-	if kind == segIndex {
-		return &info, nil
+		return err
 	}
 	sw.index = append(sw.index, info)
-	return &sw.index[len(sw.index)-1], nil
+	return nil
 }
 
 // finish writes the index segment and the trailer. The caller is
 // responsible for any underlying file Close (and for propagating its
 // error — a buffered short write surfaces there).
 func (sw *segWriter) finish() error {
-	idx, err := sw.writeSegment(segIndex, sw.index)
+	if sw.err != nil {
+		return sw.err
+	}
+	body, err := encodeSegment(sw.index)
 	if err != nil {
+		sw.err = err
+		return err
+	}
+	idxOff := sw.off
+	var hdr [9]byte
+	hdr[0] = segIndex
+	binary.LittleEndian.PutUint64(hdr[1:], uint64(len(body)))
+	if err := sw.writeAll(hdr[:]); err != nil {
+		return err
+	}
+	if err := sw.writeAll(body); err != nil {
 		return err
 	}
 	var tr [16]byte
 	copy(tr[:], indexMagic)
-	binary.LittleEndian.PutUint64(tr[8:], uint64(idx.Offset))
+	binary.LittleEndian.PutUint64(tr[8:], uint64(idxOff))
 	return sw.writeAll(tr[:])
 }
 
+// gzipPool recycles deflate state across segments (the compressor's
+// window and hash tables are a few hundred KB per writer — allocating
+// them per segment was a measurable slice of the record hot path).
+// Reset makes a recycled writer's output identical to a fresh one's,
+// so pooling cannot perturb the container bytes.
+var gzipPool = sync.Pool{
+	New: func() any {
+		zw, _ := gzip.NewWriterLevel(io.Discard, gzip.BestSpeed)
+		return zw
+	},
+}
+
 // encodeSegment renders one payload as an independent gzip(gob) blob.
+// It is a pure function of payload (identical bytes for identical
+// payloads, whatever goroutine runs it) — the async pipeline's
+// bit-identity guarantee rests on that.
 func encodeSegment(payload any) ([]byte, error) {
 	var buf bytes.Buffer
-	zw, err := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
-	if err != nil {
-		return nil, err
-	}
+	zw := gzipPool.Get().(*gzip.Writer)
+	zw.Reset(&buf)
 	if err := gob.NewEncoder(zw).Encode(payload); err != nil {
+		gzipPool.Put(zw)
 		return nil, err
 	}
-	if err := zw.Close(); err != nil {
+	err := zw.Close()
+	gzipPool.Put(zw)
+	if err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
 }
 
-// decodeSegment decodes a blob produced by encodeSegment.
+// decodeSegment decodes a blob produced by encodeSegment. The
+// decompressed size is capped at maxSegmentDecoded so a crafted tiny
+// segment cannot expand into gigabytes inside the gob decoder.
 func decodeSegment(body []byte, out any) error {
 	zr, err := gzip.NewReader(bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	defer zr.Close()
-	return gob.NewDecoder(zr).Decode(out)
+	lr := &io.LimitedReader{R: zr, N: maxSegmentDecoded + 1}
+	if err := gob.NewDecoder(lr).Decode(out); err != nil {
+		if lr.N <= 0 {
+			return fmt.Errorf("replay: segment decodes past the %d-byte bound", int64(maxSegmentDecoded))
+		}
+		return err
+	}
+	if lr.N <= 0 {
+		return fmt.Errorf("replay: segment decodes past the %d-byte bound", int64(maxSegmentDecoded))
+	}
+	return nil
+}
+
+// readBody reads n payload bytes in bounded chunks, so a lying segment
+// header cannot force a multi-gigabyte allocation before the stream
+// runs out — the read fails at the truncation point instead.
+func readBody(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	if n <= chunk {
+		body := make([]byte, n)
+		_, err := io.ReadFull(r, body)
+		return body, err
+	}
+	body := make([]byte, 0, chunk)
+	for remaining := n; remaining > 0; {
+		step := uint64(chunk)
+		if remaining < step {
+			step = remaining
+		}
+		old := len(body)
+		body = append(body, make([]byte, step)...)
+		if _, err := io.ReadFull(r, body[old:]); err != nil {
+			return nil, err
+		}
+		remaining -= step
+	}
+	return body, nil
 }
 
 // readSegments scans a v3 stream after the version bytes, decoding each
@@ -229,8 +345,8 @@ func readSegments(r io.Reader, t *Trace) error {
 		if n > maxSegmentPayload {
 			return fmt.Errorf("replay: segment %s at offset %d claims %d payload bytes", segKindName(kind), off, n)
 		}
-		body := make([]byte, n)
-		if _, err := io.ReadFull(r, body); err != nil {
+		body, err := readBody(r, n)
+		if err != nil {
 			return fmt.Errorf("replay: truncated %s segment at offset %d: %w", segKindName(kind), off, err)
 		}
 		info := SegmentInfo{Kind: kind, Offset: off, Bytes: int64(9 + len(body)), Checkpoint: -1}

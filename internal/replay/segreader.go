@@ -58,11 +58,21 @@ func NewSegmentReader(r io.ReaderAt, size int64) (*SegmentReader, error) {
 	sr.segs = idx
 
 	sawMeta, sawEnd := false, false
+	// The writer lays segments down back to back, so a trustworthy index
+	// is strictly increasing and non-overlapping. Enforcing that here
+	// does double duty: it pins the timeline-order assumption the lazy
+	// layer builds on, and it bounds the total decode work a crafted
+	// index can demand to the file's own bytes — without it, an index
+	// could alias thousands of entries onto one high-ratio segment and
+	// turn a kilobyte file into an unbounded decompression treadmill
+	// (found by FuzzSegmentReader).
+	prevEnd := int64(len(hdr))
 	for i := range idx {
 		si := &idx[i]
-		if si.Offset < int64(len(hdr)) || si.Offset+si.Bytes > size {
-			return nil, fmt.Errorf("replay: index entry %d (%s) lies outside the file", i, si.KindName())
+		if si.Bytes < 9 || si.Offset < prevEnd || si.Offset+si.Bytes > size {
+			return nil, fmt.Errorf("replay: index entry %d (%s) lies outside the file or overlaps its neighbor", i, si.KindName())
 		}
+		prevEnd = si.Offset + si.Bytes
 		switch si.Kind {
 		case segMeta:
 			if sawMeta {
@@ -220,6 +230,12 @@ func NewLazyTrace(r io.ReaderAt, size int64, budget int64) (*LazyTrace, error) {
 	for i, si := range sr.segs {
 		switch {
 		case si.IsEvents():
+			// A negative claimed count would fail DecodeEvents anyway, but
+			// here it would first corrupt the monotonic event-base table
+			// the binary searches assume.
+			if si.Events < 0 {
+				return nil, fmt.Errorf("replay: event segment %d claims %d events", i, si.Events)
+			}
 			lt.evSegs = append(lt.evSegs, i)
 			lt.evBase = append(lt.evBase, events)
 			events += si.Events

@@ -13,8 +13,9 @@ import (
 )
 
 // buildTrapDense boots the trap-dense kernel (fused_test.go) under the
-// lightweight monitor, optionally forcing the slow engine.
-func buildTrapDense(t *testing.T, slow bool) (*machine.Machine, *vmm.VMM) {
+// lightweight monitor, optionally forcing the slow engine. testing.TB so
+// fuzz targets can build seed traces from their *testing.F.
+func buildTrapDense(t testing.TB, slow bool) (*machine.Machine, *vmm.VMM) {
 	t.Helper()
 	img, err := asm.Assemble(trapDenseKernel)
 	if err != nil {

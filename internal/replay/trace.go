@@ -249,7 +249,7 @@ func (t *Trace) Write(w io.Writer) error {
 	}
 	meta := t.Meta
 	meta.Version = TraceVersion
-	if _, err := sw.writeSegment(segMeta, meta); err != nil {
+	if err := sw.writeSegment(segMeta, meta, decoNone()); err != nil {
 		return err
 	}
 	written := 0
@@ -260,12 +260,9 @@ func (t *Trace) Write(w io.Writer) error {
 				n = DefaultEventBatch
 			}
 			batch := t.Events[written : written+n]
-			info, err := sw.writeSegment(segEvents, batch)
-			if err != nil {
+			if err := sw.writeSegment(segEvents, batch, decoEvents(batch)); err != nil {
 				return err
 			}
-			info.Events = len(batch)
-			info.Instr, info.Cycle = batch[0].Instr, batch[0].Cycle
 			written += n
 		}
 		return nil
@@ -283,19 +280,17 @@ func (t *Trace) Write(w io.Writer) error {
 		if cp.Delta {
 			kind = segDelta
 		}
-		info, err := sw.writeSegment(kind, cp)
-		if err != nil {
+		if err := sw.writeSegment(kind, cp, decoCheckpoint(cp)); err != nil {
 			return err
 		}
-		info.Instr, info.Cycle, info.Checkpoint = cp.Instr, cp.Cycle, cp.Index
 	}
 	if err := writeBatchesTo(len(t.Events)); err != nil {
 		return err
 	}
-	if _, err := sw.writeSegment(segEnd, traceEnd{
+	if err := sw.writeSegment(segEnd, traceEnd{
 		EndCycle: t.EndCycle, EndInstr: t.EndInstr,
 		EndReason: t.EndReason, EndDigest: t.EndDigest,
-	}); err != nil {
+	}, decoNone()); err != nil {
 		return err
 	}
 	return sw.finish()
@@ -378,7 +373,14 @@ func readTraceV2(r io.Reader, t *Trace) error {
 		return fmt.Errorf("replay: trace payload: %w", err)
 	}
 	defer zr.Close()
-	if err := gob.NewDecoder(zr).Decode(t); err != nil {
+	// A whole v2 trace decodes as one blob, so the bomb cap is the sum a
+	// legitimate trace can reach (many full-RAM checkpoints), not one
+	// segment's worth.
+	lr := &io.LimitedReader{R: zr, N: 1 << 30}
+	if err := gob.NewDecoder(lr).Decode(t); err != nil {
+		if lr.N <= 0 {
+			return fmt.Errorf("replay: v2 trace decodes past the %d-byte bound", int64(1)<<30)
+		}
 		return fmt.Errorf("replay: decoding trace: %w", err)
 	}
 	if t.Meta.Version != traceVersionV2 {
