@@ -74,15 +74,23 @@ func cmdIngest(s *farm.Store, args []string) {
 	if *tag == "" || fs.NArg() == 0 {
 		fail(fmt.Errorf("usage: hxfarm -store DIR ingest -tag TAG results.json..."))
 	}
-	total := 0
+	total, partial := 0, 0
 	for _, path := range fs.Args() {
 		runs, err := s.IngestFile(*tag, path)
 		if err != nil {
 			fail(err)
 		}
 		total += len(runs)
+		for _, r := range runs {
+			if r.Partial {
+				partial++
+			}
+		}
 	}
 	fmt.Printf("ingested %d runs under tag %q\n", total, *tag)
+	if partial > 0 {
+		fmt.Printf("%d runs carry salvaged (partial) traces\n", partial)
+	}
 }
 
 func cmdLs(s *farm.Store, args []string) {
@@ -97,6 +105,9 @@ func cmdLs(s *farm.Store, args []string) {
 		trace := "-"
 		if r.Result.TracePath != "" {
 			trace = r.Result.TracePath
+		}
+		if r.Partial {
+			trace += " (partial)"
 		}
 		fmt.Printf("%s  %-12s %-28s %8.1f Mb/s  %s\n",
 			r.ID, r.Tag, r.Result.Scenario.Name, r.Result.AchievedMbps, trace)

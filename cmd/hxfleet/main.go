@@ -104,16 +104,34 @@ func main() {
 
 	// Ctrl-C cancels the sweep: running machines observe the stop
 	// request within a poll interval, undispatched scenarios fail fast.
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	// A second Ctrl-C force-exits — the escape hatch for a sweep whose
+	// graceful drain is itself wedged (a worker stuck outside the
+	// machine's stop-poll reach).
+	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt)
+	defer signal.Stop(sigs)
+	go func() {
+		<-sigs
+		cancel()
+		<-sigs
+		fmt.Fprintln(os.Stderr, "hxfleet: second interrupt, forcing exit")
+		os.Exit(130)
+	}()
 
 	results := fleet.Runner{Jobs: *jobs}.Run(ctx, scs)
 
-	failures := 0
+	failures, timedOut := 0, 0
 	for _, r := range results {
 		if r.Err != "" {
 			failures++
-			fmt.Fprintf(os.Stderr, "hxfleet: %s: %s\n", r.Scenario.Name, r.Err)
+			fmt.Fprintf(os.Stderr, "hxfleet: %s: %s\n", r.Scenario.Name, firstLine(r.Err))
+		}
+		if r.TimedOut {
+			timedOut++
+			fmt.Fprintf(os.Stderr, "hxfleet: %s: watchdog timed out after %gs wall clock\n",
+				r.Scenario.Name, r.Scenario.Watchdog)
 		}
 		if r.TracePath != "" {
 			fmt.Fprintf(os.Stderr, "hxfleet: %s: recorded %s (%d bytes)\n",
@@ -141,8 +159,9 @@ func main() {
 		}
 	}
 
-	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "hxfleet: %d of %d scenarios failed\n", failures, len(results))
+	if failures > 0 || timedOut > 0 {
+		fmt.Fprintf(os.Stderr, "hxfleet: %d of %d scenarios failed, %d timed out\n",
+			failures, len(results), timedOut)
 		os.Exit(1)
 	}
 	if ctx.Err() != nil {
@@ -171,6 +190,16 @@ func fig31Matrix(ticks uint, rates string) *fleet.Matrix {
 		mx.Rates = append(mx.Rates, v)
 	}
 	return mx
+}
+
+// firstLine trims a multi-line error (a panic report carries its whole
+// stack) to its first line for the per-run summary; the full text is
+// still in the JSON output.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + " [stack in JSON output]"
+	}
+	return s
 }
 
 func fail(err error) {

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"lvmm/internal/fleet"
+	"lvmm/internal/replay"
 )
 
 // Run is one stored fleet result: the distilled metrics, the batch tag
@@ -39,6 +40,11 @@ type Run struct {
 	// Result is the fleet result as recorded, with TracePath resolved
 	// to an absolute path at ingest time.
 	Result fleet.Result `json:"result"`
+	// Partial marks a run whose trace is a salvaged prefix (recovered
+	// by `hxreplay salvage` from a truncated recording): queries and
+	// diffs still accept it, but its metrics and timeline cover only
+	// what survived the damage.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // Store is a directory of content-addressed run records.
@@ -97,6 +103,15 @@ func (s *Store) Ingest(tag string, results []fleet.Result, baseDir string) ([]Ru
 			return nil, err
 		}
 		run := Run{ID: id, Tag: tag, Result: res}
+		// A salvaged trace (recovered prefix of a truncated recording) is
+		// accepted but marked, so queries can tell a complete timeline
+		// from a partial one. Best-effort: an unreadable trace file does
+		// not block ingest of the result metrics.
+		if res.TracePath != "" {
+			if meta, err := replay.ReadTraceMetaFile(res.TracePath); err == nil && meta.Salvaged {
+				run.Partial = true
+			}
+		}
 		if err := s.writeRun(run); err != nil {
 			return nil, err
 		}

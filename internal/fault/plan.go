@@ -1,0 +1,233 @@
+// Package fault defines deterministic fault-injection plans for the
+// simulated machine. A Plan is pure configuration: every schedule is
+// expressed in simulated quantities — packet ordinals, disk-read
+// ordinals, IRQ-delivery ordinals, absolute virtual cycles — never in
+// wall-clock time, so a faulty run is exactly as deterministic as a
+// clean one. Probabilistic schedules draw from a counter-hash keyed by
+// (plan seed, fault site, ordinal), which makes each decision a pure
+// function of the plan and the machine's own progress: the same plan
+// against the same workload injects the same faults, on any host, at
+// any parallelism, on either execution engine.
+//
+// The machine layer consumes a Plan via machine.InstallFaults; every
+// injected fault is also emitted into the recorded timeline as an
+// EvFault trace event, so recorded faulty runs replay bit-identically
+// (see internal/replay and DESIGN.md "Fault injection").
+package fault
+
+import "fmt"
+
+// Kind identifies one fault site. The values are stable wire codes:
+// they are stored in trace events (Event.Line) and must never be
+// renumbered.
+type Kind uint8
+
+const (
+	// FrameDrop: a transmitted frame was discarded before the receiver.
+	FrameDrop Kind = 1
+	// FrameCorrupt: a transmitted frame reached the receiver with a
+	// deterministically flipped byte.
+	FrameCorrupt Kind = 2
+	// FrameDup: a transmitted frame was delivered twice.
+	FrameDup Kind = 3
+	// DiskError: a disk read completed with the error bit set instead
+	// of data.
+	DiskError Kind = 4
+	// DiskLatency: a disk read's completion was delayed by extra
+	// virtual cycles.
+	DiskLatency Kind = 5
+	// IRQLost: a deliverable interrupt was consumed without reaching
+	// the CPU.
+	IRQLost Kind = 6
+	// IRQSpurious: an interrupt was raised with no device behind it.
+	IRQSpurious Kind = 7
+)
+
+// String names the fault kind for logs and trace listings.
+func (k Kind) String() string {
+	switch k {
+	case FrameDrop:
+		return "frame-drop"
+	case FrameCorrupt:
+		return "frame-corrupt"
+	case FrameDup:
+		return "frame-dup"
+	case DiskError:
+		return "disk-error"
+	case DiskLatency:
+		return "disk-latency"
+	case IRQLost:
+		return "irq-lost"
+	case IRQSpurious:
+		return "irq-spurious"
+	}
+	return fmt.Sprintf("fault(%d)", uint8(k))
+}
+
+// Sched schedules a fault against a monotone ordinal sequence (frame
+// number, read number, delivery number — whatever the site counts).
+// The three selection modes compose with OR: an ordinal is selected if
+// it appears in Ordinals, if it matches the Every/Start stride, or if
+// the seeded hash draw lands under PerMille.
+type Sched struct {
+	// Ordinals selects exact ordinals (0-based).
+	Ordinals []uint64 `json:"ordinals,omitempty"`
+	// Every selects every Every-th ordinal starting at Start
+	// (Every == 0 disables the stride).
+	Every uint64 `json:"every,omitempty"`
+	// Start is the first ordinal the stride applies to.
+	Start uint64 `json:"start,omitempty"`
+	// PerMille selects each ordinal independently with probability
+	// PerMille/1000 via the seeded counter-hash (0 disables, 1000
+	// selects every ordinal).
+	PerMille uint32 `json:"per_mille,omitempty"`
+}
+
+// Active reports whether the schedule can ever select an ordinal.
+func (s Sched) Active() bool {
+	return len(s.Ordinals) > 0 || s.Every > 0 || s.PerMille > 0
+}
+
+// Hit reports whether the schedule selects the given ordinal. seed is
+// the plan seed; salt distinguishes fault sites so two sites with the
+// same PerMille don't fire in lockstep.
+func (s Sched) Hit(seed uint64, salt uint64, ordinal uint64) bool {
+	for _, o := range s.Ordinals {
+		if o == ordinal {
+			return true
+		}
+	}
+	if s.Every > 0 && ordinal >= s.Start && (ordinal-s.Start)%s.Every == 0 {
+		return true
+	}
+	if s.PerMille > 0 && Mix(seed, salt, ordinal)%1000 < uint64(s.PerMille) {
+		return true
+	}
+	return false
+}
+
+// Mix is the deterministic counter-hash behind probabilistic schedules
+// (splitmix64 finalizer over the three inputs). Exported so fault hooks
+// can derive secondary decisions — e.g. which byte of a frame to
+// corrupt — from the same keyed stream.
+func Mix(seed, salt, ordinal uint64) uint64 {
+	x := seed ^ salt*0x9E3779B97F4A7C15 ^ ordinal*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Salts for Hit/Mix, one per fault site. Stable: they are part of the
+// deterministic contract (a recorded plan must replay the same draws).
+const (
+	SaltFrameDrop    = 0x01
+	SaltFrameCorrupt = 0x02
+	SaltFrameDup     = 0x03
+	SaltDiskError    = 0x04
+	SaltDiskLatency  = 0x05
+	SaltIRQLost      = 0x06
+	SaltCorruptByte  = 0x10 // secondary draw: which payload byte to flip
+)
+
+// FrameFaults configures the network path. Ordinals count transmitted
+// frames (the NIC's FramesTx, 0-based). Drop wins over corrupt, which
+// wins over duplicate, when several select the same frame.
+type FrameFaults struct {
+	Drop      Sched `json:"drop,omitzero"`
+	Corrupt   Sched `json:"corrupt,omitzero"`
+	Duplicate Sched `json:"duplicate,omitzero"`
+}
+
+// DiskFaults configures the disk path. Ordinals count issued reads
+// across all HBAs in issue order (each controller's stream is
+// deterministic; the combined ordinal is the per-HBA ReadsIssued).
+type DiskFaults struct {
+	// ReadError completes the selected read with the error bit instead
+	// of data.
+	ReadError Sched `json:"read_error,omitzero"`
+	// Latency delays the selected read's completion by LatencyCycles.
+	Latency Sched `json:"latency,omitzero"`
+	// LatencyCycles is the extra completion delay for Latency hits
+	// (virtual cycles; 0 means the fault is a no-op).
+	LatencyCycles uint64 `json:"latency_cycles,omitempty"`
+}
+
+// SpuriousIRQ raises line Line at absolute virtual cycle At with no
+// device behind it.
+type SpuriousIRQ struct {
+	At   uint64 `json:"at"`
+	Line uint8  `json:"line"`
+}
+
+// IRQFaults configures the interrupt path. Lost ordinals count
+// deliverable interrupts in delivery order (the machine's IRQDelivered
+// counter); monitor channels (debug/console UART lines) are exempt —
+// they sit outside the deterministic guest timeline.
+type IRQFaults struct {
+	Lost     Sched         `json:"lost,omitzero"`
+	Spurious []SpuriousIRQ `json:"spurious,omitempty"`
+}
+
+// Plan is one complete fault-injection configuration. The zero value
+// (and nil) injects nothing.
+type Plan struct {
+	// Name labels the plan in scenario names and trace metadata.
+	Name string `json:"name,omitempty"`
+	// Seed keys the probabilistic schedules (independent of the
+	// workload seed, so the same faults can be swept across volumes).
+	Seed uint64 `json:"seed,omitempty"`
+
+	Frames FrameFaults `json:"frames,omitzero"`
+	Disk   DiskFaults  `json:"disk,omitzero"`
+	IRQ    IRQFaults   `json:"irq,omitzero"`
+}
+
+// Empty reports whether the plan injects nothing (nil-safe).
+func (p *Plan) Empty() bool {
+	if p == nil {
+		return true
+	}
+	return !p.Frames.Drop.Active() && !p.Frames.Corrupt.Active() &&
+		!p.Frames.Duplicate.Active() &&
+		!p.Disk.ReadError.Active() && !p.Disk.Latency.Active() &&
+		!p.IRQ.Lost.Active() && len(p.IRQ.Spurious) == 0
+}
+
+// Validate rejects plans that cannot be injected deterministically.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for _, s := range []struct {
+		name string
+		s    Sched
+	}{
+		{"frames.drop", p.Frames.Drop},
+		{"frames.corrupt", p.Frames.Corrupt},
+		{"frames.duplicate", p.Frames.Duplicate},
+		{"disk.read_error", p.Disk.ReadError},
+		{"disk.latency", p.Disk.Latency},
+		{"irq.lost", p.IRQ.Lost},
+	} {
+		if s.s.PerMille > 1000 {
+			return fmt.Errorf("fault plan %q: %s.per_mille %d > 1000", p.Name, s.name, s.s.PerMille)
+		}
+	}
+	if p.Disk.Latency.Active() && p.Disk.LatencyCycles == 0 {
+		return fmt.Errorf("fault plan %q: disk.latency scheduled with latency_cycles 0", p.Name)
+	}
+	for i, sp := range p.IRQ.Spurious {
+		if sp.Line > 15 {
+			return fmt.Errorf("fault plan %q: irq.spurious[%d] line %d > 15", p.Name, i, sp.Line)
+		}
+		// Cycle 0 precedes the initial checkpoint, so a rewind could
+		// never re-arm it; any positive cycle is restore-safe.
+		if sp.At == 0 {
+			return fmt.Errorf("fault plan %q: irq.spurious[%d] at cycle 0 (must be > 0)", p.Name, i)
+		}
+	}
+	return nil
+}

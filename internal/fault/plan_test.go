@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSchedModes(t *testing.T) {
+	// Exact ordinals.
+	s := Sched{Ordinals: []uint64{0, 7}}
+	for _, tc := range []struct {
+		ord  uint64
+		want bool
+	}{{0, true}, {1, false}, {7, true}, {8, false}} {
+		if got := s.Hit(1, SaltFrameDrop, tc.ord); got != tc.want {
+			t.Errorf("ordinals: Hit(%d) = %v, want %v", tc.ord, got, tc.want)
+		}
+	}
+
+	// Stride: every 3rd starting at 5.
+	s = Sched{Every: 3, Start: 5}
+	for _, tc := range []struct {
+		ord  uint64
+		want bool
+	}{{2, false}, {4, false}, {5, true}, {6, false}, {8, true}, {11, true}} {
+		if got := s.Hit(1, SaltFrameDrop, tc.ord); got != tc.want {
+			t.Errorf("stride: Hit(%d) = %v, want %v", tc.ord, got, tc.want)
+		}
+	}
+
+	// Modes compose with OR.
+	s = Sched{Ordinals: []uint64{1}, Every: 10}
+	if !s.Hit(1, 0, 1) || !s.Hit(1, 0, 10) || s.Hit(1, 0, 11) {
+		t.Error("ordinal and stride modes did not compose with OR")
+	}
+
+	if (Sched{}).Active() {
+		t.Error("zero schedule reports active")
+	}
+	if !(Sched{PerMille: 1}).Active() {
+		t.Error("probabilistic schedule reports inactive")
+	}
+}
+
+// TestPerMilleDeterministicAndCalibrated: the probabilistic mode is a
+// pure function of (seed, salt, ordinal) and its hit rate lands near the
+// configured probability over a large ordinal range.
+func TestPerMilleDeterministicAndCalibrated(t *testing.T) {
+	s := Sched{PerMille: 100} // 10%
+	const n = 20000
+	hits := 0
+	for o := uint64(0); o < n; o++ {
+		a := s.Hit(42, SaltFrameDrop, o)
+		b := s.Hit(42, SaltFrameDrop, o)
+		if a != b {
+			t.Fatalf("Hit(42, drop, %d) not deterministic", o)
+		}
+		if a {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.08 || rate > 0.12 {
+		t.Errorf("PerMille 100 hit rate %.4f, want ~0.10", rate)
+	}
+
+	// Distinct salts decorrelate sites: two 10% schedules must not fire
+	// in lockstep.
+	lockstep := 0
+	for o := uint64(0); o < n; o++ {
+		if s.Hit(42, SaltFrameDrop, o) && s.Hit(42, SaltFrameCorrupt, o) {
+			lockstep++
+		}
+	}
+	if lockstep == hits {
+		t.Error("distinct salts produced identical draw streams")
+	}
+
+	if (Sched{PerMille: 1000}).Hit(9, 9, 12345) != true {
+		t.Error("PerMille 1000 must select every ordinal")
+	}
+}
+
+func TestMixSensitivity(t *testing.T) {
+	base := Mix(1, 2, 3)
+	if Mix(1, 2, 3) != base {
+		t.Fatal("Mix not deterministic")
+	}
+	for _, v := range []uint64{Mix(2, 2, 3), Mix(1, 3, 3), Mix(1, 2, 4)} {
+		if v == base {
+			t.Error("Mix insensitive to an input")
+		}
+	}
+}
+
+func TestPlanEmptyAndValidate(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Error("nil plan not empty")
+	}
+	if err := nilPlan.Validate(); err != nil {
+		t.Errorf("nil plan invalid: %v", err)
+	}
+	if !(&Plan{Name: "clean", Seed: 9}).Empty() {
+		t.Error("schedule-free plan not empty")
+	}
+	if (&Plan{Frames: FrameFaults{Drop: Sched{Ordinals: []uint64{3}}}}).Empty() {
+		t.Error("plan with a drop schedule reports empty")
+	}
+
+	bad := []Plan{
+		{Frames: FrameFaults{Drop: Sched{PerMille: 1001}}},
+		{Disk: DiskFaults{Latency: Sched{Every: 2}}}, // LatencyCycles 0
+		{IRQ: IRQFaults{Spurious: []SpuriousIRQ{{At: 100, Line: 16}}}},
+		{IRQ: IRQFaults{Spurious: []SpuriousIRQ{{At: 0, Line: 3}}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d validated cleanly: %+v", i, p)
+		}
+	}
+	good := Plan{
+		Frames: FrameFaults{Drop: Sched{PerMille: 1000}},
+		Disk:   DiskFaults{Latency: Sched{Every: 2}, LatencyCycles: 500},
+		IRQ:    IRQFaults{Lost: Sched{Ordinals: []uint64{1}}, Spurious: []SpuriousIRQ{{At: 1, Line: 15}}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good plan rejected: %v", err)
+	}
+}
+
+// TestPlanJSONRoundTrip: plans travel through matrix files and trace
+// metadata as JSON; the round trip must be lossless.
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p := Plan{
+		Name: "chaos", Seed: 77,
+		Frames: FrameFaults{
+			Drop:      Sched{Ordinals: []uint64{2, 5}},
+			Corrupt:   Sched{Every: 7, Start: 1},
+			Duplicate: Sched{PerMille: 10},
+		},
+		Disk: DiskFaults{ReadError: Sched{Ordinals: []uint64{4}}, Latency: Sched{Every: 3}, LatencyCycles: 9000},
+		IRQ:  IRQFaults{Lost: Sched{Every: 100}, Spurious: []SpuriousIRQ{{At: 12345, Line: 7}}},
+	}
+	blob, err := json.Marshal(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Plan
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := mustJSON(t, &p), mustJSON(t, &back); a != b {
+		t.Fatalf("round trip changed the plan:\n%s\n%s", a, b)
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := FrameDrop; k <= IRQSpurious; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "fault(") {
+			t.Errorf("kind %d has no name (%q)", k, s)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}

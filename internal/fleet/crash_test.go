@@ -1,0 +1,189 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lvmm/internal/fault"
+)
+
+// TestSweepSurvivesPanicAndWedge is the crash-tolerance acceptance run:
+// a sweep containing one panicking scenario and one wedged (watchdog-
+// killed) scenario completes, reports both failures, and leaves every
+// other result byte-identical to a clean run of the same scenarios.
+func TestSweepSurvivesPanicAndWedge(t *testing.T) {
+	healthy := []Scenario{
+		{Name: "ok-a", Platform: Lightweight, RateMbps: 100, DurationTicks: 6},
+		{Name: "ok-b", Platform: Bare, RateMbps: 400, DurationTicks: 6},
+	}
+	// The baseline: the healthy scenarios on a clean sweep.
+	base := Runner{Jobs: 2}.Run(context.Background(), healthy)
+	for _, r := range base {
+		if r.Err != "" {
+			t.Fatalf("baseline %s failed: %s", r.Scenario.Name, r.Err)
+		}
+	}
+
+	// The hostile sweep: same healthy scenarios plus a cell that panics
+	// mid-run and a cell that wedges until its watchdog fires.
+	scs := []Scenario{
+		healthy[0],
+		{Name: "panicker", Platform: Lightweight, RateMbps: 100, DurationTicks: 6},
+		{Name: "wedged", Platform: Lightweight, RateMbps: 700,
+			DurationTicks: 1_000_000, Watchdog: 0.05},
+		healthy[1],
+	}
+	preRun = func(sc Scenario) {
+		if sc.Name == "panicker" {
+			panic("injected scenario crash")
+		}
+	}
+	defer func() { preRun = nil }()
+
+	res := Runner{Jobs: 4}.Run(context.Background(), scs)
+
+	if res[1].Err == "" || !strings.Contains(res[1].Err, "panicked") ||
+		!strings.Contains(res[1].Err, "injected scenario crash") {
+		t.Fatalf("panicking scenario not converted to an error: %+v", res[1])
+	}
+	if !strings.Contains(res[1].Err, "crash_test.go") && !strings.Contains(res[1].Err, "goroutine") {
+		t.Errorf("panic report carries no stack:\n%s", res[1].Err)
+	}
+	if !res[2].TimedOut || res[2].StopReason != "timed_out" {
+		t.Fatalf("wedged scenario not reported timed out: stop=%q timedOut=%v err=%q",
+			res[2].StopReason, res[2].TimedOut, res[2].Err)
+	}
+	if res[2].Err != "" {
+		t.Fatalf("watchdog kill must not be an error (the result is flagged): %q", res[2].Err)
+	}
+
+	for i, want := range base {
+		got := res[[]int{0, 3}[i]]
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: result differs between clean and hostile sweeps:\nclean:   %+v\nhostile: %+v",
+				want.Scenario.Name, want, got)
+		}
+	}
+}
+
+// TestWatchdogNeverFiresOnHealthyRun: a generous deadline leaves the
+// result untouched — same stop reason and metrics as an unwatched run.
+func TestWatchdogNeverFiresOnHealthyRun(t *testing.T) {
+	plain := Scenario{Platform: Lightweight, RateMbps: 150, DurationTicks: 6}
+	watched := plain
+	watched.Watchdog = 60
+
+	rp := RunOne(context.Background(), plain)
+	rw := RunOne(context.Background(), watched)
+	if rp.Err != "" || rw.Err != "" {
+		t.Fatalf("runs failed: %q / %q", rp.Err, rw.Err)
+	}
+	if rw.TimedOut {
+		t.Fatal("healthy run reported timed out")
+	}
+	rw.Scenario = rp.Scenario
+	if !reflect.DeepEqual(rp, rw) {
+		t.Errorf("watchdog perturbed a healthy run:\nplain:   %+v\nwatched: %+v", rp, rw)
+	}
+}
+
+// TestRecordCreateRetry: transient create failures on the record path
+// retry with backoff; persistent ones fail only that scenario.
+func TestRecordCreateRetry(t *testing.T) {
+	orig := createFile
+	defer func() { createFile = orig }()
+
+	dir := t.TempDir()
+	sc := Scenario{Platform: Lightweight, RateMbps: 100, DurationTicks: 4,
+		Record: dir + "/retry.trc"}
+
+	calls := 0
+	createFile = func(path string) (*os.File, error) {
+		calls++
+		if calls < 3 {
+			return nil, fmt.Errorf("transient host hiccup %d", calls)
+		}
+		return os.Create(path)
+	}
+	res := RunOne(context.Background(), sc)
+	if res.Err != "" {
+		t.Fatalf("run failed despite retries: %s", res.Err)
+	}
+	if calls != 3 {
+		t.Fatalf("create called %d times, want 3", calls)
+	}
+	if res.TracePath == "" {
+		t.Fatal("no trace recorded")
+	}
+
+	// Persistent failure: the scenario fails, the error names the
+	// attempt count, and a recording-free sibling still runs.
+	createFile = func(path string) (*os.File, error) {
+		return nil, fmt.Errorf("disk on fire")
+	}
+	scs := []Scenario{sc, {Name: "clean", Platform: Lightweight, RateMbps: 100, DurationTicks: 4}}
+	scs[0].Record = dir + "/doomed.trc"
+	rs := Runner{Jobs: 1}.Run(context.Background(), scs)
+	if rs[0].Err == "" || !strings.Contains(rs[0].Err, "3 attempts") || !strings.Contains(rs[0].Err, "disk on fire") {
+		t.Fatalf("persistent create failure misreported: %q", rs[0].Err)
+	}
+	if rs[1].Err != "" {
+		t.Fatalf("sibling scenario failed: %s", rs[1].Err)
+	}
+}
+
+// TestMatrixFaultAxis: the fault axis crosses every cell, names the
+// cells after the plan, and an empty-plan entry stays a clean baseline.
+func TestMatrixFaultAxis(t *testing.T) {
+	mx := &Matrix{
+		Defaults:  Scenario{DurationTicks: 8, Record: "traces/run.trc"},
+		Platforms: []Platform{Bare, Lightweight},
+		Rates:     []float64{100},
+	}
+	mx.Faults = []fault.Plan{
+		{Name: "clean"},
+		{Name: "droppy", Frames: fault.FrameFaults{Drop: fault.Sched{Every: 5}}},
+	}
+	scs := mustExpand(t, mx)
+	if len(scs) != 4 {
+		t.Fatalf("expanded to %d scenarios, want 4", len(scs))
+	}
+	names := map[string]*Scenario{}
+	for i := range scs {
+		names[scs[i].Name] = &scs[i]
+	}
+	clean, ok := names["bare@100Mbps"]
+	if !ok {
+		t.Fatalf("clean baseline cell missing: %v", keys(names))
+	}
+	if !clean.Fault.Empty() {
+		t.Fatal("clean cell carries an active plan")
+	}
+	faulty, ok := names["bare@100Mbps+droppy"]
+	if !ok {
+		t.Fatalf("fault cell not named after its plan: %v", keys(names))
+	}
+	if faulty.Fault.Empty() || faulty.Fault.Name != "droppy" {
+		t.Fatalf("fault cell lost its plan: %+v", faulty.Fault)
+	}
+	// Record paths stay collision-free across the fault axis.
+	paths := map[string]bool{}
+	for _, sc := range scs {
+		if paths[sc.Record] {
+			t.Fatalf("record path %s reused", sc.Record)
+		}
+		paths[sc.Record] = true
+	}
+}
+
+func keys(m map[string]*Scenario) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

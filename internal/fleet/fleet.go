@@ -18,7 +18,10 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"sync/atomic"
+	"time"
 
+	"lvmm/internal/fault"
 	"lvmm/internal/guest"
 	"lvmm/internal/isa"
 	"lvmm/internal/machine"
@@ -104,6 +107,21 @@ type Scenario struct {
 	// fleet's -j level in both modes — so this is a debugging escape
 	// hatch, not a correctness knob.
 	RecordSync bool `json:"record_sync,omitempty"`
+	// Fault, when non-nil and non-empty, installs a deterministic
+	// fault-injection plan on the scenario's machine. Faults are
+	// scheduled in simulated quantities only, so a faulty scenario is
+	// exactly as reproducible as a clean one; recorded faulty runs carry
+	// the plan in trace metadata and replay bit-identically.
+	Fault *fault.Plan `json:"fault,omitempty"`
+	// Watchdog bounds the scenario's wall-clock runtime in seconds
+	// (0 = unbounded). A wedged scenario — livelocked guest, fault plan
+	// that stalls forward progress — is stopped via the machine's
+	// RequestStop latch and its result marked TimedOut with stop reason
+	// "timed_out"; the rest of the sweep is unaffected. The deadline is
+	// the only wall-clock input, and it only ever truncates a run: the
+	// simulated prefix it cuts at is not deterministic, which is why
+	// timed-out results are flagged rather than silently reported.
+	Watchdog float64 `json:"watchdog_secs,omitempty"`
 }
 
 // Result is the distilled outcome of one scenario run. Every field is a
@@ -116,8 +134,15 @@ type Result struct {
 	// never ran (or never finished cleanly enough to measure).
 	Err string `json:"error,omitempty"`
 
-	// StopReason is machine.StopReason.String() for the completed run.
+	// StopReason is machine.StopReason.String() for the completed run,
+	// or "timed_out" when the watchdog cut it short.
 	StopReason string `json:"stop_reason,omitempty"`
+	// TimedOut marks a run the per-scenario watchdog stopped. Its
+	// simulated metrics describe a wall-clock-truncated prefix and are
+	// not comparable across hosts or -j levels.
+	TimedOut bool `json:"timed_out,omitempty"`
+	// FaultsInjected counts faults the scenario's plan actually fired.
+	FaultsInjected uint64 `json:"faults_injected,omitempty"`
 	// PC is the guest program counter at stop.
 	PC uint32 `json:"pc"`
 	// ExitCode is the guest's simctl DONE value.
@@ -206,6 +231,13 @@ func RunOne(ctx context.Context, sc Scenario) Result {
 		res.Err = err.Error()
 		return res
 	}
+	if !sc.Fault.Empty() {
+		if err := sc.Fault.Validate(); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		m.InstallFaults(sc.Fault)
+	}
 
 	var mon *vmm.VMM
 	switch pf {
@@ -267,8 +299,11 @@ func RunOne(ctx context.Context, sc Scenario) Result {
 			// the machine, so the trace is marked custom.
 			Custom: sc.Costs != nil,
 		}
+		if !sc.Fault.Empty() {
+			meta.Fault = sc.Fault
+		}
 		var err error
-		recFile, err = os.Create(sc.Record)
+		recFile, err = createWithRetry(sc.Record)
 		if err != nil {
 			res.Err = err.Error()
 			return res
@@ -298,6 +333,20 @@ func RunOne(ctx context.Context, sc Scenario) Result {
 		}()
 	}
 
+	// The watchdog is the crash-tolerance bound for wedged scenarios: a
+	// wall-clock deadline that fires the same thread-safe RequestStop
+	// latch cancellation uses. It never perturbs a healthy run's
+	// simulated timeline — it either never fires, or truncates the run
+	// and flags the result.
+	var wedged atomic.Bool
+	if sc.Watchdog > 0 {
+		wd := time.AfterFunc(time.Duration(sc.Watchdog*float64(time.Second)), func() {
+			wedged.Store(true)
+			m.RequestStop()
+		})
+		defer wd.Stop()
+	}
+
 	reason := m.Run(limit)
 
 	if rec != nil {
@@ -315,6 +364,11 @@ func RunOne(ctx context.Context, sc Scenario) Result {
 	}
 
 	res.StopReason = reason.String()
+	if wedged.Load() && reason == machine.StopRequested {
+		res.TimedOut = true
+		res.StopReason = "timed_out"
+	}
+	res.FaultsInjected = m.FaultsInjected()
 	res.PC = m.CPU.PC
 	res.ExitCode = m.ExitCode()
 	res.Clock = m.Clock()
@@ -339,4 +393,29 @@ func RunOne(ctx context.Context, sc Scenario) Result {
 	// allocate-and-clear.
 	m.Release()
 	return res
+}
+
+// createFile is the record path's file-creation hook; tests stub it to
+// simulate transient host I/O failures.
+var createFile = os.Create
+
+// createWithRetry opens the scenario's record file, retrying transient
+// host failures (NFS hiccups, overloaded CI disks) a bounded number of
+// times with a short backoff. The retry happens before the machine
+// runs, so it cannot perturb any simulated metric; if the host is
+// genuinely broken the last error is returned and only this scenario
+// fails.
+func createWithRetry(path string) (*os.File, error) {
+	const attempts = 3
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(time.Duration(i) * 50 * time.Millisecond)
+		}
+		var f *os.File
+		if f, err = createFile(path); err == nil {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("fleet: create %s (%d attempts): %w", path, attempts, err)
 }

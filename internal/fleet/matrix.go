@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"lvmm/internal/fault"
 )
 
 // Matrix is the scenario-matrix file cmd/hxfleet consumes: a template
@@ -16,12 +18,17 @@ import (
 type Matrix struct {
 	// Defaults is the template every expanded cell starts from.
 	Defaults Scenario `json:"defaults,omitempty"`
-	// Platforms, Rates, Engines, and Seeds are the sweep axes; the
-	// expansion is their cross product.
+	// Platforms, Rates, Engines, Seeds, and Faults are the sweep axes;
+	// the expansion is their cross product.
 	Platforms []Platform `json:"platforms,omitempty"`
 	Rates     []float64  `json:"rates,omitempty"`
 	Engines   []Engine   `json:"engines,omitempty"`
 	Seeds     []uint64   `json:"seeds,omitempty"`
+	// Faults crosses every cell with each fault plan (workloads ×
+	// faults). An empty-plan entry ({} or {"name": "clean"}) keeps a
+	// clean baseline in the same sweep. Empty axis = no faults, as
+	// before.
+	Faults []fault.Plan `json:"faults,omitempty"`
 	// Scenarios are appended verbatim after the matrix cells.
 	Scenarios []Scenario `json:"scenarios,omitempty"`
 }
@@ -67,23 +74,36 @@ func (mx *Matrix) Expand() ([]Scenario, error) {
 	if len(seeds) == 0 {
 		seeds = []uint64{mx.Defaults.Seed}
 	}
+	// The fault axis carries pointers into this slice; expanding from a
+	// nil axis keeps the template's own plan (usually nil).
+	faults := make([]*fault.Plan, 0, len(mx.Faults)+1)
+	if len(mx.Faults) == 0 {
+		faults = append(faults, mx.Defaults.Fault)
+	}
+	for i := range mx.Faults {
+		faults = append(faults, &mx.Faults[i])
+	}
 
+	cells := len(platforms) * len(rates) * len(engines) * len(seeds) * len(faults)
 	var out []Scenario
 	for _, pf := range platforms {
 		for _, rate := range rates {
 			for _, eng := range engines {
 				for _, seed := range seeds {
-					sc := mx.Defaults
-					sc.Platform, sc.RateMbps, sc.Engine, sc.Seed = pf, rate, eng, seed
-					sc.Name = ScenarioName(sc)
-					// A record path in the template would be copied into
-					// every cell, and concurrent workers streaming to one
-					// file corrupt it silently; treat it as a per-cell
-					// template instead.
-					if sc.Record != "" && len(platforms)*len(rates)*len(engines)*len(seeds) > 1 {
-						sc.Record = recordPathFor(sc.Record, sc.Name)
+					for _, fp := range faults {
+						sc := mx.Defaults
+						sc.Platform, sc.RateMbps, sc.Engine, sc.Seed = pf, rate, eng, seed
+						sc.Fault = fp
+						sc.Name = ScenarioName(sc)
+						// A record path in the template would be copied into
+						// every cell, and concurrent workers streaming to one
+						// file corrupt it silently; treat it as a per-cell
+						// template instead.
+						if sc.Record != "" && cells > 1 {
+							sc.Record = recordPathFor(sc.Record, sc.Name)
+						}
+						out = append(out, sc)
 					}
-					out = append(out, sc)
 				}
 			}
 		}
@@ -155,6 +175,13 @@ func ScenarioName(sc Scenario) string {
 	}
 	if sc.Seed != 0 {
 		name += fmt.Sprintf("#%d", sc.Seed)
+	}
+	if !sc.Fault.Empty() {
+		pn := sc.Fault.Name
+		if pn == "" {
+			pn = "fault"
+		}
+		name += "+" + pn
 	}
 	return name
 }

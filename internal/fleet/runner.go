@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -46,7 +47,7 @@ func (r Runner) Run(ctx context.Context, scs []Scenario) []Result {
 		if done[i] {
 			return
 		}
-		out[i] = RunOne(ctx, scs[i])
+		out[i] = runSafe(ctx, scs[i])
 		done[i] = true
 	})
 	for i := range out {
@@ -55,6 +56,28 @@ func (r Runner) Run(ctx context.Context, scs []Scenario) []Result {
 		}
 	}
 	return out
+}
+
+// preRun is a test seam invoked (when non-nil) just before a scenario
+// runs; tests use it to inject panics into specific sweep cells.
+var preRun func(sc Scenario)
+
+// runSafe executes one scenario and converts a panic anywhere inside it
+// — a guest assertion, a device bug, a fault plan tickling an untested
+// path — into that scenario's Result.Err, stack attached. One crashing
+// cell must not take down a sweep that has hours of other results in
+// flight: the worker survives and moves to the next index.
+func runSafe(ctx context.Context, sc Scenario) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Scenario: sc, Err: fmt.Sprintf(
+				"fleet: scenario panicked: %v\n%s", r, debug.Stack())}
+		}
+	}()
+	if preRun != nil {
+		preRun(sc)
+	}
+	return RunOne(ctx, sc)
 }
 
 // ForEach runs fn(i) for every i in [0, n) on the worker pool and waits

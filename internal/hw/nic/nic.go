@@ -102,6 +102,14 @@ type NIC struct {
 // before it reaches the sink (nil to remove). Record/replay uses it.
 func (n *NIC) SetFrameTap(tap FrameSink) { n.frameTap = tap }
 
+// Sink returns the downstream frame sink.
+func (n *NIC) Sink() FrameSink { return n.sink }
+
+// SetSink replaces the downstream frame sink. Fault injection wraps the
+// original sink through this; the frame tap is unaffected, so recorded
+// frame digests always describe the clean frame as transmitted.
+func (n *NIC) SetSink(sink FrameSink) { n.sink = sink }
+
 // ITRCyclesPerUnit scales the interrupt-throttle timer: with coalescing
 // factor N, a completion that does not fill the batch is signalled at
 // most N×20 µs later (Intel ITR style), so drivers never stall waiting

@@ -69,12 +69,25 @@ type HBA struct {
 	xferLBA, xferCount, xferAddr uint32
 	xferDoneAt                   uint64
 
+	// xferFail marks the in-flight transfer as fault-injected: it will
+	// complete with the error bit instead of data.
+	xferFail bool
+
 	// OnComplete, if set, observes each completed transfer (byte count);
 	// the hosted VMM uses it to charge bounce-buffer copy costs.
 	OnComplete func(bytes uint32)
 
+	// Fault, if set, is consulted once per issued read with the read's
+	// ordinal (ReadsIssued at issue time, 0-based): fail completes the
+	// read with the error bit, extraCycles delays its completion. The
+	// decision is latched into the in-flight transfer state (xferFail,
+	// xferDoneAt), both snapshotted, so restore never re-consults the
+	// hook — fault decisions stay part of the deterministic timeline.
+	Fault func(ordinal uint64) (fail bool, extraCycles uint64)
+
 	// Stats.
-	ReadsCompleted uint64
+	ReadsIssued    uint64 // reads accepted at the command register
+	ReadsCompleted uint64 // reads that completed with data
 	BytesRead      uint64
 }
 
@@ -156,7 +169,15 @@ func (h *HBA) startRead() {
 	}
 	h.busy = true
 	h.xferLBA, h.xferCount, h.xferAddr = h.lba, h.count, h.dmaAddr
+	ord := h.ReadsIssued
+	h.ReadsIssued++
+	h.xferFail = false
 	d := h.transferCycles(h.count)
+	if h.Fault != nil {
+		fail, extra := h.Fault(ord)
+		h.xferFail = fail
+		d += extra
+	}
 	h.xferDoneAt = h.sched.Now() + d
 	h.armCompletion(d)
 }
@@ -179,7 +200,7 @@ func (h *HBA) complete() {
 	lba, count, addr := h.xferLBA, h.xferCount, h.xferAddr
 	h.busy = false
 	h.done = true
-	if !h.mem.InRAM(addr, count) {
+	if h.xferFail || !h.mem.InRAM(addr, count) {
 		h.errbit = true
 	} else {
 		buf := h.mem.RAM()[addr : addr+count]
@@ -200,6 +221,8 @@ type State struct {
 	Busy, Done, Errbit           bool
 	XferLBA, XferCount, XferAddr uint32
 	XferDoneAt                   uint64
+	XferFail                     bool
+	ReadsIssued                  uint64
 	ReadsCompleted               uint64
 	BytesRead                    uint64
 }
@@ -210,7 +233,8 @@ func (h *HBA) State() State {
 		LBA: h.lba, Count: h.count, DMAAddr: h.dmaAddr,
 		Busy: h.busy, Done: h.done, Errbit: h.errbit,
 		XferLBA: h.xferLBA, XferCount: h.xferCount, XferAddr: h.xferAddr,
-		XferDoneAt:     h.xferDoneAt,
+		XferDoneAt: h.xferDoneAt, XferFail: h.xferFail,
+		ReadsIssued:    h.ReadsIssued,
 		ReadsCompleted: h.ReadsCompleted, BytesRead: h.BytesRead,
 	}
 }
@@ -224,7 +248,8 @@ func (h *HBA) Restore(s State) {
 	h.lba, h.count, h.dmaAddr = s.LBA, s.Count, s.DMAAddr
 	h.busy, h.done, h.errbit = s.Busy, s.Done, s.Errbit
 	h.xferLBA, h.xferCount, h.xferAddr = s.XferLBA, s.XferCount, s.XferAddr
-	h.xferDoneAt = s.XferDoneAt
+	h.xferDoneAt, h.xferFail = s.XferDoneAt, s.XferFail
+	h.ReadsIssued = s.ReadsIssued
 	h.ReadsCompleted, h.BytesRead = s.ReadsCompleted, s.BytesRead
 	if h.busy {
 		now := h.sched.Now()

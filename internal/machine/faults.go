@@ -1,0 +1,141 @@
+package machine
+
+import (
+	"lvmm/internal/fault"
+	"lvmm/internal/hw"
+	"lvmm/internal/netsim"
+)
+
+// InstallFaults wires a fault plan into the machine: the NIC sink is
+// wrapped with the frame faults, each HBA gets a disk-fault hook, lost
+// interrupts are filtered at the delivery point, and spurious
+// interrupts are armed as scheduler events at their absolute cycles.
+//
+// Call once, on a freshly built machine, before Run. Every decision the
+// installed hooks make is a pure function of the plan and snapshotted
+// machine state (frame ordinal = NIC.FramesTx, read ordinal = per-HBA
+// ReadsIssued, delivery ordinal = IRQDelivered), so a restored machine
+// resumes the fault timeline exactly where the snapshot left it; the
+// spurious-IRQ events, which live on the unsnapshottable event queue,
+// are re-armed by restoreState like every device's pending work.
+//
+// An empty (or nil) plan installs nothing — the machine stays
+// bit-identical to one that never heard of faults.
+func (m *Machine) InstallFaults(p *fault.Plan) {
+	if p.Empty() {
+		return
+	}
+	m.faultPlan = p
+
+	if f := p.Frames; f.Drop.Active() || f.Corrupt.Active() || f.Duplicate.Active() {
+		// The wrapper sits between the (clean-frame) record tap and the
+		// receiver; FramesTx was already incremented for the frame being
+		// delivered, so the 0-based ordinal is FramesTx-1.
+		m.NIC.SetSink(netsim.FaultSink(
+			p.Seed, f,
+			func() uint64 { return m.NIC.FramesTx - 1 },
+			func(k fault.Kind, ord uint64) { m.emitFault(k, 0, ord) },
+			m.NIC.Sink(),
+		))
+	}
+
+	if p.Disk.ReadError.Active() || p.Disk.Latency.Active() {
+		for i := range m.SCSI {
+			unit := uint8(i)
+			// Fold the HBA index into the salt so the three per-HBA
+			// ordinal streams draw independently.
+			salt := uint64(unit) << 8
+			m.SCSI[i].Fault = func(ord uint64) (bool, uint64) {
+				if p.Disk.ReadError.Hit(p.Seed, fault.SaltDiskError|salt, ord) {
+					m.emitFault(fault.DiskError, unit, ord)
+					return true, 0
+				}
+				if p.Disk.Latency.Hit(p.Seed, fault.SaltDiskLatency|salt, ord) {
+					m.emitFault(fault.DiskLatency, unit, ord)
+					return false, p.Disk.LatencyCycles
+				}
+				return false, 0
+			}
+		}
+	}
+
+	if p.IRQ.Lost.Active() {
+		m.irqFault = func(line int) bool {
+			ord := m.irqDelivered
+			m.irqDelivered++
+			if !p.IRQ.Lost.Hit(p.Seed, fault.SaltIRQLost, ord) {
+				return false
+			}
+			// Consume the line fully: ack it out of the request register
+			// and retire it immediately, as if the wire glitched between
+			// controller and CPU. (The acked line is the lowest-numbered
+			// in-service bit — Pending refused delivery past any higher-
+			// priority in-service line — so EOI retires exactly it.)
+			m.PIC.Ack(line)
+			m.PIC.EOI()
+			m.emitFault(fault.IRQLost, uint8(line), ord)
+			return true
+		}
+	}
+
+	for _, sp := range p.IRQ.Spurious {
+		if sp.At >= m.clock {
+			m.armSpurious(sp)
+		}
+	}
+}
+
+// armSpurious schedules one spurious interrupt at its absolute cycle.
+func (m *Machine) armSpurious(sp fault.SpuriousIRQ) {
+	m.After(sp.At-m.clock, func() {
+		m.emitFault(fault.IRQSpurious, sp.Line, sp.At)
+		m.PIC.Raise(int(sp.Line))
+	})
+}
+
+// rearmSpurious re-arms the plan's still-future spurious interrupts
+// after a snapshot restore. Strictly future only: an event due exactly
+// at the snapshot cycle fired before the snapshot was taken (install
+// order puts it ahead of the snapshot event in the same-cycle FIFO).
+func (m *Machine) rearmSpurious() {
+	if m.faultPlan == nil {
+		return
+	}
+	for _, sp := range m.faultPlan.IRQ.Spurious {
+		if sp.At > m.clock {
+			m.armSpurious(sp)
+		}
+	}
+}
+
+// dropIRQ reports whether the installed fault plan swallowed a
+// deliverable interrupt (the tick is then consumed with no delivery).
+// Monitor channels are exempt: the debug and console UART lines carry
+// asynchronous host traffic that sits outside the deterministic guest
+// timeline, so losing them would make the fault ordinals depend on
+// wall-clock input arrival.
+func (m *Machine) dropIRQ(line int) bool {
+	if m.irqFault == nil || line == hw.IRQDebug || line == hw.IRQCons {
+		return false
+	}
+	return m.irqFault(line)
+}
+
+// emitFault reports one injected fault to the trace hook and the
+// injection counter.
+func (m *Machine) emitFault(k fault.Kind, unit uint8, arg uint64) {
+	m.faultsInjected++
+	if m.faultTrace != nil {
+		m.faultTrace(uint8(k), unit, arg)
+	}
+}
+
+// SetFaultTrace installs an observer called for every injected fault
+// (kind is a fault.Kind code, unit the device index, arg the fault
+// ordinal or cycle). Record/replay uses it to log and verify the fault
+// timeline. Pass nil to remove.
+func (m *Machine) SetFaultTrace(f func(kind, unit uint8, arg uint64)) { m.faultTrace = f }
+
+// FaultsInjected returns how many faults the installed plan has
+// injected so far (part of the deterministic machine state).
+func (m *Machine) FaultsInjected() uint64 { return m.faultsInjected }

@@ -21,6 +21,7 @@ import (
 	"lvmm/internal/asm"
 	"lvmm/internal/bus"
 	"lvmm/internal/cpu"
+	"lvmm/internal/fault"
 	"lvmm/internal/hw"
 	"lvmm/internal/hw/nic"
 	"lvmm/internal/hw/pic"
@@ -112,6 +113,13 @@ type Machine struct {
 	irqTrace    func(line int)
 	preStepHook func()
 	stopAtInstr uint64
+
+	// Fault injection (see faults.go / internal/fault).
+	faultPlan      *fault.Plan
+	irqFault       func(line int) bool
+	faultTrace     func(kind, unit uint8, arg uint64)
+	irqDelivered   uint64 // delivery ordinals consumed by the lost-IRQ schedule
+	faultsInjected uint64
 
 	stopped    bool
 	stopReason StopReason
@@ -481,6 +489,9 @@ func (m *Machine) deliverPending() bool {
 		return false
 	}
 	if m.irqSink != nil {
+		if m.dropIRQ(line) {
+			return true
+		}
 		m.PIC.Ack(line)
 		if m.irqTrace != nil {
 			m.irqTrace(line)
@@ -490,6 +501,9 @@ func (m *Machine) deliverPending() bool {
 	}
 	if m.CPU.PSR&1 == 0 { // PSR.IF clear: leave the line pending
 		return false
+	}
+	if m.dropIRQ(line) {
+		return true
 	}
 	m.PIC.Ack(line)
 	if m.irqTrace != nil {

@@ -41,6 +41,11 @@ type Snapshot struct {
 	GuestCounters [8]uint32
 	PollCountdown int
 
+	// Fault-injection progress (zero when no plan is installed; decoding
+	// pre-fault snapshots leaves them zero, which is also correct).
+	IRQDelivered   uint64
+	FaultsInjected uint64
+
 	Console []byte
 
 	CPU  cpu.State
@@ -154,22 +159,24 @@ func (m *Machine) SnapshotDelta() (*Snapshot, bool) {
 // snapshotState captures everything except physical memory contents.
 func (m *Machine) snapshotState() *Snapshot {
 	s := &Snapshot{
-		Clock:         m.clock,
-		Idle:          m.idle,
-		Monitor:       m.monitor,
-		Seq:           m.seq,
-		GuestIdle:     m.guestIdle,
-		StopReason:    m.stopReason,
-		ExitCode:      m.exitCode,
-		GuestCounters: m.GuestCounters,
-		PollCountdown: m.pollCountdown,
-		Console:       append([]byte(nil), m.Console.Bytes()...),
-		CPU:           m.CPU.Snapshot(),
-		PIC:           m.PIC.State(),
-		PIT:           m.PIT.State(),
-		Dbg:           m.Dbg.State(),
-		Cons:          m.Cons.State(),
-		NIC:           m.NIC.State(),
+		Clock:          m.clock,
+		Idle:           m.idle,
+		Monitor:        m.monitor,
+		Seq:            m.seq,
+		GuestIdle:      m.guestIdle,
+		StopReason:     m.stopReason,
+		ExitCode:       m.exitCode,
+		GuestCounters:  m.GuestCounters,
+		PollCountdown:  m.pollCountdown,
+		IRQDelivered:   m.irqDelivered,
+		FaultsInjected: m.faultsInjected,
+		Console:        append([]byte(nil), m.Console.Bytes()...),
+		CPU:            m.CPU.Snapshot(),
+		PIC:            m.PIC.State(),
+		PIT:            m.PIT.State(),
+		Dbg:            m.Dbg.State(),
+		Cons:           m.Cons.State(),
+		NIC:            m.NIC.State(),
 	}
 	for i := range m.SCSI {
 		s.SCSI[i] = m.SCSI[i].State()
@@ -251,6 +258,10 @@ func (m *Machine) restoreState(s *Snapshot) {
 		m.SCSI[i].Restore(s.SCSI[i])
 	}
 	m.NIC.Restore(s.NIC)
+
+	m.irqDelivered = s.IRQDelivered
+	m.faultsInjected = s.FaultsInjected
+	m.rearmSpurious()
 }
 
 // allZero scans word-wise: the keyframe sparse scan walks all of

@@ -1,0 +1,46 @@
+package netsim
+
+import "lvmm/internal/fault"
+
+// FaultSink wraps a frame sink with the frame faults of a plan. The
+// wrapper is installed downstream of the NIC's record/replay frame tap,
+// so the recorded timeline always carries the clean frame digest while
+// the receiver sees the faulted stream — drop, a deterministically
+// corrupted copy, or a duplicate delivery.
+//
+// ordinal supplies the 0-based number of the frame being delivered; the
+// caller must derive it from snapshotted machine state (the NIC's
+// FramesTx counter), never from a closure-local counter, or a restored
+// machine would replay faults against a reset ordinal stream. emit
+// reports each injected fault (for the trace timeline); it is called
+// before the corresponding sink delivery. When several schedules select
+// the same frame, drop wins over corrupt, which wins over duplicate.
+func FaultSink(
+	seed uint64,
+	f fault.FrameFaults,
+	ordinal func() uint64,
+	emit func(kind fault.Kind, ordinal uint64),
+	sink func(frame []byte, cycle uint64),
+) func(frame []byte, cycle uint64) {
+	return func(frame []byte, cycle uint64) {
+		o := ordinal()
+		switch {
+		case f.Drop.Hit(seed, fault.SaltFrameDrop, o):
+			emit(fault.FrameDrop, o)
+		case f.Corrupt.Hit(seed, fault.SaltFrameCorrupt, o):
+			emit(fault.FrameCorrupt, o)
+			c := append([]byte(nil), frame...)
+			if len(c) > 0 {
+				d := fault.Mix(seed, fault.SaltCorruptByte, o)
+				c[d%uint64(len(c))] ^= byte(d>>32) | 1
+			}
+			sink(c, cycle)
+		case f.Duplicate.Hit(seed, fault.SaltFrameDup, o):
+			emit(fault.FrameDup, o)
+			sink(frame, cycle)
+			sink(frame, cycle)
+		default:
+			sink(frame, cycle)
+		}
+	}
+}

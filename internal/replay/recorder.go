@@ -239,6 +239,13 @@ func (r *Recorder) Start() {
 		}
 	})
 
+	// Injected faults firing (when a fault plan is installed).
+	r.m.SetFaultTrace(func(kind, unit uint8, arg uint64) {
+		if r.active {
+			r.append(Event{Kind: EvFault, Line: kind, Chan: unit, Digest: arg})
+		}
+	})
+
 	// External input: bytes injected into the UARTs from outside the
 	// machine. These are the only true inputs of the system.
 	r.m.Dbg.SetRXTap(func(data []byte) { r.input(0, data) })
@@ -405,6 +412,7 @@ func (r *Recorder) snapshot() {
 func (r *Recorder) stop() traceEnd {
 	r.active = false
 	r.m.SetIRQTrace(nil)
+	r.m.SetFaultTrace(nil)
 	r.m.NIC.SetFrameTap(nil)
 	r.m.Dbg.SetRXTap(nil)
 	r.m.Cons.SetRXTap(nil)

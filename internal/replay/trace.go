@@ -38,12 +38,14 @@ package replay
 
 import (
 	"compress/gzip"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 
+	"lvmm/internal/fault"
 	"lvmm/internal/guest"
 	"lvmm/internal/machine"
 	"lvmm/internal/netsim"
@@ -76,6 +78,12 @@ const (
 	// EvInput is external bytes arriving on a UART (true input; re-injected
 	// on replay). Chan 0 is the debug channel, 1 the guest console.
 	EvInput EventKind = 4
+	// EvFault is an injected fault firing (verification): Line carries the
+	// fault.Kind code, Chan the device unit, Digest the fault ordinal (or
+	// cycle, for spurious IRQs). Faults re-inject deterministically from
+	// the plan in TraceMeta; the event pins that the replayed injection
+	// happened at the recorded timeline position.
+	EvFault EventKind = 5
 )
 
 func (k EventKind) String() string {
@@ -88,6 +96,8 @@ func (k EventKind) String() string {
 		return "frame"
 	case EvInput:
 		return "input"
+	case EvFault:
+		return "fault"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -145,6 +155,14 @@ type TraceMeta struct {
 	// streaming target); the caller must reconstruct the machine itself
 	// before attaching a Replayer.
 	Custom bool
+	// Fault is the fault plan the recorded machine ran under (nil for a
+	// clean run). Replay re-installs it so injected faults re-fire
+	// deterministically; the EvFault events verify they did.
+	Fault *fault.Plan
+	// Salvaged marks a trace recovered from a truncated container by
+	// SalvageTrace: its end seal is synthesized (see salvage.go), so
+	// replay verifies the event timeline but not the final digest.
+	Salvaged bool
 }
 
 // Trace is a complete recorded run held in memory. The streaming
@@ -403,6 +421,58 @@ func (t *Trace) WriteFile(path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// ReadTraceMetaFile reads only a trace's metadata. A v3 container puts
+// the meta segment first, so this costs one small segment decode
+// however large the file is — and works on truncated files whose tail
+// is gone, which is what farm ingest needs to mark salvaged traces. A
+// v2 monolithic blob has no segments and must decode fully.
+func ReadTraceMetaFile(path string) (TraceMeta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return TraceMeta{}, err
+	}
+	defer f.Close()
+	magic := make([]byte, len(traceMagic)+2)
+	if _, err := io.ReadFull(f, magic); err != nil {
+		return TraceMeta{}, fmt.Errorf("replay: reading trace header: %w", err)
+	}
+	if string(magic[:len(traceMagic)]) != traceMagic {
+		return TraceMeta{}, fmt.Errorf("replay: not a trace file")
+	}
+	ver := int(magic[len(traceMagic)]) | int(magic[len(traceMagic)+1])<<8
+	switch ver {
+	case TraceVersion:
+		var hdr [9]byte
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return TraceMeta{}, fmt.Errorf("replay: truncated trace: %w", err)
+		}
+		if hdr[0] != segMeta {
+			return TraceMeta{}, fmt.Errorf("replay: first segment is %s, want meta", segKindName(hdr[0]))
+		}
+		n := binary.LittleEndian.Uint64(hdr[1:])
+		if n > maxSegmentPayload {
+			return TraceMeta{}, fmt.Errorf("replay: meta segment claims %d payload bytes", n)
+		}
+		body, err := readBody(f, n)
+		if err != nil {
+			return TraceMeta{}, fmt.Errorf("replay: truncated meta segment: %w", err)
+		}
+		var meta TraceMeta
+		if err := decodeSegment(body, &meta); err != nil {
+			return TraceMeta{}, fmt.Errorf("replay: decoding trace meta: %w", err)
+		}
+		return meta, nil
+	case traceVersionV2:
+		var t Trace
+		if err := readTraceV2(f, &t); err != nil {
+			return TraceMeta{}, err
+		}
+		return t.Meta, nil
+	}
+	return TraceMeta{}, fmt.Errorf("replay: trace version %d, want %d (or legacy %d)",
+		ver, TraceVersion, traceVersionV2)
 }
 
 // ReadTraceFile loads a trace from path.

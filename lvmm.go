@@ -26,6 +26,7 @@ import (
 
 	"lvmm/internal/debugger"
 	"lvmm/internal/experiment"
+	"lvmm/internal/fault"
 	"lvmm/internal/gdbstub"
 	"lvmm/internal/guest"
 	"lvmm/internal/isa"
@@ -125,8 +126,15 @@ type Target struct {
 	recv     *netsim.Receiver
 	params   guest.Params
 	seed     uint64
+	plan     *fault.Plan
 	entry    uint32
 }
+
+// FaultPlan re-exports fault.Plan: a deterministic fault-injection
+// schedule (packet drop/corrupt/duplicate, disk read errors and latency
+// spikes, lost and spurious interrupts), expressed entirely in simulated
+// quantities so faulty runs record and replay bit-identically.
+type FaultPlan = fault.Plan
 
 // NewStreamingTarget builds the evaluation machine (three pattern-filled
 // disks, validating receiver), loads the streaming guest configured by w,
@@ -138,21 +146,41 @@ func NewStreamingTarget(p Platform, w Workload) (*Target, error) {
 		params.CsumOffload = false
 		params.Coalesce = 1
 	}
-	return newStreamingTarget(p, params, 0)
+	return newStreamingTarget(p, params, 0, nil)
+}
+
+// NewStreamingTargetFaulty is NewStreamingTarget with a fault plan
+// installed: the plan's schedules drive deterministic fault injection
+// into the network, disk, and interrupt paths, and travel in the trace
+// metadata of any recording made from the target. A nil or empty plan
+// is identical to NewStreamingTarget.
+func NewStreamingTargetFaulty(p Platform, w Workload, plan *FaultPlan) (*Target, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	params := w.params()
+	if p == HostedFull {
+		params.CsumOffload = false
+		params.Coalesce = 1
+	}
+	return newStreamingTarget(p, params, 0, plan)
 }
 
 // newStreamingTarget builds a streaming target from fully resolved guest
-// parameters and a volume content seed. Replay uses it to reconstruct
-// the recorded machine from a trace's metadata, so construction must be
-// a pure function of (p, params, seed).
-func newStreamingTarget(p Platform, params guest.Params, seed uint64) (*Target, error) {
+// parameters, a volume content seed, and an optional fault plan. Replay
+// uses it to reconstruct the recorded machine from a trace's metadata,
+// so construction must be a pure function of (p, params, seed, plan).
+func newStreamingTarget(p Platform, params guest.Params, seed uint64, plan *fault.Plan) (*Target, error) {
 	recv := netsim.NewReceiver()
 	m := machine.NewStreamingSeeded(params.BlockBytes, recv, guest.KernelBase, seed)
 	entry, err := guest.Prepare(m, params)
 	if err != nil {
 		return nil, err
 	}
-	t := &Target{platform: p, m: m, recv: recv, params: params, seed: seed, entry: entry}
+	if !plan.Empty() {
+		m.InstallFaults(plan)
+	}
+	t := &Target{platform: p, m: m, recv: recv, params: params, seed: seed, plan: plan, entry: entry}
 	switch p {
 	case BareMetal:
 		m.CPU.Reset(entry)
@@ -292,11 +320,15 @@ func (t *Target) RecordStream(w io.Writer, opts RecordOptions) (*replay.Recorder
 }
 
 func (t *Target) traceMeta() replay.TraceMeta {
-	return replay.TraceMeta{
+	meta := replay.TraceMeta{
 		Platform: int(t.platform),
 		Params:   t.params,
 		Seed:     t.seed,
 	}
+	if !t.plan.Empty() {
+		meta.Fault = t.plan
+	}
+	return meta
 }
 
 // ReplayTarget is a Target reconstructed from a trace and driven by a
@@ -324,7 +356,7 @@ func ReplaySource(src replay.Source) (*ReplayTarget, error) {
 	if meta.Custom {
 		return nil, fmt.Errorf("lvmm: trace records a custom machine; rebuild it and use replay.NewReplayerSource directly")
 	}
-	t, err := newStreamingTarget(Platform(meta.Platform), meta.Params, meta.Seed)
+	t, err := newStreamingTarget(Platform(meta.Platform), meta.Params, meta.Seed, meta.Fault)
 	if err != nil {
 		return nil, err
 	}
