@@ -199,9 +199,9 @@ func BenchmarkInterpreter(b *testing.B) {
 	b.ReportMetric(float64(2000001*b.N)/b.Elapsed().Seconds(), "guest_instr/s")
 }
 
-// BenchmarkInterpreterSlowPath measures the same tight loop with a CPU spy
-// watch armed — a timeline-neutral observer that disqualifies predecoded
-// bursts (cpu.BurstSafe), forcing the per-instruction slow path. The ratio
+// BenchmarkInterpreterSlowPath measures the same tight loop with the CPU's
+// force-slow knob set — timeline-neutral, disqualifying predecoded bursts
+// (cpu.BurstSafe) and forcing the per-instruction slow path. The ratio
 // to BenchmarkInterpreter is the predecoded engine's speedup.
 func BenchmarkInterpreterSlowPath(b *testing.B) {
 	img := asm.MustAssemble(`
@@ -220,9 +220,7 @@ func BenchmarkInterpreterSlowPath(b *testing.B) {
 			b.Fatal(err)
 		}
 		m.CPU.Reset(img.Entry)
-		if err := m.CPU.SetSpyWatch(0, 0xFFFF0000, 16, true); err != nil {
-			b.Fatal(err)
-		}
+		m.CPU.ForceSlowEngine(true)
 		m.Run(20_000_000)
 		if m.CPU.Regs[1] != 1000000 {
 			b.Fatalf("loop did not finish: r1=%d", m.CPU.Regs[1])
@@ -343,6 +341,47 @@ func BenchmarkReplaySeek(b *testing.B) {
 	}
 	b.ReportMetric(float64(lt.Faults()-startFaults)/float64(b.N), "segfaults/op")
 	b.ReportMetric(float64(lt.MaxResidentBytes()), "max_resident_bytes")
+}
+
+// BenchmarkArmedObserver measures the page-granular arming guarantee on
+// the Fig 3.1 workload: the "armed" variant runs the standard lightweight
+// streaming guest with a hardware breakpoint planted on a page the kernel
+// never executes. Before page-granular arming, any armed breakpoint forced
+// the per-instruction interpreter and the armed variant ran several times
+// slower; now both variants must stay on the predecoded burst engine and
+// their ns/op must agree within the noise floor (≤10%). Gated by
+// cmd/benchjson -compare so a regression that knocks debugged guests off
+// the burst engine fails CI.
+func BenchmarkArmedObserver(b *testing.B) {
+	run := func(b *testing.B, armed bool) {
+		var burst uint64
+		for i := 0; i < b.N; i++ {
+			w := WorkloadDefaults(100)
+			w.Seconds = 0.1
+			target, err := NewStreamingTarget(Lightweight, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if armed {
+				// A page the streaming kernel never fetches from.
+				if err := target.Machine().CPU.SetHWBreak(0, 0xE0000, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+			stats, err := target.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !stats.Clean {
+				b.Fatal(stats.ValidateErr)
+			}
+			burst = target.Machine().CPU.BurstTicks()
+			target.Release()
+		}
+		b.ReportMetric(float64(burst), "burst_ticks")
+	}
+	b.Run("unarmed", func(b *testing.B) { run(b, false) })
+	b.Run("armed", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkAssembler measures kernel assembly speed.

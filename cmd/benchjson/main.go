@@ -17,9 +17,10 @@
 // The benchmark set mirrors bench_test.go's engineering benchmarks
 // (BenchmarkInterpreter, BenchmarkTrapRoundTrip, the fused-dispatch
 // BenchmarkTrapRoundTripBurst, the streaming-trace BenchmarkRecordStream,
-// and the lazy-reader BenchmarkReplaySeek) plus a forced-slow-path
-// interpreter variant, so one artifact carries both sides of the
-// predecoded-engine before/after comparison. Paper-figure benchmarks stay
+// the armed-breakpoint BenchmarkArmedObserver, and the lazy-reader
+// BenchmarkReplaySeek) plus a forced-slow-path interpreter variant, so
+// one artifact carries both sides of the predecoded-engine before/after
+// comparison. Paper-figure benchmarks stay
 // in `go test -bench`; this tool is only for the host-side hot-path
 // numbers that DESIGN.md's benchmark table tracks.
 package main
@@ -116,9 +117,10 @@ const interpreterSource = `
 
 const interpreterInstrs = 2_000_001
 
-// runInterpreter executes the tight loop n times, optionally with a CPU spy
-// watch armed, which disqualifies the machine from predecoded bursts and
-// forces the per-instruction slow path (the pre-optimization engine).
+// runInterpreter executes the tight loop n times, optionally with the
+// CPU's force-slow knob set, which disqualifies the machine from predecoded
+// bursts and forces the per-instruction slow path (the pre-optimization
+// engine).
 func runInterpreter(n int, forceSlow bool) map[string]float64 {
 	img := asm.MustAssemble(interpreterSource)
 	start := time.Now()
@@ -129,11 +131,7 @@ func runInterpreter(n int, forceSlow bool) map[string]float64 {
 		}
 		m.CPU.Reset(img.Entry)
 		if forceSlow {
-			// A spy watch is the non-perturbing observer: identical
-			// timeline, slow-path execution.
-			if err := m.CPU.SetSpyWatch(0, 0xFFFF0000, 16, true); err != nil {
-				fatal(err)
-			}
+			m.CPU.ForceSlowEngine(true)
 		}
 		m.Run(20_000_000)
 		if m.CPU.Regs[1] != 1000000 {
@@ -301,6 +299,43 @@ func newReplaySeekSession() func(n int) map[string]float64 {
 	}
 }
 
+// runArmedObserver runs the Fig 3.1-style lightweight streaming workload
+// with a hardware breakpoint armed on a page the kernel never executes.
+// Page-granular observer arming keeps this run on the predecoded burst
+// engine, so its ns/op sits at the unarmed workload's level; if breakpoint
+// arming ever falls back to the per-instruction interpreter again, this
+// benchmark slows by several x and the -compare gate catches it.
+func runArmedObserver(n int) map[string]float64 {
+	var out map[string]float64
+	for i := 0; i < n; i++ {
+		w := lvmm.WorkloadDefaults(100)
+		w.Seconds = 0.1
+		target, err := lvmm.NewStreamingTarget(lvmm.Lightweight, w)
+		if err != nil {
+			fatal(err)
+		}
+		if err := target.Machine().CPU.SetHWBreak(0, 0xE0000, true); err != nil {
+			fatal(err)
+		}
+		stats, err := target.Run()
+		if err != nil {
+			fatal(err)
+		}
+		if !stats.Clean {
+			fatal(fmt.Errorf("armed observer run corrupted the stream: %s", stats.ValidateErr))
+		}
+		if target.Machine().CPU.BurstTicks() == 0 {
+			fatal(fmt.Errorf("armed observer run never burst: breakpoint knocked the guest off the fast engine"))
+		}
+		out = map[string]float64{
+			"burst_ticks":  float64(target.Machine().CPU.BurstTicks()),
+			"cpu_load_pct": stats.CPULoad * 100,
+		}
+		target.Release()
+	}
+	return out
+}
+
 // runFig31Point runs the lightweight-VMM saturation point of Figure 3.1,
 // the macro benchmark the paper's headline numbers come from.
 func runFig31Point(n int) map[string]float64 {
@@ -327,7 +362,7 @@ func fatal(err error) {
 // gatedBenchmarks are the hot-path benchmarks the -compare regression
 // gate enforces: a CI run fails when any of these regresses in ns/op by
 // more than the tolerance against the committed baseline artifact.
-var gatedBenchmarks = []string{"Interpreter", "TrapRoundTrip", "TrapRoundTripBurst", "RecordStream"}
+var gatedBenchmarks = []string{"Interpreter", "TrapRoundTrip", "TrapRoundTripBurst", "RecordStream", "ArmedObserver"}
 
 // compareBaseline enforces the regression gate: every gated benchmark in
 // the current run must be within tolerance percent of the baseline's
@@ -410,6 +445,7 @@ func main() {
 		bench("TrapRoundTrip", target, runTrapRoundTrip),
 		bench("TrapRoundTripBurst", target, runTrapRoundTripBurst),
 		bench("RecordStream", target, runRecordStream),
+		bench("ArmedObserver", target, runArmedObserver),
 		bench("ReplaySeek", target, newReplaySeekSession()),
 		bench("Fig31LightweightSaturated", target, runFig31Point),
 	)

@@ -10,9 +10,11 @@
 // copies, exactly the structure of the paper's lightweight VMM.
 //
 // Execution has two bit-identical engines: the per-instruction slow path
-// (Step), consulted whenever any observer is armed, and a predecoded
-// fast path (StepFast/BurstRun) backed by a physical-page-indexed decode
-// cache — see decode.go for the design and its invalidation rules.
+// (Step) and a predecoded fast path (StepFast/BurstRun) backed by a
+// physical-page-indexed decode cache — see decode.go for the design and its
+// invalidation rules. Debug observers (breakpoints, watchpoints, spy
+// watches) are armed at page granularity, so the fast path stays on unless
+// execution actually touches an armed page — see observers.go.
 package cpu
 
 import (
@@ -154,6 +156,23 @@ type CPU struct {
 	spyEn   [4]bool
 	spyAny  bool
 
+	// Derived observer-arming state, rebuilt by recalcObservers (see
+	// observers.go): the virtual pages holding enabled breakpoints, and
+	// the page-rounded virtual-address envelope covering every enabled
+	// watch/spy range ([writeArmLo, writeArmHi), empty when hi is zero).
+	execPages  [4]uint32
+	execPageN  int
+	writeArmLo uint64
+	writeArmHi uint64
+
+	// forceSlow pins execution to the per-instruction interpreter
+	// (ForceSlowEngine). Wiring, not snapshot state.
+	forceSlow bool
+
+	// burstTicks counts instruction ticks retired by BurstRun. Derived
+	// diagnostics (never serialized); see BurstTicks.
+	burstTicks uint64
+
 	// SpyHook receives the watched address for every store that lands in
 	// an enabled spy range.
 	SpyHook func(watchAddr uint32)
@@ -193,6 +212,7 @@ func (c *CPU) Reset(resetPC uint32) {
 	c.CR = [isa.NumCRs]uint32{}
 	c.halted = false
 	c.wedged = false
+	c.recalcObservers()
 	c.FlushTLB()
 }
 
@@ -223,10 +243,7 @@ func (c *CPU) SetHWBreak(i int, addr uint32, enabled bool) error {
 	}
 	c.hwBreak[i] = addr
 	c.hwBreakEn[i] = enabled
-	c.hwBreakAny = false
-	for _, en := range c.hwBreakEn {
-		c.hwBreakAny = c.hwBreakAny || en
-	}
+	c.recalcObservers()
 	return nil
 }
 
@@ -245,10 +262,7 @@ func (c *CPU) SetWatchpoint(i int, addr, length uint32, enabled bool) error {
 	c.watchAddr[i] = addr
 	c.watchLen[i] = length
 	c.watchEn[i] = enabled
-	c.watchAny = false
-	for _, en := range c.watchEn {
-		c.watchAny = c.watchAny || en
-	}
+	c.recalcObservers()
 	return nil
 }
 
@@ -307,6 +321,7 @@ func (c *CPU) Step() StepResult {
 				// Disarm for one shot so the handler can resume past it;
 				// debuggers re-arm after stepping.
 				c.hwBreakEn[i] = false
+				c.recalcObservers()
 				cyc := c.raise(isa.CauseBRK, instPC, instPC)
 				return StepResult{Cycles: cyc, Wedged: c.wedged, Trapped: isa.CauseBRK}
 			}

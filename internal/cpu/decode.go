@@ -267,13 +267,17 @@ func (c *CPU) dcInvalidate(addr, n uint32) {
 func (c *CPU) dcFlush() { c.dcGen++ }
 
 // BurstSafe reports whether the CPU may execute predecoded straight-line
-// bursts: no observer that the per-instruction slow path would consult is
-// armed (hardware breakpoints, watchpoints, spy watches, the trap flag).
-// The machine checks it once per burst entry; every operation that could
-// arm an observer mid-burst reaches the CPU through a trap or an fnSlow
-// instruction, both of which end the burst first.
+// bursts. Debug observers no longer disqualify bursts wholesale: hardware
+// breakpoints are checked page-granularly inside BurstRun, and watch/spy
+// ranges gate only the stores that could land in them (see observers.go).
+// What still forces the per-instruction interpreter is the trap flag — TF
+// is a per-instruction observer by definition — and the explicit
+// ForceSlowEngine knob. The machine checks BurstSafe once per burst entry
+// and after every fused trap; every operation that could set TF mid-burst
+// reaches the CPU through a trap or an fnSlow instruction, both of which
+// re-check before the burst continues.
 func (c *CPU) BurstSafe() bool {
-	return !c.hwBreakAny && !c.watchAny && !c.spyAny && c.PSR&isa.PSRTF == 0
+	return !c.forceSlow && c.PSR&isa.PSRTF == 0
 }
 
 // BurstBreak explains why BurstRun stopped.
@@ -326,23 +330,63 @@ type BurstResume func() (horizon uint64, ok bool)
 // Preconditions are StepFast's: BurstSafe holds and the CPU is neither
 // halted nor wedged; the caller guarantees *clk < horizon and maxTicks ≥ 1
 // on entry. Architectural effects and cycle charges are bit-identical to
-// an equivalent sequence of Step calls.
+// an equivalent sequence of Step calls — including hardware breakpoints,
+// which are checked page-granularly: the armed-page test (execPageArmed)
+// is evaluated once per fetch-page crossing, and only instructions on an
+// armed page pay Step's exact per-slot PC comparison. A hit disarms the
+// slot one-shot and raises CauseBRK exactly as Step would, so the burst
+// surfaces at the breakpoint instruction instead of never starting.
 func (c *CPU) BurstRun(clk *uint64, horizon, maxTicks uint64, resume BurstResume) (ticks uint64, brk BurstBreak, slowFetch uint64) {
 	n := uint64(0)
+	defer func() { c.burstTicks += n }()
 	// PTBR can only change through fnSlow ops or trap handlers; the former
 	// end the burst and the latter re-derive the paging mode on a fused
-	// resume, so pagingOff is loop-invariant between traps.
+	// resume, so pagingOff is loop-invariant between traps. The same holds
+	// for the cached armed-page test (bpVPN/bpArmed): observer slots only
+	// mutate through trap diverters mid-burst, so every fused resume resets
+	// the cache to noVPN alongside the horizon and paging mode.
 	pagingOff := !c.PagingEnabled()
+	bpVPN, bpArmed := noVPN, false
 	for {
 		if n >= maxTicks {
 			return n, BurstBudget, 0
 		}
 		instPC := c.PC
+		if c.hwBreakAny {
+			if vpn := instPC >> isa.PageShift; vpn != bpVPN {
+				bpVPN, bpArmed = vpn, c.execPageArmed(vpn)
+			}
+			if bpArmed {
+				hit := false
+				for i, en := range c.hwBreakEn {
+					if en && c.hwBreak[i] == instPC {
+						// One-shot disarm, exactly like Step: the handler
+						// can resume past it; debuggers re-arm after
+						// stepping.
+						c.hwBreakEn[i] = false
+						c.recalcObservers()
+						hit = true
+						break
+					}
+				}
+				if hit {
+					*clk += c.raise(isa.CauseBRK, instPC, instPC)
+					n++
+					if h, ok := c.fuseTrap(resume); ok {
+						horizon, pagingOff = h, !c.PagingEnabled()
+						bpVPN, bpArmed = noVPN, false
+						continue
+					}
+					return n, BurstTrap, 0
+				}
+			}
+		}
 		if instPC&3 != 0 {
 			*clk += c.raise(isa.CauseAlign, instPC, instPC)
 			n++
 			if h, ok := c.fuseTrap(resume); ok {
 				horizon, pagingOff = h, !c.PagingEnabled()
+				bpVPN, bpArmed = noVPN, false
 				continue
 			}
 			return n, BurstTrap, 0
@@ -359,6 +403,7 @@ func (c *CPU) BurstRun(clk *uint64, horizon, maxTicks uint64, resume BurstResume
 				n++
 				if h, ok := c.fuseTrap(resume); ok {
 					horizon, pagingOff = h, !c.PagingEnabled()
+					bpVPN, bpArmed = noVPN, false
 					continue
 				}
 				return n, BurstTrap, 0
@@ -370,6 +415,7 @@ func (c *CPU) BurstRun(clk *uint64, horizon, maxTicks uint64, resume BurstResume
 			n++
 			if h, ok := c.fuseTrap(resume); ok {
 				horizon, pagingOff = h, !c.PagingEnabled()
+				bpVPN, bpArmed = noVPN, false
 				continue
 			}
 			return n, BurstTrap, 0
@@ -385,6 +431,7 @@ func (c *CPU) BurstRun(clk *uint64, horizon, maxTicks uint64, resume BurstResume
 		if res.Trapped != isa.CauseNone {
 			if h, ok := c.fuseTrap(resume); ok {
 				horizon, pagingOff = h, !c.PagingEnabled()
+				bpVPN, bpArmed = noVPN, false
 				continue
 			}
 			return n, BurstTrap, 0
@@ -413,6 +460,24 @@ func (c *CPU) fuseTrap(resume BurstResume) (uint64, bool) {
 // Architectural effects and cycle charges are bit-identical to Step.
 func (c *CPU) StepFast() (StepResult, bool) {
 	instPC := c.PC
+
+	// Hardware breakpoints fire before execution, exactly as in Step. On
+	// the burst path this is a no-hit re-check (BurstRun already tested
+	// this PC before handing off a BurstSlow), but it keeps StepFast a
+	// faithful Step for any direct caller with a breakpoint armed here.
+	if c.hwBreakAny && c.execPageArmed(instPC>>isa.PageShift) {
+		for i, en := range c.hwBreakEn {
+			if en && c.hwBreak[i] == instPC {
+				c.hwBreakEn[i] = false
+				c.recalcObservers()
+				// Drop any predecoded handoff: the breakpoint handler may
+				// run arbitrary code before execution returns to this PC.
+				c.pendSlow = nil
+				cyc := c.raise(isa.CauseBRK, instPC, instPC)
+				return StepResult{Cycles: cyc, Wedged: c.wedged, Trapped: isa.CauseBRK}, false
+			}
+		}
+	}
 
 	// Predecoded handoff: the last BurstSlow already fetched, translated,
 	// and decoded this instruction (its fetch cycles travel via BurstRun's
@@ -473,8 +538,11 @@ func (c *CPU) fastTrap(cause, vaddr, epc uint32, base uint64) StepResult {
 
 // executeFast runs one predecoded straight-line instruction, mirroring the
 // corresponding arm of execute exactly — same results, same trap causes,
-// same cycle charges. The spy/watch checks of the slow-path store arm are
-// omitted because StepFast's preconditions guarantee none are armed.
+// same cycle charges. The store arms gate the slow path's spy/watch tail
+// behind the armed write envelope (storeObserved): stores outside every
+// armed page skip it — observably identical, since the per-slot
+// intersection checks would have missed — and stores inside run the shared
+// observedStore tail, bit-identical to Step.
 func (c *CPU) executeFast(d *decoded, instPC uint32) StepResult {
 	var v uint32
 	switch d.fn {
@@ -544,6 +612,9 @@ func (c *CPU) executeFast(d *decoded, instPC uint32) StepResult {
 		if !c.bus.Write32(pa, c.Regs[d.rd]) {
 			return c.fastTrap(isa.CauseBusError, va, instPC, isa.CycStore+extra)
 		}
+		if c.storeObserved(va, 4) {
+			return c.observedStore(va, 4, instPC, isa.CycStore+extra)
+		}
 		c.PC = instPC + 4
 		return StepResult{Cycles: isa.CycStore + extra}
 	case fnSH:
@@ -558,6 +629,9 @@ func (c *CPU) executeFast(d *decoded, instPC uint32) StepResult {
 		if !c.bus.Write16(pa, uint16(c.Regs[d.rd])) {
 			return c.fastTrap(isa.CauseBusError, va, instPC, isa.CycStore+extra)
 		}
+		if c.storeObserved(va, 2) {
+			return c.observedStore(va, 2, instPC, isa.CycStore+extra)
+		}
 		c.PC = instPC + 4
 		return StepResult{Cycles: isa.CycStore + extra}
 	case fnSB:
@@ -568,6 +642,9 @@ func (c *CPU) executeFast(d *decoded, instPC uint32) StepResult {
 		}
 		if !c.bus.Write8(pa, byte(c.Regs[d.rd])) {
 			return c.fastTrap(isa.CauseBusError, va, instPC, isa.CycStore+extra)
+		}
+		if c.storeObserved(va, 1) {
+			return c.observedStore(va, 1, instPC, isa.CycStore+extra)
 		}
 		c.PC = instPC + 4
 		return StepResult{Cycles: isa.CycStore + extra}

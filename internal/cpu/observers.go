@@ -1,0 +1,170 @@
+package cpu
+
+import "lvmm/internal/isa"
+
+// Page-granular observer arming.
+//
+// Observers — hardware breakpoints, data watchpoints, spy watches — used to
+// disqualify the predecoded burst engine wholesale: one armed slot anywhere
+// dropped the whole guest onto the per-instruction interpreter. That defeats
+// the paper's point (debug an OS without perturbing its performance), so
+// arming is now tracked at page granularity and the burst engine stays on:
+//
+//   - Execution side: recalcObservers collects the virtual page of every
+//     enabled breakpoint into execPages. BurstRun tests the current fetch
+//     page against that set once per page crossing; only instructions on an
+//     armed page pay the exact per-slot PC comparison, and a hit surfaces
+//     the burst *at* the breakpoint instruction with Step's exact
+//     disarm-and-trap semantics.
+//
+//   - Write side: recalcObservers folds every enabled watch and spy range
+//     into one page-rounded virtual-address envelope [writeArmLo,
+//     writeArmHi). The fast path's store arms test the envelope with two
+//     compares; only stores that could land in an armed page take the exact
+//     spy/watch tail shared with the slow path. Stores outside the envelope
+//     skip it, which is observably identical — the per-slot checks would
+//     have missed anyway.
+//
+// The invariant both sides preserve: arming an observer on page P perturbs
+// only instructions fetching from or writing to P. Everything else runs the
+// same predecoded burst it would run unarmed, and because the fast path
+// reuses the slow path's observation code on armed pages, the two engines
+// stay bit-identical — timeline, cycle charges, trap ordering.
+//
+// The armed structures are derived state, recomputed from the slots by
+// recalcObservers; they are never serialized. Snapshot/Restore carry the
+// slots themselves (see State) and Restore rebuilds the derived forms, so
+// record/replay and reverse-seek see consistent arming.
+
+// noVPN is an impossible virtual page number (real VPNs fit in 20 bits),
+// used by BurstRun to force re-evaluation of the armed-page test.
+const noVPN = ^uint32(0)
+
+// recalcObservers rebuilds all derived observer state from the slot arrays:
+// the per-kind any-armed flags, the armed execution-page set, and the armed
+// write envelope. It is the single recomputation point — every mutation of
+// an observer slot (SetHWBreak, SetWatchpoint, SetSpyWatch, ClearSpyWatches,
+// one-shot breakpoint disarm, Restore, Reset) funnels through it.
+func (c *CPU) recalcObservers() {
+	c.hwBreakAny = false
+	c.execPageN = 0
+	for i, en := range c.hwBreakEn {
+		if en {
+			c.hwBreakAny = true
+			c.execPages[c.execPageN] = c.hwBreak[i] >> isa.PageShift
+			c.execPageN++
+		}
+	}
+
+	c.watchAny = false
+	for _, en := range c.watchEn {
+		if en {
+			c.watchAny = true
+			break
+		}
+	}
+	c.spyAny = false
+	for _, en := range c.spyEn {
+		if en {
+			c.spyAny = true
+			break
+		}
+	}
+
+	lo, hi := ^uint64(0), uint64(0)
+	arm := func(addr, length uint32) {
+		if length == 0 {
+			// A zero-length slot still hits stores spanning addr (the
+			// intersection compare is half-open on both ends); cover the
+			// byte at addr so the envelope stays a superset of real hits.
+			length = 1
+		}
+		start, end := uint64(addr), uint64(addr)+uint64(length)
+		if addr+length < addr {
+			// The slot's uint32 end wraps, and the per-slot compare wraps
+			// with it — stores near zero can hit. Arm the whole space.
+			start, end = 0, 1<<32
+		}
+		start &^= uint64(isa.PageMask)
+		end = (end + uint64(isa.PageMask)) &^ uint64(isa.PageMask)
+		if start < lo {
+			lo = start
+		}
+		if end > hi {
+			hi = end
+		}
+	}
+	for i, en := range c.watchEn {
+		if en {
+			arm(c.watchAddr[i], c.watchLen[i])
+		}
+	}
+	for i, en := range c.spyEn {
+		if en {
+			arm(c.spyAddr[i], c.spyLen[i])
+		}
+	}
+	if hi == 0 {
+		lo = 0 // empty envelope: va < 0 is always false
+	}
+	c.writeArmLo, c.writeArmHi = lo, hi
+}
+
+// execPageArmed reports whether an enabled hardware breakpoint lives on
+// virtual page vpn. At most four entries; called once per page crossing on
+// the burst path, so a linear scan is fine.
+func (c *CPU) execPageArmed(vpn uint32) bool {
+	for i := 0; i < c.execPageN; i++ {
+		if c.execPages[i] == vpn {
+			return true
+		}
+	}
+	return false
+}
+
+// storeObserved reports whether a committed store to [va, va+n) could land
+// in an armed watch or spy page. This is the fast path's entire per-store
+// observer cost when the envelope misses: two compares against a constant
+// range (always-false when nothing is armed, because writeArmHi is zero).
+func (c *CPU) storeObserved(va, n uint32) bool {
+	return uint64(va) < c.writeArmHi && uint64(va)+uint64(n) > c.writeArmLo
+}
+
+// observedStore runs the slow-path store arm's spy/watch tail for a store
+// that landed inside the armed envelope: spy notification first, then the
+// exact watchpoint intersection, trapping with the same resume-after
+// semantics (store committed, PC on the next instruction) as Step.
+func (c *CPU) observedStore(va, n, instPC uint32, cycles uint64) StepResult {
+	if c.spyAny {
+		c.notifySpy(va, n)
+	}
+	if c.watchAny {
+		if wa, hit := c.watchHit(va, n); hit {
+			next := instPC + 4
+			c.PC = next
+			return StepResult{
+				Cycles:  cycles + c.raise(isa.CauseWatch, wa, next),
+				Trapped: isa.CauseWatch,
+			}
+		}
+	}
+	c.PC = instPC + 4
+	return StepResult{Cycles: cycles}
+}
+
+// ForceSlowEngine pins the CPU to the per-instruction interpreter (BurstSafe
+// reports false while set). This is the explicit knob for consumers that
+// want seed-equivalent slow execution — engine differential tests, the
+// fleet's `engine: slow` scenarios, interpreter benchmarks — replacing the
+// old trick of arming a spy watch on an untouched address. Like the spy
+// hooks, it is wiring, not processor state: snapshots ignore it.
+func (c *CPU) ForceSlowEngine(v bool) { c.forceSlow = v }
+
+// SlowEngineForced reports whether ForceSlowEngine pinned the slow path.
+func (c *CPU) SlowEngineForced() bool { return c.forceSlow }
+
+// BurstTicks returns the number of instruction ticks retired by the burst
+// engine (BurstRun) since construction. Deterministic and host-independent;
+// not serialized. Tests use it to prove arming an observer on a cold page
+// does not knock execution off the burst path.
+func (c *CPU) BurstTicks() uint64 { return c.burstTicks }

@@ -63,15 +63,10 @@ func (c *CPU) Restore(s State) {
 		c.ioBitmap = nil
 	}
 	c.hwBreak, c.hwBreakEn = s.HWBreak, s.HWBreakEn
-	c.hwBreakAny = false
-	for _, en := range c.hwBreakEn {
-		c.hwBreakAny = c.hwBreakAny || en
-	}
 	c.watchAddr, c.watchLen, c.watchEn = s.WatchAddr, s.WatchLen, s.WatchEn
-	c.watchAny = false
-	for _, en := range c.watchEn {
-		c.watchAny = c.watchAny || en
-	}
+	// Rebuild the derived arming state (any-flags, armed page set, write
+	// envelope) from the restored slots; spy slots are wiring and persist.
+	c.recalcObservers()
 	c.Stat = s.Stat
 	// The decode cache is not state: restoring rewrites RAM underneath it,
 	// so it restarts cold. Cold vs warm is timeline-invisible — decode
@@ -95,18 +90,15 @@ func (c *CPU) SetSpyWatch(i int, addr, length uint32, enabled bool) error {
 	c.spyAddr[i] = addr
 	c.spyLen[i] = length
 	c.spyEn[i] = enabled
-	c.spyAny = false
-	for _, en := range c.spyEn {
-		c.spyAny = c.spyAny || en
-	}
+	c.recalcObservers()
 	return nil
 }
 
 // ClearSpyWatches disables all spy slots and removes the hook.
 func (c *CPU) ClearSpyWatches() {
 	c.spyEn = [4]bool{}
-	c.spyAny = false
 	c.SpyHook = nil
+	c.recalcObservers()
 }
 
 // spyHit reports whether a store to [va, va+n) intersects an enabled spy

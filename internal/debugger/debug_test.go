@@ -419,3 +419,56 @@ func TestStabilityContrast(t *testing.T) {
 		}
 	})
 }
+
+// TestArmedDebugSessionStaysOnBurstEngine is the debugger-level face of
+// page-granular observer arming: a live debug session that has planted a
+// hardware breakpoint on a never-executed page must leave the streaming
+// guest on the predecoded burst engine — breakpoints no longer silently
+// force the per-instruction interpreter.
+func TestArmedDebugSessionStaysOnBurstEngine(t *testing.T) {
+	p := guest.DefaultParams(100)
+	p.DurationTicks = 30
+	recv := netsim.NewReceiver()
+	m := machine.NewStreaming(p.BlockBytes, recv, guest.KernelBase)
+	entry, err := guest.Prepare(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vmm.Attach(m, vmm.Config{Mode: vmm.Lightweight})
+	v.EnableDebugStub()
+	if err := v.Launch(entry); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewSimTransport(m)
+	c, err := New(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m.Run(m.Clock() + 50_000_000)
+	if _, err := c.Interrupt(); err != nil {
+		t.Fatal(err)
+	}
+	// A breakpoint on a page the kernel never executes.
+	if err := c.SetBreak(0xE0000, true); err != nil {
+		t.Fatal(err)
+	}
+	before := m.CPU.BurstTicks()
+	beforeInstr := m.CPU.Stat.Instructions
+	if _, err := tryContinueToDone(c, m); err != nil {
+		t.Fatal(err)
+	}
+	if !recv.Clean() {
+		t.Fatalf("stream corrupted: %s", recv.LastError())
+	}
+	burst := m.CPU.BurstTicks() - before
+	instr := m.CPU.Stat.Instructions - beforeInstr
+	if instr == 0 {
+		t.Fatal("guest retired no instructions after resume")
+	}
+	// The overwhelming majority of post-resume instructions must have run
+	// on the burst engine despite the armed breakpoint.
+	if burst*10 < instr*9 {
+		t.Fatalf("only %d of %d post-resume instructions ran on the burst engine", burst, instr)
+	}
+}

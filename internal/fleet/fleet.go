@@ -47,11 +47,12 @@ const (
 type Engine string
 
 const (
-	// EngineAuto uses predecoded bursts whenever no observer is armed
-	// (the default production engine).
+	// EngineAuto uses predecoded bursts whenever the CPU is burst-safe
+	// (the default production engine). Debug observers are page-armed, so
+	// even recording or breakpointed scenarios stay on this engine.
 	EngineAuto Engine = "auto"
-	// EngineSlow forces the per-instruction interpreter by arming a
-	// non-perturbing spy watch: identical timeline, no bursts. Fleet
+	// EngineSlow pins the per-instruction interpreter via the CPU's
+	// explicit force-slow knob: identical timeline, no bursts. Fleet
 	// sweeps use it for cross-engine differential runs.
 	EngineSlow Engine = "slow"
 )
@@ -264,12 +265,7 @@ func RunOne(ctx context.Context, sc Scenario) Result {
 	switch sc.Engine {
 	case "", EngineAuto:
 	case EngineSlow:
-		// A spy watch on an unmapped range is the non-perturbing
-		// observer: identical timeline, per-instruction interpreter.
-		if err := m.CPU.SetSpyWatch(0, 0xFFFF0000, 16, true); err != nil {
-			res.Err = err.Error()
-			return res
-		}
+		m.CPU.ForceSlowEngine(true)
 	default:
 		res.Err = fmt.Sprintf("fleet: unknown engine %q", sc.Engine)
 		return res

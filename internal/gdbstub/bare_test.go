@@ -219,3 +219,31 @@ func hex(v uint32) string {
 	}
 	return out
 }
+
+// TestArmedHardwareBreakpointKeepsBursts attaches the stub, arms a hardware
+// breakpoint on a page the guest never executes, and requires the guest to
+// keep retiring burst ticks — the page-granular arming promise: a debugger
+// being attached, with breakpoints live, must not drop the machine onto
+// the per-instruction engine.
+func TestArmedHardwareBreakpointKeepsBursts(t *testing.T) {
+	stub, target, m, _, w := bareRig(t)
+
+	target.Freeze()
+	if got := driveExchange(t, stub, m, w, "Z1,90000,4"); got != "OK" {
+		t.Fatalf("Z1: %q", got)
+	}
+	target.Resume()
+
+	before := m.CPU.BurstTicks()
+	m.Run(m.Clock() + 2_000_000)
+	if target.Frozen() {
+		t.Fatal("cold breakpoint fired")
+	}
+	retired := m.CPU.BurstTicks() - before
+	if retired == 0 {
+		t.Fatal("no burst ticks retired with a hardware breakpoint armed")
+	}
+	if instr := m.CPU.Stat.Instructions; retired*10 < instr*9 {
+		t.Fatalf("only %d of %d instructions ran on the burst engine", retired, instr)
+	}
+}

@@ -11,6 +11,12 @@ import (
 // hardware breakpoints use the CPU's four debug slots. Resuming from a
 // stop at a software breakpoint swaps the original word back in, single-
 // steps across it, and re-patches — the classic sequence.
+//
+// Arming through either mechanism does not perturb guest performance
+// away from the armed addresses: hardware breakpoint and watchpoint slots
+// are page-armed inside the CPU (see cpu's observers.go), so a debugged
+// guest keeps running predecoded bursts and only pays for instructions on
+// a page that actually holds a breakpoint or stores into a watched page.
 
 // brkWord is the encoded BRK instruction.
 var brkWord = isa.EncodeR(isa.OpBRK, 0, 0, 0)

@@ -9,16 +9,14 @@ import (
 
 // The batched run loop must be indistinguishable from per-instruction
 // execution: same clock, same instruction counts, same interrupt delivery
-// ticks, same memory. A CPU spy watch armed on an untouched address is the
-// forcing mechanism — it disqualifies bursts (cpu.BurstSafe) without
-// perturbing the timeline, leaving the seed-equivalent slow engine.
+// ticks, same memory. The CPU's explicit force-slow knob is the forcing
+// mechanism — it disqualifies bursts (cpu.BurstSafe) without perturbing
+// the timeline, leaving the seed-equivalent slow engine.
 
-// forceSlowPath arms a timeline-neutral observer so Run never bursts.
+// forceSlowPath pins the per-instruction interpreter so Run never bursts.
 func forceSlowPath(t *testing.T, m *Machine) {
 	t.Helper()
-	if err := m.CPU.SetSpyWatch(3, 0xFFFF0000, 4, true); err != nil {
-		t.Fatal(err)
-	}
+	m.CPU.ForceSlowEngine(true)
 }
 
 func ramHash(m *Machine) uint64 {

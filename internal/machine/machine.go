@@ -389,12 +389,15 @@ const pollInterval = 4096
 //
 // The loop is tick-structured: every iteration fires due events, ticks the
 // external-input poll countdown, and then spends the tick on exactly one of
-// an interrupt delivery, an idle advance, or an instruction. When no
-// observer is armed (no pre-step hook, no hardware breakpoints, watchpoints,
-// spy watches, or trap flag — see cpu.BurstSafe), the instruction arm
+// an interrupt delivery, an idle advance, or an instruction. Unless a
+// per-instruction observer is in force (a pre-step hook, the trap flag, or
+// an explicit cpu.ForceSlowEngine — see cpu.BurstSafe), the instruction arm
 // hands off to runBurst, which executes predecoded straight-line bursts up
 // to the event horizon while replicating this loop's tick bookkeeping
 // exactly, so batched and unbatched runs are cycle- and tick-identical.
+// Debug observers no longer force the slow arm: hardware breakpoints are
+// page-armed inside cpu.BurstRun and watch/spy ranges gate only stores into
+// armed pages, so a machine with a debugger attached still bursts.
 func (m *Machine) Run(limit uint64) StopReason {
 	m.stopped = false
 	m.runLimit = limit
@@ -522,7 +525,7 @@ func (m *Machine) deliverPending() bool {
 // the next external-input poll and the stop-at-instruction target.
 //
 // The caller has already run the current tick's preamble (events fired,
-// poll ticked, no interrupt pending, observers unarmed), so the burst's
+// poll ticked, no interrupt pending, burst-safe CPU), so the burst's
 // first instruction executes on the current tick and only the n-1
 // subsequent ticks consume poll-countdown decrements — identical
 // bookkeeping to n iterations of the unbatched loop, which keeps batched
@@ -589,7 +592,8 @@ func (m *Machine) runBurst(limit uint64) bool {
 // burstTickOK reports whether Run's per-tick preamble would reach the
 // burst arm again with nothing to do first: no stop, no due event, no
 // imminent external-input poll, no deliverable interrupt, a runnable CPU,
-// the stop-at-instruction target unreached, and no observer armed. When
+// the stop-at-instruction target unreached, no pre-step hook, and a
+// burst-safe CPU (TF clear, slow engine not forced). When
 // it holds, runBurst may start the next tick itself; when it does not,
 // surfacing to the outer loop reproduces the unfused behaviour exactly.
 func (m *Machine) burstTickOK(limit uint64) bool {

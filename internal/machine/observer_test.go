@@ -1,0 +1,263 @@
+package machine
+
+import (
+	"testing"
+
+	"lvmm/internal/isa"
+)
+
+// Page-granular observer arming differentials: a machine with observers
+// armed must produce the exact timeline of the forced per-instruction
+// engine, and observers on pages the guest never touches must not knock
+// the guest off the burst engine at all.
+
+// brkKernel installs a BRK handler (vector 7) and runs a counted loop; the
+// test arms a hardware breakpoint on the loop head. The handler counts
+// hits in r10 and irets back onto the (one-shot-disarmed) breakpoint.
+const brkKernel = `
+        .equ SIM_DONE, 0xF0
+        .equ VTAB,     0x4000
+        .org 0x1000
+        _start:
+            li   r1, VTAB
+            movrc vbar, r1
+            la   r2, brkh
+            sw   r2, 28(r1)        ; vector 7 = BRK
+            li   r1, 0x8000
+            movrc ksp, r1
+            li   r3, 0
+        loop:
+            addi r3, r3, 1
+            li   r2, 2000
+            blt  r3, r2, loop
+            li   r1, SIM_DONE
+            li   r2, 0
+            out  r1, r2
+        brkh:
+            addi r10, r10, 1
+            iret
+    `
+
+// TestBreakpointOnHitPageCrossEngine arms a hardware breakpoint on the hot
+// loop head and requires both engines to surface it identically: one BRK
+// delivery (one-shot disarm), same clock, same state.
+func TestBreakpointOnHitPageCrossEngine(t *testing.T) {
+	run := func(slow bool) *Machine {
+		m := New(Config{ResetPC: 0x1000})
+		img := loadKernel(t, m, brkKernel)
+		if err := m.CPU.SetHWBreak(0, img.Symbols["loop"], true); err != nil {
+			t.Fatal(err)
+		}
+		if slow {
+			forceSlowPath(t, m)
+		}
+		if reason := m.Run(isa.ClockHz); reason != StopGuestDone {
+			t.Fatalf("stop reason %v (slow=%v)", reason, slow)
+		}
+		return m
+	}
+	fast, slow := run(false), run(true)
+	compareMachines(t, fast, slow)
+	if fast.CPU.Regs[10] != 1 {
+		t.Fatalf("BRK handler ran %d times, want 1 (one-shot)", fast.CPU.Regs[10])
+	}
+	if fast.CPU.Regs[3] != 2000 {
+		t.Fatalf("loop retired %d iterations, want 2000", fast.CPU.Regs[3])
+	}
+}
+
+// TestBreakpointOnColdPageKeepsBursts arms a breakpoint on an address the
+// guest never executes and requires (a) the timeline to be bit-identical
+// to the fully unarmed run, and (b) the burst engine to retire exactly as
+// many ticks as it does unarmed — the observer is free off its page.
+func TestBreakpointOnColdPageKeepsBursts(t *testing.T) {
+	run := func(arm, slow bool) *Machine {
+		m := New(Config{ResetPC: 0x1000})
+		loadKernel(t, m, computeKernel)
+		if arm {
+			if err := m.CPU.SetHWBreak(2, 0x90000, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if slow {
+			forceSlowPath(t, m)
+		}
+		if reason := m.Run(isa.ClockHz); reason != StopGuestDone {
+			t.Fatalf("stop reason %v (arm=%v slow=%v)", reason, arm, slow)
+		}
+		return m
+	}
+	unarmed := run(false, false)
+	armed := run(true, false)
+	armedSlow := run(true, true)
+
+	compareMachines(t, armed, unarmed)
+	compareMachines(t, armed, armedSlow)
+	if unarmed.CPU.BurstTicks() == 0 {
+		t.Fatal("unarmed run never burst: workload is not exercising the fast engine")
+	}
+	if got, want := armed.CPU.BurstTicks(), unarmed.CPU.BurstTicks(); got != want {
+		t.Fatalf("armed run burst %d ticks, unarmed %d: cold breakpoint perturbed the engine", got, want)
+	}
+	if armedSlow.CPU.BurstTicks() != 0 {
+		t.Fatalf("forced-slow run burst %d ticks, want 0", armedSlow.CPU.BurstTicks())
+	}
+}
+
+// watchKernel installs a watchpoint handler (vector 12) and issues stores
+// around a page boundary: two misses bracketing three hits, including a
+// byte store inside the range. The handler counts deliveries in r10;
+// CauseWatch resumes after the store, so no re-execution loops.
+const watchKernel = `
+        .equ SIM_DONE, 0xF0
+        .equ VTAB,     0x4000
+        .org 0x1000
+        _start:
+            li   r1, VTAB
+            movrc vbar, r1
+            la   r2, wh
+            sw   r2, 48(r1)        ; vector 12 = watchpoint
+            li   r1, 0x8000
+            movrc ksp, r1
+            li   r4, 0xAB
+            li   r1, 0x2FF8
+            sw   r4, 0(r1)         ; miss (below range)
+            sw   r4, 4(r1)         ; hit at 0x2FFC (last word of page 2)
+            sw   r4, 8(r1)         ; hit at 0x3000 (first word of page 3)
+            sb   r4, 7(r1)         ; hit at 0x2FFF (byte inside range)
+            sw   r4, 12(r1)        ; miss at 0x3004 (above range)
+            li   r1, SIM_DONE
+            li   r2, 0
+            out  r1, r2
+        wh:
+            addi r10, r10, 1
+            iret
+    `
+
+// TestWatchpointSpanningPageBoundaryCrossEngine arms a watch range that
+// straddles a page boundary and requires identical trap counts and
+// timelines from both engines.
+func TestWatchpointSpanningPageBoundaryCrossEngine(t *testing.T) {
+	run := func(slow bool) *Machine {
+		m := New(Config{ResetPC: 0x1000})
+		loadKernel(t, m, watchKernel)
+		if err := m.CPU.SetWatchpoint(1, 0x2FFC, 8, true); err != nil {
+			t.Fatal(err)
+		}
+		if slow {
+			forceSlowPath(t, m)
+		}
+		if reason := m.Run(isa.ClockHz); reason != StopGuestDone {
+			t.Fatalf("stop reason %v (slow=%v)", reason, slow)
+		}
+		return m
+	}
+	fast, slow := run(false), run(true)
+	compareMachines(t, fast, slow)
+	if fast.CPU.Regs[10] != 3 {
+		t.Fatalf("watch handler ran %d times, want 3", fast.CPU.Regs[10])
+	}
+}
+
+// spyKernel exercises every CPU store flavour against a spied buffer at
+// 0x6000: a discrete word store, a MOVS copy into it, and an STOS fill.
+const spyKernel = `
+        .equ SIM_DONE, 0xF0
+        .org 0x1000
+        _start:
+            li   r4, 123
+            li   r1, 0x6000
+            sw   r4, 0(r1)         ; discrete store into the spied buffer
+            li   r1, 0x6040        ; MOVS dst (spied)
+            li   r2, 0x5000        ; src (outside)
+            li   r3, 64
+            movs
+            li   r1, 0x6100        ; STOS dst (spied)
+            li   r2, 0xCD
+            li   r3, 32
+            stos
+            li   r1, 0x7000
+            sw   r4, 0(r1)         ; store outside the spied range
+            li   r1, SIM_DONE
+            li   r2, 0
+            out  r1, r2
+    `
+
+type spyEvent struct {
+	instr uint64
+	addr  uint32
+}
+
+// TestSpyWatchCrossEngineMOVSSTOSDMA requires spy-watch observations to be
+// identical across engines for discrete stores, MOVS, and STOS — and
+// confirms device DMA bypasses spy observation on both (DMA reaches RAM
+// through the bus, not the CPU store path).
+func TestSpyWatchCrossEngineMOVSSTOSDMA(t *testing.T) {
+	run := func(slow bool) (*Machine, []spyEvent) {
+		m := New(Config{ResetPC: 0x1000})
+		loadKernel(t, m, spyKernel)
+		if err := m.CPU.SetSpyWatch(2, 0x6000, 0x200, true); err != nil {
+			t.Fatal(err)
+		}
+		var events []spyEvent
+		m.CPU.SpyHook = func(wa uint32) {
+			events = append(events, spyEvent{m.CPU.Stat.Instructions, wa})
+		}
+		if slow {
+			forceSlowPath(t, m)
+		}
+		if reason := m.Run(isa.ClockHz); reason != StopGuestDone {
+			t.Fatalf("stop reason %v (slow=%v)", reason, slow)
+		}
+		return m, events
+	}
+	fast, fastEv := run(false)
+	slow, slowEv := run(true)
+	compareMachines(t, fast, slow)
+	// sw + movs + stos = 3 observations; the 0x7000 store and the out are
+	// invisible.
+	if len(fastEv) != 3 {
+		t.Fatalf("fast engine logged %d spy events, want 3: %v", len(fastEv), fastEv)
+	}
+	if len(fastEv) != len(slowEv) {
+		t.Fatalf("spy events: fast %d, slow %d", len(fastEv), len(slowEv))
+	}
+	for i := range fastEv {
+		if fastEv[i] != slowEv[i] {
+			t.Fatalf("spy event %d: fast %+v, slow %+v", i, fastEv[i], slowEv[i])
+		}
+	}
+
+	// DMA into the spied range must not notify on either engine.
+	before := len(fastEv)
+	if !fast.Bus.DMAWrite(0x6000, []byte{1, 2, 3, 4}) {
+		t.Fatal("DMA write failed")
+	}
+	if len(fastEv) != before {
+		t.Fatal("device DMA triggered a spy observation")
+	}
+}
+
+// TestWatchOnColdPageKeepsBursts pins the write-envelope half of the
+// page-granular invariant: a watchpoint over pages the guest never stores
+// to leaves the burst tick count and timeline exactly as unarmed.
+func TestWatchOnColdPageKeepsBursts(t *testing.T) {
+	run := func(arm bool) *Machine {
+		m := New(Config{ResetPC: 0x1000})
+		loadKernel(t, m, computeKernel)
+		if arm {
+			if err := m.CPU.SetWatchpoint(0, 0x90000, 64, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if reason := m.Run(isa.ClockHz); reason != StopGuestDone {
+			t.Fatalf("stop reason %v (arm=%v)", reason, arm)
+		}
+		return m
+	}
+	unarmed, armed := run(false), run(true)
+	compareMachines(t, armed, unarmed)
+	if got, want := armed.CPU.BurstTicks(), unarmed.CPU.BurstTicks(); got != want {
+		t.Fatalf("armed run burst %d ticks, unarmed %d", got, want)
+	}
+}

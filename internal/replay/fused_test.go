@@ -65,8 +65,8 @@ const trapDenseKernel = `
 // predecoded engine and verifies it replays bit-identically on the forced
 // per-instruction slow path, and vice versa — interrupt timeline,
 // cycle/instruction positions, and the end-state digest included. (The
-// slow path is forced with a CPU spy watch on an untouched address, a
-// timeline-neutral observer that disqualifies bursts.)
+// slow path is pinned with the CPU's explicit force-slow knob, which is
+// timeline-neutral.)
 func TestFusedCrossEngineRecordReplay(t *testing.T) {
 	img, err := asm.Assemble(trapDenseKernel)
 	if err != nil {
@@ -83,9 +83,7 @@ func TestFusedCrossEngineRecordReplay(t *testing.T) {
 			t.Fatal(err)
 		}
 		if slow {
-			if err := m.CPU.SetSpyWatch(3, 0xFFFF0000, 4, true); err != nil {
-				t.Fatal(err)
-			}
+			m.CPU.ForceSlowEngine(true)
 		}
 		return m, v
 	}

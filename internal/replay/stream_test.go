@@ -30,9 +30,7 @@ func buildTrapDense(t testing.TB, slow bool) (*machine.Machine, *vmm.VMM) {
 		t.Fatal(err)
 	}
 	if slow {
-		if err := m.CPU.SetSpyWatch(3, 0xFFFF0000, 4, true); err != nil {
-			t.Fatal(err)
-		}
+		m.CPU.ForceSlowEngine(true)
 	}
 	return m, v
 }

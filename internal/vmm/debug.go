@@ -11,6 +11,12 @@ import (
 // (structurally; see internal/gdbstub). Because every operation goes
 // through the monitor — which owns the real hardware — the debugger keeps
 // full access to the guest no matter how broken the guest OS is.
+//
+// Arming breakpoints or watchpoints here does not drop the guest onto the
+// per-instruction engine: the CPU arms observers page-granularly (cpu's
+// observers.go), so a debugged guest keeps its burst-speed I/O behaviour
+// except on the pages actually being observed — the paper's
+// performance-transparency property.
 type DebugTarget struct {
 	v *VMM
 }
@@ -86,7 +92,8 @@ func (d *DebugTarget) Resume() {
 // Frozen reports run state.
 func (d *DebugTarget) Frozen() bool { return d.v.Frozen() }
 
-// SetHWBreak programs a CPU hardware breakpoint slot.
+// SetHWBreak programs a CPU hardware breakpoint slot (page-armed: only
+// instructions on the breakpoint's page pay for the check).
 func (d *DebugTarget) SetHWBreak(i int, addr uint32, enabled bool) error {
 	return d.v.m.CPU.SetHWBreak(i, addr, enabled)
 }

@@ -16,7 +16,7 @@ import (
 // into the burst) and the same guest on the forced per-instruction slow
 // path must agree on every observable — clock, idle and monitor cycle
 // accounting, CPU statistics, registers, memory, and the monitor's own
-// trap histogram. A CPU spy watch on an untouched address is the forcing
+// trap histogram. The CPU's explicit force-slow knob is the forcing
 // mechanism: it disqualifies bursts (cpu.BurstSafe) without perturbing
 // the timeline, leaving the seed-equivalent slow engine.
 
@@ -26,9 +26,7 @@ func launchEngine(t *testing.T, mode Mode, src string, slow bool, limit uint64) 
 	t.Helper()
 	m, v := launch(t, mode, src)
 	if slow {
-		if err := m.CPU.SetSpyWatch(3, 0xFFFF0000, 4, true); err != nil {
-			t.Fatal(err)
-		}
+		m.CPU.ForceSlowEngine(true)
 	}
 	m.Run(limit)
 	return m, v
@@ -270,9 +268,7 @@ func TestFusedPTWriteResume(t *testing.T) {
 			t.Fatal(err)
 		}
 		if slow {
-			if err := m.CPU.SetSpyWatch(3, 0xFFFF0000, 4, true); err != nil {
-				t.Fatal(err)
-			}
+			m.CPU.ForceSlowEngine(true)
 		}
 		if reason := m.Run(isa.ClockHz); reason != machine.StopGuestDone {
 			t.Fatalf("stop %v pc=%08x (slow=%v)", reason, m.CPU.PC, slow)

@@ -284,9 +284,9 @@ func TestTimeTravelEndToEnd(t *testing.T) {
 // TestCrossEngineRecordReplay proves the batched predecoded engine and the
 // per-instruction slow path produce the same timeline: a trace recorded
 // under one engine must replay bit-identically under the other. The slow
-// path is forced with a CPU spy watch on an untouched address — a
-// timeline-neutral observer that disqualifies bursts (cpu.BurstSafe), i.e.
-// the seed-equivalent engine.
+// path is pinned with the CPU's explicit force-slow knob — timeline-
+// neutral, disqualifying bursts (cpu.BurstSafe), i.e. the seed-equivalent
+// engine.
 func TestCrossEngineRecordReplay(t *testing.T) {
 	record := func(slow bool) (*replay.Trace, RunStats) {
 		w := WorkloadDefaults(100)
@@ -296,9 +296,7 @@ func TestCrossEngineRecordReplay(t *testing.T) {
 			t.Fatal(err)
 		}
 		if slow {
-			if err := target.Machine().CPU.SetSpyWatch(3, 0xFFFF0000, 4, true); err != nil {
-				t.Fatal(err)
-			}
+			target.Machine().CPU.ForceSlowEngine(true)
 		}
 		rec := target.Record(RecordOptions{SnapshotInterval: 60_000_000})
 		stats, err := target.Run()
@@ -313,9 +311,7 @@ func TestCrossEngineRecordReplay(t *testing.T) {
 			t.Fatal(err)
 		}
 		if slow {
-			if err := rt.Machine().CPU.SetSpyWatch(3, 0xFFFF0000, 4, true); err != nil {
-				t.Fatal(err)
-			}
+			rt.Machine().CPU.ForceSlowEngine(true)
 		}
 		stats, err := rt.Run()
 		if err != nil {
@@ -352,6 +348,68 @@ func TestCrossEngineRecordReplay(t *testing.T) {
 	gotSlow, _ := rerun(trFast, true)
 	if gotSlow != statsFast {
 		t.Fatalf("fast-recorded trace under slow engine:\n  recorded: %v\n  replayed: %v", statsFast, gotSlow)
+	}
+}
+
+// TestRecordWithArmedBreakpointReplays records a run with a hardware
+// breakpoint armed on an address the workload never executes — the
+// page-granular promise is that arming it changes nothing: the recording
+// stays on the burst engine, its metrics match an unarmed recording
+// bit-for-bit, and the trace (whose snapshots carry the armed slot)
+// replays bit-identically on both engines.
+func TestRecordWithArmedBreakpointReplays(t *testing.T) {
+	const coldBreak = 0xE0000
+
+	record := func(arm bool) (*replay.Trace, RunStats, uint64) {
+		w := WorkloadDefaults(100)
+		w.Seconds = 0.15
+		target, err := NewStreamingTarget(Lightweight, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if arm {
+			if err := target.Machine().CPU.SetHWBreak(0, coldBreak, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rec := target.Record(RecordOptions{SnapshotInterval: 60_000_000})
+		stats, err := target.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec.Finish(), stats, target.Machine().CPU.BurstTicks()
+	}
+
+	trArmed, statsArmed, burstArmed := record(true)
+	_, statsClean, burstClean := record(false)
+	if statsArmed != statsClean {
+		t.Fatalf("armed breakpoint perturbed the recording:\n  armed:   %v\n  unarmed: %v", statsArmed, statsClean)
+	}
+	if burstClean == 0 {
+		t.Fatal("unarmed recording never burst")
+	}
+	if burstArmed != burstClean {
+		t.Fatalf("armed recording burst %d ticks, unarmed %d: breakpoint knocked the recorder off the fast engine", burstArmed, burstClean)
+	}
+
+	for _, slow := range []bool{false, true} {
+		rt, err := Replay(trArmed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slow {
+			rt.Machine().CPU.ForceSlowEngine(true)
+		}
+		got, err := rt.Run()
+		if err != nil {
+			t.Fatalf("armed-trace replay (slow=%v) diverged: %v", slow, err)
+		}
+		if got != statsArmed {
+			t.Fatalf("armed-trace replay (slow=%v):\n  recorded: %v\n  replayed: %v", slow, statsArmed, got)
+		}
+		if d := replay.Digest(rt.Machine(), rt.Monitor()); d != trArmed.EndDigest {
+			t.Fatalf("armed-trace replay (slow=%v) digest %#x, recorded %#x", slow, d, trArmed.EndDigest)
+		}
 	}
 }
 
