@@ -293,6 +293,36 @@ func BenchmarkTrapRoundTripBurst(b *testing.B) {
 	}
 }
 
+// BenchmarkBurstReentry measures the burst re-entry preamble: each op is
+// one machine.Run call over a slice of virtual time short enough that the
+// guest work inside it is negligible (the hot loop runs as one batched
+// superblock), so ns/op tracks what it costs to get from the Run entry
+// point back onto the predecoded engine — event-horizon computation,
+// interrupt/halt checks, burst preamble, and the horizon exit.
+func BenchmarkBurstReentry(b *testing.B) {
+	img := asm.MustAssemble(`
+        .org 0x1000
+        _start:
+        loop:
+            addi r1, r1, 1
+            b    loop
+    `)
+	m := machine.New(machine.Config{ResetPC: img.Entry})
+	if err := m.LoadImage(img); err != nil {
+		b.Fatal(err)
+	}
+	m.CPU.Reset(img.Entry)
+	const sliceCycles = 64
+	b.ResetTimer()
+	startInstr := m.CPU.Stat.Instructions
+	for i := 0; i < b.N; i++ {
+		m.Run(m.Clock() + sliceCycles)
+	}
+	b.ReportMetric(float64(m.CPU.Stat.Instructions-startInstr)/float64(b.N), "instr/op")
+	s := m.CPU.SBStats()
+	b.ReportMetric(float64(s.Runs)/float64(b.N), "sb_runs/op")
+}
+
 // BenchmarkReplaySeek measures random time-travel seeks through the lazy
 // v3 reader: one streamed recording is opened through its seek index with
 // a deliberately small LRU budget, and each op seeks the replayer to a

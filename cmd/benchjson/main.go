@@ -37,6 +37,7 @@ import (
 
 	"lvmm"
 	"lvmm/internal/asm"
+	"lvmm/internal/cpu"
 	"lvmm/internal/experiment"
 	"lvmm/internal/machine"
 	"lvmm/internal/replay"
@@ -123,6 +124,7 @@ const interpreterInstrs = 2_000_001
 // engine).
 func runInterpreter(n int, forceSlow bool) map[string]float64 {
 	img := asm.MustAssemble(interpreterSource)
+	var sb cpu.SBStats
 	start := time.Now()
 	for i := 0; i < n; i++ {
 		m := machine.New(machine.Config{ResetPC: img.Entry})
@@ -137,10 +139,27 @@ func runInterpreter(n int, forceSlow bool) map[string]float64 {
 		if m.CPU.Regs[1] != 1000000 {
 			fatal(fmt.Errorf("interpreter loop did not finish: r1=%d", m.CPU.Regs[1]))
 		}
+		s := m.CPU.SBStats()
+		sb.Built += s.Built
+		sb.Runs += s.Runs
+		sb.ChainHits += s.ChainHits
+		sb.ChainMisses += s.ChainMisses
+		sb.Severed += s.Severed
 	}
 	return map[string]float64{
 		"guest_instr_per_s": float64(interpreterInstrs*n) / time.Since(start).Seconds(),
+		"sb_built_per_op":   float64(sb.Built) / float64(n),
+		"sb_runs_per_op":    float64(sb.Runs) / float64(n),
+		"sb_chain_hit_pct":  chainHitPct(sb),
 	}
+}
+
+// chainHitPct is the share of superblock taken exits that stayed chained.
+func chainHitPct(s cpu.SBStats) float64 {
+	if total := s.ChainHits + s.ChainMisses; total > 0 {
+		return 100 * float64(s.ChainHits) / float64(total)
+	}
+	return 0
 }
 
 // runTrapRoundTrip measures the guest→monitor→guest crossing (CLI
@@ -206,6 +225,36 @@ func runTrapRoundTripBurst(n int) map[string]float64 {
 		out["ns_per_trap"] = float64(elapsed.Nanoseconds()) / float64(traps)
 	}
 	return out
+}
+
+// runBurstReentry measures the burst re-entry preamble, mirroring
+// bench_test.go's BenchmarkBurstReentry: one machine.Run call per op over
+// a slice of virtual time short enough that the guest work inside it (a
+// batched superblock self-loop) is small, so ns/op tracks the cost of
+// getting from the Run entry point back onto the predecoded engine.
+func runBurstReentry(n int) map[string]float64 {
+	img := asm.MustAssemble(`
+        .org 0x1000
+        _start:
+        loop:
+            addi r1, r1, 1
+            b    loop
+    `)
+	m := machine.New(machine.Config{ResetPC: img.Entry})
+	if err := m.LoadImage(img); err != nil {
+		fatal(err)
+	}
+	m.CPU.Reset(img.Entry)
+	const sliceCycles = 64
+	startInstr := m.CPU.Stat.Instructions
+	for i := 0; i < n; i++ {
+		m.Run(m.Clock() + sliceCycles)
+	}
+	s := m.CPU.SBStats()
+	return map[string]float64{
+		"instr_per_op":   float64(m.CPU.Stat.Instructions-startInstr) / float64(n),
+		"sb_runs_per_op": float64(s.Runs) / float64(n),
+	}
 }
 
 // runRecordStream measures the streaming v3 recorder on the standard
@@ -362,7 +411,7 @@ func fatal(err error) {
 // gatedBenchmarks are the hot-path benchmarks the -compare regression
 // gate enforces: a CI run fails when any of these regresses in ns/op by
 // more than the tolerance against the committed baseline artifact.
-var gatedBenchmarks = []string{"Interpreter", "TrapRoundTrip", "TrapRoundTripBurst", "RecordStream", "ArmedObserver"}
+var gatedBenchmarks = []string{"Interpreter", "TrapRoundTrip", "TrapRoundTripBurst", "BurstReentry", "RecordStream", "ArmedObserver"}
 
 // compareBaseline enforces the regression gate: every gated benchmark in
 // the current run must be within tolerance percent of the baseline's
@@ -444,6 +493,7 @@ func main() {
 		}),
 		bench("TrapRoundTrip", target, runTrapRoundTrip),
 		bench("TrapRoundTripBurst", target, runTrapRoundTripBurst),
+		bench("BurstReentry", target, runBurstReentry),
 		bench("RecordStream", target, runRecordStream),
 		bench("ArmedObserver", target, runArmedObserver),
 		bench("ReplaySeek", target, newReplaySeekSession()),

@@ -108,6 +108,11 @@ type CPU struct {
 	// generation-flushed on TLB flushes, Reset, and Restore.
 	dcPages []*decPage
 	dcGen   uint32
+	// dcBulkGen is bumped whenever a bulk invalidation drops whole page
+	// objects from dcPages; BurstRun's register-cached fetch page checks
+	// it (with dcGen) instead of re-loading the dcPages slot every
+	// instruction. Derived, never serialized.
+	dcBulkGen uint32
 
 	// dirtyPages, when non-nil, accumulates one bit per physical page
 	// written since the last ResetDirtyPages (delta-snapshot support;
@@ -130,13 +135,14 @@ type CPU struct {
 	// place, fast path may continue).
 	divertResumed bool
 
-	// Predecoded handoff from BurstRun to StepFast: the fnSlow
-	// instruction that ended the last burst, already fetched, translated,
-	// and decoded. Valid only for the immediately following StepFast at
-	// the same PC (nothing may run in between); StepFast consumes it
-	// instead of re-translating and re-decoding.
-	pendSlow   *decoded
-	pendSlowPC uint32
+	// Superblock tier (see superblock.go): per-physical-page basic-block
+	// caches above the decode cache, plus the dispatcher's pending
+	// chain-link request (a hot taken exit asking the next block lookup at
+	// sbLinkVA to install the edge). All derived, never serialized.
+	sbPages  []*sbPage
+	sbLink   *superblock
+	sbLinkVA uint32
+	sbStat   SBStats
 
 	// Hardware breakpoints (debug registers).
 	hwBreak    [4]uint32
@@ -197,6 +203,7 @@ type Stats struct {
 func New(b *bus.Bus, resetPC uint32) *CPU {
 	c := &CPU{bus: b}
 	c.dcPages = make([]*decPage, (b.RAMSize()+isa.PageMask)>>isa.PageShift)
+	c.sbPages = make([]*sbPage, len(c.dcPages))
 	// Every write into RAM — CPU stores, page-walk A/D updates, device
 	// DMA, image loads — must drop predecoded instructions covering it.
 	b.SetWriteNotify(c.dcInvalidate)

@@ -40,6 +40,13 @@ import "lvmm/internal/isa"
 // writes, HLT, traps, string ops) plus undefined encodings.
 const (
 	fnUnset uint8 = iota
+	// fnPrivOp marks the unconditionally privileged ops (CLI, STI, IRET,
+	// HLT, MOVCR, MOVRC, TLBINV): below monitor level they always raise
+	// CausePriv, so BurstRun delivers that trap straight from the
+	// dispatcher — precomputed base cycles in imm, vaddr from raw —
+	// without the interpreter round trip. At monitor level (and in
+	// StepFast) they take the fnSlow route through execute.
+	fnPrivOp
 	fnSlow
 
 	// Straight-line ops: cannot halt, cannot change PSR/CRs, cannot touch
@@ -188,6 +195,9 @@ func decodeWord(w uint32) decoded {
 		d.fn, d.imm = fnJAL, uint32(isa.Imm22(w)*4+4)
 	case isa.OpJALR:
 		d.fn, d.imm = fnJALR, uint32(isa.Imm18(w))
+	case isa.OpCLI, isa.OpSTI, isa.OpIRET, isa.OpHLT,
+		isa.OpMOVCR, isa.OpMOVRC, isa.OpTLBINV:
+		d.fn, d.imm = fnPrivOp, uint32(isa.OpCycles(isa.Opcode(w)))
 	default:
 		d.fn = fnSlow
 	}
@@ -241,12 +251,19 @@ func (c *CPU) dcInvalidate(addr, n uint32) {
 		return
 	}
 	if (addr&isa.PageMask)+n <= isa.PageSize && n <= 8 {
+		i0 := (addr & isa.PageMask) >> 2
+		i1 := ((addr & isa.PageMask) + n - 1) >> 2
 		if pg := c.dcPages[first]; pg != nil {
-			i0 := (addr & isa.PageMask) >> 2
-			i1 := ((addr & isa.PageMask) + n - 1) >> 2
 			for i := i0; i <= i1; i++ {
 				pg.ins[i].fn = fnUnset
 			}
+		}
+		// Superblocks copy their micro-ops, so per-entry clearing cannot
+		// reach them: bump the page epoch when the write lands inside the
+		// extent its blocks were built from (chain edges into the page
+		// validate against the same epoch).
+		if sp := c.sbPages[first]; sp != nil && sp.gen == c.dcGen && sp.lo <= i1 && i0 <= sp.hi {
+			sbInvalidatePage(sp)
 		}
 		return
 	}
@@ -254,9 +271,13 @@ func (c *CPU) dcInvalidate(addr, n uint32) {
 	if last >= uint32(len(c.dcPages)) {
 		last = uint32(len(c.dcPages)) - 1
 	}
+	c.dcBulkGen++
 	for p := first; p <= last; p++ {
 		if c.dcPages[p] != nil {
 			c.dcPages[p] = nil
+		}
+		if sp := c.sbPages[p]; sp != nil && sp.gen == c.dcGen {
+			sbInvalidatePage(sp)
 		}
 	}
 }
@@ -289,10 +310,14 @@ const (
 	// BurstBudget: the tick budget (poll countdown / stop-at-instruction
 	// allowance) ran out.
 	BurstBudget
-	// BurstSlow: the next instruction needs the full interpreter (port
-	// I/O, PSR/CR writes, HLT, string ops, undefined encodings). It has
-	// NOT been executed; the caller runs it via StepFast on the same tick.
-	BurstSlow
+	// BurstSync: a slow instruction (port I/O, PSR/CR writes, HLT, string
+	// ops, undefined encodings) was executed inline through the full
+	// interpreter and machine-level state may have changed — halt, idle,
+	// pending interrupts, new events. The caller re-establishes its
+	// invariants before the next burst. (With a resume hook the burst
+	// re-validates and continues in place; BurstSync surfaces only when
+	// the hook is nil or declines.)
+	BurstSync
 	// BurstTrap: the last counted tick raised a trap (including fetch
 	// faults). The caller must check Wedged and re-establish invariants.
 	BurstTrap
@@ -307,25 +332,32 @@ const (
 // The returned horizon must exceed the committed clock.
 type BurstResume func() (horizon uint64, ok bool)
 
-// BurstRun executes predecoded straight-line instructions until the clock
-// (committed through clk after every instruction, so trap diverters and
-// scheduled work observe exact time) reaches horizon, maxTicks ticks were
-// consumed, an instruction traps, or an instruction needs the full
-// interpreter. Returns the tick count consumed (every Step-equivalent,
-// including a final faulting one), the break reason, and — for BurstSlow
-// only — the uncommitted cycles of the pending instruction's fetch
-// translation. Identifying a slow instruction forces its PC translation
-// early; if that translation misses the TLB, the miss is counted and the
-// TLB filled here, so the caller's StepFast re-translates as a hit. The
-// caller must commit slowFetch together with StepFast's cycles to charge
-// the miss exactly as the per-instruction engine would (after the
-// instruction, never observable mid-trap).
+// BurstRun executes predecoded instructions until the clock (committed
+// through clk after every instruction, so trap diverters and scheduled
+// work observe exact time) reaches horizon, maxTicks ticks were consumed,
+// an instruction traps, or a slow instruction resynchronizes with the
+// machine. Returns the tick count consumed (every Step-equivalent,
+// including a final faulting one) and the break reason.
+//
+// Slow instructions (port I/O, PSR/CR writes, HLT, string ops, undefined
+// encodings) are executed inline through the full interpreter; afterwards
+// the resume hook re-validates the machine's burst preconditions and
+// supplies a fresh horizon — its emulated device work may have scheduled
+// events or made an interrupt deliverable — so I/O-dense guests stay in
+// the burst. A nil or declining hook surfaces BurstSync instead, with the
+// slow instruction already retired on this tick.
 //
 // A trap consumed by the Diverter with DivertResume does not end the burst
 // when resume grants a fresh horizon: delivery, monitor emulation, and the
 // return to guest execution fuse into one crossing (nil resume restores
 // the old always-exit behaviour). All other traps — architectural delivery,
 // debug stops, faults reflected into the guest — surface as BurstTrap.
+//
+// Above the per-instruction path sits the superblock tier (superblock.go):
+// straight-line runs dispatch as predecoded blocks with one fetch
+// translation and one lookup per block entry, and hot taken edges chain
+// block→block. Blocks never run on armed exec pages and bail to this loop
+// on any invalidation, so the tier is invisible to the timeline.
 //
 // Preconditions are StepFast's: BurstSafe holds and the CPU is neither
 // halted nor wedged; the caller guarantees *clk < horizon and maxTicks ≥ 1
@@ -336,20 +368,37 @@ type BurstResume func() (horizon uint64, ok bool)
 // armed page pay Step's exact per-slot PC comparison. A hit disarms the
 // slot one-shot and raises CauseBRK exactly as Step would, so the burst
 // surfaces at the breakpoint instruction instead of never starting.
-func (c *CPU) BurstRun(clk *uint64, horizon, maxTicks uint64, resume BurstResume) (ticks uint64, brk BurstBreak, slowFetch uint64) {
+func (c *CPU) BurstRun(clk *uint64, horizon, maxTicks uint64, resume BurstResume) (ticks uint64, brk BurstBreak) {
 	n := uint64(0)
 	defer func() { c.burstTicks += n }()
-	// PTBR can only change through fnSlow ops or trap handlers; the former
-	// end the burst and the latter re-derive the paging mode on a fused
-	// resume, so pagingOff is loop-invariant between traps. The same holds
-	// for the cached armed-page test (bpVPN/bpArmed): observer slots only
-	// mutate through trap diverters mid-burst, so every fused resume resets
-	// the cache to noVPN alongside the horizon and paging mode.
+	// PTBR can only change through fnSlow ops or trap handlers; both
+	// re-derive the paging mode before the burst continues, so pagingOff is
+	// loop-invariant between them. The same holds for the cached armed-page
+	// test (bpVPN/bpArmed): observer slots only mutate through trap
+	// diverters or slow ops mid-burst, so every fused resume resets the
+	// cache to noVPN alongside the horizon and paging mode.
 	pagingOff := !c.PagingEnabled()
 	bpVPN, bpArmed := noVPN, false
+	// A chain-link request left by a previous call is meaningless now.
+	c.sbLink = nil
+	// pend carries fetch-translation cycles already charged by a refused
+	// superblock chain follow; they commit with the next instruction.
+	var pend uint64
+	// Register-cached decode page: fetches within one physical page skip
+	// decodeLookup's dcPages load chain. The cache is sound while both
+	// generations hold — dcGen catches flushes (a diverter's Restore),
+	// dcBulkGen catches bulk invalidations that drop page objects (and so
+	// also every path that could replace a live page object, since
+	// replacement needs a nil or stale-gen slot). The in-place
+	// invalidations that remain (aligned stores and page-walk A/D updates)
+	// clear entries to fnUnset, which the re-decode below handles. cpg is
+	// non-nil whenever cpfn is a real page number.
+	cpfn := ^uint32(0)
+	var cpg *decPage
+	var cgen, cbgen uint32
 	for {
 		if n >= maxTicks {
-			return n, BurstBudget, 0
+			return n, BurstBudget
 		}
 		instPC := c.PC
 		if c.hwBreakAny {
@@ -370,46 +419,71 @@ func (c *CPU) BurstRun(clk *uint64, horizon, maxTicks uint64, resume BurstResume
 					}
 				}
 				if hit {
-					*clk += c.raise(isa.CauseBRK, instPC, instPC)
+					*clk += pend + c.raise(isa.CauseBRK, instPC, instPC)
+					pend = 0
 					n++
 					if h, ok := c.fuseTrap(resume); ok {
 						horizon, pagingOff = h, !c.PagingEnabled()
 						bpVPN, bpArmed = noVPN, false
 						continue
 					}
-					return n, BurstTrap, 0
+					return n, BurstTrap
 				}
 			}
 		}
 		if instPC&3 != 0 {
-			*clk += c.raise(isa.CauseAlign, instPC, instPC)
+			*clk += pend + c.raise(isa.CauseAlign, instPC, instPC)
+			pend = 0
 			n++
 			if h, ok := c.fuseTrap(resume); ok {
 				horizon, pagingOff = h, !c.PagingEnabled()
 				bpVPN, bpArmed = noVPN, false
 				continue
 			}
-			return n, BurstTrap, 0
+			return n, BurstTrap
 		}
-		var pa uint32
-		var cyc uint64
-		if pagingOff {
-			pa = instPC
-		} else {
-			var cause uint32
-			pa, cause, cyc = c.translate(instPC, false)
-			if cause != isa.CauseNone {
-				*clk += cyc + c.raise(cause, instPC, instPC)
-				n++
-				if h, ok := c.fuseTrap(resume); ok {
-					horizon, pagingOff = h, !c.PagingEnabled()
-					bpVPN, bpArmed = noVPN, false
-					continue
+		pa := instPC
+		cyc := pend
+		pend = 0
+		if !pagingOff {
+			// Inline TLB fetch-hit path (mirrors translate's hit arm for a
+			// non-write access: matching live entry, user bit honored, zero
+			// cycles); everything else takes the full translate.
+			vpn := instPC >> isa.PageShift
+			e := &c.tlb[vpn%tlbEntries]
+			if e.Gen == c.tlbGen && e.VPN == vpn && (e.U || c.CPL() != isa.CPLUser) {
+				pa = e.PFN<<isa.PageShift | instPC&isa.PageMask
+			} else {
+				var cause uint32
+				var tcyc uint64
+				pa, cause, tcyc = c.translate(instPC, false)
+				cyc += tcyc
+				if cause != isa.CauseNone {
+					*clk += cyc + c.raise(cause, instPC, instPC)
+					n++
+					if h, ok := c.fuseTrap(resume); ok {
+						horizon, pagingOff = h, !c.PagingEnabled()
+						bpVPN, bpArmed = noVPN, false
+						continue
+					}
+					return n, BurstTrap
 				}
-				return n, BurstTrap, 0
 			}
 		}
-		d := c.decodeLookup(pa)
+		var d *decoded
+		if pfn := pa >> isa.PageShift; pfn == cpfn && c.dcGen == cgen && c.dcBulkGen == cbgen {
+			d = &cpg.ins[(pa&isa.PageMask)>>2]
+			if d.fn == fnUnset {
+				if w, ok := c.bus.Read32(pa); ok {
+					*d = decodeWord(w)
+				} else {
+					d = nil
+				}
+			}
+		} else if d = c.decodeLookup(pa); d != nil {
+			cpfn, cpg = pfn, c.dcPages[pfn]
+			cgen, cbgen = c.dcGen, c.dcBulkGen
+		}
 		if d == nil {
 			*clk += cyc + c.raise(isa.CauseBusError, instPC, instPC)
 			n++
@@ -418,11 +492,110 @@ func (c *CPU) BurstRun(clk *uint64, horizon, maxTicks uint64, resume BurstResume
 				bpVPN, bpArmed = noVPN, false
 				continue
 			}
-			return n, BurstTrap, 0
+			return n, BurstTrap
 		}
-		if d.fn == fnSlow {
-			c.pendSlow, c.pendSlowPC = d, instPC
-			return n, BurstSlow, cyc
+		// Superblock dispatch: only when the first op is straight-line (a
+		// block starting with a slow op or a terminator can never reach
+		// sbMinLen, so slow-op-dense code — the trap benchmarks — never
+		// pays a block lookup), on an unarmed page, and when the remaining
+		// budget and the horizon cap admit a full worst-case block. A
+		// pending chain-link request from a previous block's hot taken
+		// exit is fulfilled here, where the target's block is known.
+		if d.fn > fnSlow && d.fn < fnBEQ && !bpArmed {
+			if b := c.sbLookup(pa); b != nil {
+				if c.sbLink != nil {
+					if c.sbLinkVA == instPC {
+						c.sbLink.takenTo, c.sbLink.takenVA = b, instPC
+					}
+					c.sbLink = nil
+				}
+				if uint64(b.n) <= maxTicks-n && *clk+cyc+b.cycMax < horizon {
+					var exit sbExit
+					n, horizon, exit, pend = c.sbRun(b, clk, cyc, instPC, n, horizon, maxTicks, resume, pagingOff)
+					if exit == sbTrapped {
+						return n, BurstTrap
+					}
+					pagingOff = !c.PagingEnabled()
+					bpVPN, bpArmed = noVPN, false
+					if *clk >= horizon {
+						return n, BurstHorizon
+					}
+					continue
+				}
+			}
+		}
+		if d.fn <= fnSlow {
+			if d.fn == fnPrivOp && c.CPL() != isa.CPLMonitor {
+				// Unconditionally privileged op below monitor level:
+				// deliver CausePriv exactly as execute's trapStep would
+				// (base cycles precomputed in imm, vaddr = raw word,
+				// epc = instPC) without the interpreter round trip. The
+				// divert branch of raise is open-coded — this is the
+				// hottest trap site in monitor-dense guests, and the
+				// fused-resume decision folds into the same branch.
+				// Commit order matches raise: the diverter runs (and
+				// charges monitor cycles) before the instruction's own
+				// cyc+imm land on the clock, exactly as the interpreter
+				// path orders it.
+				c.Stat.Instructions++
+				c.Stat.Traps++
+				n++
+				if c.Diverter != nil {
+					if act := c.Diverter(isa.CausePriv, d.raw, instPC); act != DivertReflect {
+						c.divertResumed = act == DivertResume
+						*clk += cyc + uint64(d.imm)
+						if act == DivertResume && resume != nil && !c.halted && !c.wedged {
+							if h, ok := resume(); ok {
+								horizon, pagingOff = h, !c.PagingEnabled()
+								bpVPN, bpArmed = noVPN, false
+								continue
+							}
+						}
+						return n, BurstTrap
+					}
+				}
+				c.divertResumed = false
+				*clk += cyc + uint64(d.imm) + c.DeliverTrap(isa.CausePriv, d.raw, instPC)
+				return n, BurstTrap
+			}
+			res := c.execute(instPC, d.raw)
+			c.Stat.Instructions++
+			*clk += res.Cycles + cyc
+			n++
+			if res.Trapped != isa.CauseNone {
+				if h, ok := c.fuseTrap(resume); ok {
+					horizon, pagingOff = h, !c.PagingEnabled()
+					bpVPN, bpArmed = noVPN, false
+					continue
+				}
+				return n, BurstTrap
+			}
+			if resume == nil {
+				return n, BurstSync
+			}
+			h, ok := resume()
+			if !ok {
+				return n, BurstSync
+			}
+			horizon, pagingOff = h, !c.PagingEnabled()
+			bpVPN, bpArmed = noVPN, false
+			continue
+		}
+		if d.fn == fnJAL {
+			// Unconditional jump: cannot trap and its effect is fully
+			// static, so the executeFast call is skipped. Loop back-edges
+			// in trap- and I/O-dense code are the hottest op left on the
+			// per-instruction path (straight-line runs live in
+			// superblocks).
+			c.setRegFast(d.rd, instPC+4)
+			c.PC = instPC + d.imm
+			c.Stat.Instructions++
+			*clk += uint64(isa.CycJump) + cyc
+			n++
+			if *clk >= horizon {
+				return n, BurstHorizon
+			}
+			continue
 		}
 		res := c.executeFast(d, instPC)
 		c.Stat.Instructions++
@@ -434,10 +607,10 @@ func (c *CPU) BurstRun(clk *uint64, horizon, maxTicks uint64, resume BurstResume
 				bpVPN, bpArmed = noVPN, false
 				continue
 			}
-			return n, BurstTrap, 0
+			return n, BurstTrap
 		}
 		if *clk >= horizon {
-			return n, BurstHorizon, 0
+			return n, BurstHorizon
 		}
 	}
 }
@@ -461,35 +634,15 @@ func (c *CPU) fuseTrap(resume BurstResume) (uint64, bool) {
 func (c *CPU) StepFast() (StepResult, bool) {
 	instPC := c.PC
 
-	// Hardware breakpoints fire before execution, exactly as in Step. On
-	// the burst path this is a no-hit re-check (BurstRun already tested
-	// this PC before handing off a BurstSlow), but it keeps StepFast a
-	// faithful Step for any direct caller with a breakpoint armed here.
+	// Hardware breakpoints fire before execution, exactly as in Step.
 	if c.hwBreakAny && c.execPageArmed(instPC>>isa.PageShift) {
 		for i, en := range c.hwBreakEn {
 			if en && c.hwBreak[i] == instPC {
 				c.hwBreakEn[i] = false
 				c.recalcObservers()
-				// Drop any predecoded handoff: the breakpoint handler may
-				// run arbitrary code before execution returns to this PC.
-				c.pendSlow = nil
 				cyc := c.raise(isa.CauseBRK, instPC, instPC)
 				return StepResult{Cycles: cyc, Wedged: c.wedged, Trapped: isa.CauseBRK}, false
 			}
-		}
-	}
-
-	// Predecoded handoff: the last BurstSlow already fetched, translated,
-	// and decoded this instruction (its fetch cycles travel via BurstRun's
-	// slowFetch return); run it straight through the interpreter.
-	if d := c.pendSlow; d != nil {
-		c.pendSlow = nil
-		if c.pendSlowPC == instPC && d.fn == fnSlow {
-			res := c.execute(instPC, d.raw)
-			c.Stat.Instructions++
-			res.Halted = c.halted
-			res.Wedged = c.wedged
-			return res, false
 		}
 	}
 
@@ -509,7 +662,7 @@ func (c *CPU) StepFast() (StepResult, bool) {
 	}
 
 	var res StepResult
-	pure := d.fn != fnSlow
+	pure := d.fn > fnSlow
 	if pure {
 		res = c.executeFast(d, instPC)
 	} else {

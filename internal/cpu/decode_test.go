@@ -311,7 +311,8 @@ func TestRestoreColdDecodeCache(t *testing.T) {
 }
 
 // TestBurstRunTickAccounting checks BurstRun's contract directly: tick
-// counts, horizon, budget, and the not-executed status of a BurstSlow stop.
+// counts, horizon, budget, and the executed-inline status of a BurstSync
+// stop.
 func TestBurstRunTickAccounting(t *testing.T) {
 	const progBase = 0x1000
 	c := New(bus.New(1<<20), progBase)
@@ -325,9 +326,10 @@ func TestBurstRunTickAccounting(t *testing.T) {
 		c.Bus().Write32(progBase+uint32(i)*4, w)
 	}
 
-	// Budget stop: exactly 2 ticks consumed, 2 instructions retired.
+	// Budget stop: exactly 2 ticks consumed, 2 instructions retired (the
+	// superblock tier must refuse the 3-op block against the 2-tick budget).
 	var clk uint64
-	n, brk, _ := c.BurstRun(&clk, 1<<62, 2, nil)
+	n, brk := c.BurstRun(&clk, 1<<62, 2, nil)
 	if n != 2 || brk != BurstBudget {
 		t.Fatalf("budget burst: n=%d brk=%d, want 2, BurstBudget", n, brk)
 	}
@@ -338,22 +340,27 @@ func TestBurstRunTickAccounting(t *testing.T) {
 		t.Fatalf("budget burst: clk=%d", clk)
 	}
 
-	// Slow stop: the HLT is not executed; PC parks on it.
-	n, brk, _ = c.BurstRun(&clk, 1<<62, 100, nil)
-	if n != 1 || brk != BurstSlow {
-		t.Fatalf("slow burst: n=%d brk=%d, want 1, BurstSlow", n, brk)
+	// Sync stop: the HLT executes inline on its own tick (nil resume, so
+	// the burst surfaces right after).
+	n, brk = c.BurstRun(&clk, 1<<62, 100, nil)
+	if n != 2 || brk != BurstSync {
+		t.Fatalf("sync burst: n=%d brk=%d, want 2, BurstSync", n, brk)
 	}
-	if c.Halted() || c.PC != progBase+12 {
-		t.Fatalf("BurstSlow executed the slow op: halted=%v pc=%08x", c.Halted(), c.PC)
+	if !c.Halted() || c.PC != progBase+16 {
+		t.Fatalf("BurstSync did not execute the slow op: halted=%v pc=%08x", c.Halted(), c.PC)
+	}
+	if c.Stat.Instructions != 4 || c.Regs[1] != 3 {
+		t.Fatalf("sync burst: instr=%d r1=%d", c.Stat.Instructions, c.Regs[1])
 	}
 
-	// Horizon stop: a one-cycle horizon stops after a single instruction.
+	// Horizon stop: a one-cycle horizon stops after a single instruction
+	// (and refuses the block, whose worst-case sum would cross it).
 	c2 := New(bus.New(1<<20), progBase)
 	for i, w := range words {
 		c2.Bus().Write32(progBase+uint32(i)*4, w)
 	}
 	clk = 0
-	n, brk, _ = c2.BurstRun(&clk, 1, 100, nil)
+	n, brk = c2.BurstRun(&clk, 1, 100, nil)
 	if n != 1 || brk != BurstHorizon {
 		t.Fatalf("horizon burst: n=%d brk=%d, want 1, BurstHorizon", n, brk)
 	}

@@ -178,7 +178,7 @@ func TestOneShotDisarmRecalc(t *testing.T) {
 		},
 		"BurstRun": func(c *CPU) {
 			var clk uint64
-			_, brk, _ := c.BurstRun(&clk, 1_000_000, 1_000_000, nil)
+			_, brk := c.BurstRun(&clk, 1_000_000, 1_000_000, nil)
 			if brk != BurstTrap {
 				t.Fatalf("BurstRun: break %d, want BurstTrap", brk)
 			}

@@ -1,0 +1,777 @@
+package cpu
+
+import "lvmm/internal/isa"
+
+// Superblock execution tier.
+//
+// The predecoded engine (decode.go) still pays per-instruction dispatch:
+// every instruction re-checks the tick budget, re-translates its PC,
+// re-indexes the decode cache, and re-compares the clock against the event
+// horizon. Superblocks lift all of that to basic-block granularity: a
+// straight-line run of predecoded micro-ops within one physical page —
+// ended by a branch/jump (included), a slow op (excluded), or the page
+// edge — is copied into a contiguous block, entered with ONE fetch
+// translation and ONE cache lookup, and executed with batched clock and
+// instruction-count bookkeeping. Hot taken edges are then chained
+// block→block (profile-counted, installed after sbChainMin taken exits),
+// so a tight loop dispatches without returning to BurstRun's loop top.
+//
+// Correctness invariants, in decreasing order of subtlety:
+//
+//   - Exact commit points. The machine's diverter, spy hooks, and watch
+//     traps may observe the clock and Stat.Instructions mid-block, so the
+//     batched bookkeeping is flushed before every op that can trap (the
+//     loads and stores — ALU ops, branches, and jumps cannot trap). At
+//     every observation point both engines therefore show identical state;
+//     between observation points batching is invisible.
+//
+//   - Horizon safety. A block is entered only when clk + entryFetch +
+//     cycMax < horizon, where cycMax is a worst-case bound on the block's
+//     non-trapping cycle charges (base cycles plus a TLB-miss penalty per
+//     memory op, taken-cost for the terminator). The per-instruction
+//     engine checks the horizon after every instruction; under the cap no
+//     prefix of the block can cross it, so checking nothing mid-block is
+//     equivalent. Near the horizon blocks simply don't run and the
+//     per-instruction path takes over. Traps may push the clock past the
+//     horizon in either engine; the resume hook re-validates.
+//
+//   - Invalidation. Blocks copy their micro-ops, so the decode cache's
+//     per-entry invalidation cannot reach them; instead each sbPage
+//     carries an epoch, bumped by dcInvalidate whenever a write lands in
+//     the page's built-block extent ([lo,hi] word indexes, reset on bump).
+//     A block is valid only while its gen matches dcGen (Restore flushes)
+//     and its epoch matches its page's. Mid-block, the epoch is re-checked
+//     after every memory op — the only in-block writers are the block's
+//     own stores and page-walk A/D updates, both of which funnel through
+//     dcInvalidate — so self-modifying code aborts to the dispatcher after
+//     the store commits, exactly where the per-instruction engine would
+//     re-decode. Pages invalidated too often (mixed code/data) stop
+//     building blocks entirely (sbMaxBumps) and fall back to the
+//     per-entry-invalidated decode cache.
+//
+//   - Fetch-translation equivalence. "One translation per block entry" is
+//     exact, not approximate: the block stays inside one page, and a data
+//     access mid-block can evict or replace the code page's direct-mapped
+//     TLB entry (the per-instruction engine would then charge a fetch
+//     miss on the next instruction). After every memory op the code VPN's
+//     TLB slot is revalidated (gen, VPN, PFN, user bit); on any change the
+//     block aborts to the dispatcher, whose next fetch re-translates and
+//     charges exactly what the per-instruction engine would.
+//
+//   - Observer composition. Blocks never run on a page with an armed
+//     hardware breakpoint (the dispatcher checks before entry, chain
+//     follows check the target page), so Step's per-slot PC compares are
+//     preserved on armed pages. Stores inside blocks run executeFast's
+//     armed-envelope gate unchanged, so watch/spy semantics are the
+//     per-instruction engine's, bit for bit.
+//
+//   - Chains are hints. A chain edge stores the successor block and the
+//     virtual target it was established for; following one revalidates
+//     everything the dispatcher would check — VA match, generation, epoch,
+//     budget, horizon cap, armed pages, and (under paging) a real fetch
+//     translation compared against the block's physical base. A stale edge
+//     is severed and the dispatcher takes over; a translation performed
+//     for a follow that then mismatches is handed back as pending fetch
+//     cycles so the miss is still committed with the instruction that
+//     fetches next, exactly once.
+//
+// Everything here is derived state: never serialized, rebuilt on demand,
+// invisible to snapshots, gob traces, and the simulated timeline.
+
+const (
+	// sbMinLen is the minimum ops for a block to be worth dispatching;
+	// shorter runs are cached as negative entries so the dispatcher does
+	// not re-scan them on every visit.
+	sbMinLen = 2
+	// sbChainMin is the taken-exit count after which a hot edge is linked.
+	sbChainMin = 8
+	// sbMaxBumps is the invalidation count after which a page is treated
+	// as mixed code/data and stops building blocks (the per-entry decode
+	// cache, which tolerates such pages, still serves it).
+	sbMaxBumps = 64
+)
+
+// superblock is one predecoded basic block: a private copy of the decoded
+// straight-line run starting at base, its worst-case cycle bound, and the
+// profile-guided chain edge for its taken exit. n == 0 marks a cached
+// negative (the words at base do not form a usable block).
+type superblock struct {
+	page  *sbPage
+	gen   uint32 // dcGen at build; stale when != CPU.dcGen
+	epoch uint32 // page epoch at build; stale when != page.epoch
+	base  uint32 // physical address of ops[0]
+	n     uint32 // len(ops); 0 = negative entry
+	body  uint32 // ops before the terminator (== n when term is false)
+	term  bool   // last op is a branch/jump
+	// noMem: no loads or stores anywhere in the block. Such a block cannot
+	// trap, fire an observer, invalidate anything, or touch the TLB, which
+	// is what licenses the batched self-loop path in sbRun.
+	noMem bool
+	// cycMax bounds the cycles a complete, non-trapping run of the block
+	// can charge: base op cycles, a TLB-miss penalty for every memory op
+	// (including a store's dirty-bit re-walk — at most one walk per op),
+	// and the taken cost for the terminator.
+	cycMax uint64
+	// cycTaken is the exact cycle charge of one complete run that exits
+	// via a taken terminator — well-defined only for noMem blocks, where
+	// every op's charge is data-independent.
+	cycTaken uint64
+	ops      []decoded
+
+	// Chain edge for the terminator's taken exit: installed by the
+	// dispatcher once takenCnt reaches sbChainMin, valid only for the
+	// exact virtual target takenVA. Pure hint — every follow revalidates.
+	takenTo  *superblock
+	takenVA  uint32
+	takenCnt uint32
+}
+
+// sbPage indexes the superblocks of one physical page by starting word.
+// The object is allocated once per page and never replaced, so chain edges
+// from other pages can validate against its epoch forever.
+type sbPage struct {
+	gen    uint32 // dcGen at last (re)initialization
+	epoch  uint32 // bumped by every invalidation hitting the extent
+	bumps  uint32 // invalidation pressure since last generation reset
+	lo, hi uint32 // word-index extent examined by built blocks; lo>hi = none
+	blocks [isa.PageSize / 4]*superblock
+}
+
+// SBStats are the superblock tier's derived telemetry counters — like
+// BurstTicks, deterministic per run, never serialized.
+type SBStats struct {
+	// Built counts superblocks constructed (negative entries excluded).
+	Built uint64
+	// Runs counts block entries dispatched (including chained entries).
+	Runs uint64
+	// ChainHits counts block exits that followed a validated chain edge.
+	ChainHits uint64
+	// ChainMisses counts taken exits that could not follow a chain (cold
+	// edge, budget/horizon refusal, armed target page, stale link).
+	ChainMisses uint64
+	// Severed counts chain edges cut because the target went stale
+	// (invalidation, generation flush, remap, polymorphic target).
+	Severed uint64
+}
+
+// SBStats returns the superblock telemetry counters.
+func (c *CPU) SBStats() SBStats { return c.sbStat }
+
+// sbExit tells BurstRun's dispatcher how a block run ended.
+type sbExit int
+
+const (
+	// sbNext: dispatch the next instruction from the loop top (clean block
+	// exit, validation bail, or a fused trap — the dispatcher re-derives
+	// paging mode and breakpoint caches either way).
+	sbNext sbExit = iota
+	// sbTrapped: an unfused trap surfaced; BurstRun returns BurstTrap.
+	sbTrapped
+)
+
+// sbMemMax is the worst-case extra cycles a memory op's translation can
+// charge: one page walk (a store to a clean page re-walks from a TLB hit,
+// but walks at most once).
+const sbMemMax = isa.CycTLBMiss
+
+// opCycMax returns the worst-case non-trapping cycle charge of one
+// predecoded op.
+func opCycMax(fn uint8) uint64 {
+	switch {
+	case fn >= fnLW && fn <= fnLBU:
+		return isa.CycLoad + sbMemMax
+	case fn >= fnSW && fn <= fnSB:
+		return isa.CycStore + sbMemMax
+	case fn >= fnBEQ && fn <= fnBGEU:
+		return isa.CycTaken
+	case fn == fnJAL || fn == fnJALR:
+		return isa.CycJump
+	case fn == fnMUL:
+		return isa.CycMUL
+	case fn == fnDIVU || fn == fnREMU:
+		return isa.CycDIV
+	default:
+		return isa.CycALU
+	}
+}
+
+// sbLookup returns the valid superblock starting at physical address pa,
+// building (and caching) one on demand. nil means no usable block: the
+// run is shorter than sbMinLen, the page is under invalidation pressure,
+// or pa is outside RAM — the dispatcher falls back per-instruction.
+func (c *CPU) sbLookup(pa uint32) *superblock {
+	pfn := pa >> isa.PageShift
+	if pfn >= uint32(len(c.sbPages)) {
+		return nil
+	}
+	sp := c.sbPages[pfn]
+	if sp == nil {
+		sp = &sbPage{gen: c.dcGen, lo: ^uint32(0)}
+		c.sbPages[pfn] = sp
+	} else if sp.gen != c.dcGen {
+		// Generation flush (Restore): every block is stale; reset the
+		// extent and the pressure counter for the new generation.
+		sp.gen = c.dcGen
+		sp.bumps = 0
+		sp.lo, sp.hi = ^uint32(0), 0
+	}
+	idx := (pa & isa.PageMask) >> 2
+	if b := sp.blocks[idx]; b != nil && b.gen == c.dcGen && b.epoch == sp.epoch {
+		if b.n == 0 {
+			return nil
+		}
+		return b
+	}
+	if sp.bumps >= sbMaxBumps {
+		return nil
+	}
+	return c.sbBuild(sp, pa, idx)
+}
+
+// sbBuild scans the straight-line run starting at word idx of pa's page
+// and caches the result — a real block, or a negative entry when the run
+// is too short. The page extent grows over every word examined, so a
+// write that could change the cached decision bumps the epoch.
+func (c *CPU) sbBuild(sp *sbPage, pa, idx uint32) *superblock {
+	pfn := pa >> isa.PageShift
+	pg := c.dcPages[pfn]
+	if pg == nil || pg.gen != c.dcGen {
+		pg = &decPage{gen: c.dcGen}
+		c.dcPages[pfn] = pg
+	}
+	var ops []decoded
+	var cycMax uint64
+	i := idx
+	end := i // last word index examined
+	for {
+		d := &pg.ins[i]
+		if d.fn == fnUnset {
+			w, ok := c.bus.Read32(pa&^uint32(isa.PageMask) | i<<2)
+			if !ok {
+				break
+			}
+			*d = decodeWord(w)
+		}
+		end = i
+		if d.fn <= fnSlow { // slow op or privileged op: never in blocks
+			break
+		}
+		ops = append(ops, *d)
+		cycMax += opCycMax(d.fn)
+		i++
+		if d.fn >= fnBEQ { // terminator (branch/jump) included
+			end = i - 1
+			break
+		}
+		if i == uint32(len(pg.ins)) { // page edge
+			end = i - 1
+			break
+		}
+	}
+	b := &superblock{page: sp, gen: c.dcGen, epoch: sp.epoch, base: pa}
+	if len(ops) >= sbMinLen {
+		b.n = uint32(len(ops))
+		b.cycMax = cycMax
+		b.ops = ops
+		last := ops[len(ops)-1].fn
+		b.term = last >= fnBEQ
+		b.body = b.n
+		if b.term {
+			b.body--
+		}
+		b.noMem = true
+		var bodyCyc uint64
+		for j := uint32(0); j < b.body; j++ {
+			fn := ops[j].fn
+			if fn >= fnLW && fn <= fnSB {
+				b.noMem = false
+			}
+			// Exact for ALU ops (opCycMax adds no slack to them); only
+			// used via cycTaken, which noMem gates.
+			bodyCyc += opCycMax(fn)
+		}
+		if b.term {
+			tc := uint64(isa.CycTaken)
+			if last == fnJAL || last == fnJALR {
+				tc = isa.CycJump
+			}
+			b.cycTaken = bodyCyc + tc
+		}
+		c.sbStat.Built++
+	}
+	sp.blocks[idx] = b
+	if idx < sp.lo {
+		sp.lo = idx
+	}
+	if end > sp.hi {
+		sp.hi = end
+	}
+	if b.n == 0 {
+		return nil
+	}
+	return b
+}
+
+// sbInvalidatePage kills every block on the page: bump the epoch (chain
+// edges into the page validate against it), reset the extent, and count
+// the pressure. The blocks array keeps its stale entries — lookups
+// replace them on demand.
+func sbInvalidatePage(sp *sbPage) {
+	sp.epoch++
+	sp.bumps++
+	sp.lo, sp.hi = ^uint32(0), 0
+}
+
+// sbRun executes superblock b — entered at virtual address va with cyc
+// pending entry-fetch cycles — and follows hot chain edges block→block.
+// n0 ticks were already consumed by the burst; the caller guaranteed the
+// first block fits the remaining budget and the horizon cap.
+//
+// Non-memory ops execute through an inline micro-interpreter whose arms
+// MUST mirror executeFast's exactly (same results, same trap-freedom,
+// same cycle charges — the machine-level lockstep differentials and the
+// superblock fuzzer enforce this). The inlining is where the tier's speed
+// comes from: no per-op call, no per-op StepResult, and — crucially — no
+// per-op c.PC store. PC is dead inside a block: nothing observes it until
+// a trap (mem ops pass their epc explicitly and diverters never read PC —
+// the only monitor path that does, installGuestPTBR, is reached through a
+// slow op, which blocks exclude) or the block's end, where the terminator
+// arm (or the straight-line epilogue) materializes it.
+//
+// Returns the new tick count, the (possibly refreshed, if a trap fused)
+// horizon, the exit disposition, and pending fetch cycles for the
+// dispatcher to fold into its next instruction (nonzero only when a
+// chain-follow translation succeeded but the chain was then refused — the
+// TLB is warm, so the dispatcher's re-translation hits and charges zero).
+func (c *CPU) sbRun(b *superblock, clk *uint64, cyc uint64, va uint32, n0, horizon, maxTicks uint64, resume BurstResume, pagingOff bool) (uint64, uint64, sbExit, uint64) {
+	n := n0
+	user := !pagingOff && c.CPL() == isa.CPLUser
+	// Self-loop edge validated by the general follow path below; see the
+	// fast path at the exit edge.
+	selfOK := false
+	var selfTva uint32
+newBlock:
+	for {
+		// Block-invariant setup: redone only when b changes (chain follow
+		// to a different block); the self-loop paths skip it.
+		ops := b.ops
+		nops := b.n
+		body := b.body
+		term := b.term
+		var td *decoded
+		if term {
+			td = &ops[body]
+		}
+		var fvpn, fpfn uint32
+		if !pagingOff {
+			fvpn = va >> isa.PageShift
+			fpfn = b.base >> isa.PageShift
+		}
+		for {
+			c.sbStat.Runs++
+			acc := cyc   // uncommitted cycles (entry fetch + completed cheap ops)
+			var k uint64 // uncommitted op count
+			for i := uint32(0); i < body; i++ {
+				d := &ops[i]
+				if d.fn >= fnLW && d.fn <= fnSB {
+					// The op can trap (and stores can hit spy/watch observers):
+					// commit the batched bookkeeping so diverters and hooks see
+					// the exact pre-instruction clock and instruction count.
+					*clk += acc
+					c.Stat.Instructions += k
+					n += k
+					acc, k = 0, 0
+					res := c.executeFast(d, va)
+					c.Stat.Instructions++
+					*clk += res.Cycles
+					n++
+					if res.Trapped != isa.CauseNone {
+						if h, ok := c.fuseTrap(resume); ok {
+							return n, h, sbNext, 0
+						}
+						return n, horizon, sbTrapped, 0
+					}
+					if i+1 < nops {
+						// The store (or a page walk's A/D update) may have hit
+						// this page; the per-instruction engine would re-decode
+						// the next instruction.
+						if b.epoch != b.page.epoch {
+							return n, horizon, sbNext, 0
+						}
+						// A data walk can evict or replace the code page's
+						// direct-mapped TLB entry; the per-instruction engine
+						// would charge (or fault) the next fetch accordingly.
+						if !pagingOff {
+							e := &c.tlb[fvpn%tlbEntries]
+							if e.Gen != c.tlbGen || e.VPN != fvpn || e.PFN != fpfn || (user && !e.U) {
+								return n, horizon, sbNext, 0
+							}
+						}
+					}
+					va += 4
+					continue
+				}
+				// Straight-line ALU ops: cannot trap, cannot observe PC.
+				// Each arm mirrors executeFast's bit for bit.
+				var v uint32
+				cycs := uint64(isa.CycALU)
+				switch d.fn {
+				case fnADDI:
+					v = c.Regs[d.rs1] + d.imm
+				case fnADD:
+					v = c.Regs[d.rs1] + c.Regs[d.rs2]
+				case fnSUB:
+					v = c.Regs[d.rs1] - c.Regs[d.rs2]
+				case fnAND:
+					v = c.Regs[d.rs1] & c.Regs[d.rs2]
+				case fnOR:
+					v = c.Regs[d.rs1] | c.Regs[d.rs2]
+				case fnXOR:
+					v = c.Regs[d.rs1] ^ c.Regs[d.rs2]
+				case fnSHL:
+					v = c.Regs[d.rs1] << (c.Regs[d.rs2] & 31)
+				case fnSHR:
+					v = c.Regs[d.rs1] >> (c.Regs[d.rs2] & 31)
+				case fnSRA:
+					v = uint32(int32(c.Regs[d.rs1]) >> (c.Regs[d.rs2] & 31))
+				case fnSLT:
+					if int32(c.Regs[d.rs1]) < int32(c.Regs[d.rs2]) {
+						v = 1
+					}
+				case fnSLTU:
+					if c.Regs[d.rs1] < c.Regs[d.rs2] {
+						v = 1
+					}
+				case fnMUL:
+					v = c.Regs[d.rs1] * c.Regs[d.rs2]
+					cycs = isa.CycMUL
+				case fnDIVU:
+					if div := c.Regs[d.rs2]; div == 0 {
+						v = 0xFFFFFFFF
+					} else {
+						v = c.Regs[d.rs1] / div
+					}
+					cycs = isa.CycDIV
+				case fnREMU:
+					if div := c.Regs[d.rs2]; div == 0 {
+						v = c.Regs[d.rs1]
+					} else {
+						v = c.Regs[d.rs1] % div
+					}
+					cycs = isa.CycDIV
+				case fnANDI:
+					v = c.Regs[d.rs1] & d.imm
+				case fnORI:
+					v = c.Regs[d.rs1] | d.imm
+				case fnXORI:
+					v = c.Regs[d.rs1] ^ d.imm
+				case fnSHLI:
+					v = c.Regs[d.rs1] << d.imm
+				case fnSHRI:
+					v = c.Regs[d.rs1] >> d.imm
+				case fnSRAI:
+					v = uint32(int32(c.Regs[d.rs1]) >> d.imm)
+				case fnLUI:
+					v = d.imm
+				}
+				if d.rd != 0 {
+					c.Regs[d.rd] = v
+				}
+				acc += cycs
+				k++
+				va += 4
+			}
+			if term {
+				// Terminator: resolves and materializes PC, mirroring
+				// executeFast's branch/JAL/JALR arms.
+				d := td
+				switch d.fn {
+				case fnJAL:
+					if d.rd != 0 {
+						c.Regs[d.rd] = va + 4
+					}
+					c.PC = va + d.imm
+					acc += isa.CycJump
+				case fnJALR:
+					tgt := c.Regs[d.rs1] + d.imm
+					if d.rd != 0 {
+						c.Regs[d.rd] = va + 4
+					}
+					c.PC = tgt
+					acc += isa.CycJump
+				default:
+					var taken bool
+					switch d.fn {
+					case fnBEQ:
+						taken = c.Regs[d.rd] == c.Regs[d.rs1]
+					case fnBNE:
+						taken = c.Regs[d.rd] != c.Regs[d.rs1]
+					case fnBLT:
+						taken = int32(c.Regs[d.rd]) < int32(c.Regs[d.rs1])
+					case fnBGE:
+						taken = int32(c.Regs[d.rd]) >= int32(c.Regs[d.rs1])
+					case fnBLTU:
+						taken = c.Regs[d.rd] < c.Regs[d.rs1]
+					case fnBGEU:
+						taken = c.Regs[d.rd] >= c.Regs[d.rs1]
+					}
+					if taken {
+						c.PC = va + d.imm
+						acc += isa.CycTaken
+					} else {
+						c.PC = va + 4
+						acc += isa.CycBranch
+					}
+				}
+				k++
+				va += 4
+			} else {
+				// Straight-line block (page edge or pre-slow end): materialize
+				// the fallthrough PC the per-op engine would have left behind.
+				c.PC = va
+			}
+			*clk += acc
+			c.Stat.Instructions += k
+			n += k
+
+			// Exit edge: anything but a taken branch/jump (fallthrough, untaken,
+			// page edge, pre-slow end) returns to the dispatcher.
+			if !term || c.PC == va {
+				return n, horizon, sbNext, 0
+			}
+			tva := c.PC
+			// Self-loop fast path: a validated b→b edge (the classic hot loop)
+			// needs only the budget and horizon re-checks per iteration. Every
+			// other condition is iteration-invariant inside one sbRun: gen and
+			// arming cannot change mid-burst outside traps (which exit), the
+			// epoch and the code page's TLB slot are re-verified after every
+			// memory op, and a fixed-displacement terminator (selfTva is never
+			// set for JALR) pins the target VA — so the entry fetch is a
+			// guaranteed TLB hit charging zero cycles, exactly what the
+			// per-instruction engine would pay.
+			if selfOK && tva == selfTva {
+				if b.noMem {
+					// Batched self-loop. No memory ops means nothing inside the
+					// loop can trap, fire an observer hook, invalidate a page, or
+					// touch the TLB, and every iteration's charge is the constant
+					// cycTaken (the ops' costs are data-independent). The
+					// per-entry budget and horizon checks therefore reduce to a
+					// precomputed iteration cap:
+					//   budget  — entry i needs n + i*nops <= maxTicks
+					//   horizon — entry i needs clk + (i-1)*cycTaken + cycMax < horizon
+					// which the per-instruction engine would evaluate one
+					// iteration at a time with exactly these linear recurrences.
+					mb := (maxTicks - n) / uint64(nops)
+					var mh uint64
+					if h := horizon - *clk; h > b.cycMax {
+						mh = (h-1-b.cycMax)/b.cycTaken + 1
+					}
+					m := mb
+					if mh < m {
+						m = mh
+					}
+					if m == 0 {
+						c.sbStat.ChainMisses++
+						return n, horizon, sbNext, 0
+					}
+					it := uint64(0)
+					taken := true
+					for {
+						for i := uint32(0); i < body; i++ {
+							// Arms mirror the general body loop's (and so
+							// executeFast's) bit for bit; cycle charges are
+							// pre-summed in cycTaken.
+							d := &ops[i]
+							var v uint32
+							switch d.fn {
+							case fnADDI:
+								v = c.Regs[d.rs1] + d.imm
+							case fnADD:
+								v = c.Regs[d.rs1] + c.Regs[d.rs2]
+							case fnSUB:
+								v = c.Regs[d.rs1] - c.Regs[d.rs2]
+							case fnAND:
+								v = c.Regs[d.rs1] & c.Regs[d.rs2]
+							case fnOR:
+								v = c.Regs[d.rs1] | c.Regs[d.rs2]
+							case fnXOR:
+								v = c.Regs[d.rs1] ^ c.Regs[d.rs2]
+							case fnSHL:
+								v = c.Regs[d.rs1] << (c.Regs[d.rs2] & 31)
+							case fnSHR:
+								v = c.Regs[d.rs1] >> (c.Regs[d.rs2] & 31)
+							case fnSRA:
+								v = uint32(int32(c.Regs[d.rs1]) >> (c.Regs[d.rs2] & 31))
+							case fnSLT:
+								if int32(c.Regs[d.rs1]) < int32(c.Regs[d.rs2]) {
+									v = 1
+								}
+							case fnSLTU:
+								if c.Regs[d.rs1] < c.Regs[d.rs2] {
+									v = 1
+								}
+							case fnMUL:
+								v = c.Regs[d.rs1] * c.Regs[d.rs2]
+							case fnDIVU:
+								if div := c.Regs[d.rs2]; div == 0 {
+									v = 0xFFFFFFFF
+								} else {
+									v = c.Regs[d.rs1] / div
+								}
+							case fnREMU:
+								if div := c.Regs[d.rs2]; div == 0 {
+									v = c.Regs[d.rs1]
+								} else {
+									v = c.Regs[d.rs1] % div
+								}
+							case fnANDI:
+								v = c.Regs[d.rs1] & d.imm
+							case fnORI:
+								v = c.Regs[d.rs1] | d.imm
+							case fnXORI:
+								v = c.Regs[d.rs1] ^ d.imm
+							case fnSHLI:
+								v = c.Regs[d.rs1] << d.imm
+							case fnSHRI:
+								v = c.Regs[d.rs1] >> d.imm
+							case fnSRAI:
+								v = uint32(int32(c.Regs[d.rs1]) >> d.imm)
+							case fnLUI:
+								v = d.imm
+							}
+							if d.rd != 0 {
+								c.Regs[d.rd] = v
+							}
+						}
+						it++
+						if td.fn == fnJAL {
+							if td.rd != 0 {
+								c.Regs[td.rd] = selfTva + nops<<2
+							}
+						} else {
+							switch td.fn {
+							case fnBEQ:
+								taken = c.Regs[td.rd] == c.Regs[td.rs1]
+							case fnBNE:
+								taken = c.Regs[td.rd] != c.Regs[td.rs1]
+							case fnBLT:
+								taken = int32(c.Regs[td.rd]) < int32(c.Regs[td.rs1])
+							case fnBGE:
+								taken = int32(c.Regs[td.rd]) >= int32(c.Regs[td.rs1])
+							case fnBLTU:
+								taken = c.Regs[td.rd] < c.Regs[td.rs1]
+							case fnBGEU:
+								taken = c.Regs[td.rd] >= c.Regs[td.rs1]
+							}
+							if !taken {
+								break
+							}
+						}
+						if it == m {
+							break
+						}
+					}
+					if taken {
+						// Cap exhausted mid-loop: state is exactly "just
+						// completed a taken iteration"; the dispatcher's own
+						// budget/horizon checks will refuse re-entry.
+						c.PC = selfTva
+						*clk += it * b.cycTaken
+						c.sbStat.ChainMisses++ // the re-entry the cap refused
+					} else {
+						c.PC = selfTva + nops<<2
+						*clk += (it-1)*b.cycTaken + (b.cycTaken - isa.CycTaken + isa.CycBranch)
+					}
+					c.Stat.Instructions += it * uint64(nops)
+					n += it * uint64(nops)
+					c.sbStat.Runs += it
+					c.sbStat.ChainHits += it
+					return n, horizon, sbNext, 0
+				}
+				if uint64(nops) <= maxTicks-n && *clk+b.cycMax < horizon {
+					c.sbStat.ChainHits++
+					va = tva
+					cyc = 0
+					continue
+				}
+				c.sbStat.ChainMisses++
+				return n, horizon, sbNext, 0
+			}
+			t := b.takenTo
+			if t == nil || b.takenVA != tva || t.gen != c.dcGen || t.epoch != t.page.epoch || t.n == 0 {
+				if t != nil {
+					b.takenTo = nil
+					c.sbStat.Severed++
+				}
+				b.takenCnt++
+				if b.takenCnt >= sbChainMin {
+					// Hot edge: ask the dispatcher to link it to whatever block
+					// it finds at the target.
+					c.sbLink, c.sbLinkVA = b, tva
+				}
+				c.sbStat.ChainMisses++
+				return n, horizon, sbNext, 0
+			}
+			if uint64(t.n) > maxTicks-n || *clk+t.cycMax >= horizon {
+				c.sbStat.ChainMisses++
+				return n, horizon, sbNext, 0
+			}
+			if c.hwBreakAny && c.execPageArmed(tva>>isa.PageShift) {
+				c.sbStat.ChainMisses++
+				return n, horizon, sbNext, 0
+			}
+			if pagingOff {
+				if t.base != tva {
+					b.takenTo = nil
+					c.sbStat.Severed++
+					c.sbStat.ChainMisses++
+					return n, horizon, sbNext, 0
+				}
+				cyc = 0
+			} else {
+				// One fetch translation per block entry — the same one the
+				// dispatcher would perform, charged with the block's first
+				// instruction via cyc.
+				pa2, cause, cyc2 := c.translate(tva, false)
+				if cause != isa.CauseNone {
+					*clk += cyc2 + c.raise(cause, tva, tva)
+					n++
+					if h, ok := c.fuseTrap(resume); ok {
+						return n, h, sbNext, 0
+					}
+					return n, horizon, sbTrapped, 0
+				}
+				if pa2 != t.base {
+					// Remapped target: sever and hand the already-charged
+					// translation back to the dispatcher (its re-translation
+					// hits the warm TLB for zero cycles; the budget check above
+					// reserved the tick that will commit these cycles).
+					b.takenTo = nil
+					c.sbStat.Severed++
+					c.sbStat.ChainMisses++
+					return n, horizon, sbNext, cyc2
+				}
+				if t.epoch != t.page.epoch {
+					// The walk's A/D update can land in the target's own page
+					// (page tables sharing a code page); the per-instruction
+					// engine would re-decode, so fall back to it.
+					c.sbStat.ChainMisses++
+					return n, horizon, sbNext, cyc2
+				}
+				if *clk+cyc2+t.cycMax >= horizon {
+					c.sbStat.ChainMisses++
+					return n, horizon, sbNext, cyc2
+				}
+				cyc = cyc2
+			}
+			c.sbStat.ChainHits++
+			// Arm the self-loop fast path for b→b edges with a fixed-target
+			// terminator (JALR targets are register-dependent and must be
+			// revalidated every exit).
+			selfOK = t == b && td.fn != fnJALR
+			selfTva = tva
+			b, va = t, tva
+			continue newBlock
+		}
+	}
+}

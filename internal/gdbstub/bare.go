@@ -131,3 +131,10 @@ func (t *BareTarget) Info() string {
 	return fmt.Sprintf("bare metal: pc=%08x cpl=%d frozen=%v clock=%d\n",
 		c.PC, c.CPL(), t.frozen, t.m.Clock())
 }
+
+// BlockInfo renders the superblock tier's telemetry for `monitor blocks`.
+func (t *BareTarget) BlockInfo() string {
+	s := t.m.CPU.SBStats()
+	return fmt.Sprintf("superblocks: built=%d runs=%d chain_hits=%d chain_misses=%d severed=%d\n",
+		s.Built, s.Runs, s.ChainHits, s.ChainMisses, s.Severed)
+}

@@ -65,6 +65,15 @@ type MemoryMapper interface {
 	MemoryMap() []MemRegion
 }
 
+// BlockReporter is optionally implemented by Targets whose machine runs
+// the superblock execution tier. When present, `monitor blocks` renders
+// the tier's telemetry (blocks built, dispatches, chain hit/miss/sever
+// counts) so a debugging session can see whether the guest is running
+// predecoded.
+type BlockReporter interface {
+	BlockInfo() string
+}
+
 // ByteIO is the communication device (both UART ends, or a test harness).
 type ByteIO interface {
 	TakeByte() (byte, bool)
@@ -349,6 +358,11 @@ func (s *Stub) monitorCommand(cmd string) string {
 	switch strings.TrimSpace(cmd) {
 	case "info", "stats":
 		return s.t.Info()
+	case "blocks":
+		if br, ok := s.t.(BlockReporter); ok {
+			return br.BlockInfo()
+		}
+		return "target has no superblock tier\n"
 	case "checkpoint", "position":
 		return s.monitorReplay(strings.TrimSpace(cmd))
 	case "breaks":

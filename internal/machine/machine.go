@@ -28,7 +28,6 @@ import (
 	"lvmm/internal/hw/pit"
 	"lvmm/internal/hw/scsi"
 	"lvmm/internal/hw/uart"
-	"lvmm/internal/isa"
 	"lvmm/internal/netsim"
 )
 
@@ -103,6 +102,15 @@ type Machine struct {
 	monitor uint64 // cycles charged by an attached monitor
 	events  eventQueue
 	seq     uint64
+
+	// Cached event horizon for the burst in progress, revalidated against
+	// seq by burstResume: seq advances on every event push (fireDue never
+	// pops mid-burst), so an unchanged seq proves the cached horizon can
+	// only be conservative (event cancellation only moves it later). This
+	// keeps the fused-resume preamble to a handful of compares instead of
+	// a heap peek + recompute per crossing.
+	hz    uint64
+	hzSeq uint64
 
 	irqSink   func(line int)
 	idleHook  func()
@@ -534,90 +542,75 @@ func (m *Machine) deliverPending() bool {
 //
 // Trap fusion: a trap a monitor fully emulates does not surface to Run.
 // Traps raised mid-burst resume inside cpu.BurstRun through the
-// burstResume hook; a slow instruction whose trap the monitor handled
-// (the dominant crossing: CLI/STI/IO-perm emulation) loops straight back
-// into the next burst here, paying only the one poll-countdown decrement
-// the outer loop would have charged for the tick — so a VMM-attached
-// guest stays on the predecoded engine across monitor-handled crossings.
+// burstResume hook, and slow instructions (the dominant crossing: CLI/STI
+// and IO-perm emulation) execute inline and resume through the same hook
+// — so a VMM-attached guest stays on the predecoded engine across
+// monitor-handled crossings, paying a handful of compares per re-entry.
 // Debugger-owned stops, reflected guest faults, idle transitions, due
 // events, deliverable interrupts, and poll/budget expiry all still
-// surface exactly as before (burstTickOK mirrors the outer loop's
-// preamble decisions, so fused and unfused runs are tick-identical).
-// Returns false when the CPU wedged (stopReason is set).
+// surface exactly as before (burstResume mirrors the outer loop's
+// preamble decisions, and the maxTicks budget bounds the whole fused run
+// to exactly the ticks the unbatched loop would grant, so fused and
+// unfused runs are tick-identical). Returns false when the CPU wedged
+// (stopReason is set).
 func (m *Machine) runBurst(limit uint64) bool {
-	for {
-		horizon := m.eventHorizon(limit)
-		maxTicks := uint64(m.pollCountdown)
-		if m.stopAtInstr != 0 {
-			// ≥ 1: the outer loop already returned if the target was reached.
-			if rem := m.stopAtInstr - m.CPU.Stat.Instructions; rem < maxTicks {
-				maxTicks = rem
-			}
+	m.hz = m.eventHorizon(limit)
+	m.hzSeq = m.seq
+	maxTicks := uint64(m.pollCountdown)
+	if m.stopAtInstr != 0 {
+		// ≥ 1: the outer loop already returned if the target was reached.
+		if rem := m.stopAtInstr - m.CPU.Stat.Instructions; rem < maxTicks {
+			maxTicks = rem
 		}
-		n, brk, slowFetch := m.CPU.BurstRun(&m.clock, horizon, maxTicks, m.burstResume)
-		if brk == cpu.BurstSlow {
-			// The pending instruction needs the full interpreter; it belongs
-			// to the current tick, so with its ticks the burst consumed n
-			// countdown decrements (the first tick was paid by the caller).
-			// slowFetch carries the TLB-miss cycles of the lookahead fetch
-			// translation (StepFast re-translates as a hit), committed with
-			// the instruction like the per-instruction engine does.
-			res, _ := m.CPU.StepFast()
-			m.clock += res.Cycles + slowFetch
-			m.pollCountdown -= int(n)
-			if res.Wedged {
-				m.stopReason = StopWedged
-				return false
-			}
-			if (res.Trapped == isa.CauseNone || m.CPU.DivertResumed()) && m.burstTickOK(limit) {
-				// Fused re-entry: start the next tick ourselves instead of
-				// surfacing, charging its countdown decrement like the
-				// outer loop would.
-				m.pollCountdown--
-				continue
-			}
-			return true
-		}
-		if n > 0 {
-			m.pollCountdown -= int(n - 1)
-		}
-		if brk == cpu.BurstTrap && m.CPU.Wedged() {
-			m.stopReason = StopWedged
-			return false
-		}
-		return true
 	}
-}
-
-// burstTickOK reports whether Run's per-tick preamble would reach the
-// burst arm again with nothing to do first: no stop, no due event, no
-// imminent external-input poll, no deliverable interrupt, a runnable CPU,
-// the stop-at-instruction target unreached, no pre-step hook, and a
-// burst-safe CPU (TF clear, slow engine not forced). When
-// it holds, runBurst may start the next tick itself; when it does not,
-// surfacing to the outer loop reproduces the unfused behaviour exactly.
-func (m *Machine) burstTickOK(limit uint64) bool {
-	return !m.stopped && !m.stopReq.Load() && m.clock < limit &&
-		(len(m.events) == 0 || m.events[0].cycle > m.clock) &&
-		m.pollCountdown > 1 &&
-		!m.irqDeliverable() &&
-		!m.CPU.Halted() && !m.guestIdle && !m.CPU.Wedged() &&
-		(m.stopAtInstr == 0 || m.CPU.Stat.Instructions < m.stopAtInstr) &&
-		m.preStepHook == nil && m.CPU.BurstSafe()
+	n, _ := m.CPU.BurstRun(&m.clock, m.hz, maxTicks, m.burstResume)
+	// The first tick was paid by the caller's preamble; the n-1 subsequent
+	// ones consume countdown decrements, like n iterations of the unbatched
+	// loop.
+	if n > 0 {
+		m.pollCountdown -= int(n - 1)
+	}
+	if m.CPU.Wedged() {
+		m.stopReason = StopWedged
+		return false
+	}
+	return true
 }
 
 // burstResume is the cpu.BurstResume hook: after a monitor fully handles
-// a trap raised mid-burst (a direct-paging PTE fixup, for instance), it
-// decides whether the burst may continue and recomputes the event horizon
-// — the monitor's charges consumed part of the old one, and its emulation
-// may have scheduled earlier events. Tick budgeting stays with BurstRun's
-// maxTicks, which already bounds the burst to the countdown and
-// stop-at-instruction windows.
+// a trap raised mid-burst (or a slow instruction executes inline), it
+// decides whether the burst may continue and supplies the event horizon —
+// recomputed only when the event queue grew (seq moved), since the
+// monitor's emulation may have scheduled earlier events; otherwise the
+// cached horizon is still exact and the whole preamble is branch-cheap.
+// Tick budgeting stays with BurstRun's maxTicks, which already bounds the
+// burst to the countdown and stop-at-instruction windows.
+//
+// The re-entry predicate mirrors exactly what Run's per-tick preamble
+// would check before reaching the burst arm again with nothing to do
+// first: no stop, no due event or cycle limit (both folded into the
+// cached horizon), no deliverable interrupt, a runnable CPU, the
+// stop-at-instruction target unreached, no pre-step hook, and a
+// burst-safe CPU (TF clear, slow engine not forced). When it holds, the
+// burst continues in place; when it does not, surfacing to the outer
+// loop reproduces the unfused behaviour exactly. The poll countdown
+// needs no re-check: BurstRun's maxTicks budget already bounds the whole
+// fused run to the countdown window. The predicate lives inline in this
+// hook (rather than in a helper) so the per-trap resume path is a single
+// call through the closure.
 func (m *Machine) burstResume() (uint64, bool) {
-	if !m.burstTickOK(m.runLimit) {
-		return 0, false
+	if m.hzSeq != m.seq {
+		m.hz = m.eventHorizon(m.runLimit)
+		m.hzSeq = m.seq
 	}
-	return m.eventHorizon(m.runLimit), true
+	if m.clock < m.hz && !m.stopped && !m.stopReq.Load() &&
+		!m.irqDeliverable() &&
+		!m.CPU.Halted() && !m.guestIdle && !m.CPU.Wedged() &&
+		(m.stopAtInstr == 0 || m.CPU.Stat.Instructions < m.stopAtInstr) &&
+		m.preStepHook == nil && m.CPU.BurstSafe() {
+		return m.hz, true
+	}
+	return 0, false
 }
 
 // eventHorizon is the next scheduled event's cycle capped by limit:

@@ -54,7 +54,16 @@ func (v *VMM) divert(cause, vaddr, epc uint32) cpu.DivertAction {
 	v.Stats.Traps++
 	v.Stats.TrapsByCause[idx]++
 	v.charge(v.cost.WorldSwitchIn)
-	act := trapHandlers[idx](v, cause, vaddr, epc)
+	var act cpu.DivertAction
+	// CausePriv is by far the hottest crossing in a deprivileged kernel
+	// (CLI/STI around every critical section); a direct call here skips
+	// the table indirection while leaving dispatch for every other cause
+	// untouched.
+	if idx == isa.CausePriv {
+		act = v.divertPriv(cause, vaddr, epc)
+	} else {
+		act = trapHandlers[idx](v, cause, vaddr, epc)
+	}
 	v.charge(v.cost.WorldSwitchOut)
 	return act
 }
@@ -103,6 +112,15 @@ var privHandlers = func() [1 << 6]privHandler {
 func (v *VMM) divertPriv(_, w, epc uint32) cpu.DivertAction {
 	v.Stats.PrivEmulated++
 	v.charge(v.cost.Emulate)
+	// CLI and STI bracket every guest critical section; direct calls let
+	// their (tiny) emulators inline here instead of going through the
+	// table. Everything else keeps the table dispatch.
+	switch isa.Opcode(w) {
+	case isa.OpCLI:
+		return v.emulateCLI(w, epc)
+	case isa.OpSTI:
+		return v.emulateSTI(w, epc)
+	}
 	if h := privHandlers[isa.Opcode(w)]; h != nil {
 		return h(v, w, epc)
 	}

@@ -351,6 +351,51 @@ func TestCrossEngineRecordReplay(t *testing.T) {
 	}
 }
 
+// TestRecordOnChainedTierReplaysOnSlow is the superblock-specific half of
+// the cross-engine guarantee: the recording machine must actually have run
+// chained superblocks (not just the per-instruction fast path), and that
+// trace must still replay bit-identically on the forced-slow seed engine.
+// Without the SBStats assertion, a tier that silently never engages would
+// pass TestCrossEngineRecordReplay vacuously.
+func TestRecordOnChainedTierReplaysOnSlow(t *testing.T) {
+	w := WorkloadDefaults(100)
+	w.Seconds = 0.15
+	target, err := NewStreamingTarget(Lightweight, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := target.Record(RecordOptions{SnapshotInterval: 60_000_000})
+	stats, err := target.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Finish()
+
+	sb := target.Machine().CPU.SBStats()
+	if sb.Runs == 0 || sb.ChainHits == 0 {
+		t.Fatalf("recording never engaged the chained superblock tier: %+v", sb)
+	}
+
+	rt, err := Replay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Machine().CPU.ForceSlowEngine(true)
+	got, err := rt.Run()
+	if err != nil {
+		t.Fatalf("chained-tier trace diverged on the slow engine: %v", err)
+	}
+	if got != stats {
+		t.Fatalf("slow replay of chained recording:\n  recorded: %v\n  replayed: %v", stats, got)
+	}
+	if d := replay.Digest(rt.Machine(), rt.Monitor()); d != tr.EndDigest {
+		t.Fatalf("end digest %#x, recorded %#x", d, tr.EndDigest)
+	}
+	if slow := rt.Machine().CPU.SBStats(); slow.Runs != 0 {
+		t.Fatalf("forced-slow replay still ran superblocks: %+v", slow)
+	}
+}
+
 // TestRecordWithArmedBreakpointReplays records a run with a hardware
 // breakpoint armed on an address the workload never executes — the
 // page-granular promise is that arming it changes nothing: the recording
